@@ -1,0 +1,10 @@
+// Figure 3: varying workloads on SATA HDD — per-iteration throughput
+// (a), p99 write latency (b), p99 read latency (c).
+#include "bench/fig_iterations_common.h"
+
+int main() {
+  elmo::benchmain::RunIterationFigure("Figure 3",
+                                      elmo::DeviceModel::SataHdd(),
+                                      "paper Figure 3");
+  return 0;
+}

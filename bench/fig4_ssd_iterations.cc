@@ -1,0 +1,10 @@
+// Figure 4: varying workloads on NVMe SSD — per-iteration throughput
+// (a), p99 write latency (b), p99 read latency (c).
+#include "bench/fig_iterations_common.h"
+
+int main() {
+  elmo::benchmain::RunIterationFigure("Figure 4",
+                                      elmo::DeviceModel::NvmeSsd(),
+                                      "paper Figure 4");
+  return 0;
+}

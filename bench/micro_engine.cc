@@ -1,0 +1,211 @@
+// Engine micro-benchmarks (google-benchmark): the building blocks the
+// paper's substrate rests on. Not a paper table — these exist so
+// engine-level regressions are visible independently of the tuning
+// loop.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "lsm/memtable.h"
+#include "table/bloom.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/cache.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace elmo;
+using namespace elmo::lsm;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_VarintEncode(benchmark::State& state) {
+  char buf[10];
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeVarint64(buf, v));
+    v = v * 2862933555777941757ull + 3037000493ull;
+  }
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_MemTableAdd(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  auto mem = std::make_unique<MemTable>(icmp);
+  Random64 rng(42);
+  uint64_t seq = 1;
+  std::string value(100, 'v');
+  for (auto _ : state) {
+    char key[16];
+    EncodeFixed64(key, rng.Next());
+    EncodeFixed64(key + 8, rng.Next());
+    mem->Add(seq++, kTypeValue, Slice(key, 16), value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem = std::make_unique<MemTable>(icmp);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_MemTableAdd);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  MemTable mem(icmp);
+  std::string value(100, 'v');
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", i);
+    mem.Add(i + 1, kTypeValue, Slice(key, 16), value);
+  }
+  Random64 rng(42);
+  std::string out;
+  for (auto _ : state) {
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", (int)rng.Uniform(n));
+    LookupKey lk(Slice(key, 16), n + 1);
+    Status s;
+    benchmark::DoNotOptimize(mem.Get(lk, &out, &s));
+  }
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BloomCreateAndQuery(benchmark::State& state) {
+  BloomFilterPolicy policy(static_cast<int>(state.range(0)));
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 10000; i++) {
+    key_storage.push_back("key" + std::to_string(i));
+  }
+  for (const auto& k : key_storage) keys.emplace_back(k);
+  std::string filter;
+  policy.CreateFilter(keys.data(), (int)keys.size(), &filter);
+  Random64 rng(42);
+  for (auto _ : state) {
+    std::string probe = "key" + std::to_string(rng.Uniform(20000));
+    benchmark::DoNotOptimize(policy.KeyMayMatch(probe, filter));
+  }
+}
+BENCHMARK(BM_BloomCreateAndQuery)->Arg(10)->Arg(16);
+
+void BM_BlockBuildAndSeek(benchmark::State& state) {
+  BlockBuilder builder(16);
+  for (int i = 0; i < 1000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", i);
+    builder.Add(Slice(key, 16), "value-payload-100b");
+  }
+  Block block(builder.Finish().ToString());
+  Random64 rng(42);
+  for (auto _ : state) {
+    auto iter = block.NewIterator(BytewiseComparator());
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", (int)rng.Uniform(1000));
+    iter->Seek(Slice(key, 16));
+    benchmark::DoNotOptimize(iter->Valid());
+  }
+}
+BENCHMARK(BM_BlockBuildAndSeek);
+
+void BM_LruCache(benchmark::State& state) {
+  auto cache = NewLruCache(1 << 20);
+  Random64 rng(42);
+  for (auto _ : state) {
+    char key[8];
+    EncodeFixed64(key, rng.Uniform(10000));
+    Slice k(key, 8);
+    auto v = cache->Lookup(k);
+    if (v == nullptr) {
+      cache->Insert(k, std::make_shared<int>(7), 256);
+    }
+  }
+}
+BENCHMARK(BM_LruCache);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h;
+  Random64 rng(42);
+  for (auto _ : state) {
+    h.Add(static_cast<double>(rng.Uniform(100000)));
+  }
+  benchmark::DoNotOptimize(h.Percentile(99.0));
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_DbPut(benchmark::State& state) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 8 << 20;
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/bm", &db);
+  if (!s.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  Random64 rng(42);
+  std::string value(100, 'v');
+  for (auto _ : state) {
+    char key[16];
+    EncodeFixed64(key, rng.Next());
+    EncodeFixed64(key + 8, rng.Next());
+    Status ps = db->Put({}, Slice(key, 16), value);
+    if (!ps.ok()) {
+      state.SkipWithError("put failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbPut);
+
+void BM_DbGet(benchmark::State& state) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 4 << 20;
+  options.bloom_filter_bits_per_key = static_cast<int>(state.range(0));
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, "/bm", &db);
+  if (!s.ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  const int n = 200000;
+  std::string value(100, 'v');
+  for (int i = 0; i < n; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", i);
+    db->Put({}, Slice(key, 16), value);
+  }
+  db->WaitForBackgroundWork();
+  Random64 rng(42);
+  std::string out;
+  for (auto _ : state) {
+    char key[16];
+    snprintf(key, sizeof(key), "%015d", (int)rng.Uniform(n));
+    benchmark::DoNotOptimize(db->Get({}, Slice(key, 16), &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DbGet)->Arg(0)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// auto_tune: the headline demo — run the full ELMo-Tune feedback loop
+// (simulated GPT-4 expert + benchmark + safeguards) for a chosen
+// hardware profile and workload, narrating each iteration.
+//
+//   ./build/examples/auto_tune [hdd|nvme] [fillrandom|readrandom|rrwr|mixgraph] [cores] [mem_gib]
+#include <cstdio>
+#include <cstring>
+
+#include "elmo/tuning_session.h"
+#include "llm/expert_llm.h"
+
+using namespace elmo;
+
+int main(int argc, char** argv) {
+  const std::string device = argc > 1 ? argv[1] : "nvme";
+  const std::string workload = argc > 2 ? argv[2] : "fillrandom";
+  const int cores = argc > 3 ? atoi(argv[3]) : 4;
+  const int mem_gib = argc > 4 ? atoi(argv[4]) : 4;
+
+  auto hw = HardwareProfile::Make(
+      cores, mem_gib,
+      device == "hdd" ? DeviceModel::SataHdd() : DeviceModel::NvmeSsd());
+
+  bench::WorkloadSpec spec;
+  if (workload == "readrandom") {
+    spec = bench::WorkloadSpec::ReadRandom(30000, 300000);
+  } else if (workload == "rrwr") {
+    spec = bench::WorkloadSpec::ReadRandomWriteRandom(150000);
+  } else if (workload == "mixgraph") {
+    spec = bench::WorkloadSpec::Mixgraph(150000);
+  } else {
+    spec = bench::WorkloadSpec::FillRandom(400000);
+  }
+
+  printf("=== ELMo-Tune demo ===\n");
+  printf("hardware: %s\nworkload: %s\n\n", hw.Label().c_str(),
+         spec.Describe().c_str());
+
+  bench::BenchRunner runner(hw);
+  llm::SimulatedExpertLlm gpt;
+  tune::TuningSession session(&runner, &gpt, spec);
+  tune::TuningOutcome out = session.Run();
+
+  printf("iteration 0 (out-of-box): %.0f ops/sec, p99w %.2f us, p99r "
+         "%.2f us\n\n",
+         out.baseline.ops_per_sec, out.baseline.p99_write_us(),
+         out.baseline.p99_read_us());
+
+  for (const auto& rec : out.iterations) {
+    printf("--- iteration %d ---\n", rec.iteration);
+    printf("LLM applied:");
+    if (rec.applied_changes.empty()) printf(" (nothing usable)");
+    for (const auto& [k, v] : rec.applied_changes) {
+      printf(" %s=%s", k.c_str(), v.c_str());
+    }
+    printf("\n");
+    if (rec.safeguard.total_rejected() > 0) {
+      printf("safeguard: %s\n", rec.safeguard.Summary().c_str());
+    }
+    printf("result: %.0f ops/sec -> %s (%s)\n\n",
+           rec.result.ops_per_sec, rec.kept ? "KEPT" : "reverted",
+           rec.decision_reason.c_str());
+  }
+
+  printf("=== outcome ===\n");
+  printf("best: %.0f ops/sec (%.2fx over default)\n",
+         out.best_result.ops_per_sec, out.ThroughputGain());
+  printf("\nfinal options file:\n%s", out.final_options_file.c_str());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// db_bench_sim: the db_bench-equivalent CLI over the simulated
+// hardware — run any workload on any profile with any options file and
+// get a db_bench-style report. This is the binary the tuning loop
+// effectively invokes each iteration.
+//
+// Usage:
+//   db_bench_sim [--workload=fillrandom|readrandom|rrwr|mixgraph]
+//                [--device=nvme|hdd] [--cores=N] [--mem_gib=N]
+//                [--ops=N] [--value_size=N] [--seed=N]
+//                [--options_file=PATH]   (unscaled option values)
+//                [--set name=value ...]  (override single options)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_kit/bench_runner.h"
+#include "lsm/options_file.h"
+#include "lsm/options_schema.h"
+
+using namespace elmo;
+
+namespace {
+
+bool GetFlag(const std::string& arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "fillrandom";
+  std::string device = "nvme";
+  int cores = 4;
+  int mem_gib = 4;
+  uint64_t ops = 0;  // 0 = workload default
+  int value_size = 100;
+  uint64_t seed = 42;
+  std::string options_file;
+  std::vector<std::string> overrides;
+
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    std::string v;
+    if (GetFlag(arg, "workload", &v)) workload = v;
+    else if (GetFlag(arg, "device", &v)) device = v;
+    else if (GetFlag(arg, "cores", &v)) cores = atoi(v.c_str());
+    else if (GetFlag(arg, "mem_gib", &v)) mem_gib = atoi(v.c_str());
+    else if (GetFlag(arg, "ops", &v)) ops = strtoull(v.c_str(), nullptr, 10);
+    else if (GetFlag(arg, "value_size", &v)) value_size = atoi(v.c_str());
+    else if (GetFlag(arg, "seed", &v)) seed = strtoull(v.c_str(), nullptr, 10);
+    else if (GetFlag(arg, "options_file", &v)) options_file = v;
+    else if (arg == "--set" && i + 1 < argc) overrides.push_back(argv[++i]);
+    else {
+      fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto hw = HardwareProfile::Make(
+      cores, mem_gib,
+      device == "hdd" ? DeviceModel::SataHdd() : DeviceModel::NvmeSsd());
+
+  bench::WorkloadSpec spec;
+  if (workload == "readrandom") {
+    spec = bench::WorkloadSpec::ReadRandom();
+  } else if (workload == "rrwr" || workload == "readrandomwriterandom") {
+    spec = bench::WorkloadSpec::ReadRandomWriteRandom();
+  } else if (workload == "mixgraph") {
+    spec = bench::WorkloadSpec::Mixgraph();
+  } else if (workload == "fillrandom") {
+    spec = bench::WorkloadSpec::FillRandom();
+  } else {
+    fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+  if (ops > 0) {
+    spec.num_ops = ops;
+    if (spec.preload_keys > 0) spec.preload_keys = ops;
+    spec.num_keys = std::max<uint64_t>(ops, spec.num_keys);
+  }
+  spec.value_size = value_size;
+  spec.seed = seed;
+
+  lsm::Options options;
+  if (!options_file.empty()) {
+    std::vector<std::string> unknown, invalid;
+    Status s = lsm::LoadOptionsFile(Env::Posix(), options_file, &options,
+                                    &unknown, &invalid);
+    if (!s.ok()) {
+      fprintf(stderr, "failed to load %s: %s\n", options_file.c_str(),
+              s.ToString().c_str());
+      return 1;
+    }
+    for (const auto& u : unknown) {
+      fprintf(stderr, "warning: unknown option ignored: %s\n", u.c_str());
+    }
+    for (const auto& i : invalid) {
+      fprintf(stderr, "warning: invalid value ignored: %s\n", i.c_str());
+    }
+  }
+  for (const auto& kv : overrides) {
+    size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      fprintf(stderr, "--set expects name=value, got %s\n", kv.c_str());
+      return 2;
+    }
+    Status s = lsm::OptionsSchema::Instance().Apply(
+        &options, kv.substr(0, eq), kv.substr(eq + 1));
+    if (!s.ok()) {
+      fprintf(stderr, "bad --set %s: %s\n", kv.c_str(),
+              s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  fprintf(stderr, "hardware: %s\nworkload: %s\n", hw.Label().c_str(),
+          spec.Describe().c_str());
+
+  bench::BenchRunner runner(hw, 42);
+  bench::BenchResult result = runner.Run(spec, options);
+  printf("%s", result.ToReport().c_str());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// safeguard_playground: feed hand-written "LLM responses" through the
+// Option Evaluator + Safeguard Enforcer pipeline and watch what gets
+// applied, clamped or rejected — the paper's hallucination-handling
+// path, interactively.
+//
+//   ./build/examples/safeguard_playground
+#include <cstdio>
+
+#include "elmo/option_evaluator.h"
+#include "elmo/safeguard.h"
+#include "lsm/options_schema.h"
+
+using namespace elmo;
+using namespace elmo::tune;
+
+namespace {
+
+void Demo(const char* title, const std::string& response) {
+  printf("=== %s ===\n", title);
+  printf("response:\n%s\n", response.c_str());
+
+  ExtractedProposals proposals = OptionEvaluator::Extract(response);
+  printf("evaluator extracted %zu proposal(s)%s\n", proposals.pairs.size(),
+         proposals.had_code_block ? " (code block found)" : "");
+
+  SafeguardEnforcer safeguard;
+  lsm::Options base;  // defaults
+  lsm::Options result;
+  SafeguardReport report = safeguard.Validate(base, proposals.pairs,
+                                              &result);
+  printf("safeguard: %s\n\n", report.Summary().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Demo("well-formed response",
+       "Raise parallelism for your 4 cores.\n"
+       "```ini\n"
+       "[DBOptions]\n"
+       "max_background_jobs = 6\n"
+       "bytes_per_sync = 1048576\n"
+       "```\n");
+
+  Demo("interleaved prose + block",
+       "First set write_buffer_size = 134217728 for fewer flushes.\n"
+       "Then apply:\n"
+       "```\n"
+       "max_write_buffer_number = 4\n"
+       "```\n");
+
+  Demo("hallucinated option",
+       "```ini\n"
+       "memtable_prefetch_depth = 8\n"
+       "max_background_jobs = 4\n"
+       "```\n");
+
+  Demo("deprecated option (the 'Flush Job Count' fixation)",
+       "Old guides suggest flush_job_count = 4; do that.\n");
+
+  Demo("blacklisted option",
+       "Benchmarks don't need durability:\n"
+       "```ini\n"
+       "disable_wal = true\n"
+       "wal_bytes_per_sync = 1048576\n"
+       "```\n");
+
+  Demo("out-of-range and malformed values",
+       "```ini\n"
+       "write_buffer_size = lots\n"
+       "max_write_buffer_number = 9999\n"
+       "block_size = 1024\n"
+       "```\n");
+
+  Demo("no configuration at all",
+       "I think your system is already well tuned! Great job.\n");
+
+  printf("Full option registry (%zu options, %zu deprecated names "
+         "recognized):\n",
+         lsm::OptionsSchema::Instance().all().size(),
+         lsm::OptionsSchema::Instance().deprecated().size());
+  lsm::Options defaults;
+  printf("%s", lsm::OptionsSchema::Instance().DescribeAll(defaults).c_str());
+  return 0;
+}

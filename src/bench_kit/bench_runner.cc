@@ -1,0 +1,168 @@
+#include "bench_kit/bench_runner.h"
+
+#include <algorithm>
+
+#include "bench_kit/generators.h"
+#include "env/sim_env.h"
+#include "lsm/db.h"
+
+namespace elmo::bench {
+
+using lsm::DB;
+using lsm::Options;
+using lsm::ReadOptions;
+using lsm::Ticker;
+using lsm::WriteOptions;
+
+lsm::Options ScaleCapacities(const lsm::Options& opts) {
+  Options o = opts;
+  auto scale = [](uint64_t v) {
+    return std::max<uint64_t>(v / kCapacityScale, 1);
+  };
+  o.write_buffer_size = std::max<uint64_t>(
+      scale(opts.write_buffer_size), 64 << 10);
+  o.block_cache_size = scale(opts.block_cache_size);
+  o.max_bytes_for_level_base =
+      std::max<uint64_t>(scale(opts.max_bytes_for_level_base), 1 << 20);
+  o.target_file_size_base =
+      std::max<uint64_t>(scale(opts.target_file_size_base), 256 << 10);
+  o.max_total_wal_size = opts.max_total_wal_size == 0
+                             ? 0
+                             : std::max<uint64_t>(
+                                   scale(opts.max_total_wal_size), 1 << 20);
+  return o;
+}
+
+BenchRunner::BenchRunner(const HardwareProfile& hw, uint64_t seed)
+    : hw_(hw), seed_(seed) {}
+
+BenchResult BenchRunner::Run(const WorkloadSpec& spec,
+                             const lsm::Options& tuning_opts) {
+  return RunInternal(spec, tuning_opts, spec.num_ops);
+}
+
+BenchResult BenchRunner::RunProbe(const WorkloadSpec& spec,
+                                  const lsm::Options& tuning_opts,
+                                  uint64_t probe_ops) {
+  return RunInternal(spec, tuning_opts, std::min(probe_ops, spec.num_ops));
+}
+
+BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
+                                     const lsm::Options& tuning_opts,
+                                     uint64_t op_limit) {
+  BenchResult result;
+  result.workload = WorkloadTypeName(spec.type);
+
+  auto env = std::make_unique<SimEnv>(hw_, seed_);
+  Options opts = ScaleCapacities(tuning_opts);
+  opts.env = env.get();
+  opts.create_if_missing = true;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(opts, "/bench/db", &db);
+  if (!s.ok()) {
+    result.workload += " OPEN-FAILED: " + s.ToString();
+    return result;
+  }
+
+  Random64 op_rng(spec.seed ^ 0x5ca1ab1e);
+  ValueGenerator value_gen(spec.seed + 1);
+  ZipfianGenerator zipf(std::max<uint64_t>(spec.num_keys, 2),
+                        spec.zipf_theta, spec.seed + 2);
+  ParetoValueSize pareto(spec.pareto_k, spec.pareto_sigma,
+                         /*loc=*/spec.value_size / 4.0, spec.seed + 3);
+
+  // ---- preload phase (not timed), like db_bench's pre-filled DB ----
+  if (spec.preload_keys > 0) {
+    for (uint64_t i = 0; i < spec.preload_keys; i++) {
+      Status ps =
+          db->Put(WriteOptions(), MakeKey(i),
+                  value_gen.Generate(spec.value_size));
+      if (!ps.ok()) {
+        result.workload += " PRELOAD-FAILED: " + ps.ToString();
+        return result;
+      }
+    }
+    // Drain memtables but do NOT force compactions to settle: like
+    // db_bench, the read phase starts against whatever L0 residue the
+    // configuration's compaction settings left behind — which is
+    // precisely what bloom filters and compaction tuning then fix.
+    db->FlushMemTable();
+  }
+
+  // ---- timed phase ----
+  const uint64_t t_start = env->NowMicros();
+  uint64_t bytes_processed = 0;
+
+  std::string read_value;
+  for (uint64_t i = 0; i < op_limit; i++) {
+    bool is_write = false;
+    switch (spec.type) {
+      case WorkloadType::kFillRandom: is_write = true; break;
+      case WorkloadType::kReadRandom: is_write = false; break;
+      case WorkloadType::kReadRandomWriteRandom:
+      case WorkloadType::kMixgraph:
+        is_write = op_rng.NextDouble() < spec.write_fraction;
+        break;
+    }
+
+    const uint64_t op_start = env->NowMicros();
+    if (is_write) {
+      uint64_t key_index;
+      uint32_t vsize;
+      if (spec.type == WorkloadType::kMixgraph) {
+        key_index = zipf.Next();
+        vsize = pareto.Next();
+      } else {
+        key_index = op_rng.Uniform(spec.num_keys);
+        vsize = spec.value_size;
+      }
+      Status ws = db->Put(WriteOptions(), MakeKey(key_index),
+                          value_gen.Generate(vsize));
+      if (!ws.ok()) break;
+      bytes_processed += 16 + vsize;
+      result.write_micros.Add(
+          static_cast<double>(env->NowMicros() - op_start));
+    } else {
+      uint64_t key_index = (spec.type == WorkloadType::kMixgraph)
+                               ? zipf.Next()
+                               : op_rng.Uniform(spec.num_keys);
+      Status rs = db->Get(ReadOptions(), MakeKey(key_index), &read_value);
+      if (rs.ok()) bytes_processed += 16 + read_value.size();
+      result.read_micros.Add(
+          static_cast<double>(env->NowMicros() - op_start));
+    }
+  }
+
+  uint64_t elapsed_us = env->NowMicros() - t_start;
+  if (elapsed_us == 0) elapsed_us = 1;
+
+  // T logical threads interleave their independent op streams; with
+  // enough cores the wall-clock contracts accordingly (first-order
+  // model — see DESIGN.md).
+  const double parallel = std::min(spec.threads, hw_.cpu_cores);
+  const double wall_seconds = (elapsed_us / 1e6) / std::max(1.0, parallel);
+
+  result.ops = op_limit;
+  result.elapsed_seconds = wall_seconds;
+  result.ops_per_sec = op_limit / wall_seconds;
+  result.mb_per_sec = bytes_processed / 1048576.0 / wall_seconds;
+
+  const auto& st = db->stats();
+  result.write_stall_micros = st.Get(Ticker::kWriteStallMicros);
+  result.write_slowdowns = st.Get(Ticker::kWriteSlowdownCount);
+  result.write_stops = st.Get(Ticker::kWriteStopCount);
+  result.flushes = st.Get(Ticker::kFlushCount);
+  result.compactions = st.Get(Ticker::kCompactionCount);
+  result.writeback_stalls = env->io_stats().writeback_stalls;
+  std::string prop;
+  if (db->GetProperty("elmo.block-cache-hit-rate", &prop)) {
+    result.block_cache_hit_rate = atof(prop.c_str());
+  }
+  if (db->GetProperty("elmo.levelsummary", &prop)) {
+    result.level_summary = prop;
+  }
+  return result;
+}
+
+}  // namespace elmo::bench

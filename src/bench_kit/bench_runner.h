@@ -1,0 +1,52 @@
+// BenchRunner: opens a fresh DB on a fresh SimEnv for the given
+// hardware profile, runs one workload under the given options, and
+// returns the measured result. One Run() == one db_bench invocation in
+// the paper's loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bench_kit/report.h"
+#include "bench_kit/workload.h"
+#include "env/hardware_profile.h"
+#include "lsm/options.h"
+
+namespace elmo::bench {
+
+// Byte-capacity options are divided by this factor when instantiating
+// the engine: our datasets are ~100x smaller than the paper's, so
+// capacities (memtable, cache, level targets) shrink alongside to keep
+// flush/compaction cadence and cache-coverage ratios faithful. The
+// options *file* the tuning loop sees always carries full-size values.
+inline constexpr uint64_t kCapacityScale = 64;
+
+lsm::Options ScaleCapacities(const lsm::Options& opts);
+
+class BenchRunner {
+ public:
+  BenchRunner(const HardwareProfile& hw, uint64_t seed = 42);
+
+  // Runs `spec` with `tuning_opts` (unscaled, as written in the options
+  // file). A fresh environment and DB are created per call, like the
+  // paper's per-iteration db_bench runs.
+  BenchResult Run(const WorkloadSpec& spec, const lsm::Options& tuning_opts);
+
+  // Early-probe variant used by the Active Flagger's benchmark monitor:
+  // runs only `probe_ops` operations and reports the interim result
+  // (ELMo-Tune's "first 30s" check).
+  BenchResult RunProbe(const WorkloadSpec& spec,
+                       const lsm::Options& tuning_opts, uint64_t probe_ops);
+
+  const HardwareProfile& hardware() const { return hw_; }
+
+ private:
+  BenchResult RunInternal(const WorkloadSpec& spec,
+                          const lsm::Options& tuning_opts,
+                          uint64_t op_limit);
+
+  HardwareProfile hw_;
+  uint64_t seed_;
+};
+
+}  // namespace elmo::bench

@@ -1,0 +1,68 @@
+// Key/value generators for the db_bench-style workloads, including the
+// Zipfian hot-key and generalized-Pareto value-size distributions that
+// define the Mixgraph production workload (Cao et al., FAST'20).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace elmo::bench {
+
+// Fixed-width 16-byte decimal keys, db_bench's format.
+std::string MakeKey(uint64_t index);
+
+// YCSB-style Zipfian over [0, n). Deterministic given the seed; items
+// are scrambled so popular keys spread over the key space.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(uint64_t n, double theta) const;
+
+  const uint64_t n_;
+  const double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold_;
+  Random64 rng_;
+};
+
+// Generalized Pareto value sizes — the Mixgraph value-size model.
+// size = loc + sigma * ((1-u)^(-k) - 1) / k, clamped to [min, max].
+class ParetoValueSize {
+ public:
+  ParetoValueSize(double k, double sigma, double loc, uint64_t seed,
+                  uint32_t min_size = 1, uint32_t max_size = 8192);
+
+  uint32_t Next();
+
+ private:
+  const double k_, sigma_, loc_;
+  const uint32_t min_size_, max_size_;
+  Random64 rng_;
+};
+
+// Deterministic compressible-or-not value bytes.
+class ValueGenerator {
+ public:
+  explicit ValueGenerator(uint64_t seed);
+
+  // Returns a string_view-stable value of the given size (reuses an
+  // internal buffer; copy if you need to keep it).
+  Slice Generate(uint32_t size);
+
+ private:
+  std::string buffer_;
+  Random64 rng_;
+};
+
+}  // namespace elmo::bench

@@ -1,0 +1,115 @@
+#include "bench_kit/report.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace elmo::bench {
+
+std::string BenchResult::ToReport() const {
+  std::string out;
+  char buf[512];
+  double micros_per_op =
+      ops == 0 ? 0 : elapsed_seconds * 1e6 / static_cast<double>(ops);
+  snprintf(buf, sizeof(buf),
+           "%-22s : %11.3f micros/op %.0f ops/sec; %.1f MB/s; "
+           "%llu ops done; elapsed %.3f seconds\n",
+           workload.c_str(), micros_per_op, ops_per_sec, mb_per_sec,
+           (unsigned long long)ops, elapsed_seconds);
+  out += buf;
+
+  if (write_micros.Count() > 0) {
+    out += "Microseconds per write:\n";
+    out += write_micros.ToString();
+  }
+  if (read_micros.Count() > 0) {
+    out += "Microseconds per read:\n";
+    out += read_micros.ToString();
+  }
+
+  snprintf(buf, sizeof(buf),
+           "Stalls: slowdown %llu, stop %llu, stall-micros %llu, "
+           "os-writeback-bursts %llu\n",
+           (unsigned long long)write_slowdowns,
+           (unsigned long long)write_stops,
+           (unsigned long long)write_stall_micros,
+           (unsigned long long)writeback_stalls);
+  out += buf;
+  snprintf(buf, sizeof(buf),
+           "Background: flushes %llu, compactions %llu; block cache hit "
+           "rate %.4f\n",
+           (unsigned long long)flushes, (unsigned long long)compactions,
+           block_cache_hit_rate);
+  out += buf;
+  if (!level_summary.empty()) {
+    out += "LSM shape: " + level_summary + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Pull "P99: <x>" and "Average: <x>" out of a histogram block.
+void ParseHistogramBlock(const std::vector<std::string>& lines, size_t start,
+                         double* p99, double* avg) {
+  for (size_t i = start; i < lines.size() && i < start + 4; i++) {
+    const std::string& line = lines[i];
+    // Stop at the next histogram header so this block's numbers are not
+    // overwritten by the following one's.
+    if (line.find("Microseconds per") != std::string::npos) break;
+    size_t pos = line.find("P99: ");
+    if (pos != std::string::npos) {
+      auto v = ParseDouble(line.substr(pos + 5,
+                                       line.find(' ', pos + 5) - pos - 5));
+      if (v.has_value()) *p99 = *v;
+    }
+    pos = line.find("Average: ");
+    if (pos != std::string::npos) {
+      size_t begin = pos + 9;
+      size_t end = line.find(' ', begin);
+      auto v = ParseDouble(line.substr(begin, end - begin));
+      if (v.has_value()) *avg = *v;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ParsedReport> ParseReport(const std::string& text) {
+  ParsedReport r;
+  bool found_throughput = false;
+  std::vector<std::string> lines = SplitLines(text);
+  for (size_t i = 0; i < lines.size(); i++) {
+    const std::string& line = lines[i];
+    size_t ops_pos = line.find(" ops/sec");
+    if (!found_throughput && ops_pos != std::string::npos &&
+        line.find("micros/op") != std::string::npos) {
+      // "<workload> : X micros/op Y ops/sec; ..."
+      size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        r.workload = TrimWhitespace(line.substr(0, colon));
+      }
+      size_t num_begin = line.rfind(' ', ops_pos - 1);
+      // ops_pos points at the space before "ops/sec"; the number sits
+      // between num_begin and ops_pos.
+      size_t mid = line.find("micros/op");
+      size_t begin = mid + strlen("micros/op");
+      auto v = ParseDouble(TrimWhitespace(
+          line.substr(begin, ops_pos - begin)));
+      (void)num_begin;
+      if (v.has_value()) {
+        r.ops_per_sec = *v;
+        found_throughput = true;
+      }
+    } else if (line.find("Microseconds per write:") != std::string::npos) {
+      ParseHistogramBlock(lines, i + 1, &r.p99_write_us, &r.avg_write_us);
+    } else if (line.find("Microseconds per read:") != std::string::npos) {
+      ParseHistogramBlock(lines, i + 1, &r.p99_read_us, &r.avg_read_us);
+    }
+  }
+  if (!found_throughput) return std::nullopt;
+  return r;
+}
+
+}  // namespace elmo::bench

@@ -1,0 +1,58 @@
+// BenchResult: measured outcome of one benchmark run, its db_bench-
+// style text rendering, and the parser the tuning framework uses to
+// read throughput / p99 numbers back out of that text (ELMo-Tune's
+// "Benchmark Parser" module consumes text, not structs).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bench_kit/workload.h"
+#include "util/histogram.h"
+
+namespace elmo::bench {
+
+struct BenchResult {
+  std::string workload;
+  uint64_t ops = 0;
+  double elapsed_seconds = 0;
+  double ops_per_sec = 0;
+  double mb_per_sec = 0;
+
+  Histogram write_micros;
+  Histogram read_micros;
+
+  // Engine/environment counters worth showing the LLM.
+  uint64_t write_stall_micros = 0;
+  uint64_t write_slowdowns = 0;
+  uint64_t write_stops = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t writeback_stalls = 0;
+  double block_cache_hit_rate = 0;
+  std::string level_summary;
+
+  // Convenience accessors used by tables/figures.
+  double p99_write_us() const {
+    return write_micros.Count() ? write_micros.Percentile(99.0) : 0;
+  }
+  double p99_read_us() const {
+    return read_micros.Count() ? read_micros.Percentile(99.0) : 0;
+  }
+
+  std::string ToReport() const;
+};
+
+// Subset of a report the tuning loop needs; parsed back from text.
+struct ParsedReport {
+  std::string workload;
+  double ops_per_sec = 0;
+  double p99_write_us = 0;
+  double p99_read_us = 0;
+  double avg_write_us = 0;
+  double avg_read_us = 0;
+};
+
+std::optional<ParsedReport> ParseReport(const std::string& text);
+
+}  // namespace elmo::bench

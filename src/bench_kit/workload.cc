@@ -1,0 +1,72 @@
+#include "bench_kit/workload.h"
+
+#include <cstdio>
+
+namespace elmo::bench {
+
+const char* WorkloadTypeName(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kFillRandom: return "fillrandom";
+    case WorkloadType::kReadRandom: return "readrandom";
+    case WorkloadType::kReadRandomWriteRandom: return "readrandomwriterandom";
+    case WorkloadType::kMixgraph: return "mixgraph";
+  }
+  return "unknown";
+}
+
+WorkloadSpec WorkloadSpec::FillRandom(uint64_t ops) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kFillRandom;
+  w.num_ops = ops;
+  w.num_keys = ops;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::ReadRandom(uint64_t ops, uint64_t preload) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kReadRandom;
+  w.num_ops = ops;
+  w.num_keys = preload;
+  w.preload_keys = preload;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::ReadRandomWriteRandom(uint64_t ops) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kReadRandomWriteRandom;
+  w.num_ops = ops;
+  // Key space well beyond what memory can cache, as in the paper's
+  // 25M-op runs.
+  w.num_keys = ops * 2;
+  w.preload_keys = ops;
+  w.threads = 2;  // the paper runs RRWR with 2 threads
+  w.write_fraction = 0.5;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::Mixgraph(uint64_t ops) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kMixgraph;
+  w.num_ops = ops;
+  w.num_keys = ops * 2;
+  w.preload_keys = ops;
+  w.write_fraction = 0.5;  // paper: 50% writes / 50% reads
+  return w;
+}
+
+std::string WorkloadSpec::Describe() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "%s: %llu ops over %llu keys (%llu preloaded), value ~%u B, "
+           "%d thread(s), %.0f%% writes",
+           WorkloadTypeName(type), (unsigned long long)num_ops,
+           (unsigned long long)num_keys, (unsigned long long)preload_keys,
+           value_size, threads,
+           (type == WorkloadType::kFillRandom
+                ? 100.0
+                : (type == WorkloadType::kReadRandom ? 0.0
+                                                     : write_fraction * 100)));
+  return buf;
+}
+
+}  // namespace elmo::bench

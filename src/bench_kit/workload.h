@@ -1,0 +1,50 @@
+// Workload specifications mirroring the paper's evaluation setup
+// (§5.1): fillrandom, readrandom (preloaded), readrandomwriterandom,
+// and Mixgraph. Op counts are scaled from the paper's 10-50M to keep
+// simulated runs fast; virtual time preserves the reported ops/sec
+// magnitudes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace elmo::bench {
+
+enum class WorkloadType {
+  kFillRandom,
+  kReadRandom,
+  kReadRandomWriteRandom,
+  kMixgraph,
+};
+
+const char* WorkloadTypeName(WorkloadType type);
+
+struct WorkloadSpec {
+  WorkloadType type = WorkloadType::kFillRandom;
+  uint64_t num_ops = 100000;
+  // Key space size (and preload count for read workloads).
+  uint64_t num_keys = 100000;
+  uint64_t preload_keys = 0;
+  uint32_t value_size = 100;  // db_bench default
+  int threads = 1;
+  // Fraction of writes for mixed workloads.
+  double write_fraction = 0.5;
+  // Mixgraph distribution parameters (FAST'20-flavored; theta softened
+  // so the hot set is not fully cache-resident at reproduction scale).
+  double zipf_theta = 0.85;
+  double pareto_k = 0.2615;
+  double pareto_sigma = 25.45;
+  uint64_t seed = 42;
+
+  // The paper's four workloads, at reproduction scale (paper-scale op
+  // counts in parentheses).
+  static WorkloadSpec FillRandom(uint64_t ops = 1000000);  // paper: 50M
+  static WorkloadSpec ReadRandom(uint64_t ops = 50000,    // paper: 10M
+                                 uint64_t preload = 500000);  // paper: 25M
+  static WorkloadSpec ReadRandomWriteRandom(uint64_t ops = 300000);  // 25M
+  static WorkloadSpec Mixgraph(uint64_t ops = 300000);              // 25M
+
+  std::string Describe() const;  // one-line summary for prompts/logs
+};
+
+}  // namespace elmo::bench

@@ -1,0 +1,57 @@
+#include "elmo/active_flagger.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace elmo::tune {
+
+double ActiveFlagger::WorstP99(const bench::BenchResult& r) {
+  return std::max(r.p99_write_us(), r.p99_read_us());
+}
+
+FlaggerDecision ActiveFlagger::Judge(
+    const bench::BenchResult& best,
+    const bench::BenchResult& candidate) const {
+  FlaggerDecision d;
+  char buf[256];
+
+  if (candidate.ops_per_sec > best.ops_per_sec * (1.0 + cfg_.min_gain)) {
+    d.keep = true;
+    snprintf(buf, sizeof(buf),
+             "throughput improved %.0f -> %.0f ops/sec (+%.1f%%)",
+             best.ops_per_sec, candidate.ops_per_sec,
+             (candidate.ops_per_sec / best.ops_per_sec - 1.0) * 100);
+    d.reason = buf;
+    return d;
+  }
+
+  const double best_p99 = WorstP99(best);
+  const double cand_p99 = WorstP99(candidate);
+  if (candidate.ops_per_sec >= best.ops_per_sec * (1.0 - cfg_.tolerance) &&
+      best_p99 > 0 && cand_p99 < best_p99) {
+    d.keep = true;
+    snprintf(buf, sizeof(buf),
+             "throughput held (%.0f ops/sec) while worst p99 improved "
+             "%.2f -> %.2f us",
+             candidate.ops_per_sec, best_p99, cand_p99);
+    d.reason = buf;
+    return d;
+  }
+
+  snprintf(buf, sizeof(buf),
+           "performance did not improve (%.0f vs %.0f ops/sec, p99 %.2f "
+           "vs %.2f us); reverting to the previous configuration",
+           candidate.ops_per_sec, best.ops_per_sec, cand_p99, best_p99);
+  d.keep = false;
+  d.reason = buf;
+  return d;
+}
+
+bool ActiveFlagger::ShouldAbortEarly(const bench::BenchResult& best,
+                                     const bench::BenchResult& probe) const {
+  if (best.ops_per_sec <= 0) return false;
+  return probe.ops_per_sec <
+         best.ops_per_sec * cfg_.early_abort_fraction;
+}
+
+}  // namespace elmo::tune

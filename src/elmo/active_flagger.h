@@ -1,0 +1,43 @@
+// ActiveFlagger: ELMo-Tune's keep-or-revert judge plus the constant
+// benchmark monitor that aborts a clearly-regressing run early (the
+// paper's "first 30s" redo check).
+#pragma once
+
+#include <string>
+
+#include "bench_kit/report.h"
+
+namespace elmo::tune {
+
+struct FlaggerConfig {
+  // Candidate must beat the best throughput by this much to be kept...
+  double min_gain = 0.005;
+  // ...unless it is within `tolerance` and improves tail latency.
+  double tolerance = 0.01;
+  // A probe below this fraction of best throughput aborts + redoes.
+  double early_abort_fraction = 0.5;
+};
+
+struct FlaggerDecision {
+  bool keep = false;
+  std::string reason;
+};
+
+class ActiveFlagger {
+ public:
+  explicit ActiveFlagger(const FlaggerConfig& config = {})
+      : cfg_(config) {}
+
+  FlaggerDecision Judge(const bench::BenchResult& best,
+                        const bench::BenchResult& candidate) const;
+
+  bool ShouldAbortEarly(const bench::BenchResult& best,
+                        const bench::BenchResult& probe) const;
+
+ private:
+  static double WorstP99(const bench::BenchResult& r);
+
+  FlaggerConfig cfg_;
+};
+
+}  // namespace elmo::tune

@@ -1,0 +1,66 @@
+#include "elmo/history_export.h"
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "lsm/options_schema.h"
+
+namespace elmo::tune {
+
+std::string ExportIterationCsv(const TuningOutcome& outcome) {
+  std::string csv =
+      "iteration,throughput_ops_sec,p99_write_us,p99_read_us,kept\n";
+  char buf[160];
+  snprintf(buf, sizeof(buf), "0,%.2f,%.2f,%.2f,baseline\n",
+           outcome.baseline.ops_per_sec, outcome.baseline.p99_write_us(),
+           outcome.baseline.p99_read_us());
+  csv += buf;
+  for (const auto& it : outcome.iterations) {
+    snprintf(buf, sizeof(buf), "%d,%.2f,%.2f,%.2f,%s\n", it.iteration,
+             it.result.ops_per_sec, it.result.p99_write_us(),
+             it.result.p99_read_us(), it.kept ? "kept" : "reverted");
+    csv += buf;
+  }
+  return csv;
+}
+
+std::string ExportOptionTraceMarkdown(const TuningOutcome& outcome) {
+  // Rows in first-touched order, like the paper's Table 5.
+  std::vector<std::string> rows;
+  std::set<std::string> seen;
+  for (const auto& it : outcome.iterations) {
+    for (const auto& [name, value] : it.applied_changes) {
+      if (seen.insert(name).second) rows.push_back(name);
+    }
+  }
+
+  std::string md = "| Parameter | Default |";
+  for (size_t i = 1; i <= outcome.iterations.size(); i++) {
+    md += " Iter " + std::to_string(i) + " |";
+  }
+  md += "\n|---|---|";
+  for (size_t i = 0; i < outcome.iterations.size(); i++) md += "---|";
+  md += "\n";
+
+  const auto& schema = lsm::OptionsSchema::Instance();
+  lsm::Options defaults;
+  for (const auto& name : rows) {
+    const auto* info = schema.Find(name);
+    md += "| " + name + " | " +
+          (info != nullptr ? info->get(defaults) : std::string("?")) +
+          " |";
+    for (const auto& it : outcome.iterations) {
+      auto found = it.applied_changes.find(name);
+      if (found != it.applied_changes.end()) {
+        md += " " + found->second + (it.kept ? "" : "\\*") + " |";
+      } else {
+        md += "  |";
+      }
+    }
+    md += "\n";
+  }
+  return md;
+}
+
+}  // namespace elmo::tune

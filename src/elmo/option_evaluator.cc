@@ -1,0 +1,135 @@
+#include "elmo/option_evaluator.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/ini.h"
+#include "util/string_util.h"
+
+namespace elmo::tune {
+
+namespace {
+
+bool IsOptionNameChar(char c) {
+  return std::islower(static_cast<unsigned char>(c)) ||
+         std::isdigit(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool LooksLikeOptionName(const std::string& s) {
+  if (s.empty() || !std::islower(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  // Single words like "a" or prose words without underscores are too
+  // ambiguous; real option names contain at least one underscore or are
+  // known-short names (none are, here).
+  bool has_underscore = false;
+  for (char c : s) {
+    if (!IsOptionNameChar(c)) return false;
+    if (c == '_') has_underscore = true;
+  }
+  return has_underscore;
+}
+
+bool LooksLikeValue(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Scan prose for "name = value" occurrences.
+void ExtractFromProse(const std::string& text, ExtractedProposals* out) {
+  size_t pos = 0;
+  while ((pos = text.find('=', pos)) != std::string::npos) {
+    // Walk left over spaces, then over the name.
+    size_t name_end = pos;
+    while (name_end > 0 && text[name_end - 1] == ' ') name_end--;
+    size_t name_begin = name_end;
+    while (name_begin > 0 && IsOptionNameChar(text[name_begin - 1])) {
+      name_begin--;
+    }
+    std::string name = text.substr(name_begin, name_end - name_begin);
+
+    // Walk right over spaces, then take the value token.
+    size_t val_begin = pos + 1;
+    while (val_begin < text.size() && text[val_begin] == ' ') val_begin++;
+    size_t val_end = val_begin;
+    while (val_end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[val_end])) &&
+           text[val_end] != ';' && text[val_end] != ',' &&
+           text[val_end] != ')' && text[val_end] != '`') {
+      val_end++;
+    }
+    std::string value = text.substr(val_begin, val_end - val_begin);
+    // Strip markdown emphasis and sentence punctuation.
+    while (!value.empty() &&
+           (value.back() == '.' || value.back() == '"' ||
+            value.back() == '*' || value.back() == '\'')) {
+      value.pop_back();
+    }
+
+    if (LooksLikeOptionName(name) && LooksLikeValue(value)) {
+      out->pairs.emplace_back(name, value);
+    }
+    pos++;
+  }
+}
+
+}  // namespace
+
+ExtractedProposals OptionEvaluator::Extract(const std::string& response) {
+  ExtractedProposals out;
+
+  // Walk the response in order, alternating prose segments and fenced
+  // blocks, so "last occurrence wins" matches the document's textual
+  // order (a block after prose finalizes values the prose mentioned).
+  size_t pos = 0;
+  while (true) {
+    size_t open = response.find("```", pos);
+    if (open == std::string::npos) {
+      ExtractFromProse(response.substr(pos), &out);
+      break;
+    }
+    ExtractFromProse(response.substr(pos, open - pos), &out);
+    size_t body_begin = response.find('\n', open);
+    if (body_begin == std::string::npos) break;
+    size_t close = response.find("```", body_begin);
+    if (close == std::string::npos) {
+      // Unterminated fence: treat the rest as block content anyway
+      // (LLMs do truncate).
+      close = response.size();
+    }
+    out.had_code_block = true;
+    std::string block = response.substr(body_begin + 1, close - body_begin - 1);
+    IniDoc doc;
+    std::vector<std::string> bad_lines;
+    if (IniDoc::Parse(block, &doc, &bad_lines).ok()) {
+      for (const auto& section : doc.sections()) {
+        for (const auto& entry : section.entries) {
+          out.pairs.emplace_back(entry.key, entry.value);
+        }
+      }
+    }
+    pos = std::min(close + 3, response.size());
+  }
+
+  // Deduplicate by name, keeping the LAST occurrence (the fenced block
+  // normally repeats and finalizes values mentioned in prose).
+  std::vector<std::pair<std::string, std::string>> deduped;
+  for (auto it = out.pairs.rbegin(); it != out.pairs.rend(); ++it) {
+    bool seen = false;
+    for (const auto& d : deduped) {
+      if (d.first == it->first) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) deduped.push_back(*it);
+  }
+  std::reverse(deduped.begin(), deduped.end());
+  out.pairs = std::move(deduped);
+  return out;
+}
+
+}  // namespace elmo::tune

@@ -1,0 +1,27 @@
+// OptionEvaluator: ELMo-Tune's response parser. LLM answers arrive as
+// free text, a single fenced code block, or an interleaving of both
+// (paper §3, challenge 2); this module extracts every `key = value`
+// proposal regardless of where it appears.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace elmo::tune {
+
+struct ExtractedProposals {
+  // In order of appearance; duplicates resolved last-wins by the
+  // safeguard stage.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  // True when at least one fenced code block was present (the format
+  // checker's main signal).
+  bool had_code_block = false;
+};
+
+class OptionEvaluator {
+ public:
+  static ExtractedProposals Extract(const std::string& llm_response);
+};
+
+}  // namespace elmo::tune

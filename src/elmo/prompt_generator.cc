@@ -1,0 +1,66 @@
+#include "elmo/prompt_generator.h"
+
+namespace elmo::tune {
+
+std::string PromptGenerator::SystemMessage() {
+  return
+      "You are an expert storage-systems engineer specializing in "
+      "LSM-tree key-value stores (RocksDB-style engines). You tune "
+      "configurations for specific hardware and workloads. Always "
+      "answer with a short analysis followed by the updated options in "
+      "a fenced ```ini code block using key = value lines.";
+}
+
+std::string PromptGenerator::Generate(const PromptInputs& in) {
+  std::string p;
+  p += "## Task\n";
+  p += "Tune the key-value store configuration below for maximum "
+       "throughput and low tail latency. This is tuning iteration " +
+       std::to_string(in.iteration) + ".\n\n";
+
+  p += "## System Information\n";
+  p += in.system.ToPromptText();
+  p += "\n";
+
+  p += "## Workload\n";
+  p += in.workload_description + "\n\n";
+
+  p += "## Current Configuration\n";
+  p += "```ini\n" + in.current_options_ini + "```\n\n";
+
+  if (!in.last_benchmark_report.empty()) {
+    p += "## Last Benchmark Report\n";
+    p += in.last_benchmark_report;
+    p += "\n";
+  }
+
+  if (!in.deterioration_note.empty()) {
+    p += "## Feedback\n";
+    p += in.deterioration_note + "\n\n";
+  }
+
+  if (!in.history.empty()) {
+    p += "## Tuning History\n";
+    for (const auto& line : in.history) {
+      p += line + "\n";
+    }
+    p += "\n";
+  }
+
+  p += "## Instructions\n";
+  p += "Propose between 3 and 10 option changes with one-line "
+       "rationales, then output the updated configuration in a fenced "
+       "```ini block.";
+  if (!in.locked_options.empty()) {
+    p += " Do not modify: ";
+    for (size_t i = 0; i < in.locked_options.size(); i++) {
+      if (i > 0) p += ", ";
+      p += in.locked_options[i];
+    }
+    p += ".";
+  }
+  p += "\n";
+  return p;
+}
+
+}  // namespace elmo::tune

@@ -1,0 +1,39 @@
+// PromptGenerator: ELMo-Tune's "Automatic prompt generation" module —
+// interlaces system information (psutil/fio-style probe), workload
+// statistics, the current options file and the latest benchmark report
+// into the user prompt sent to the LLM (paper §4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_kit/workload.h"
+#include "sysinfo/system_probe.h"
+
+namespace elmo::tune {
+
+struct PromptInputs {
+  int iteration = 1;
+  sysinfo::SystemProfile system;
+  std::string workload_description;
+  std::string current_options_ini;   // the best-known options file text
+  std::string last_benchmark_report; // raw report text
+  // Set when the previous iteration was reverted (the paper's
+  // "intermediate prompt with the information about deterioration").
+  std::string deterioration_note;
+  // "Iteration N: X ops/sec (kept|reverted)" lines.
+  std::vector<std::string> history;
+  // Options the responder must not modify.
+  std::vector<std::string> locked_options;
+};
+
+class PromptGenerator {
+ public:
+  // The persistent system message framing the conversation.
+  static std::string SystemMessage();
+
+  // One tuning-iteration user prompt.
+  static std::string Generate(const PromptInputs& inputs);
+};
+
+}  // namespace elmo::tune

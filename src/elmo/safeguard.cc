@@ -1,0 +1,85 @@
+#include "elmo/safeguard.h"
+
+#include "lsm/options_schema.h"
+
+namespace elmo::tune {
+
+using lsm::OptionsSchema;
+
+SafeguardEnforcer::SafeguardEnforcer(std::set<std::string> extra_blacklist)
+    : blacklist_(std::move(extra_blacklist)) {
+  for (const auto& info : OptionsSchema::Instance().all()) {
+    if (info.blacklisted) blacklist_.insert(info.name);
+  }
+}
+
+SafeguardReport SafeguardEnforcer::Validate(
+    const lsm::Options& base,
+    const std::vector<std::pair<std::string, std::string>>& proposals,
+    lsm::Options* result) const {
+  SafeguardReport report;
+  *result = base;
+  const OptionsSchema& schema = OptionsSchema::Instance();
+
+  if (proposals.empty()) {
+    report.format_ok = false;
+    return report;
+  }
+
+  for (const auto& [name, value] : proposals) {
+    if (blacklist_.count(name) > 0) {
+      // Echoing the current value back (full-file responses do) is not
+      // an attempt to change a locked option; only report real pokes.
+      const auto* locked_info = schema.Find(name);
+      if (locked_info != nullptr) {
+        lsm::Options scratch = *result;
+        if (locked_info->set(&scratch, value).ok() &&
+            locked_info->get(scratch) == locked_info->get(*result)) {
+          continue;
+        }
+      }
+      report.rejected_blacklisted.push_back(name);
+      continue;
+    }
+    const auto* info = schema.Find(name);
+    if (info == nullptr) {
+      if (schema.FindDeprecated(name) != nullptr) {
+        report.rejected_deprecated.push_back(name);
+      } else {
+        report.rejected_unknown.push_back(name);
+      }
+      continue;
+    }
+    // Normalize through the schema and skip no-op "changes": an LLM
+    // that echoes the whole options file back should only be credited
+    // (and benchmarked) for what it actually changed.
+    const std::string before = info->get(*result);
+    Status s = info->set(result, value);
+    if (!s.ok()) {
+      report.rejected_invalid.push_back(name + "=" + value + " (" +
+                                        s.ToString() + ")");
+      continue;
+    }
+    if (info->get(*result) == before) continue;
+    report.applied.emplace_back(name, info->get(*result));
+  }
+  return report;
+}
+
+std::string SafeguardReport::Summary() const {
+  std::string s;
+  s += "applied " + std::to_string(applied.size()) + " change(s)";
+  auto list = [&](const char* label, const std::vector<std::string>& v) {
+    if (v.empty()) return;
+    s += "; " + std::string(label) + ":";
+    for (const auto& name : v) s += " " + name;
+  };
+  list("rejected hallucinated option(s)", rejected_unknown);
+  list("rejected deprecated option(s)", rejected_deprecated);
+  list("blocked blacklisted option(s)", rejected_blacklisted);
+  list("rejected invalid value(s)", rejected_invalid);
+  if (!format_ok) s += "; response had no parseable configuration";
+  return s;
+}
+
+}  // namespace elmo::tune

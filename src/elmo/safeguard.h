@@ -1,0 +1,55 @@
+// SafeguardEnforcer: vets every proposed change before it reaches the
+// engine (paper §4.2). Two mechanisms, as in ELMo-Tune: a configurable
+// blacklist of options that must never change (journaling/WAL class),
+// and a format/validity checker that rejects hallucinated names,
+// deprecated names, type mismatches and out-of-range values — all
+// driven by the OptionsSchema registry.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lsm/options.h"
+
+namespace elmo::tune {
+
+struct SafeguardReport {
+  std::vector<std::pair<std::string, std::string>> applied;
+  std::vector<std::string> rejected_unknown;      // hallucinations
+  std::vector<std::string> rejected_deprecated;
+  std::vector<std::string> rejected_blacklisted;
+  std::vector<std::string> rejected_invalid;      // type / range
+  bool format_ok = true;  // response contained a parseable config at all
+
+  int total_rejected() const {
+    return static_cast<int>(rejected_unknown.size() +
+                            rejected_deprecated.size() +
+                            rejected_blacklisted.size() +
+                            rejected_invalid.size());
+  }
+  std::string Summary() const;
+};
+
+class SafeguardEnforcer {
+ public:
+  // `extra_blacklist` extends the schema's built-in blacklist
+  // (disable_wal).
+  explicit SafeguardEnforcer(std::set<std::string> extra_blacklist = {});
+
+  // Applies the vetted subset of `proposals` on top of `base`,
+  // producing *result. Never fails — bad proposals are reported, not
+  // fatal.
+  SafeguardReport Validate(
+      const lsm::Options& base,
+      const std::vector<std::pair<std::string, std::string>>& proposals,
+      lsm::Options* result) const;
+
+  const std::set<std::string>& blacklist() const { return blacklist_; }
+
+ private:
+  std::set<std::string> blacklist_;
+};
+
+}  // namespace elmo::tune

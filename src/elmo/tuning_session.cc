@@ -1,0 +1,182 @@
+#include "elmo/tuning_session.h"
+
+#include <cstdio>
+
+#include "elmo/option_evaluator.h"
+#include "elmo/prompt_generator.h"
+#include "env/sim_env.h"
+#include "lsm/options_schema.h"
+#include "sysinfo/system_probe.h"
+
+namespace elmo::tune {
+
+using lsm::Options;
+using lsm::OptionsSchema;
+
+TuningSession::TuningSession(bench::BenchRunner* runner,
+                             llm::LlmClient* llm,
+                             const bench::WorkloadSpec& workload,
+                             const TuningConfig& config)
+    : runner_(runner), llm_(llm), workload_(workload), cfg_(config) {}
+
+TuningOutcome TuningSession::Run(const Options& initial) {
+  TuningOutcome outcome;
+  SafeguardEnforcer safeguard(cfg_.extra_blacklist);
+  ActiveFlagger flagger(cfg_.flagger);
+
+  // Probe the hardware once (own throwaway SimEnv so the probe does not
+  // disturb benchmark clocks).
+  sysinfo::SystemProfile profile;
+  {
+    SimEnv probe_env(runner_->hardware(), /*seed=*/1);
+    profile = sysinfo::SystemProbe::Collect(&probe_env, "/probe");
+  }
+
+  // Iteration 0: the out-of-box configuration.
+  Options best_options = initial;
+  outcome.baseline = runner_->Run(workload_, best_options);
+  bench::BenchResult best_result = outcome.baseline;
+
+  std::vector<llm::ChatMessage> chat;
+  chat.push_back({"system", PromptGenerator::SystemMessage()});
+
+  std::vector<std::string> history;
+  {
+    char line[128];
+    snprintf(line, sizeof(line), "Iteration 0 (defaults): %.0f ops/sec",
+             outcome.baseline.ops_per_sec);
+    history.push_back(line);
+  }
+
+  std::string deterioration_note;
+  int non_improvements = 0;
+
+  for (int it = 1; it <= cfg_.max_iterations; it++) {
+    IterationRecord rec;
+    rec.iteration = it;
+
+    PromptInputs inputs;
+    inputs.iteration = it;
+    inputs.system = profile;
+    inputs.workload_description = workload_.Describe();
+    inputs.current_options_ini =
+        OptionsSchema::Instance().ToIniText(best_options);
+    inputs.last_benchmark_report = best_result.ToReport();
+    inputs.deterioration_note = deterioration_note;
+    inputs.history = history;
+    for (const auto& name : safeguard.blacklist()) {
+      inputs.locked_options.push_back(name);
+    }
+    rec.prompt = PromptGenerator::Generate(inputs);
+    deterioration_note.clear();
+
+    chat.push_back({"user", rec.prompt});
+    Status s = llm_->Complete(chat, &rec.response);
+    if (!s.ok()) {
+      rec.decision_reason = "LLM call failed: " + s.ToString();
+      rec.kept = false;
+      outcome.iterations.push_back(std::move(rec));
+      break;
+    }
+    chat.push_back({"assistant", rec.response});
+
+    ExtractedProposals proposals = OptionEvaluator::Extract(rec.response);
+    Options candidate;
+    rec.safeguard = safeguard.Validate(best_options, proposals.pairs,
+                                       &candidate);
+    rec.safeguard.format_ok =
+        rec.safeguard.format_ok && (proposals.had_code_block ||
+                                    !proposals.pairs.empty());
+
+    if (rec.safeguard.applied.empty()) {
+      // Nothing usable came back (pure hallucination / format break):
+      // tell the model and retry next iteration.
+      rec.kept = false;
+      rec.result = best_result;
+      rec.decision_reason =
+          "no valid changes extracted (" + rec.safeguard.Summary() + ")";
+      deterioration_note =
+          "Your previous response could not be applied: " +
+          rec.safeguard.Summary() +
+          ". Respond again with valid options inside a ```ini block.";
+      history.push_back("Iteration " + std::to_string(it) +
+                        ": rejected (unusable response)");
+      outcome.iterations.push_back(std::move(rec));
+      continue;
+    }
+    for (const auto& [k, v] : rec.safeguard.applied) {
+      rec.applied_changes[k] = v;
+    }
+
+    // Benchmark monitor: quick probe first; a collapsing config is
+    // aborted and reported back without paying for a full run.
+    if (cfg_.probe_fraction > 0) {
+      uint64_t probe_ops = static_cast<uint64_t>(
+          workload_.num_ops * cfg_.probe_fraction);
+      if (probe_ops >= 100) {
+        bench::BenchResult probe =
+            runner_->RunProbe(workload_, candidate, probe_ops);
+        if (flagger.ShouldAbortEarly(best_result, probe)) {
+          rec.early_aborted = true;
+          rec.kept = false;
+          rec.result = probe;
+          char buf[160];
+          snprintf(buf, sizeof(buf),
+                   "early monitor abort: probe ran at %.0f ops/sec vs "
+                   "best %.0f; reverting",
+                   probe.ops_per_sec, best_result.ops_per_sec);
+          rec.decision_reason = buf;
+          deterioration_note =
+              "The configuration you proposed DECREASED performance "
+              "sharply (probe at " +
+              std::to_string((long long)probe.ops_per_sec) +
+              " ops/sec vs best " +
+              std::to_string((long long)best_result.ops_per_sec) +
+              ") and was reverted. Please take a different, more "
+              "conservative direction.";
+          history.push_back("Iteration " + std::to_string(it) +
+                            ": reverted (early abort)");
+          non_improvements++;
+          outcome.iterations.push_back(std::move(rec));
+          if (non_improvements >= cfg_.patience) break;
+          continue;
+        }
+      }
+    }
+
+    rec.result = runner_->Run(workload_, candidate);
+    FlaggerDecision decision = flagger.Judge(best_result, rec.result);
+    rec.kept = decision.keep;
+    rec.decision_reason = decision.reason;
+
+    char line[160];
+    if (decision.keep) {
+      best_options = candidate;
+      best_result = rec.result;
+      non_improvements = 0;
+      snprintf(line, sizeof(line), "Iteration %d: %.0f ops/sec (kept)",
+               it, rec.result.ops_per_sec);
+    } else {
+      non_improvements++;
+      deterioration_note =
+          "The previous configuration DECREASED performance (" +
+          decision.reason +
+          "). It was reverted; the configuration above is the "
+          "best-known one.";
+      snprintf(line, sizeof(line),
+               "Iteration %d: %.0f ops/sec (reverted)", it,
+               rec.result.ops_per_sec);
+    }
+    history.push_back(line);
+    outcome.iterations.push_back(std::move(rec));
+    if (non_improvements >= cfg_.patience) break;
+  }
+
+  outcome.best_options = best_options;
+  outcome.best_result = best_result;
+  outcome.final_options_file =
+      OptionsSchema::Instance().ToIniText(best_options);
+  return outcome;
+}
+
+}  // namespace elmo::tune

@@ -1,0 +1,29 @@
+#include "env/device_model.h"
+
+namespace elmo {
+
+DeviceModel DeviceModel::NvmeSsd() {
+  DeviceModel d;
+  d.name = "NVMe SSD";
+  d.seq_read_bps = 2500ull << 20;   // ~2.5 GiB/s
+  d.seq_write_bps = 1800ull << 20;  // ~1.8 GiB/s
+  d.rand_read_lat_us = 80;
+  d.rand_write_lat_us = 25;
+  d.sync_base_us = 30;
+  d.sync_bps = 1500ull << 20;
+  return d;
+}
+
+DeviceModel DeviceModel::SataHdd() {
+  DeviceModel d;
+  d.name = "SATA HDD";
+  d.seq_read_bps = 160ull << 20;   // ~160 MiB/s
+  d.seq_write_bps = 140ull << 20;
+  d.rand_read_lat_us = 8000;       // seek + rotational latency
+  d.rand_write_lat_us = 6000;
+  d.sync_base_us = 4000;
+  d.sync_bps = 120ull << 20;
+  return d;
+}
+
+}  // namespace elmo

@@ -1,0 +1,51 @@
+// DeviceModel: cost model of a storage device used by SimEnv. Numbers
+// are first-order characteristics of the device classes the paper
+// evaluates (NVMe SSD, SATA HDD); what matters for the reproduction is
+// the *ratio* structure — HDDs pay milliseconds per random IO and sync,
+// NVMe pays tens of microseconds — because that is what the tuned
+// options (readahead, sync granularity, compaction parallelism) exploit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace elmo {
+
+struct DeviceModel {
+  std::string name;
+
+  uint64_t seq_read_bps;        // sequential read bandwidth, bytes/sec
+  uint64_t seq_write_bps;       // sequential write bandwidth
+  uint64_t rand_read_lat_us;    // per-IO latency for a non-sequential read
+  uint64_t rand_write_lat_us;   // per-IO latency for a non-sequential write
+  uint64_t sync_base_us;        // fixed cost of a durability barrier
+  uint64_t sync_bps;            // bandwidth when draining dirty pages
+
+  // Cost in microseconds of reading n bytes. A sequential read pays only
+  // bandwidth; a random one pays the per-IO latency too.
+  uint64_t ReadCostMicros(uint64_t n, bool sequential) const {
+    uint64_t bw = BytesCost(n, seq_read_bps);
+    return sequential ? bw : rand_read_lat_us + bw;
+  }
+
+  uint64_t WriteCostMicros(uint64_t n, bool sequential) const {
+    uint64_t bw = BytesCost(n, seq_write_bps);
+    return sequential ? bw : rand_write_lat_us + bw;
+  }
+
+  // Cost of a durability barrier that must drain `dirty` buffered bytes.
+  uint64_t SyncCostMicros(uint64_t dirty) const {
+    return sync_base_us + BytesCost(dirty, sync_bps);
+  }
+
+  static DeviceModel NvmeSsd();
+  static DeviceModel SataHdd();
+
+ private:
+  static uint64_t BytesCost(uint64_t n, uint64_t bps) {
+    if (bps == 0) return 0;
+    return (n * 1000000ull) / bps;
+  }
+};
+
+}  // namespace elmo

@@ -1,0 +1,34 @@
+#include "env/env.h"
+
+namespace elmo {
+
+Status Env::ReadFileToString(const std::string& fname, std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  Status s = NewSequentialFile(fname, &file);
+  if (!s.ok()) return s;
+  static const size_t kBufferSize = 8192;
+  std::string scratch(kBufferSize, '\0');
+  while (true) {
+    Slice fragment;
+    s = file->Read(kBufferSize, &fragment, scratch.data());
+    if (!s.ok()) break;
+    data->append(fragment.data(), fragment.size());
+    if (fragment.empty()) break;
+  }
+  return s;
+}
+
+Status Env::WriteStringToFile(const Slice& data, const std::string& fname,
+                              bool sync) {
+  std::unique_ptr<WritableFile> file;
+  Status s = NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  s = file->Append(data);
+  if (s.ok() && sync) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) RemoveFile(fname);
+  return s;
+}
+
+}  // namespace elmo

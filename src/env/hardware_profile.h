@@ -1,0 +1,34 @@
+// HardwareProfile: the axes the paper varies in its Docker containers —
+// CPU cores, memory, storage device. SimEnv is constructed from one of
+// these; sysinfo turns one into prompt text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/device_model.h"
+#include "util/string_util.h"
+
+namespace elmo {
+
+struct HardwareProfile {
+  int cpu_cores = 4;
+  uint64_t memory_bytes = 4ull << 30;
+  DeviceModel device = DeviceModel::NvmeSsd();
+
+  static HardwareProfile Make(int cores, uint64_t mem_gib,
+                              const DeviceModel& dev) {
+    HardwareProfile hw;
+    hw.cpu_cores = cores;
+    hw.memory_bytes = mem_gib << 30;
+    hw.device = dev;
+    return hw;
+  }
+
+  std::string Label() const {
+    return std::to_string(cpu_cores) + "c+" +
+           std::to_string(memory_bytes >> 30) + "g/" + device.name;
+  }
+};
+
+}  // namespace elmo

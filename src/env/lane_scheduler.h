@@ -1,0 +1,82 @@
+// LaneScheduler: models parallel execution of background jobs on a
+// machine with a fixed number of CPU cores and configurable flush /
+// compaction slot counts (RocksDB's max_background_flushes /
+// max_background_compactions). A job needs a pool slot AND a core; its
+// start time is the earliest instant both are free after it is ready.
+//
+// The scheduler is pure bookkeeping over virtual timestamps — jobs
+// themselves execute eagerly elsewhere; only their *durations* flow in.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "env/env.h"
+
+namespace elmo {
+
+class LaneScheduler {
+ public:
+  LaneScheduler() { Configure(4, 1, 2); }
+
+  void Configure(int cpu_cores, int flush_slots, int compaction_slots) {
+    cores_.assign(std::max(1, cpu_cores), 0);
+    flush_slots_.assign(std::max(1, flush_slots), 0);
+    compaction_slots_.assign(std::max(1, compaction_slots), 0);
+  }
+
+  // Schedule a job of `duration_us` that becomes ready at `ready_us`.
+  // Returns its completion time.
+  uint64_t Schedule(JobPriority pri, uint64_t ready_us, uint64_t duration_us) {
+    std::vector<uint64_t>& pool =
+        (pri == JobPriority::kHigh) ? flush_slots_ : compaction_slots_;
+    size_t pool_i = ArgMin(pool);
+    size_t core_i = ArgMin(cores_);
+    uint64_t start = std::max({ready_us, pool[pool_i], cores_[core_i]});
+    uint64_t end = start + duration_us;
+    pool[pool_i] = end;
+    cores_[core_i] = end;
+    return end;
+  }
+
+  // Number of cores still executing background work at `now`.
+  int BusyCores(uint64_t now) const {
+    int busy = 0;
+    for (uint64_t t : cores_) {
+      if (t > now) busy++;
+    }
+    return busy;
+  }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+  // Earliest time at which any in-flight background work completes after
+  // `now`; returns `now` when idle.
+  uint64_t NextCompletionAfter(uint64_t now) const {
+    uint64_t best = now;
+    bool found = false;
+    for (uint64_t t : cores_) {
+      if (t > now && (!found || t < best)) {
+        best = t;
+        found = true;
+      }
+    }
+    return found ? best : now;
+  }
+
+ private:
+  static size_t ArgMin(const std::vector<uint64_t>& v) {
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); i++) {
+      if (v[i] < v[best]) best = i;
+    }
+    return best;
+  }
+
+  std::vector<uint64_t> cores_;
+  std::vector<uint64_t> flush_slots_;
+  std::vector<uint64_t> compaction_slots_;
+};
+
+}  // namespace elmo

@@ -1,0 +1,49 @@
+// MemEnv: in-memory filesystem + real clock + real thread pools. Fast,
+// hermetic environment for unit and integration tests.
+#pragma once
+
+#include <memory>
+
+#include "env/env.h"
+#include "env/mem_fs.h"
+#include "util/thread_pool.h"
+
+namespace elmo {
+
+class MemEnv : public Env {
+ public:
+  MemEnv();
+  ~MemEnv() override = default;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status RemoveDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  uint64_t NowMicros() override;
+  void SleepForMicroseconds(uint64_t micros) override;
+  void Schedule(std::function<void()> job, JobPriority pri) override;
+  void WaitForBackgroundWork() override;
+  void SetBackgroundThreads(int n, JobPriority pri) override;
+
+  MemFs* fs() { return &fs_; }
+
+ private:
+  MemFs fs_;
+  ThreadPool high_pool_;
+  ThreadPool low_pool_;
+};
+
+}  // namespace elmo

@@ -1,0 +1,130 @@
+// MemFs: a thread-safe in-memory filesystem core shared by MemEnv (real
+// clock) and SimEnv (virtual clock + device model). Paths are flat
+// strings; directories exist implicitly but are tracked so GetChildren
+// and RemoveDir behave like POSIX.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elmo {
+
+class MemFs {
+ public:
+  struct FileNode {
+    std::mutex mu;
+    std::string data;
+  };
+  using FileRef = std::shared_ptr<FileNode>;
+
+  Status Open(const std::string& fname, FileRef* out) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) return Status::NotFound(fname);
+    *out = it->second;
+    return Status::OK();
+  }
+
+  // Create (truncating any existing file).
+  FileRef Create(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto node = std::make_shared<FileNode>();
+    files_[fname] = node;
+    return node;
+  }
+
+  bool Exists(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    return files_.count(fname) > 0 || dirs_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir, std::vector<std::string>* out) {
+    out->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    std::lock_guard<std::mutex> l(mu_);
+    if (dirs_.count(dir) == 0) return Status::NotFound(dir);
+    std::set<std::string> children;
+    for (const auto& [path, node] : files_) {
+      if (path.size() > prefix.size() &&
+          path.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = path.substr(prefix.size());
+        size_t slash = rest.find('/');
+        children.insert(slash == std::string::npos ? rest
+                                                   : rest.substr(0, slash));
+      }
+    }
+    for (const auto& d : dirs_) {
+      if (d.size() > prefix.size() &&
+          d.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = d.substr(prefix.size());
+        size_t slash = rest.find('/');
+        children.insert(slash == std::string::npos ? rest
+                                                   : rest.substr(0, slash));
+      }
+    }
+    out->assign(children.begin(), children.end());
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& fname) {
+    std::lock_guard<std::mutex> l(mu_);
+    if (files_.erase(fname) == 0) return Status::NotFound(fname);
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& dirname) {
+    std::lock_guard<std::mutex> l(mu_);
+    dirs_.insert(dirname);
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) {
+    std::lock_guard<std::mutex> l(mu_);
+    if (dirs_.erase(dirname) == 0) return Status::NotFound(dirname);
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) {
+    FileRef ref;
+    Status s = Open(fname, &ref);
+    if (!s.ok()) return s;
+    std::lock_guard<std::mutex> l(ref->mu);
+    *size = ref->data.size();
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& src, const std::string& target) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) return Status::NotFound(src);
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+  // Total bytes stored across all files (the simulated "dataset size",
+  // used by SimEnv's page-cache model).
+  uint64_t TotalBytes() {
+    std::lock_guard<std::mutex> l(mu_);
+    uint64_t total = 0;
+    for (const auto& [path, node] : files_) {
+      std::lock_guard<std::mutex> fl(node->mu);
+      total += node->data.size();
+    }
+    return total;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, FileRef> files_;
+  std::set<std::string> dirs_;
+};
+
+}  // namespace elmo

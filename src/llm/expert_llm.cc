@@ -1,0 +1,382 @@
+#include "llm/expert_llm.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace elmo::llm {
+
+SimulatedExpertLlm::SimulatedExpertLlm(const ExpertConfig& config)
+    : cfg_(config), rng_(config.seed) {}
+
+namespace {
+
+// Finds "label" in text and parses the integer right after it.
+bool FindInt(const std::string& text, const std::string& label,
+             uint64_t* out) {
+  size_t pos = text.find(label);
+  if (pos == std::string::npos) return false;
+  pos += label.size();
+  while (pos < text.size() && text[pos] == ' ') pos++;
+  char* end = nullptr;
+  unsigned long long v = strtoull(text.c_str() + pos, &end, 10);
+  if (end == text.c_str() + pos) return false;
+  *out = v;
+  return true;
+}
+
+bool FindDouble(const std::string& text, const std::string& label,
+                double* out) {
+  size_t pos = text.find(label);
+  if (pos == std::string::npos) return false;
+  pos += label.size();
+  while (pos < text.size() && text[pos] == ' ') pos++;
+  char* end = nullptr;
+  double v = strtod(text.c_str() + pos, &end);
+  if (end == text.c_str() + pos) return false;
+  *out = v;
+  return true;
+}
+
+// Extracts the first fenced block tagged ```ini.
+std::string ExtractIniFence(const std::string& text) {
+  size_t open = text.find("```ini");
+  if (open == std::string::npos) return "";
+  open = text.find('\n', open);
+  if (open == std::string::npos) return "";
+  size_t close = text.find("```", open);
+  if (close == std::string::npos) return "";
+  return text.substr(open + 1, close - open - 1);
+}
+
+uint64_t MiB(uint64_t n) { return n << 20; }
+
+}  // namespace
+
+PromptFacts SimulatedExpertLlm::ParsePrompt(const std::string& prompt) {
+  PromptFacts facts;
+
+  uint64_t v;
+  if (FindInt(prompt, "CPU cores:", &v)) facts.cpu_cores = static_cast<int>(v);
+
+  double mem;
+  if (FindDouble(prompt, "Total memory:", &mem)) {
+    size_t pos = prompt.find("Total memory:");
+    std::string tail = prompt.substr(pos, 64);
+    if (tail.find("GiB") != std::string::npos) {
+      facts.memory_bytes = static_cast<uint64_t>(mem * (1ull << 30));
+    } else if (tail.find("MiB") != std::string::npos) {
+      facts.memory_bytes = static_cast<uint64_t>(mem * (1ull << 20));
+    } else {
+      facts.memory_bytes = static_cast<uint64_t>(mem);
+    }
+  }
+
+  facts.is_hdd = ContainsIgnoreCase(prompt, "HDD") ||
+                 ContainsIgnoreCase(prompt, "spinning") ||
+                 ContainsIgnoreCase(prompt, "hard disk");
+
+  for (const char* name :
+       {"readrandomwriterandom", "readrandom", "fillrandom", "mixgraph"}) {
+    if (prompt.find(name) != std::string::npos) {
+      facts.workload = name;
+      break;
+    }
+  }
+  facts.write_heavy = (facts.workload == "fillrandom" ||
+                       facts.workload == "readrandomwriterandom" ||
+                       facts.workload == "mixgraph");
+  facts.read_heavy = (facts.workload == "readrandom" ||
+                      facts.workload == "readrandomwriterandom" ||
+                      facts.workload == "mixgraph");
+  if (facts.workload.empty()) {
+    facts.write_heavy = true;  // default persona: assume ingest tuning
+  }
+
+  FindDouble(prompt, "micros/op", &facts.last_ops_per_sec);
+  // The report line reads "... micros/op <N> ops/sec"; the number we
+  // want precedes "ops/sec".
+  {
+    size_t pos = prompt.find(" ops/sec");
+    if (pos != std::string::npos) {
+      size_t begin = prompt.rfind(' ', pos - 1);
+      if (begin != std::string::npos) {
+        auto val = ParseDouble(prompt.substr(begin, pos - begin));
+        if (val.has_value()) facts.last_ops_per_sec = *val;
+      }
+    }
+  }
+
+  facts.deteriorated = ContainsIgnoreCase(prompt, "decreased") ||
+                       ContainsIgnoreCase(prompt, "reverted") ||
+                       ContainsIgnoreCase(prompt, "deteriorat");
+  FindInt(prompt, "stall-micros", &facts.stall_micros);
+  FindInt(prompt, "os-writeback-bursts", &facts.writeback_bursts);
+  if (FindInt(prompt, "tuning iteration", &v)) {
+    facts.iteration = static_cast<int>(v);
+  }
+
+  std::string ini = ExtractIniFence(prompt);
+  if (!ini.empty()) {
+    IniDoc::Parse(ini, &facts.current_options);
+  }
+  return facts;
+}
+
+std::vector<SimulatedExpertLlm::Change> SimulatedExpertLlm::ProposeChanges(
+    const PromptFacts& facts) {
+  std::vector<Change> candidates;
+  const int cores = std::max(1, facts.cpu_cores);
+  const uint64_t mem = facts.memory_bytes;
+  const int it = std::max(facts.iteration, calls_);
+
+  auto current = [&](const std::string& name) -> std::string {
+    for (const char* sec : {"DBOptions", "CFOptions", "TableOptions", ""}) {
+      auto v = facts.current_options.Get(sec, name);
+      if (v.has_value()) return *v;
+    }
+    return "";
+  };
+  auto add = [&](const std::string& name, const std::string& value,
+                 const std::string& why) {
+    if (current(name) == value) return;           // no-op change
+    if (facts.deteriorated && last_changed_.count(name)) return;
+    candidates.push_back({name, value, why});
+  };
+  // Oscillation helper: cycle through a small value set as iterations
+  // advance — the blog-knowledge behavior Table 5 shows.
+  auto cycle = [&](std::initializer_list<const char*> values) {
+    std::vector<const char*> v(values);
+    return std::string(v[(it + rng_.Uniform(2)) % v.size()]);
+  };
+
+  // ---- background parallelism: the single most blogged-about knob ----
+  {
+    int jobs = std::clamp(cores + static_cast<int>(rng_.Uniform(3)) - 1 +
+                              (it % 2),
+                          2, 2 * cores + 2);
+    add("max_background_jobs", std::to_string(jobs),
+        "match background parallelism to the " + std::to_string(cores) +
+            " available cores");
+    add("max_background_flushes", cycle({"2", "1", "2"}),
+        "dedicated flush thread(s) so memtables drain promptly");
+    add("max_background_compactions",
+        std::to_string(std::clamp(cores - 1 + (it % 3), 2, 8)),
+        "let compaction keep up with the ingest rate");
+  }
+
+  if (facts.write_heavy) {
+    // Memory-budget aware memtable sizing (the paper highlights that
+    // the model keeps the total budget in check).
+    int mwbn = 3 + static_cast<int>((it + rng_.Uniform(2)) % 3);  // 3..5
+    uint64_t wbs = MiB(64);
+    if (mem >= (8ull << 30)) {
+      wbs = MiB(128);
+    } else if (mem <= (4ull << 30) && mwbn >= 4) {
+      wbs = MiB(32);  // stay inside the budget with more memtables
+    }
+    add("write_buffer_size", std::to_string(wbs),
+        "size memtables for the available " +
+            FormatBytesHuman(mem) + " while keeping the total budget sane");
+    add("max_write_buffer_number", std::to_string(mwbn),
+        "more in-flight memtables absorb flush latency spikes");
+    add("min_write_buffer_number_to_merge", cycle({"2", "1", "3"}),
+        "merging memtables before flushing reduces write amplification");
+
+    add("wal_bytes_per_sync", cycle({"1048576", "524288", "1048576"}),
+        "sync the WAL incrementally to avoid bursty OS writeback");
+    add("bytes_per_sync", cycle({"1048576", "524288", "1048576"}),
+        "same smoothing for SST writes — big p99 win");
+    if (it >= 2) {
+      add("strict_bytes_per_sync", "true",
+          "enforce the sync cadence strictly for predictable tails");
+    }
+    add("level0_file_num_compaction_trigger", cycle({"6", "4", "6"}),
+        "slightly deeper L0 batches compaction work");
+    add("target_file_size_base", cycle({"33554432", "67108864"}),
+        "smaller files give finer-grained compaction scheduling");
+    add("max_bytes_for_level_multiplier", cycle({"8", "10"}),
+        "a tighter level fanout reduces worst-case read amplification");
+    if (it >= 1) {
+      add("enable_pipelined_write", "false",
+          "several deployments report steadier tails without the "
+          "pipelined writer");
+      add("dump_malloc_stats", "false",
+          "drop allocator-stat dumps to shave background CPU");
+    }
+    if (facts.stall_micros > 1000000 || facts.writeback_bursts > 10) {
+      add("max_subcompactions", std::to_string(std::min(cores, 4)),
+          "parallelize large compactions; stalls indicate compaction "
+          "debt");
+    }
+    // The modern option LLMs tend to overlook (paper §6): proposed only
+    // occasionally.
+    if (rng_.NextDouble() < 0.10) {
+      add("level_compaction_dynamic_level_bytes", "true",
+          "modern level sizing keeps space amplification bounded");
+    }
+  }
+
+  if (facts.read_heavy) {
+    add("bloom_filter_bits_per_key", cycle({"10", "12", "10"}),
+        "bloom filters skip SSTs that cannot contain the key — the "
+        "classic read-path fix");
+    uint64_t cache = std::max<uint64_t>(mem / 4, MiB(64));
+    add("block_cache_size", std::to_string(cache),
+        "give the block cache a real share (1/4) of system memory");
+    add("cache_index_and_filter_blocks", "true",
+        "account index/filter blocks inside the cache budget");
+    if (facts.is_hdd) {
+      add("block_size", "16384",
+          "bigger blocks amortize seek latency on spinning media");
+    }
+  }
+
+  if (facts.is_hdd) {
+    add("compaction_readahead_size", cycle({"4194304", "8388608"}),
+        "large sequential readahead hides seek latency during "
+        "compaction on HDDs");
+  }
+
+  // Sample down to the per-iteration change budget, preserving the
+  // knowledge-base priority order.
+  int budget = cfg_.min_changes +
+               static_cast<int>(rng_.Uniform(
+                   cfg_.max_changes - cfg_.min_changes + 1));
+  if (facts.deteriorated) budget = std::max(cfg_.min_changes, budget / 2);
+  if (static_cast<int>(candidates.size()) > budget) {
+    // Keep the first `budget` high-priority entries but randomly swap a
+    // couple of tail entries in for variety.
+    for (int i = 0; i < 2; i++) {
+      size_t from = budget + rng_.Uniform(candidates.size() - budget);
+      size_t to = rng_.Uniform(budget);
+      std::swap(candidates[to], candidates[from]);
+    }
+    candidates.resize(budget);
+  }
+
+  last_changed_.clear();
+  for (const auto& c : candidates) last_changed_.insert(c.option);
+
+  // ---- persona faults (the safeguard exists because of these) ----
+  // Injected after sampling so a fault, when rolled, always reaches the
+  // response.
+  if (rng_.NextDouble() < cfg_.hallucination_rate) {
+    const char* made_up[] = {"memtable_prefetch_depth",
+                             "level0_compaction_parallelism",
+                             "write_buffer_manager_shards",
+                             "compaction_pri_boost"};
+    candidates.push_back({made_up[rng_.Uniform(4)],
+                          std::to_string(2 + rng_.Uniform(6)),
+                          "fine-tune internal scheduling"});
+  }
+  if (rng_.NextDouble() < cfg_.deprecated_rate) {
+    candidates.push_back({"flush_job_count", std::to_string(1 + it % 3),
+                          "raise the flush job count (classic advice)"});
+  }
+  if (rng_.NextDouble() < cfg_.blacklist_poke_rate) {
+    candidates.push_back({"disable_wal", "true",
+                          "skip the write-ahead log entirely since this "
+                          "is a benchmark"});
+  }
+  return candidates;
+}
+
+std::string SimulatedExpertLlm::RenderResponse(
+    const PromptFacts& facts, const std::vector<Change>& changes) {
+  std::string out;
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "Based on your %s system with %d CPU core%s and %s of memory "
+           "running a %s workload, here is my analysis.\n\n",
+           facts.is_hdd ? "SATA HDD" : "NVMe SSD", facts.cpu_cores,
+           facts.cpu_cores == 1 ? "" : "s",
+           FormatBytesHuman(facts.memory_bytes).c_str(),
+           facts.workload.empty() ? "key-value" : facts.workload.c_str());
+  out += buf;
+
+  if (facts.deteriorated) {
+    out +=
+        "Since the previous adjustment regressed performance, I am "
+        "taking a more conservative step this round and avoiding the "
+        "options changed last time.\n\n";
+  }
+
+  out += "Recommended changes:\n\n";
+  for (size_t i = 0; i < changes.size(); i++) {
+    snprintf(buf, sizeof(buf), "%zu. **%s = %s** — %s.\n", i + 1,
+             changes[i].option.c_str(), changes[i].value.c_str(),
+             changes[i].rationale.c_str());
+    out += buf;
+  }
+  out += "\n";
+
+  // Occasionally bury one change in prose instead of the block — the
+  // interleaved-format case the paper's parser must handle.
+  std::vector<Change> in_block = changes;
+  if (!in_block.empty() && rng_.NextDouble() < cfg_.interleave_rate) {
+    const Change c = in_block.back();
+    in_block.pop_back();
+    out += "Additionally, apply " + c.option + " = " + c.value +
+           " directly; it pairs with the settings below.\n\n";
+  }
+
+  // Apply the changes onto the current options file and emit either the
+  // full updated file or just the delta (both occur in real LLM
+  // output).
+  IniDoc updated = facts.current_options;
+  const bool full_file =
+      updated.sections().size() > 0 && rng_.NextDouble() < 0.5;
+  out += full_file ? "Here is the complete updated configuration:\n\n"
+                   : "Updated settings:\n\n";
+  out += "```ini\n";
+  if (full_file) {
+    for (const auto& c : in_block) {
+      // Keep each key in its existing section if present; default to
+      // DBOptions otherwise.
+      bool placed = false;
+      for (const auto& sec : updated.sections()) {
+        if (updated.Get(sec.name, c.option).has_value()) {
+          updated.Set(sec.name, c.option, c.value);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) updated.Set("DBOptions", c.option, c.value);
+    }
+    out += updated.Serialize();
+  } else {
+    for (const auto& c : in_block) {
+      out += c.option + " = " + c.value + "\n";
+    }
+  }
+  out += "```\n\n";
+  out +=
+      "Re-run the benchmark and share the results; I can refine "
+      "further based on the stall counters and cache hit rate.\n";
+  return out;
+}
+
+Status SimulatedExpertLlm::Complete(const std::vector<ChatMessage>& messages,
+                                    std::string* response) {
+  response->clear();
+  if (messages.empty()) {
+    return Status::InvalidArgument("empty chat");
+  }
+  // The newest user turn carries the tuning prompt.
+  std::string prompt;
+  for (auto it = messages.rbegin(); it != messages.rend(); ++it) {
+    if (it->role == "user") {
+      prompt = it->content;
+      break;
+    }
+  }
+  PromptFacts facts = ParsePrompt(prompt);
+  std::vector<Change> changes = ProposeChanges(facts);
+  *response = RenderResponse(facts, changes);
+  calls_++;
+  return Status::OK();
+}
+
+}  // namespace elmo::llm

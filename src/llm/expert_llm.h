@@ -1,0 +1,102 @@
+// SimulatedExpertLlm: the reproduction's GPT-4 stand-in.
+//
+// The paper's premise is that a modern LLM has absorbed the RocksDB
+// tuning guide, engineering blogs and the source code itself, and can
+// apply that knowledge to a prompt describing hardware + workload +
+// current options + benchmark feedback. This class implements exactly
+// that persona as an explicit rule base:
+//
+//  * it reads ONLY the prompt text (like the API would) — hardware
+//    facts, workload, the current options file, performance numbers and
+//    revert notices are all parsed out of natural language;
+//  * its knowledge base encodes the same couplings the tuning guide
+//    teaches (background jobs ~ cores, sync granularity vs tail
+//    latency, bloom filters for reads, memory budgeting, readahead for
+//    HDDs), with blog-like biases: it prefers famous options, revisits
+//    the same ones with oscillating values (paper Table 5), and
+//    sometimes fixates on deprecated names;
+//  * it exhibits the failure modes the paper's Safeguard Enforcer
+//    exists for — hallucinated options, attempts to disable the WAL,
+//    malformed formatting — at configurable seeded rates;
+//  * responses are rendered as GPT-style prose with fenced ``` blocks,
+//    sometimes interleaved, exercising the Option Evaluator's parser.
+//
+// Everything is deterministic given the seed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "llm/llm_client.h"
+#include "util/ini.h"
+#include "util/random.h"
+
+namespace elmo::llm {
+
+struct ExpertConfig {
+  uint64_t seed = 7;
+  // Probability per response of proposing a hallucinated (non-existent)
+  // option.
+  double hallucination_rate = 0.20;
+  // Probability per response of proposing a deprecated option name.
+  double deprecated_rate = 0.15;
+  // Probability per response of touching a blacklisted option
+  // (disable_wal) "to speed up the benchmark".
+  double blacklist_poke_rate = 0.10;
+  // Probability of sloppy formatting: changes outside the fenced block.
+  double interleave_rate = 0.25;
+  // Changes proposed per iteration (the paper observes >10 per
+  // iteration stops helping).
+  int min_changes = 3;
+  int max_changes = 8;
+};
+
+// Facts the expert extracted from the prompt; exposed for tests.
+struct PromptFacts {
+  int cpu_cores = 4;
+  uint64_t memory_bytes = 4ull << 30;
+  bool is_hdd = false;
+  std::string workload;  // "fillrandom" | "readrandom" | ...
+  bool write_heavy = false;
+  bool read_heavy = false;
+  double last_ops_per_sec = 0;
+  bool deteriorated = false;       // framework reported a revert
+  uint64_t stall_micros = 0;
+  uint64_t writeback_bursts = 0;
+  int iteration = 0;
+  IniDoc current_options;
+};
+
+class SimulatedExpertLlm : public LlmClient {
+ public:
+  explicit SimulatedExpertLlm(const ExpertConfig& config = {});
+
+  Status Complete(const std::vector<ChatMessage>& messages,
+                  std::string* response) override;
+
+  const char* Name() const override { return "simulated-gpt4-expert"; }
+
+  // Exposed for unit tests.
+  static PromptFacts ParsePrompt(const std::string& prompt);
+
+ private:
+  struct Change {
+    std::string option;
+    std::string value;
+    std::string rationale;
+  };
+
+  std::vector<Change> ProposeChanges(const PromptFacts& facts);
+  std::string RenderResponse(const PromptFacts& facts,
+                             const std::vector<Change>& changes);
+
+  ExpertConfig cfg_;
+  Random64 rng_;
+  int calls_ = 0;
+  // Options changed on the previous call; avoided after a revert.
+  std::set<std::string> last_changed_;
+};
+
+}  // namespace elmo::llm

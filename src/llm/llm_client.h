@@ -1,0 +1,62 @@
+// LlmClient: the chat-completion interface the tuning framework talks
+// to. Three implementations:
+//   SimulatedExpertLlm — rule-based GPT-4 stand-in (expert_llm.h); the
+//                        default for every experiment in this repo.
+//   ScriptedLlm        — replays canned responses (tests).
+//   (a networked OpenAI client can be built on openai_protocol.h; this
+//    repo ships the protocol layer but no sockets.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elmo::llm {
+
+struct ChatMessage {
+  std::string role;  // "system" | "user" | "assistant"
+  std::string content;
+};
+
+class LlmClient {
+ public:
+  virtual ~LlmClient() = default;
+
+  // Append-only chat semantics: `messages` is the full conversation so
+  // far; *response receives the assistant turn.
+  virtual Status Complete(const std::vector<ChatMessage>& messages,
+                          std::string* response) = 0;
+
+  virtual const char* Name() const = 0;
+};
+
+// Replays a fixed sequence of responses; repeats the last one when the
+// script runs out. For tests.
+class ScriptedLlm : public LlmClient {
+ public:
+  explicit ScriptedLlm(std::vector<std::string> responses)
+      : responses_(std::move(responses)) {}
+
+  Status Complete(const std::vector<ChatMessage>& messages,
+                  std::string* response) override {
+    (void)messages;
+    if (responses_.empty()) {
+      return Status::NotSupported("ScriptedLlm has no responses");
+    }
+    size_t idx = std::min(next_, responses_.size() - 1);
+    next_++;
+    *response = responses_[idx];
+    return Status::OK();
+  }
+
+  const char* Name() const override { return "scripted"; }
+
+  size_t calls() const { return next_; }
+
+ private:
+  std::vector<std::string> responses_;
+  size_t next_ = 0;
+};
+
+}  // namespace elmo::llm

@@ -1,0 +1,59 @@
+#include "llm/openai_protocol.h"
+
+#include "util/json.h"
+
+namespace elmo::llm {
+
+std::string BuildChatCompletionRequest(
+    const ChatCompletionParams& params,
+    const std::vector<ChatMessage>& messages) {
+  json::Array msgs;
+  for (const auto& m : messages) {
+    json::Object o;
+    o["role"] = m.role;
+    o["content"] = m.content;
+    msgs.push_back(std::move(o));
+  }
+  json::Object req;
+  req["model"] = params.model;
+  req["temperature"] = params.temperature;
+  req["max_tokens"] = params.max_tokens;
+  req["messages"] = std::move(msgs);
+  return json::Value(std::move(req)).Dump();
+}
+
+Status ParseChatCompletionResponse(const std::string& body,
+                                   std::string* content) {
+  content->clear();
+  json::Value root;
+  Status s = json::Parse(body, &root);
+  if (!s.ok()) return s;
+
+  if (const json::Value* err = root.Find("error")) {
+    std::string msg = "API error";
+    if (const json::Value* m = err->Find("message");
+        m != nullptr && m->is_string()) {
+      msg = m->as_string();
+    }
+    return Status::IOError("openai", msg);
+  }
+
+  const json::Value* choices = root.Find("choices");
+  if (choices == nullptr || !choices->is_array() ||
+      choices->as_array().empty()) {
+    return Status::Corruption("openai response has no choices");
+  }
+  const json::Value& first = choices->as_array()[0];
+  const json::Value* message = first.Find("message");
+  if (message == nullptr) {
+    return Status::Corruption("openai choice has no message");
+  }
+  const json::Value* text = message->Find("content");
+  if (text == nullptr || !text->is_string()) {
+    return Status::Corruption("openai message has no content");
+  }
+  *content = text->as_string();
+  return Status::OK();
+}
+
+}  // namespace elmo::llm

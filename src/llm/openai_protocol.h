@@ -1,0 +1,29 @@
+// OpenAI Chat Completions wire format — request building and response
+// parsing as pure functions, so a live GPT-4 client only needs to add a
+// transport. Tested offline against captured payload shapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/llm_client.h"
+#include "util/status.h"
+
+namespace elmo::llm {
+
+struct ChatCompletionParams {
+  std::string model = "gpt-4";
+  double temperature = 0.4;
+  int max_tokens = 2048;
+};
+
+// Serializes a /v1/chat/completions request body.
+std::string BuildChatCompletionRequest(const ChatCompletionParams& params,
+                                       const std::vector<ChatMessage>& messages);
+
+// Extracts choices[0].message.content. Handles API error bodies
+// ({"error": {...}}) by returning a Status with the server message.
+Status ParseChatCompletionResponse(const std::string& body,
+                                   std::string* content);
+
+}  // namespace elmo::llm

@@ -1,0 +1,35 @@
+// CPU cost constants charged to SimEnv's virtual clock. These are
+// first-order per-operation costs of a well-optimized LSM engine on a
+// ~3 GHz core; absolute values matter less than their ratios (see
+// DESIGN.md — the reproduction targets shapes, not testbed numbers).
+// The device-side costs live in env/device_model.h.
+#pragma once
+
+#include <cstdint>
+
+namespace elmo::lsm::cost {
+
+// Write path: WAL encode + append bookkeeping per entry...
+inline constexpr uint64_t kWalAppendBaseUs = 1;
+// ...plus memtable skip-list insert.
+inline constexpr uint64_t kMemtableInsertUs = 2;
+// Per-KiB overhead on the write path (checksums, memcpy beyond DRAM
+// stream charge).
+inline constexpr double kWritePerByteUs = 0.002;
+
+// Point-read path: memtable + version lookup orchestration.
+inline constexpr uint64_t kGetBaseUs = 2;
+// Each SST probed (bloom check, index binary search).
+inline constexpr uint64_t kGetPerFileProbeUs = 1;
+
+// Background work, charged per entry moved.
+inline constexpr uint64_t kFlushPerEntryUs = 1;
+inline constexpr uint64_t kCompactionPerEntryUs = 1;
+// RLE compression cost per 4 KiB block (cheap codec).
+inline constexpr uint64_t kCompressPerBlockUs = 4;
+
+// Pipelined writes overlap the WAL append and memtable insert stages;
+// the combined cost approaches max() of the stages instead of the sum.
+inline constexpr double kPipelinedWriteFactor = 0.70;
+
+}  // namespace elmo::lsm::cost

@@ -1,0 +1,95 @@
+// DB: the public interface of the elmo LSM key-value store — the
+// from-scratch substrate standing in for RocksDB 8.8.1 in this
+// reproduction (see DESIGN.md §1).
+//
+// Quickstart:
+//   elmo::lsm::Options options;
+//   options.create_if_missing = true;
+//   std::unique_ptr<elmo::lsm::DB> db;
+//   auto s = elmo::lsm::DB::Open(options, "/tmp/db", &db);
+//   db->Put({}, "key", "value");
+//   std::string value;
+//   s = db->Get({}, "key", &value);
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lsm/options.h"
+#include "lsm/stats.h"
+#include "lsm/write_batch.h"
+#include "table/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+// A read-consistent point in time; obtained from GetSnapshot.
+class Snapshot {
+ public:
+  virtual ~Snapshot() = default;
+};
+
+class DB {
+ public:
+  // Opens (creating per options.create_if_missing) the database at
+  // `name`.
+  static Status Open(const Options& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  // Deletes all persistent state of the database at `name`.
+  static Status DestroyDB(const std::string& name, const Options& options);
+
+  DB() = default;
+  virtual ~DB() = default;
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Iterator over the whole DB; honors options.snapshot.
+  virtual std::unique_ptr<Iterator> NewIterator(
+      const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // Supported properties:
+  //   "elmo.stats"                       engine counters dump
+  //   "elmo.levelsummary"                file count per level
+  //   "elmo.num-files-at-level<N>"
+  //   "elmo.estimate-pending-compaction-bytes"
+  //   "elmo.block-cache-usage"
+  //   "elmo.block-cache-hit-rate"
+  //   "elmo.options"                     active options file text
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // Compact the key range [*begin, *end]; null means open-ended.
+  virtual Status CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Approximate on-disk bytes used by each key range [begin, end).
+  struct Range {
+    Slice start;
+    Slice limit;
+    Range(const Slice& s, const Slice& l) : start(s), limit(l) {}
+  };
+  virtual void GetApproximateSizes(const Range* ranges, int n,
+                                   uint64_t* sizes) = 0;
+
+  // Flush the active memtable and wait for it to land in L0.
+  virtual Status FlushMemTable() = 0;
+
+  // Block until all scheduled background work has settled.
+  virtual Status WaitForBackgroundWork() = 0;
+
+  virtual const DbStats& stats() const = 0;
+  virtual const Options& options() const = 0;
+};
+
+}  // namespace elmo::lsm

@@ -1,0 +1,158 @@
+// DBImpl: the engine behind DB. Single-mutex design in the leveldb
+// lineage, with two execution modes:
+//
+//  * real envs (Posix/Mem): flushes and compactions run on Env thread
+//    pools; writers wait on a condition variable during stalls.
+//  * SimEnv: background jobs run inline under a job meter and are
+//    assigned virtual completion times on core lanes; writers stall
+//    against VirtualStallState and jump the virtual clock forward.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "env/sim_env.h"
+#include "lsm/db.h"
+#include "lsm/dbformat.h"
+#include "lsm/log_writer.h"
+#include "lsm/memtable.h"
+#include "lsm/version_set.h"
+#include "lsm/virtual_stall.h"
+#include "util/rate_limiter.h"
+
+namespace elmo::lsm {
+
+class SnapshotImpl : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber seq) : sequence(seq) {}
+  const SequenceNumber sequence;
+};
+
+class DBImpl : public DB {
+ public:
+  DBImpl(const Options& options, const std::string& dbname);
+  ~DBImpl() override;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions& options, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  Status CompactRange(const Slice* begin, const Slice* end) override;
+  void GetApproximateSizes(const Range* ranges, int n,
+                           uint64_t* sizes) override;
+  Status FlushMemTable() override;
+  Status WaitForBackgroundWork() override;
+  const DbStats& stats() const override { return stats_; }
+  const Options& options() const override { return options_; }
+
+ private:
+  friend class DB;
+
+  struct ImmEntry {
+    std::shared_ptr<MemTable> mem;
+    uint64_t log_number;  // WAL file holding this memtable's data
+  };
+
+  struct CompactionOutput {
+    uint64_t number;
+    uint64_t file_size;
+    InternalKey smallest, largest;
+  };
+
+  // --- open/recovery ---
+  Status Recover();
+  Status NewDBFiles();
+  Status RecoverLogFile(uint64_t log_number, SequenceNumber* max_sequence);
+  Status SwitchToNewLog();
+
+  // --- write path ---
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& l);
+  int ImmCountForStall();     // virtual count under sim, real otherwise
+  int L0CountForStall();
+
+  // --- background: scheduling ---
+  void MaybeScheduleFlush();       // REQUIRES: mu_
+  void MaybeScheduleCompaction();  // REQUIRES: mu_
+  void BackgroundFlushCall();      // thread-pool entry
+  void BackgroundCompactionCall();
+
+  // --- background: the work ---
+  // Flush every queued immutable memtable into one L0 table.
+  Status FlushWork(int* imms_merged, uint64_t* l0_file_number);
+  Status CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
+                        int* l0_produced,
+                        std::vector<uint64_t>* output_numbers);
+  Status WriteLevel0Table(const std::vector<std::shared_ptr<MemTable>>& mems,
+                          VersionEdit* edit, FileMetaData* meta);
+  Status OpenCompactionOutputFile(std::unique_ptr<WritableFile>* file,
+                                  uint64_t* number);
+
+  // Sim-mode drivers (run jobs inline under the meter).
+  void RunFlushSim();        // REQUIRES: mu_
+  void RunCompactionsSim();  // REQUIRES: mu_
+
+  void RemoveObsoleteFiles();  // REQUIRES: mu_
+  void RecordBackgroundError(const Status& s);
+
+  SequenceNumber SmallestSnapshot() const;  // REQUIRES: mu_
+
+  std::unique_ptr<Iterator> NewInternalIterator(const ReadOptions& options,
+                                                SequenceNumber* latest_seq);
+
+  // Charge the sim clock for a foreground write/get (no-op on real env).
+  void ChargeWriteCpu(size_t batch_bytes, int batch_count);
+  void ChargeGetCpu(int files_probed);
+
+  // --- constant state ---
+  Options options_;  // sanitized copy
+  const std::string dbname_;
+  Env* env_;
+  SimEnv* sim_;  // non-null iff env_->is_deterministic()
+  std::shared_ptr<Cache> block_cache_;
+  InternalKeyComparator internal_comparator_;
+  std::unique_ptr<TableCache> table_cache_;
+
+  // --- mutable state, guarded by mu_ ---
+  std::mutex mu_;
+  std::condition_variable bg_work_finished_;
+  std::shared_ptr<MemTable> mem_;
+  std::deque<ImmEntry> imm_;
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_ = 0;
+  std::unique_ptr<log::Writer> log_;
+  uint64_t wal_bytes_since_sync_ = 0;
+  uint64_t wal_live_bytes_ = 0;  // bytes in WALs with unflushed data
+
+  std::unique_ptr<VersionSet> versions_;
+  std::list<SequenceNumber> snapshots_;
+  std::set<uint64_t> pending_outputs_;
+
+  int active_flushes_ = 0;
+  int active_compactions_ = 0;
+  bool manual_compaction_active_ = false;
+  Status bg_error_;
+  std::atomic<bool> shutting_down_{false};
+
+  // Write slowdown limiter (delayed_write_rate).
+  RateLimiter slowdown_limiter_;
+
+  // Sim-mode state.
+  VirtualStallState vstall_;
+  bool in_sim_background_ = false;  // re-entrancy guard
+
+  DbStats stats_;
+};
+
+}  // namespace elmo::lsm

@@ -1,0 +1,17 @@
+// DBIter: wraps the merged internal-key iterator into the user-facing
+// view — hides sequence numbers, collapses multiple versions of a key,
+// and skips deletion markers.
+#pragma once
+
+#include <memory>
+
+#include "lsm/dbformat.h"
+#include "table/iterator.h"
+
+namespace elmo::lsm {
+
+std::unique_ptr<Iterator> NewDBIterator(
+    const Comparator* user_comparator,
+    std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence);
+
+}  // namespace elmo::lsm

@@ -1,0 +1,132 @@
+// Internal key format: user_key + 8-byte trailer packing
+// (sequence << 8 | type). Ordering is user key ascending, then sequence
+// DESCENDING so the newest version of a key sorts first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "table/bloom.h"
+#include "table/comparator.h"
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace elmo {
+
+using SequenceNumber = uint64_t;
+
+// Leaves room for packing the type into the low 8 bits.
+static const SequenceNumber kMaxSequenceNumber = ((0x1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeValue = 0x1,
+};
+// Seek() target type: pass the max type so entries with equal user key
+// and sequence sort correctly.
+static const ValueType kValueTypeForSeek = kTypeValue;
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence;
+  ValueType type;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+inline uint64_t PackSequenceAndType(uint64_t seq, ValueType t) {
+  return (seq << 8) | t;
+}
+
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key);
+
+// Returns false on malformed input.
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+inline SequenceNumber ExtractSequence(const Slice& internal_key) {
+  const uint64_t num =
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return num >> 8;
+}
+
+inline ValueType ExtractValueType(const Slice& internal_key) {
+  const uint64_t num =
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  return static_cast<ValueType>(num & 0xff);
+}
+
+// Comparator over internal keys, built on a user-key comparator.
+class InternalKeyComparator : public Comparator {
+ public:
+  explicit InternalKeyComparator(const Comparator* c) : user_comparator_(c) {}
+
+  const char* Name() const override {
+    return "elmo.InternalKeyComparator";
+  }
+  int Compare(const Slice& a, const Slice& b) const override;
+  void FindShortestSeparator(std::string* start,
+                             const Slice& limit) const override;
+  void FindShortSuccessor(std::string* key) const override;
+
+  const Comparator* user_comparator() const { return user_comparator_; }
+
+ private:
+  const Comparator* user_comparator_;
+};
+
+// An InternalKey as a value type (used in FileMetaData / VersionEdit).
+class InternalKey {
+ public:
+  InternalKey() = default;
+  InternalKey(const Slice& user_key, SequenceNumber s, ValueType t) {
+    AppendInternalKey(&rep_, ParsedInternalKey(user_key, s, t));
+  }
+
+  bool Valid() const {
+    ParsedInternalKey parsed;
+    return ParseInternalKey(Slice(rep_), &parsed);
+  }
+
+  void DecodeFrom(const Slice& s) { rep_.assign(s.data(), s.size()); }
+  Slice Encode() const { return Slice(rep_); }
+  Slice user_key() const { return ExtractUserKey(Slice(rep_)); }
+
+  void SetFrom(const ParsedInternalKey& p) {
+    rep_.clear();
+    AppendInternalKey(&rep_, p);
+  }
+
+  void Clear() { rep_.clear(); }
+
+ private:
+  std::string rep_;
+};
+
+// Memtable lookup key: length-prefixed internal key for key comparisons
+// in the skip list plus direct access to the user key.
+class LookupKey {
+ public:
+  LookupKey(const Slice& user_key, SequenceNumber sequence);
+  ~LookupKey();
+
+  LookupKey(const LookupKey&) = delete;
+  LookupKey& operator=(const LookupKey&) = delete;
+
+  Slice memtable_key() const { return Slice(start_, end_ - start_); }
+  Slice internal_key() const { return Slice(kstart_, end_ - kstart_); }
+  Slice user_key() const { return Slice(kstart_, end_ - kstart_ - 8); }
+
+ private:
+  const char* start_;
+  const char* kstart_;
+  const char* end_;
+  char space_[200];  // avoids allocation for short keys
+};
+
+}  // namespace elmo

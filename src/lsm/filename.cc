@@ -1,0 +1,90 @@
+#include "lsm/filename.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace elmo {
+
+static std::string MakeFileName(const std::string& dbname, uint64_t number,
+                                const char* suffix) {
+  char buf[100];
+  snprintf(buf, sizeof(buf), "/%06llu.%s",
+           static_cast<unsigned long long>(number), suffix);
+  return dbname + buf;
+}
+
+std::string LogFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "log");
+}
+
+std::string TableFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "sst");
+}
+
+std::string DescriptorFileName(const std::string& dbname, uint64_t number) {
+  char buf[100];
+  snprintf(buf, sizeof(buf), "/MANIFEST-%06llu",
+           static_cast<unsigned long long>(number));
+  return dbname + buf;
+}
+
+std::string CurrentFileName(const std::string& dbname) {
+  return dbname + "/CURRENT";
+}
+
+std::string LockFileName(const std::string& dbname) { return dbname + "/LOCK"; }
+
+std::string InfoLogFileName(const std::string& dbname) {
+  return dbname + "/LOG";
+}
+
+std::string TempFileName(const std::string& dbname, uint64_t number) {
+  return MakeFileName(dbname, number, "dbtmp");
+}
+
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type) {
+  if (filename == "CURRENT") {
+    *number = 0;
+    *type = FileType::kCurrentFile;
+    return true;
+  }
+  if (filename == "LOCK") {
+    *number = 0;
+    *type = FileType::kLockFile;
+    return true;
+  }
+  if (filename == "LOG" || filename == "LOG.old") {
+    *number = 0;
+    *type = FileType::kInfoLogFile;
+    return true;
+  }
+  if (StartsWith(filename, "MANIFEST-")) {
+    auto num = ParseInt64(filename.substr(strlen("MANIFEST-")));
+    if (!num.has_value() || *num < 0) return false;
+    *number = static_cast<uint64_t>(*num);
+    *type = FileType::kDescriptorFile;
+    return true;
+  }
+  // NNNNNN.suffix
+  size_t dot = filename.find('.');
+  if (dot == std::string::npos) return false;
+  auto num = ParseInt64(filename.substr(0, dot));
+  if (!num.has_value() || *num < 0) return false;
+  std::string suffix = filename.substr(dot + 1);
+  if (suffix == "log") {
+    *type = FileType::kLogFile;
+  } else if (suffix == "sst") {
+    *type = FileType::kTableFile;
+  } else if (suffix == "dbtmp") {
+    *type = FileType::kTempFile;
+  } else {
+    return false;
+  }
+  *number = static_cast<uint64_t>(*num);
+  return true;
+}
+
+}  // namespace elmo

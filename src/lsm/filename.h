@@ -1,0 +1,34 @@
+// DB directory layout: <dbname>/NNNNNN.log | NNNNNN.sst | MANIFEST-NNNNNN
+// | CURRENT | LOCK | LOG — the rocksdb/leveldb convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+enum class FileType {
+  kLogFile,
+  kTableFile,
+  kDescriptorFile,  // MANIFEST
+  kCurrentFile,
+  kLockFile,
+  kInfoLogFile,
+  kTempFile,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string LockFileName(const std::string& dbname);
+std::string InfoLogFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// Parse a bare filename (no directory). Returns false if unrecognized.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+}  // namespace elmo

@@ -1,0 +1,25 @@
+// WAL / MANIFEST record-log format (leveldb): the file is a sequence of
+// 32 KiB blocks; each record fragment carries a 7-byte header
+// (crc32c, length, type) and records never span block trailers smaller
+// than the header.
+#pragma once
+
+#include <cstdint>
+
+namespace elmo::log {
+
+enum RecordType {
+  kZeroType = 0,  // reserved for preallocated files
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header: checksum (4) + length (2) + type (1).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace elmo::log

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo::log {
+
+class Reader {
+ public:
+  // Interface for reporting corruption during replay.
+  class Reporter {
+   public:
+    virtual ~Reporter() = default;
+    virtual void Corruption(size_t bytes, const Status& status) = 0;
+  };
+
+  // Reads records from file (not owned). If checksum is true, verifies
+  // fragment checksums.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  // Reads the next complete record into *record (may point into
+  // *scratch). Returns false at EOF.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+ private:
+  // Extend record types with internal markers.
+  enum { kEof = kMaxRecordType + 1, kBadRecord = kMaxRecordType + 2 };
+
+  unsigned int ReadPhysicalRecord(Slice* result);
+  void ReportCorruption(uint64_t bytes, const char* reason);
+  void ReportDrop(uint64_t bytes, const Status& reason);
+
+  SequentialFile* const file_;
+  Reporter* const reporter_;
+  bool const checksum_;
+  std::string backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace elmo::log

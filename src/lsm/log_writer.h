@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "env/env.h"
+#include "lsm/log_format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo::log {
+
+class Writer {
+ public:
+  // Does not take ownership of dest (must remain live while in use).
+  explicit Writer(WritableFile* dest);
+  // For reopening a log: dest_length is the current file length.
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+  // Total bytes appended through this writer (used by
+  // wal_bytes_per_sync bookkeeping in the DB).
+  uint64_t BytesWritten() const { return bytes_written_; }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_ = 0;  // current offset in block
+  uint64_t bytes_written_ = 0;
+
+  // Precomputed crc32c of the type byte for each record type.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace elmo::log

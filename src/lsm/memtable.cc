@@ -1,0 +1,118 @@
+#include "lsm/memtable.h"
+
+#include "util/coding.h"
+
+namespace elmo {
+
+// Entry layout in the arena:
+//   varint32 internal_key_len | internal key bytes | varint32 value_len |
+//   value bytes
+
+static Slice GetLengthPrefixedSliceAt(const char* data) {
+  uint32_t len;
+  const char* p = data;
+  p = GetVarint32Ptr(p, p + 5, &len);
+  return Slice(p, len);
+}
+
+MemTable::MemTable(const InternalKeyComparator& comparator)
+    : comparator_(comparator), table_(comparator_, &arena_) {}
+
+int MemTable::KeyComparator::operator()(const char* aptr,
+                                        const char* bptr) const {
+  Slice a = GetLengthPrefixedSliceAt(aptr);
+  Slice b = GetLengthPrefixedSliceAt(bptr);
+  return comparator.Compare(a, b);
+}
+
+void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
+                   const Slice& value) {
+  const size_t key_size = key.size();
+  const size_t val_size = value.size();
+  const size_t internal_key_size = key_size + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) +
+                             internal_key_size + VarintLength(val_size) +
+                             val_size;
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  memcpy(p, key.data(), key_size);
+  p += key_size;
+  EncodeFixed64(p, PackSequenceAndType(s, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(val_size));
+  memcpy(p, value.data(), val_size);
+  assert(p + val_size == buf + encoded_len);
+  table_.Insert(buf);
+  num_entries_++;
+}
+
+bool MemTable::Get(const LookupKey& key, std::string* value,
+                   Status* s) const {
+  Slice memkey = key.memtable_key();
+  Table::Iterator iter(&table_);
+  iter.Seek(memkey.data());
+  if (iter.Valid()) {
+    // The entry found is the first with user key >= lookup user key; we
+    // must verify the user key matches.
+    const char* entry = iter.key();
+    uint32_t key_length;
+    const char* key_ptr = GetVarint32Ptr(entry, entry + 5, &key_length);
+    if (comparator_.comparator.user_comparator()->Compare(
+            Slice(key_ptr, key_length - 8), key.user_key()) == 0) {
+      const uint64_t tag = DecodeFixed64(key_ptr + key_length - 8);
+      switch (static_cast<ValueType>(tag & 0xff)) {
+        case kTypeValue: {
+          Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+          value->assign(v.data(), v.size());
+          return true;
+        }
+        case kTypeDeletion:
+          *s = Status::NotFound(Slice());
+          return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+class MemTableIterator : public Iterator {
+ public:
+  explicit MemTableIterator(const SkipList<const char*,
+                                           MemTable::KeyComparator>* table)
+      : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void Seek(const Slice& k) override {
+    // Encode a length-prefixed lookup target.
+    tmp_.clear();
+    PutVarint32(&tmp_, static_cast<uint32_t>(k.size()));
+    tmp_.append(k.data(), k.size());
+    iter_.Seek(tmp_.data());
+  }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+  void SeekToLast() override { iter_.SeekToLast(); }
+  void Next() override { iter_.Next(); }
+  void Prev() override { iter_.Prev(); }
+  Slice key() const override {
+    return GetLengthPrefixedSliceAt(iter_.key());
+  }
+  Slice value() const override {
+    Slice key_slice = GetLengthPrefixedSliceAt(iter_.key());
+    return GetLengthPrefixedSliceAt(key_slice.data() + key_slice.size());
+  }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  SkipList<const char*, MemTable::KeyComparator>::Iterator iter_;
+  std::string tmp_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace elmo

@@ -1,0 +1,55 @@
+// MemTable: arena-backed skip list of internal-key encoded entries.
+// Reference counted (shared_ptr) because immutable memtables stay
+// readable while a background flush drains them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "lsm/skiplist.h"
+#include "table/iterator.h"
+#include "util/arena.h"
+
+namespace elmo {
+
+class MemTable {
+ public:
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  // Approximate memory consumed (drives write_buffer_size switching).
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  uint64_t NumEntries() const { return num_entries_; }
+
+  // Iterator over internal keys.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If a value for key exists, sets *value and returns true; if the key
+  // has a deletion marker, sets *s to NotFound and returns true; else
+  // returns false.
+  bool Get(const LookupKey& key, std::string* value, Status* s) const;
+
+  // Public so the iterator adapter in memtable.cc can name the skip-list
+  // instantiation.
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+  using Table = SkipList<const char*, KeyComparator>;
+
+ private:
+  KeyComparator comparator_;
+  Arena arena_;
+  Table table_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace elmo

@@ -1,0 +1,145 @@
+#include "lsm/merger.h"
+
+#include <cassert>
+
+namespace elmo::lsm {
+
+namespace {
+
+// Linear-scan merge (leveldb's approach): child counts are small — a
+// handful of memtables plus one iterator per sorted run.
+class MergingIterator : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator,
+                  std::vector<std::unique_ptr<Iterator>> children)
+      : comparator_(comparator),
+        children_(std::move(children)),
+        current_(nullptr),
+        direction_(kForward) {}
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) child->SeekToFirst();
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) child->SeekToLast();
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) child->Seek(target);
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+    // Ensure all children are positioned after key() when switching from
+    // reverse iteration.
+    if (direction_ != kForward) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at first entry >= key(); step back one.
+            child->Prev();
+          } else {
+            // Child has nothing >= key(); position at its last entry.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      if (!child->status().ok()) return child->status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    // Scan backwards so that ties pick the earliest child (newest data),
+    // mirroring forward-direction tie behavior.
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      if ((*it)->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare((*it)->key(), largest->key()) > 0) {
+          largest = it->get();
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children) {
+  if (children.empty()) return NewEmptyIterator();
+  if (children.size() == 1) return std::move(children[0]);
+  return std::make_unique<MergingIterator>(comparator, std::move(children));
+}
+
+}  // namespace elmo::lsm

@@ -1,0 +1,18 @@
+// Merging iterator: the N-way merge over memtable + SST iterators that
+// backs the DB-wide cursor and compactions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "table/comparator.h"
+#include "table/iterator.h"
+
+namespace elmo::lsm {
+
+// Takes ownership of the child iterators.
+std::unique_ptr<Iterator> NewMergingIterator(
+    const Comparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace elmo::lsm

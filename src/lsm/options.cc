@@ -1,0 +1,14 @@
+#include "lsm/options.h"
+
+namespace elmo::lsm {
+
+uint64_t Options::MaxBytesForLevel(int level) const {
+  // Level 0 is governed by file count, not bytes; callers should not ask.
+  uint64_t result = max_bytes_for_level_base;
+  for (int l = 1; l < level; l++) {
+    result = static_cast<uint64_t>(result * max_bytes_for_level_multiplier);
+  }
+  return result;
+}
+
+}  // namespace elmo::lsm

@@ -1,0 +1,149 @@
+// Options: every tunable knob of the engine. Names, defaults and
+// semantics follow RocksDB 8.x so the paper's Table 5 option trace maps
+// one-to-one. The defaults below are the paper's "Default / Iteration 0"
+// column (db_bench out-of-box).
+//
+// The machine-readable registry of these options — types, ranges,
+// deprecation and blacklist flags — lives in options_schema.h and is
+// what the tuning loop's parser/safeguard consult.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "table/cache.h"
+#include "table/format.h"
+#include "util/logging.h"
+
+namespace elmo::lsm {
+
+enum class CompactionStyle {
+  kLevel = 0,      // leveled compaction (RocksDB default)
+  kUniversal = 1,  // size-tiered
+};
+
+struct Options {
+  // ----- memtable / write path -----
+  // Size of a single memtable before it is made immutable.
+  uint64_t write_buffer_size = 64ull << 20;
+  // Max memtables (active + immutable) before writes stall.
+  int max_write_buffer_number = 2;
+  // Immutable memtables to accumulate before a flush merges them.
+  int min_write_buffer_number_to_merge = 1;
+  // WAL + memtable stages pipelined: overlapping their costs.
+  bool enable_pipelined_write = true;
+  // Force a flush once un-flushed WAL data exceeds this (0 = off).
+  uint64_t max_total_wal_size = 0;
+
+  // ----- background work -----
+  // -1 means "derive from max_background_jobs" (RocksDB 8.x behavior).
+  int max_background_flushes = -1;
+  int max_background_compactions = -1;
+  int max_background_jobs = 2;
+  // Split a large compaction across this many concurrent workers.
+  int max_subcompactions = 1;
+
+  // ----- level shape / compaction -----
+  CompactionStyle compaction_style = CompactionStyle::kLevel;
+  int num_levels = 7;
+  int level0_file_num_compaction_trigger = 4;
+  int level0_slowdown_writes_trigger = 20;
+  int level0_stop_writes_trigger = 36;
+  uint64_t max_bytes_for_level_base = 256ull << 20;
+  double max_bytes_for_level_multiplier = 10.0;
+  uint64_t target_file_size_base = 64ull << 20;
+  int target_file_size_multiplier = 1;
+  bool level_compaction_dynamic_level_bytes = false;
+  bool disable_auto_compactions = false;
+  // Readahead window for compaction input reads (big sequential wins on
+  // HDDs). RocksDB 8.x default: 2 MiB.
+  uint64_t compaction_readahead_size = 2ull << 20;
+
+  // ----- write slowdown / stop -----
+  // Bytes/sec the writer is limited to while in the slowdown regime.
+  uint64_t delayed_write_rate = 16ull << 20;
+  // Stall writes when estimated pending compaction debt exceeds this.
+  uint64_t soft_pending_compaction_bytes_limit = 64ull << 30;
+  uint64_t hard_pending_compaction_bytes_limit = 256ull << 30;
+
+  // ----- sync granularity -----
+  // Incrementally sync SST files every N bytes while writing (0 = only
+  // at file completion). Smooths writeback bursts.
+  uint64_t bytes_per_sync = 0;
+  // Same for WAL files.
+  uint64_t wal_bytes_per_sync = 0;
+  bool strict_bytes_per_sync = false;
+
+  // ----- tables / cache / filters -----
+  uint64_t block_cache_size = 8ull << 20;  // db_bench default: 8 MiB
+  uint64_t block_size = 4096;
+  int block_restart_interval = 16;
+  // <= 0 disables bloom filters (db_bench default).
+  int bloom_filter_bits_per_key = 0;
+  bool cache_index_and_filter_blocks = false;
+  CompressionType compression = CompressionType::kNoCompression;
+  // Max open table files cached (-1 = unlimited).
+  int max_open_files = -1;
+  // Direct I/O: bypass the OS page cache for user/compaction reads.
+  bool use_direct_reads = false;
+  bool use_direct_io_for_flush_and_compaction = false;
+
+  // ----- diagnostics / misc -----
+  bool dump_malloc_stats = true;
+  bool paranoid_checks = false;
+  // Dump engine statistics to the info log every N seconds (0 = off).
+  uint64_t stats_dump_period_sec = 600;
+  // WAL: globally disabling the journal is possible here but the tuning
+  // framework blacklists it (losing durability to win a benchmark is
+  // exactly the failure mode the Safeguard Enforcer exists for).
+  bool disable_wal = false;
+
+  // ----- non-tunable wiring (not part of the options file) -----
+  Env* env = nullptr;  // defaults to Env::Posix() at Open
+  std::shared_ptr<Logger> info_log;
+  bool create_if_missing = true;
+  bool error_if_exists = false;
+
+  // Resolved background slot counts (RocksDB 8.x derivation: a quarter
+  // of max_background_jobs flush, the rest compact, at least one each).
+  int ResolvedFlushSlots() const {
+    if (max_background_flushes > 0) return max_background_flushes;
+    int n = max_background_jobs / 4;
+    return n < 1 ? 1 : n;
+  }
+  int ResolvedCompactionSlots() const {
+    if (max_background_compactions > 0) return max_background_compactions;
+    int n = max_background_jobs - ResolvedFlushSlots();
+    return n < 1 ? 1 : n;
+  }
+
+  // Memory the configuration pins: block cache + worst-case memtables.
+  // SimEnv subtracts this from the machine's budget for its page-cache
+  // model; the prompt generator reports it to the LLM.
+  uint64_t ConfiguredMemoryFootprint() const {
+    return block_cache_size +
+           write_buffer_size * static_cast<uint64_t>(max_write_buffer_number);
+  }
+
+  // Bytes a level may hold before compaction from it is triggered.
+  uint64_t MaxBytesForLevel(int level) const;
+};
+
+struct ReadOptions {
+  bool verify_checksums = false;
+  bool fill_cache = true;
+  // Non-null: read as of this snapshot (sequence number).
+  const class Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  // fsync the WAL before acknowledging the write.
+  bool sync = false;
+  // Skip the WAL entirely for this write (data is lost on crash until
+  // the memtable flushes).
+  bool disable_wal = false;
+};
+
+}  // namespace elmo::lsm

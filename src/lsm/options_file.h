@@ -1,0 +1,33 @@
+// OPTIONS-file persistence, RocksDB style: the engine writes its active
+// configuration to <dbname>/OPTIONS-<number> at open, and tooling (the
+// tuning loop) can load, edit and re-save configurations. This is the
+// artifact ELMo-Tune reads, rewrites and hands back to the store.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "lsm/options.h"
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+// Serialize `options` to `path` (schema-driven INI with a header).
+Status SaveOptionsFile(Env* env, const std::string& path,
+                       const Options& options);
+
+// Parse the file at `path` into *options (on top of current values).
+// Unknown keys and invalid values are reported, not fatal, mirroring
+// RocksDB's ignore_unknown_options loading mode.
+Status LoadOptionsFile(Env* env, const std::string& path, Options* options,
+                       std::vector<std::string>* unknown = nullptr,
+                       std::vector<std::string>* invalid = nullptr);
+
+// Name of an options file inside a DB directory.
+std::string OptionsFileName(const std::string& dbname, uint64_t number);
+
+// Latest OPTIONS-<number> in the DB dir; empty if none.
+std::string FindLatestOptionsFile(Env* env, const std::string& dbname);
+
+}  // namespace elmo::lsm

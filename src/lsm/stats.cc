@@ -1,0 +1,37 @@
+#include "lsm/stats.h"
+
+#include <cstdio>
+
+namespace elmo::lsm {
+
+std::string DbStats::ToString() const {
+  char buf[1024];
+  snprintf(
+      buf, sizeof(buf),
+      "writes: %llu  deletes: %llu  gets(hit/miss): %llu/%llu  seeks: %llu\n"
+      "bytes written: %llu  bytes read: %llu  wal bytes: %llu  wal syncs: %llu\n"
+      "flushes: %llu (%llu bytes)  compactions: %llu (read %llu, wrote %llu)"
+      "  trivial moves: %llu\n"
+      "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n",
+      (unsigned long long)Get(Ticker::kWriteCount),
+      (unsigned long long)Get(Ticker::kDeleteCount),
+      (unsigned long long)Get(Ticker::kGetHit),
+      (unsigned long long)Get(Ticker::kGetMiss),
+      (unsigned long long)Get(Ticker::kSeekCount),
+      (unsigned long long)Get(Ticker::kBytesWritten),
+      (unsigned long long)Get(Ticker::kBytesRead),
+      (unsigned long long)Get(Ticker::kWalBytes),
+      (unsigned long long)Get(Ticker::kWalSyncs),
+      (unsigned long long)Get(Ticker::kFlushCount),
+      (unsigned long long)Get(Ticker::kFlushBytes),
+      (unsigned long long)Get(Ticker::kCompactionCount),
+      (unsigned long long)Get(Ticker::kCompactionBytesRead),
+      (unsigned long long)Get(Ticker::kCompactionBytesWritten),
+      (unsigned long long)Get(Ticker::kTrivialMoveCount),
+      (unsigned long long)Get(Ticker::kWriteSlowdownCount),
+      (unsigned long long)Get(Ticker::kWriteStopCount),
+      (unsigned long long)Get(Ticker::kWriteStallMicros));
+  return buf;
+}
+
+}  // namespace elmo::lsm

@@ -1,0 +1,55 @@
+// DB runtime statistics: the numbers the benchmark report and the
+// tuning prompt are built from. All counters are mutex-free atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace elmo::lsm {
+
+enum class Ticker : int {
+  kBytesWritten = 0,
+  kBytesRead,
+  kWalBytes,
+  kFlushCount,
+  kFlushBytes,
+  kCompactionCount,
+  kCompactionBytesRead,
+  kCompactionBytesWritten,
+  kTrivialMoveCount,
+  kWriteStallMicros,
+  kWriteSlowdownCount,
+  kWriteStopCount,
+  kGetHit,
+  kGetMiss,
+  kSeekCount,
+  kWriteCount,
+  kDeleteCount,
+  kWalSyncs,
+  kTickerMax,
+};
+
+class DbStats {
+ public:
+  DbStats() = default;
+
+  void Add(Ticker t, uint64_t n) {
+    counters_[static_cast<int>(t)].fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Get(Ticker t) const {
+    return counters_[static_cast<int>(t)].load(std::memory_order_relaxed);
+  }
+  void Reset() {
+    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  }
+
+  // Multi-line dump used by GetProperty("elmo.stats") and scraped into
+  // the tuning prompt.
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> counters_[static_cast<int>(Ticker::kTickerMax)] = {};
+};
+
+}  // namespace elmo::lsm

@@ -1,0 +1,107 @@
+#include "lsm/table_cache.h"
+
+#include "lsm/filename.h"
+#include "util/coding.h"
+
+namespace elmo::lsm {
+
+TableCache::TableCache(const std::string& dbname, const Options& options,
+                       const InternalKeyComparator* icmp,
+                       std::shared_ptr<Cache> block_cache, int entries)
+    : dbname_(dbname),
+      options_(options),
+      icmp_(icmp),
+      block_cache_(std::move(block_cache)),
+      // Capacity counts entries (charge 1 per table).
+      cache_(NewLruCache(entries <= 0 ? (1 << 20) : entries,
+                         /*num_shard_bits=*/2)) {
+  if (options_.bloom_filter_bits_per_key > 0) {
+    filter_policy_ = std::make_unique<BloomFilterPolicy>(
+        options_.bloom_filter_bits_per_key);
+  }
+}
+
+std::shared_ptr<Table> TableCache::FindTable(uint64_t file_number,
+                                             uint64_t file_size, Status* s) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  Slice key(buf, sizeof(buf));
+  auto table = cache_->LookupAs<Table>(key);
+  if (table != nullptr) {
+    *s = Status::OK();
+    return table;
+  }
+
+  std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<RandomAccessFile> file;
+  *s = options_.env->NewRandomAccessFile(fname, &file);
+  if (!s->ok()) return nullptr;
+
+  TableReadOptions topts;
+  topts.comparator = icmp_;
+  topts.filter_policy = filter_policy_.get();
+  if (filter_policy_ != nullptr) {
+    topts.filter_key_transform = [](const Slice& ikey) {
+      return ExtractUserKey(ikey);
+    };
+  }
+  topts.block_cache = block_cache_;
+  topts.verify_checksums = options_.paranoid_checks;
+
+  std::unique_ptr<Table> t;
+  *s = Table::Open(topts, std::move(file), file_size, &t);
+  if (!s->ok()) return nullptr;
+
+  std::shared_ptr<Table> shared(std::move(t));
+  cache_->Insert(key, shared, 1);
+  return shared;
+}
+
+std::unique_ptr<Iterator> TableCache::NewIterator(
+    uint64_t file_number, uint64_t file_size,
+    const TableIterOptions& iter_opts) {
+  Status s;
+  auto table = FindTable(file_number, file_size, &s);
+  if (table == nullptr) {
+    return NewEmptyIterator(s);
+  }
+
+  // Keep the Table alive for the iterator's lifetime.
+  class TableOwningIter : public Iterator {
+   public:
+    TableOwningIter(std::shared_ptr<Table> table,
+                    const TableIterOptions& opts)
+        : table_(std::move(table)), iter_(table_->NewIterator(opts)) {}
+    bool Valid() const override { return iter_->Valid(); }
+    void SeekToFirst() override { iter_->SeekToFirst(); }
+    void SeekToLast() override { iter_->SeekToLast(); }
+    void Seek(const Slice& t) override { iter_->Seek(t); }
+    void Next() override { iter_->Next(); }
+    void Prev() override { iter_->Prev(); }
+    Slice key() const override { return iter_->key(); }
+    Slice value() const override { return iter_->value(); }
+    Status status() const override { return iter_->status(); }
+
+   private:
+    std::shared_ptr<Table> table_;
+    std::unique_ptr<Iterator> iter_;
+  };
+  return std::make_unique<TableOwningIter>(std::move(table), iter_opts);
+}
+
+Status TableCache::Get(
+    uint64_t file_number, uint64_t file_size, const Slice& ikey,
+    const std::function<void(const Slice&, const Slice&)>& handler) {
+  Status s;
+  auto table = FindTable(file_number, file_size, &s);
+  if (table == nullptr) return s;
+  return table->InternalGet(ikey, handler);
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  char buf[sizeof(file_number)];
+  EncodeFixed64(buf, file_number);
+  cache_->Erase(Slice(buf, sizeof(buf)));
+}
+
+}  // namespace elmo::lsm

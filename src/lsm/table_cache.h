@@ -1,0 +1,47 @@
+// TableCache: file number -> open Table reader, LRU-bounded by
+// max_open_files. All SST reads in the DB funnel through here.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "env/env.h"
+#include "lsm/dbformat.h"
+#include "lsm/options.h"
+#include "table/cache.h"
+#include "table/table.h"
+
+namespace elmo::lsm {
+
+class TableCache {
+ public:
+  TableCache(const std::string& dbname, const Options& options,
+             const InternalKeyComparator* icmp,
+             std::shared_ptr<Cache> block_cache, int entries);
+
+  // Iterator over the named file. If tableptr is non-null it is set to
+  // the underlying Table (owned by the cache entry, valid while the
+  // iterator lives).
+  std::unique_ptr<Iterator> NewIterator(uint64_t file_number,
+                                        uint64_t file_size,
+                                        const TableIterOptions& iter_opts = {});
+
+  // Point lookup into the named file.
+  Status Get(uint64_t file_number, uint64_t file_size, const Slice& ikey,
+             const std::function<void(const Slice&, const Slice&)>& handler);
+
+  void Evict(uint64_t file_number);
+
+ private:
+  std::shared_ptr<Table> FindTable(uint64_t file_number, uint64_t file_size,
+                                   Status* s);
+
+  const std::string dbname_;
+  const Options& options_;
+  const InternalKeyComparator* icmp_;
+  std::shared_ptr<Cache> block_cache_;
+  std::shared_ptr<Cache> cache_;  // file_number -> shared_ptr<Table>
+  std::unique_ptr<BloomFilterPolicy> filter_policy_;
+};
+
+}  // namespace elmo::lsm

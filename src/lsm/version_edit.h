@@ -1,0 +1,78 @@
+// VersionEdit: a delta to the LSM file topology, logged to the MANIFEST.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+struct FileMetaData {
+  uint64_t number = 0;
+  uint64_t file_size = 0;
+  InternalKey smallest;
+  InternalKey largest;
+  // Compaction heuristics (not persisted).
+  mutable int allowed_seeks = 1 << 30;
+};
+
+class VersionEdit {
+ public:
+  VersionEdit() = default;
+
+  void Clear();
+
+  void SetComparatorName(const Slice& name) {
+    has_comparator_ = true;
+    comparator_ = name.ToString();
+  }
+  void SetLogNumber(uint64_t num) {
+    has_log_number_ = true;
+    log_number_ = num;
+  }
+  void SetNextFile(uint64_t num) {
+    has_next_file_number_ = true;
+    next_file_number_ = num;
+  }
+  void SetLastSequence(SequenceNumber seq) {
+    has_last_sequence_ = true;
+    last_sequence_ = seq;
+  }
+
+  void AddFile(int level, uint64_t file, uint64_t file_size,
+               const InternalKey& smallest, const InternalKey& largest) {
+    FileMetaData f;
+    f.number = file;
+    f.file_size = file_size;
+    f.smallest = smallest;
+    f.largest = largest;
+    new_files_.emplace_back(level, f);
+  }
+
+  void RemoveFile(int level, uint64_t file) {
+    deleted_files_.insert(std::make_pair(level, file));
+  }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+
+  std::string DebugString() const;
+
+  // Accessors used by VersionSet when applying edits.
+  bool has_comparator_ = false;
+  bool has_log_number_ = false;
+  bool has_next_file_number_ = false;
+  bool has_last_sequence_ = false;
+  std::string comparator_;
+  uint64_t log_number_ = 0;
+  uint64_t next_file_number_ = 0;
+  SequenceNumber last_sequence_ = 0;
+  std::set<std::pair<int, uint64_t>> deleted_files_;
+  std::vector<std::pair<int, FileMetaData>> new_files_;
+};
+
+}  // namespace elmo::lsm

@@ -1,0 +1,51 @@
+// WriteBatch: atomically applied group of updates, also the unit that
+// goes into the WAL. Wire format (leveldb): 8-byte sequence, 4-byte
+// count, then tagged records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  WriteBatch();
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+  void Append(const WriteBatch& source);
+
+  // Bytes in the underlying representation (WAL payload size).
+  size_t ApproximateSize() const { return rep_.size(); }
+  int Count() const;
+
+  // Iterate over the batch contents.
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+  Status Iterate(Handler* handler) const;
+
+  // --- internal helpers used by the DB ---
+  SequenceNumber Sequence() const;
+  void SetSequence(SequenceNumber seq);
+  Slice Contents() const { return Slice(rep_); }
+  void SetContentsFrom(const Slice& contents);
+  // Apply to a memtable using the batch's starting sequence number.
+  Status InsertInto(MemTable* memtable) const;
+
+ private:
+  std::string rep_;
+};
+
+}  // namespace elmo

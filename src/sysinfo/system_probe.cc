@@ -1,0 +1,124 @@
+#include "sysinfo/system_probe.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "env/sim_env.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace elmo::sysinfo {
+
+namespace {
+
+// fio-like micro-probe: sequential write + sync, sequential read,
+// random 4 KiB reads. Small enough to finish instantly, big enough to
+// exercise bandwidth terms.
+void RunIoProbe(Env* env, const std::string& scratch_dir,
+                SystemProfile* profile) {
+  const std::string path = scratch_dir + "/ioprobe.tmp";
+  env->CreateDirIfMissing(scratch_dir);
+
+  constexpr uint64_t kProbeBytes = 8ull << 20;
+  constexpr size_t kChunk = 1 << 20;
+  std::string chunk(kChunk, 'p');
+
+  // Sequential write + one sync.
+  std::unique_ptr<WritableFile> wf;
+  if (!env->NewWritableFile(path, &wf).ok()) return;
+  uint64_t t0 = env->NowMicros();
+  for (uint64_t off = 0; off < kProbeBytes; off += kChunk) {
+    if (!wf->Append(Slice(chunk)).ok()) return;
+  }
+  uint64_t t_sync0 = env->NowMicros();
+  wf->Sync();
+  uint64_t t1 = env->NowMicros();
+  wf->Close();
+  profile->sync_latency_us = static_cast<double>(t1 - t_sync0);
+  if (t1 > t0) {
+    profile->seq_write_mbps =
+        (kProbeBytes / 1048576.0) / ((t1 - t0) / 1e6);
+  }
+
+  // Sequential read.
+  std::unique_ptr<SequentialFile> sf;
+  if (!env->NewSequentialFile(path, &sf).ok()) return;
+  std::string scratch(kChunk, '\0');
+  Slice out;
+  t0 = env->NowMicros();
+  uint64_t total = 0;
+  while (sf->Read(kChunk, &out, scratch.data()).ok() && !out.empty()) {
+    total += out.size();
+  }
+  t1 = env->NowMicros();
+  if (t1 > t0 && total > 0) {
+    profile->seq_read_mbps = (total / 1048576.0) / ((t1 - t0) / 1e6);
+  }
+
+  // Random 4 KiB reads.
+  std::unique_ptr<RandomAccessFile> rf;
+  if (!env->NewRandomAccessFile(path, &rf).ok()) return;
+  Random64 rng(123);
+  constexpr int kProbes = 64;
+  t0 = env->NowMicros();
+  for (int i = 0; i < kProbes; i++) {
+    uint64_t off = (rng.Uniform(kProbeBytes - 4096) / 4096) * 4096;
+    char buf[4096];
+    rf->Read(off, sizeof(buf), &out, buf);
+  }
+  t1 = env->NowMicros();
+  profile->rand_read_latency_us = static_cast<double>(t1 - t0) / kProbes;
+
+  env->RemoveFile(path);
+}
+
+void ReadHostFacts(SystemProfile* profile) {
+  profile->cpu_cores =
+      static_cast<int>(std::thread::hardware_concurrency());
+  // /proc/meminfo: "MemTotal:       16384 kB"
+  FILE* f = fopen("/proc/meminfo", "r");
+  if (f != nullptr) {
+    char line[256];
+    while (fgets(line, sizeof(line), f) != nullptr) {
+      unsigned long long kb;
+      if (sscanf(line, "MemTotal: %llu kB", &kb) == 1) {
+        profile->memory_bytes = kb * 1024ull;
+        break;
+      }
+    }
+    fclose(f);
+  }
+  profile->device_name = "unknown local storage";
+}
+
+}  // namespace
+
+std::string SystemProfile::ToPromptText() const {
+  char buf[640];
+  snprintf(buf, sizeof(buf),
+           "CPU cores: %d\n"
+           "Total memory: %s\n"
+           "Storage device: %s\n"
+           "Measured IO (fio-style probe): sequential write %.0f MB/s, "
+           "sequential read %.0f MB/s, random 4KiB read latency %.0f us, "
+           "fsync latency %.0f us\n",
+           cpu_cores, FormatBytesHuman(memory_bytes).c_str(),
+           device_name.c_str(), seq_write_mbps, seq_read_mbps,
+           rand_read_latency_us, sync_latency_us);
+  return buf;
+}
+
+SystemProfile SystemProbe::Collect(Env* env, const std::string& scratch_dir) {
+  SystemProfile profile;
+  if (auto* sim = dynamic_cast<SimEnv*>(env)) {
+    profile.cpu_cores = sim->hardware().cpu_cores;
+    profile.memory_bytes = sim->hardware().memory_bytes;
+    profile.device_name = sim->hardware().device.name;
+  } else {
+    ReadHostFacts(&profile);
+  }
+  RunIoProbe(env, scratch_dir, &profile);
+  return profile;
+}
+
+}  // namespace elmo::sysinfo

@@ -1,0 +1,38 @@
+// SystemProbe: the reproduction's stand-in for ELMo-Tune's psutil +
+// fio calls — collects CPU/memory facts and micro-benchmarks the
+// storage device *through the Env*, so on SimEnv it measures the device
+// model and on PosixEnv it measures the real machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+
+namespace elmo::sysinfo {
+
+struct SystemProfile {
+  int cpu_cores = 0;
+  uint64_t memory_bytes = 0;
+  std::string device_name;
+
+  // Measured by the IO probe.
+  double seq_write_mbps = 0;
+  double seq_read_mbps = 0;
+  double rand_read_latency_us = 0;
+  double sync_latency_us = 0;
+
+  // Human-readable block for the tuning prompt.
+  std::string ToPromptText() const;
+};
+
+class SystemProbe {
+ public:
+  // Collects a profile. On a SimEnv, cores/memory/device name come from
+  // the configured HardwareProfile; on other envs they are read from
+  // the host (/proc). The IO probe always runs through `env` using
+  // scratch files under `scratch_dir`.
+  static SystemProfile Collect(Env* env, const std::string& scratch_dir);
+};
+
+}  // namespace elmo::sysinfo

@@ -1,0 +1,37 @@
+// Block: immutable, checksum-verified block contents with a restart-
+// aware binary-search iterator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "table/iterator.h"
+#include "util/slice.h"
+
+namespace elmo {
+
+class Comparator;
+
+class Block {
+ public:
+  explicit Block(std::string contents);
+  ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+  std::unique_ptr<Iterator> NewIterator(const Comparator* comparator) const;
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // offset of restart array
+  bool malformed_ = false;
+};
+
+}  // namespace elmo

@@ -1,0 +1,45 @@
+// BlockBuilder: prefix-compressed key/value block with restart points,
+// the leveldb block format. `block_restart_interval` is one of the
+// engine's tunable options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+class Comparator;
+
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int block_restart_interval);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  void Reset();
+
+  // REQUIRES: key is larger than any previously added key.
+  void Add(const Slice& key, const Slice& value);
+
+  // Finish building; returns a slice valid until Reset().
+  Slice Finish();
+
+  // Estimate of the (uncompressed) size of the block we are building.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  const int block_restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace elmo

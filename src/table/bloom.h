@@ -1,0 +1,40 @@
+// Bloom filter policy (double hashing, leveldb-compatible scheme).
+// `bloom_filter_bits_per_key <= 0` in the options disables filters —
+// the db_bench default the paper's baseline runs with.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+  virtual const char* Name() const = 0;
+  // Append a filter summarizing keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, int n,
+                            std::string* dst) const = 0;
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+class BloomFilterPolicy : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key);
+
+  const char* Name() const override { return "elmo.BuiltinBloomFilter"; }
+  void CreateFilter(const Slice* keys, int n, std::string* dst) const override;
+  bool KeyMayMatch(const Slice& key, const Slice& filter) const override;
+
+  int bits_per_key() const { return bits_per_key_; }
+
+ private:
+  int bits_per_key_;
+  int k_;  // number of probes
+};
+
+uint32_t BloomHash(const Slice& key);
+
+}  // namespace elmo

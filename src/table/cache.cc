@@ -1,0 +1,161 @@
+#include "table/cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace elmo {
+
+namespace {
+
+// FNV-1a; good enough to spread block cache keys across shards.
+uint32_t HashSlice(const Slice& s) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < s.size(); i++) {
+    h ^= static_cast<uint8_t>(s[i]);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+class LruShard {
+ public:
+  void SetCapacity(size_t capacity) {
+    std::lock_guard<std::mutex> l(mu_);
+    capacity_ = capacity;
+    EvictIfNeeded();
+  }
+
+  void Insert(const Slice& key, std::shared_ptr<void> value, size_t charge,
+              Cache::Stats* stats) {
+    std::lock_guard<std::mutex> l(mu_);
+    std::string k = key.ToString();
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      usage_ -= it->second->charge;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    lru_.push_front(Entry{k, std::move(value), charge});
+    map_[k] = lru_.begin();
+    usage_ += charge;
+    stats->inserts++;
+    stats->evictions += EvictIfNeeded();
+  }
+
+  std::shared_ptr<void> Lookup(const Slice& key, Cache::Stats* stats) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = map_.find(key.ToString());
+    if (it == map_.end()) {
+      stats->misses++;
+      return nullptr;
+    }
+    stats->hits++;
+    // Move to front (most recently used).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+
+  void Erase(const Slice& key) {
+    std::lock_guard<std::mutex> l(mu_);
+    auto it = map_.find(key.ToString());
+    if (it == map_.end()) return;
+    usage_ -= it->second->charge;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+
+  size_t Usage() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return usage_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<void> value;
+    size_t charge;
+  };
+
+  // Callers hold mu_. Returns evicted count.
+  uint64_t EvictIfNeeded() {
+    uint64_t evicted = 0;
+    while (usage_ > capacity_ && !lru_.empty()) {
+      Entry& victim = lru_.back();
+      usage_ -= victim.charge;
+      map_.erase(victim.key);
+      lru_.pop_back();
+      evicted++;
+    }
+    return evicted;
+  }
+
+  mutable std::mutex mu_;
+  size_t capacity_ = 0;
+  size_t usage_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+};
+
+class ShardedLruCache : public Cache {
+ public:
+  ShardedLruCache(size_t capacity, int num_shard_bits)
+      : shards_(1u << num_shard_bits), shard_mask_((1u << num_shard_bits) - 1) {
+    capacity_ = capacity;
+    const size_t per_shard =
+        (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) s.SetCapacity(per_shard);
+  }
+
+  void Insert(const Slice& key, std::shared_ptr<void> value,
+              size_t charge) override {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    Shard(key).Insert(key, std::move(value), charge, &stats_);
+  }
+
+  std::shared_ptr<void> Lookup(const Slice& key) override {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    return Shard(key).Lookup(key, &stats_);
+  }
+
+  void Erase(const Slice& key) override { Shard(key).Erase(key); }
+
+  size_t TotalCharge() const override {
+    size_t total = 0;
+    for (const auto& s : shards_) total += s.Usage();
+    return total;
+  }
+
+  size_t Capacity() const override { return capacity_; }
+
+  void SetCapacity(size_t capacity) override {
+    capacity_ = capacity;
+    const size_t per_shard =
+        (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) s.SetCapacity(per_shard);
+  }
+
+  Stats GetStats() const override {
+    std::lock_guard<std::mutex> l(stats_mu_);
+    return stats_;
+  }
+
+ private:
+  LruShard& Shard(const Slice& key) {
+    return shards_[HashSlice(key) & shard_mask_];
+  }
+
+  std::vector<LruShard> shards_;
+  const uint32_t shard_mask_;
+  size_t capacity_;
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace
+
+std::shared_ptr<Cache> NewLruCache(size_t capacity, int num_shard_bits) {
+  assert(num_shard_bits >= 0 && num_shard_bits <= 10);
+  return std::make_shared<ShardedLruCache>(capacity, num_shard_bits);
+}
+
+}  // namespace elmo

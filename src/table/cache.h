@@ -1,0 +1,48 @@
+// Sharded LRU cache with strict charge accounting — the engine's block
+// cache (`block_cache_size` option) and table cache live on this.
+// Values are type-erased shared_ptrs: a cached block stays alive while a
+// reader holds it even if it is evicted concurrently.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+class Cache {
+ public:
+  virtual ~Cache() = default;
+
+  virtual void Insert(const Slice& key, std::shared_ptr<void> value,
+                      size_t charge) = 0;
+  virtual std::shared_ptr<void> Lookup(const Slice& key) = 0;
+  virtual void Erase(const Slice& key) = 0;
+  virtual size_t TotalCharge() const = 0;
+  virtual size_t Capacity() const = 0;
+  virtual void SetCapacity(size_t capacity) = 0;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+  virtual Stats GetStats() const = 0;
+
+  template <typename T>
+  std::shared_ptr<T> LookupAs(const Slice& key) {
+    return std::static_pointer_cast<T>(Lookup(key));
+  }
+};
+
+// num_shard_bits = 4 gives 16 shards, the RocksDB default.
+std::shared_ptr<Cache> NewLruCache(size_t capacity, int num_shard_bits = 4);
+
+}  // namespace elmo

@@ -1,0 +1,28 @@
+// Comparator: total order over keys, plus the key-shortening hooks the
+// SST index uses to keep separator keys small.
+#pragma once
+
+#include <string>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+  virtual const char* Name() const = 0;
+
+  // If *start < limit, change *start to a short key in [start, limit).
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+  // Change *key to a short key >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Singleton lexicographic bytewise comparator.
+const Comparator* BytewiseComparator();
+
+}  // namespace elmo

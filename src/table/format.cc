@@ -1,0 +1,108 @@
+#include "table/format.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo {
+
+void BlockHandle::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, offset_);
+  PutVarint64(dst, size_);
+}
+
+Status BlockHandle::DecodeFrom(Slice* input) {
+  if (GetVarint64(input, &offset_) && GetVarint64(input, &size_)) {
+    return Status::OK();
+  }
+  return Status::Corruption("bad block handle");
+}
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t original_size = dst->size();
+  filter_handle_.EncodeTo(dst);
+  index_handle_.EncodeTo(dst);
+  dst->resize(original_size + 2 * BlockHandle::kMaxEncodedLength);  // pad
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(kTableMagicNumber >> 32));
+}
+
+Status Footer::DecodeFrom(Slice* input) {
+  if (input->size() < kEncodedLength) {
+    return Status::Corruption("footer too short");
+  }
+  const char* magic_ptr = input->data() + kEncodedLength - 8;
+  const uint32_t magic_lo = DecodeFixed32(magic_ptr);
+  const uint32_t magic_hi = DecodeFixed32(magic_ptr + 4);
+  const uint64_t magic =
+      (static_cast<uint64_t>(magic_hi) << 32) | magic_lo;
+  if (magic != kTableMagicNumber) {
+    return Status::Corruption("not an sstable (bad magic number)");
+  }
+  Status result = filter_handle_.DecodeFrom(input);
+  if (result.ok()) {
+    result = index_handle_.DecodeFrom(input);
+  }
+  return result;
+}
+
+Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
+                 BlockContents* result, bool verify_checksums) {
+  result->data.clear();
+  const size_t n = static_cast<size_t>(handle.size());
+  std::string buf(n + kBlockTrailerSize, '\0');
+  Slice contents;
+  Status s =
+      file->Read(handle.offset(), n + kBlockTrailerSize, &contents, buf.data());
+  if (!s.ok()) return s;
+  if (contents.size() != n + kBlockTrailerSize) {
+    return Status::Corruption("truncated block read");
+  }
+
+  const char* data = contents.data();
+  if (verify_checksums) {
+    const uint32_t crc = crc32c::Unmask(DecodeFixed32(data + n + 1));
+    const uint32_t actual = crc32c::Value(data, n + 1);
+    if (actual != crc) {
+      return Status::Corruption("block checksum mismatch");
+    }
+  }
+
+  switch (static_cast<CompressionType>(data[n])) {
+    case CompressionType::kNoCompression:
+      result->data.assign(data, n);
+      return Status::OK();
+    case CompressionType::kRleCompression:
+      return RleUncompress(Slice(data, n), &result->data);
+  }
+  return Status::Corruption("unknown block compression type");
+}
+
+void RleCompress(const Slice& input, std::string* output) {
+  output->clear();
+  const char* p = input.data();
+  const char* end = p + input.size();
+  while (p < end) {
+    char c = *p;
+    size_t run = 1;
+    while (p + run < end && p[run] == c && run < 255) run++;
+    output->push_back(static_cast<char>(run));
+    output->push_back(c);
+    p += run;
+  }
+}
+
+Status RleUncompress(const Slice& input, std::string* output) {
+  output->clear();
+  const char* p = input.data();
+  const char* end = p + input.size();
+  while (p < end) {
+    if (end - p < 2) return Status::Corruption("truncated RLE block");
+    size_t run = static_cast<uint8_t>(p[0]);
+    if (run == 0) return Status::Corruption("zero-length RLE run");
+    output->append(run, p[1]);
+    p += 2;
+  }
+  return Status::OK();
+}
+
+}  // namespace elmo

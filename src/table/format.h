@@ -1,0 +1,81 @@
+// On-disk SST format plumbing: block handles, the file footer, block
+// trailers (compression type + CRC32C), and checksum-verified block
+// reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo {
+
+enum class CompressionType : uint8_t {
+  kNoCompression = 0x0,
+  kRleCompression = 0x1,  // built-in byte run-length encoding
+};
+
+class BlockHandle {
+ public:
+  BlockHandle() : offset_(~0ull), size_(~0ull) {}
+
+  uint64_t offset() const { return offset_; }
+  uint64_t size() const { return size_; }
+  void set_offset(uint64_t offset) { offset_ = offset; }
+  void set_size(uint64_t size) { size_ = size; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  // Maximum encoding length of a BlockHandle.
+  enum { kMaxEncodedLength = 10 + 10 };
+
+ private:
+  uint64_t offset_;
+  uint64_t size_;
+};
+
+// Footer: filter handle + index handle, padded to fixed length, then an
+// 8-byte magic number. Always at the end of every SST file.
+class Footer {
+ public:
+  Footer() = default;
+
+  const BlockHandle& filter_handle() const { return filter_handle_; }
+  void set_filter_handle(const BlockHandle& h) { filter_handle_ = h; }
+  const BlockHandle& index_handle() const { return index_handle_; }
+  void set_index_handle(const BlockHandle& h) { index_handle_ = h; }
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice* input);
+
+  enum { kEncodedLength = 2 * BlockHandle::kMaxEncodedLength + 8 };
+
+ private:
+  BlockHandle filter_handle_;
+  BlockHandle index_handle_;
+};
+
+// "elmoSST1" little-endian.
+static const uint64_t kTableMagicNumber = 0x31545353'6f6d6c65ull;
+
+// 1-byte type + 4-byte crc32c after each block.
+static const size_t kBlockTrailerSize = 5;
+
+struct BlockContents {
+  std::string data;
+};
+
+// Read a block, verify its checksum, decompress if needed.
+Status ReadBlock(RandomAccessFile* file, const BlockHandle& handle,
+                 BlockContents* result, bool verify_checksums = true);
+
+// Built-in RLE codec (kept trivially simple; exists so the
+// `compression` option has a real code path and CPU/size trade-off).
+void RleCompress(const Slice& input, std::string* output);
+Status RleUncompress(const Slice& input, std::string* output);
+
+}  // namespace elmo

@@ -1,0 +1,39 @@
+#include "table/iterator.h"
+
+#include <cassert>
+
+namespace elmo {
+
+namespace {
+
+class EmptyIterator : public Iterator {
+ public:
+  explicit EmptyIterator(Status s) : status_(std::move(s)) {}
+
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Seek(const Slice&) override {}
+  void Next() override { assert(false); }
+  void Prev() override { assert(false); }
+  Slice key() const override {
+    assert(false);
+    return Slice();
+  }
+  Slice value() const override {
+    assert(false);
+    return Slice();
+  }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewEmptyIterator(Status status) {
+  return std::make_unique<EmptyIterator>(std::move(status));
+}
+
+}  // namespace elmo

@@ -1,0 +1,38 @@
+// Iterator: the cursor abstraction shared by memtables, SST blocks,
+// tables and the merged DB view.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // Valid only when Valid(). Slices remain live until the next move.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+// Empty iterator carrying an optional error status.
+std::unique_ptr<Iterator> NewEmptyIterator(Status status = Status::OK());
+
+}  // namespace elmo

@@ -1,0 +1,312 @@
+#include "table/table.h"
+
+#include <atomic>
+
+#include "table/block.h"
+#include "table/format.h"
+#include "util/coding.h"
+
+namespace elmo {
+
+namespace {
+
+// Unique id per open table, prefixing block-cache keys.
+uint64_t NextCacheId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+}  // namespace
+
+struct Table::Rep {
+  TableReadOptions options;
+  std::unique_ptr<RandomAccessFile> file;
+  uint64_t cache_id = 0;
+  std::unique_ptr<Block> index_block;
+  std::string filter_data;  // raw bloom filter block (may be empty)
+};
+
+Table::Table(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
+Table::~Table() = default;
+
+Status Table::Open(const TableReadOptions& options,
+                   std::unique_ptr<RandomAccessFile> file, uint64_t file_size,
+                   std::unique_ptr<Table>* table) {
+  table->reset();
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(file_size - Footer::kEncodedLength,
+                        Footer::kEncodedLength, &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  BlockContents index_contents;
+  s = ReadBlock(file.get(), footer.index_handle(), &index_contents,
+                options.verify_checksums);
+  if (!s.ok()) return s;
+
+  auto rep = std::make_unique<Rep>();
+  rep->options = options;
+  rep->file = std::move(file);
+  rep->cache_id = options.block_cache ? NextCacheId() : 0;
+  rep->index_block = std::make_unique<Block>(std::move(index_contents.data));
+
+  if (options.filter_policy != nullptr &&
+      footer.filter_handle().size() > 0) {
+    BlockContents filter_contents;
+    s = ReadBlock(rep->file.get(), footer.filter_handle(), &filter_contents,
+                  options.verify_checksums);
+    if (!s.ok()) return s;
+    rep->filter_data = std::move(filter_contents.data);
+  }
+
+  *table = std::unique_ptr<Table>(new Table(std::move(rep)));
+  return Status::OK();
+}
+
+std::unique_ptr<Iterator> Table::BlockReader(const Slice& index_value,
+                                             bool fill_cache) const {
+  const Rep* r = rep_.get();
+  Slice input = index_value;
+  BlockHandle handle;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) return NewEmptyIterator(s);
+
+  std::shared_ptr<const Block> block;
+  if (r->options.block_cache != nullptr) {
+    char cache_key_buf[16];
+    EncodeFixed64(cache_key_buf, r->cache_id);
+    EncodeFixed64(cache_key_buf + 8, handle.offset());
+    Slice cache_key(cache_key_buf, sizeof(cache_key_buf));
+    auto cached =
+        r->options.block_cache->LookupAs<const Block>(cache_key);
+    if (cached != nullptr) {
+      block = cached;
+    } else {
+      BlockContents contents;
+      s = ReadBlock(r->file.get(), handle, &contents,
+                    r->options.verify_checksums);
+      if (!s.ok()) return NewEmptyIterator(s);
+      auto fresh = std::make_shared<Block>(std::move(contents.data));
+      if (fill_cache) {
+        r->options.block_cache->Insert(cache_key, fresh, fresh->size());
+      }
+      block = fresh;
+    }
+  } else {
+    BlockContents contents;
+    s = ReadBlock(r->file.get(), handle, &contents,
+                  r->options.verify_checksums);
+    if (!s.ok()) return NewEmptyIterator(s);
+    block = std::make_shared<Block>(std::move(contents.data));
+  }
+
+  // The returned iterator keeps the block alive via the capture below.
+  class OwningIter : public Iterator {
+   public:
+    OwningIter(std::shared_ptr<const Block> block, const Comparator* cmp)
+        : block_(std::move(block)), iter_(block_->NewIterator(cmp)) {}
+    bool Valid() const override { return iter_->Valid(); }
+    void SeekToFirst() override { iter_->SeekToFirst(); }
+    void SeekToLast() override { iter_->SeekToLast(); }
+    void Seek(const Slice& t) override { iter_->Seek(t); }
+    void Next() override { iter_->Next(); }
+    void Prev() override { iter_->Prev(); }
+    Slice key() const override { return iter_->key(); }
+    Slice value() const override { return iter_->value(); }
+    Status status() const override { return iter_->status(); }
+
+   private:
+    std::shared_ptr<const Block> block_;
+    std::unique_ptr<Iterator> iter_;
+  };
+  return std::make_unique<OwningIter>(std::move(block),
+                                      r->options.comparator);
+}
+
+namespace {
+
+// Iterates over the data blocks named by an index iterator.
+class TwoLevelIterator : public Iterator {
+ public:
+  TwoLevelIterator(
+      std::unique_ptr<Iterator> index_iter,
+      std::function<std::unique_ptr<Iterator>(const Slice&)> block_function)
+      : index_iter_(std::move(index_iter)),
+        block_function_(std::move(block_function)) {}
+
+  bool Valid() const override {
+    return data_iter_ != nullptr && data_iter_->Valid();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  void Next() override {
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Prev() override {
+    data_iter_->Prev();
+    SkipEmptyDataBlocksBackward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  // A data-block error must survive even though the erroring iterator
+  // is replaced while skipping.
+  void SaveChildError() {
+    if (data_iter_ != nullptr && status_.ok() &&
+        !data_iter_->status().ok()) {
+      status_ = data_iter_->status();
+    }
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      SaveChildError();
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  void SkipEmptyDataBlocksBackward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      SaveChildError();
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        return;
+      }
+      index_iter_->Prev();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToLast();
+    }
+  }
+
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      SaveChildError();
+      data_iter_.reset();
+      return;
+    }
+    Slice handle = index_iter_->value();
+    if (data_iter_ != nullptr && handle == current_handle_) return;
+    SaveChildError();
+    current_handle_.assign(handle.data(), handle.size());
+    data_iter_ = block_function_(handle);
+  }
+
+  std::unique_ptr<Iterator> index_iter_;
+  std::function<std::unique_ptr<Iterator>(const Slice&)> block_function_;
+  std::unique_ptr<Iterator> data_iter_;
+  std::string current_handle_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> Table::NewIterator(
+    const TableIterOptions& iter_options) const {
+  // Cursor tracking how far readahead has been issued.
+  auto readahead_pos = std::make_shared<uint64_t>(0);
+  auto block_fn = [this, iter_options,
+                   readahead_pos](const Slice& handle) {
+    if (iter_options.readahead_bytes > 0) {
+      Slice input = handle;
+      BlockHandle bh;
+      if (bh.DecodeFrom(&input).ok() && bh.offset() >= *readahead_pos) {
+        rep_->file->Readahead(bh.offset(), iter_options.readahead_bytes);
+        *readahead_pos = bh.offset() + iter_options.readahead_bytes;
+      }
+    }
+    return BlockReader(handle, iter_options.fill_cache);
+  };
+  return std::make_unique<TwoLevelIterator>(
+      rep_->index_block->NewIterator(rep_->options.comparator), block_fn);
+}
+
+Status Table::InternalGet(
+    const Slice& key,
+    const std::function<void(const Slice&, const Slice&)>& handler) const {
+  const Rep* r = rep_.get();
+
+  // Filter check first: a negative verdict saves the block read.
+  if (r->options.filter_policy != nullptr && !r->filter_data.empty()) {
+    Slice filter_key = r->options.filter_key_transform
+                           ? r->options.filter_key_transform(key)
+                           : key;
+    if (!r->options.filter_policy->KeyMayMatch(filter_key,
+                                               Slice(r->filter_data))) {
+      return Status::OK();  // definitely absent from this table
+    }
+  }
+
+  auto index_iter = r->index_block->NewIterator(r->options.comparator);
+  index_iter->Seek(key);
+  if (index_iter->Valid()) {
+    auto block_iter = BlockReader(index_iter->value(), /*fill_cache=*/true);
+    block_iter->Seek(key);
+    if (block_iter->Valid()) {
+      handler(block_iter->key(), block_iter->value());
+    }
+    if (!block_iter->status().ok()) return block_iter->status();
+  }
+  return index_iter->status();
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  auto index_iter =
+      rep_->index_block->NewIterator(rep_->options.comparator);
+  index_iter->Seek(key);
+  if (index_iter->Valid()) {
+    Slice input = index_iter->value();
+    BlockHandle handle;
+    if (handle.DecodeFrom(&input).ok()) {
+      return handle.offset();
+    }
+  }
+  return 0;
+}
+
+}  // namespace elmo

@@ -1,0 +1,69 @@
+// Table: immutable SST reader. Index and filter blocks are pinned in
+// memory; data blocks go through the (optional) shared block cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "env/env.h"
+#include "table/bloom.h"
+#include "table/cache.h"
+#include "table/comparator.h"
+#include "table/iterator.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo {
+
+struct TableReadOptions {
+  const Comparator* comparator = BytewiseComparator();
+  const FilterPolicy* filter_policy = nullptr;
+  std::function<Slice(const Slice&)> filter_key_transform;
+  // Shared block cache; null reads every block from the file.
+  std::shared_ptr<Cache> block_cache;
+  bool verify_checksums = true;
+};
+
+struct TableIterOptions {
+  bool fill_cache = true;
+  // Compaction readahead window in bytes (0 = none); issued via
+  // RandomAccessFile::Readahead as the iterator crosses block
+  // boundaries.
+  uint64_t readahead_bytes = 0;
+};
+
+class Table {
+ public:
+  // Opens a table; keeps ownership of `file`.
+  static Status Open(const TableReadOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size, std::unique_ptr<Table>* table);
+
+  ~Table();
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  std::unique_ptr<Iterator> NewIterator(
+      const TableIterOptions& iter_options = {}) const;
+
+  // Point lookup: calls handler(key, value) on the first entry at or
+  // after `key` in this table, if any. The bloom filter is consulted
+  // with the transform-applied key first.
+  Status InternalGet(const Slice& key,
+                     const std::function<void(const Slice&, const Slice&)>&
+                         handler) const;
+
+  uint64_t ApproximateOffsetOf(const Slice& key) const;
+
+ private:
+  struct Rep;
+  explicit Table(std::unique_ptr<Rep> rep);
+
+  std::unique_ptr<Iterator> BlockReader(const Slice& index_value,
+                                        bool fill_cache) const;
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace elmo

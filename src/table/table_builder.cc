@@ -1,0 +1,205 @@
+#include "table/table_builder.h"
+
+#include <cassert>
+#include <vector>
+
+#include "table/block_builder.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo {
+
+struct TableBuilder::Rep {
+  Rep(const TableBuildOptions& opt, WritableFile* f)
+      : options(opt),
+        file(f),
+        data_block(opt.block_restart_interval),
+        index_block(1) {}
+
+  TableBuildOptions options;
+  WritableFile* file;
+  uint64_t offset = 0;
+  Status status;
+  BlockBuilder data_block;
+  BlockBuilder index_block;
+  std::string last_key;
+  uint64_t num_entries = 0;
+  bool closed = false;
+
+  // Filter state: keys (post-transform) for the whole file.
+  std::string filter_keys_flat;
+  std::vector<size_t> filter_key_offsets;
+
+  // Invariant: pending_index_entry only true after a block is flushed.
+  bool pending_index_entry = false;
+  BlockHandle pending_handle;
+
+  std::string compressed_output;
+};
+
+TableBuilder::TableBuilder(const TableBuildOptions& options,
+                           WritableFile* file)
+    : rep_(std::make_unique<Rep>(options, file)) {}
+
+TableBuilder::~TableBuilder() { assert(rep_->closed); }
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  Rep* r = rep_.get();
+  assert(!r->closed);
+  if (!r->status.ok()) return;
+  if (r->num_entries > 0) {
+    assert(r->options.comparator->Compare(key, Slice(r->last_key)) > 0);
+  }
+
+  if (r->pending_index_entry) {
+    assert(r->data_block.empty());
+    r->options.comparator->FindShortestSeparator(&r->last_key, key);
+    std::string handle_encoding;
+    r->pending_handle.EncodeTo(&handle_encoding);
+    r->index_block.Add(Slice(r->last_key), Slice(handle_encoding));
+    r->pending_index_entry = false;
+  }
+
+  if (r->options.filter_policy != nullptr) {
+    Slice filter_key = r->options.filter_key_transform
+                           ? r->options.filter_key_transform(key)
+                           : key;
+    r->filter_key_offsets.push_back(r->filter_keys_flat.size());
+    r->filter_keys_flat.append(filter_key.data(), filter_key.size());
+  }
+
+  r->last_key.assign(key.data(), key.size());
+  r->num_entries++;
+  r->data_block.Add(key, value);
+
+  if (r->data_block.CurrentSizeEstimate() >= r->options.block_size) {
+    Flush();
+  }
+}
+
+void TableBuilder::Flush() {
+  Rep* r = rep_.get();
+  assert(!r->closed);
+  if (!r->status.ok()) return;
+  if (r->data_block.empty()) return;
+  assert(!r->pending_index_entry);
+  WriteBlock(&r->data_block, &r->pending_handle);
+  if (r->status.ok()) {
+    r->pending_index_entry = true;
+    r->status = r->file->Flush();
+  }
+}
+
+void TableBuilder::WriteBlock(BlockBuilder* block, BlockHandle* handle) {
+  Rep* r = rep_.get();
+  Slice raw = block->Finish();
+
+  Slice block_contents;
+  CompressionType type = r->options.compression;
+  switch (type) {
+    case CompressionType::kNoCompression:
+      block_contents = raw;
+      break;
+    case CompressionType::kRleCompression: {
+      RleCompress(raw, &r->compressed_output);
+      if (r->compressed_output.size() < raw.size()) {
+        block_contents = Slice(r->compressed_output);
+      } else {
+        // Not compressible; store raw.
+        block_contents = raw;
+        type = CompressionType::kNoCompression;
+      }
+      break;
+    }
+  }
+  WriteRawBlock(block_contents, type, handle);
+  r->compressed_output.clear();
+  block->Reset();
+}
+
+void TableBuilder::WriteRawBlock(const Slice& block_contents,
+                                 CompressionType type, BlockHandle* handle) {
+  Rep* r = rep_.get();
+  handle->set_offset(r->offset);
+  handle->set_size(block_contents.size());
+  r->status = r->file->Append(block_contents);
+  if (r->status.ok()) {
+    char trailer[kBlockTrailerSize];
+    trailer[0] = static_cast<char>(type);
+    uint32_t crc = crc32c::Value(block_contents.data(), block_contents.size());
+    crc = crc32c::Extend(crc, trailer, 1);  // extend over the type byte
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    r->status = r->file->Append(Slice(trailer, kBlockTrailerSize));
+    if (r->status.ok()) {
+      r->offset += block_contents.size() + kBlockTrailerSize;
+    }
+  }
+}
+
+Status TableBuilder::Finish() {
+  Rep* r = rep_.get();
+  Flush();
+  assert(!r->closed);
+  r->closed = true;
+
+  BlockHandle filter_block_handle, index_block_handle;
+  // A zero-sized handle marks "no filter block".
+  filter_block_handle.set_offset(0);
+  filter_block_handle.set_size(0);
+
+  // Filter block: one bloom filter over every key in the file.
+  if (r->status.ok() && r->options.filter_policy != nullptr) {
+    std::vector<Slice> keys;
+    keys.reserve(r->filter_key_offsets.size());
+    for (size_t i = 0; i < r->filter_key_offsets.size(); i++) {
+      size_t begin = r->filter_key_offsets[i];
+      size_t end = (i + 1 < r->filter_key_offsets.size())
+                       ? r->filter_key_offsets[i + 1]
+                       : r->filter_keys_flat.size();
+      keys.emplace_back(r->filter_keys_flat.data() + begin, end - begin);
+    }
+    std::string filter_data;
+    r->options.filter_policy->CreateFilter(
+        keys.data(), static_cast<int>(keys.size()), &filter_data);
+    WriteRawBlock(Slice(filter_data), CompressionType::kNoCompression,
+                  &filter_block_handle);
+  }
+
+  // Index block.
+  if (r->status.ok()) {
+    if (r->pending_index_entry) {
+      r->options.comparator->FindShortSuccessor(&r->last_key);
+      std::string handle_encoding;
+      r->pending_handle.EncodeTo(&handle_encoding);
+      r->index_block.Add(Slice(r->last_key), Slice(handle_encoding));
+      r->pending_index_entry = false;
+    }
+    WriteBlock(&r->index_block, &index_block_handle);
+  }
+
+  // Footer.
+  if (r->status.ok()) {
+    Footer footer;
+    footer.set_filter_handle(filter_block_handle);
+    footer.set_index_handle(index_block_handle);
+    std::string footer_encoding;
+    footer.EncodeTo(&footer_encoding);
+    r->status = r->file->Append(Slice(footer_encoding));
+    if (r->status.ok()) {
+      r->offset += footer_encoding.size();
+    }
+  }
+  return r->status;
+}
+
+void TableBuilder::Abandon() {
+  rep_->closed = true;
+}
+
+uint64_t TableBuilder::NumEntries() const { return rep_->num_entries; }
+
+uint64_t TableBuilder::FileSize() const { return rep_->offset; }
+
+Status TableBuilder::status() const { return rep_->status; }
+
+}  // namespace elmo

@@ -1,0 +1,64 @@
+// TableBuilder: writes a sorted run of key/value pairs into an SST file
+// (data blocks + one bloom filter block + index block + footer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "table/bloom.h"
+#include "table/comparator.h"
+#include "table/format.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace elmo {
+
+struct TableBuildOptions {
+  const Comparator* comparator = BytewiseComparator();
+  // Null disables the filter block (db_bench's default baseline).
+  const FilterPolicy* filter_policy = nullptr;
+  // Maps a stored key to the key the filter indexes (the DB passes a
+  // transform that strips the internal-key trailer). Identity if unset.
+  std::function<Slice(const Slice&)> filter_key_transform;
+  size_t block_size = 4096;
+  int block_restart_interval = 16;
+  CompressionType compression = CompressionType::kNoCompression;
+};
+
+class TableBuilder {
+ public:
+  // Does not take ownership of file; file must outlive the builder.
+  TableBuilder(const TableBuildOptions& options, WritableFile* file);
+  ~TableBuilder();
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  // REQUIRES: key is after any previously added key in comparator order.
+  void Add(const Slice& key, const Slice& value);
+
+  // Write the filter/index/footer. No Add after this.
+  Status Finish();
+
+  // Abandon the file contents (builder can only be destroyed after).
+  void Abandon();
+
+  uint64_t NumEntries() const;
+  uint64_t FileSize() const;
+  Status status() const;
+
+ private:
+  struct Rep;
+
+  void Flush();
+  void WriteBlock(class BlockBuilder* block, BlockHandle* handle);
+  void WriteRawBlock(const Slice& data, CompressionType type,
+                     BlockHandle* handle);
+
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace elmo

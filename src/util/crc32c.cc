@@ -1,0 +1,37 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace elmo::crc32c {
+
+namespace {
+
+// Build the 256-entry CRC32C lookup table at static-init time.
+struct Table {
+  std::array<uint32_t, 256> t{};
+  Table() {
+    const uint32_t poly = 0x82f63b78u;  // reversed 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; j++) {
+        crc = (crc & 1) ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Table kTable;
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = kTable.t[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace elmo::crc32c

@@ -1,0 +1,46 @@
+// Histogram: db_bench-style latency histogram with geometric buckets.
+// Records values in microseconds and interpolates percentiles inside a
+// bucket. This is the structure behind every p99 number in the
+// reproduction, so percentile math is tested directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elmo {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const;
+  double Percentile(double p) const;  // p in [0, 100]
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return num_ == 0 ? 0.0 : min_; }
+  double Max() const { return max_; }
+  uint64_t Count() const { return num_; }
+
+  // Multi-line human-readable summary, similar to db_bench's
+  // "Microseconds per op" report.
+  std::string ToString() const;
+
+  static constexpr int kNumBuckets = 154;
+
+ private:
+  double BucketLimit(int b) const;
+
+  double min_;
+  double max_;
+  uint64_t num_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace elmo

@@ -1,0 +1,112 @@
+#include "util/ini.h"
+
+#include "util/string_util.h"
+
+namespace elmo {
+
+Status IniDoc::Parse(const std::string& text, IniDoc* doc,
+                     std::vector<std::string>* bad_lines) {
+  doc->sections_.clear();
+  std::string current;
+  for (const std::string& raw : SplitLines(text)) {
+    std::string line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#' || line[0] == ';') continue;
+    if (line[0] == '[') {
+      size_t close = line.find(']');
+      if (close == std::string::npos) {
+        return Status::Corruption("unterminated section header", line);
+      }
+      current = TrimWhitespace(line.substr(1, close - 1));
+      // Materialize the section even if empty.
+      if (doc->FindSection(current) == nullptr) {
+        doc->sections_.push_back({current, {}});
+      }
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      if (bad_lines != nullptr) bad_lines->push_back(raw);
+      continue;
+    }
+    std::string key = TrimWhitespace(line.substr(0, eq));
+    std::string value = TrimWhitespace(line.substr(eq + 1));
+    if (key.empty()) {
+      if (bad_lines != nullptr) bad_lines->push_back(raw);
+      continue;
+    }
+    doc->Set(current, key, value);
+  }
+  return Status::OK();
+}
+
+std::string IniDoc::Serialize() const {
+  std::string out;
+  for (const Section& sec : sections_) {
+    if (!sec.name.empty()) {
+      out += "[" + sec.name + "]\n";
+    }
+    for (const Entry& e : sec.entries) {
+      out += e.key + " = " + e.value + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+IniDoc::Section* IniDoc::FindSection(const std::string& name) {
+  for (auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const IniDoc::Section* IniDoc::FindSection(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> IniDoc::Get(const std::string& section,
+                                       const std::string& key) const {
+  const Section* s = FindSection(section);
+  if (s == nullptr) return std::nullopt;
+  for (const Entry& e : s->entries) {
+    if (e.key == key) return e.value;
+  }
+  return std::nullopt;
+}
+
+void IniDoc::Set(const std::string& section, const std::string& key,
+                 const std::string& value) {
+  Section* s = FindSection(section);
+  if (s == nullptr) {
+    sections_.push_back({section, {}});
+    s = &sections_.back();
+  }
+  for (Entry& e : s->entries) {
+    if (e.key == key) {
+      e.value = value;
+      return;
+    }
+  }
+  s->entries.push_back({key, value});
+}
+
+bool IniDoc::Erase(const std::string& section, const std::string& key) {
+  Section* s = FindSection(section);
+  if (s == nullptr) return false;
+  for (auto it = s->entries.begin(); it != s->entries.end(); ++it) {
+    if (it->key == key) {
+      s->entries.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IniDoc::HasSection(const std::string& name) const {
+  return FindSection(name) != nullptr;
+}
+
+}  // namespace elmo

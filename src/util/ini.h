@@ -1,0 +1,53 @@
+// Minimal INI document: ordered sections of ordered key=value pairs.
+// This is the on-disk/option-file format the tuning loop reads and
+// writes — the same role OPTIONS-xxxx files play for RocksDB.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elmo {
+
+class IniDoc {
+ public:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Section {
+    std::string name;  // empty for the implicit top-level section
+    std::vector<Entry> entries;
+  };
+
+  IniDoc() = default;
+
+  // Parse "key = value" lines, "[section]" headers, "#"/";" comments.
+  // Malformed lines (no '=') are reported via bad_lines if non-null and
+  // otherwise skipped; parse only fails on unterminated section headers.
+  static Status Parse(const std::string& text, IniDoc* doc,
+                      std::vector<std::string>* bad_lines = nullptr);
+
+  std::string Serialize() const;
+
+  // Get/set in a named section ("" = top level). Set preserves insertion
+  // order and overwrites an existing key in place.
+  std::optional<std::string> Get(const std::string& section,
+                                 const std::string& key) const;
+  void Set(const std::string& section, const std::string& key,
+           const std::string& value);
+  bool Erase(const std::string& section, const std::string& key);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  bool HasSection(const std::string& name) const;
+
+ private:
+  Section* FindSection(const std::string& name);
+  const Section* FindSection(const std::string& name) const;
+
+  std::vector<Section> sections_;
+};
+
+}  // namespace elmo

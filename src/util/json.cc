@@ -1,0 +1,332 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace elmo::json {
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = as_object().find(key);
+  return it == as_object().end() ? nullptr : &it->second;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent >= 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent) * d, ' ');
+    }
+  };
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(as_int()));
+    *out += buf;
+  } else if (is_double()) {
+    char buf[64];
+    double d = as_double();
+    if (std::isfinite(d)) {
+      snprintf(buf, sizeof(buf), "%.17g", d);
+      *out += buf;
+    } else {
+      *out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (is_string()) {
+    *out += '"' + EscapeString(as_string()) + '"';
+  } else if (is_array()) {
+    const Array& a = as_array();
+    *out += '[';
+    for (size_t i = 0; i < a.size(); i++) {
+      if (i > 0) *out += ',';
+      newline(depth + 1);
+      a[i].DumpTo(out, indent, depth + 1);
+    }
+    if (!a.empty()) newline(depth);
+    *out += ']';
+  } else {  // object
+    const Object& o = as_object();
+    *out += '{';
+    size_t i = 0;
+    for (const auto& [k, v] : o) {
+      if (i++ > 0) *out += ',';
+      newline(depth + 1);
+      *out += '"' + EscapeString(k) + "\":";
+      if (indent >= 0) *out += ' ';
+      v.DumpTo(out, indent, depth + 1);
+    }
+    if (!o.empty()) newline(depth);
+    *out += '}';
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  Status ParseDocument(Value* out) {
+    SkipWs();
+    Status s = ParseValue(out, 0);
+    if (!s.ok()) return s;
+    SkipWs();
+    if (p_ != end_) return Status::Corruption("trailing characters in JSON");
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      p_++;
+    }
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Status::Corruption("JSON nested too deeply");
+    SkipWs();
+    if (p_ >= end_) return Status::Corruption("unexpected end of JSON");
+    switch (*p_) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = Value(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (Match("true")) {
+          *out = Value(true);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      case 'f':
+        if (Match("false")) {
+          *out = Value(false);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      case 'n':
+        if (Match("null")) {
+          *out = Value(nullptr);
+          return Status::OK();
+        }
+        return Status::Corruption("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool Match(const char* lit) {
+    const char* q = p_;
+    while (*lit) {
+      if (q >= end_ || *q != *lit) return false;
+      q++;
+      lit++;
+    }
+    p_ = q;
+    return true;
+  }
+
+  Status ParseString(std::string* out) {
+    p_++;  // opening quote
+    out->clear();
+    while (p_ < end_) {
+      char c = *p_++;
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (p_ >= end_) break;
+        char e = *p_++;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (end_ - p_ < 4) return Status::Corruption("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; i++) {
+              char h = *p_++;
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return Status::Corruption("bad \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are passed
+            // through as two 3-byte sequences — adequate for our use).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Status::Corruption("bad escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Status::Corruption("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const char* start = p_;
+    if (p_ < end_ && *p_ == '-') p_++;
+    bool is_double = false;
+    while (p_ < end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      if (*p_ == '.' || *p_ == 'e' || *p_ == 'E') is_double = true;
+      p_++;
+    }
+    if (p_ == start) return Status::Corruption("invalid number");
+    std::string num(start, p_ - start);
+    if (is_double) {
+      *out = Value(strtod(num.c_str(), nullptr));
+    } else {
+      errno = 0;
+      long long v = strtoll(num.c_str(), nullptr, 10);
+      if (errno != 0) {
+        *out = Value(strtod(num.c_str(), nullptr));
+      } else {
+        *out = Value(static_cast<int64_t>(v));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    p_++;  // '['
+    Array arr;
+    SkipWs();
+    if (p_ < end_ && *p_ == ']') {
+      p_++;
+      *out = Value(std::move(arr));
+      return Status::OK();
+    }
+    while (true) {
+      Value v;
+      Status s = ParseValue(&v, depth + 1);
+      if (!s.ok()) return s;
+      arr.push_back(std::move(v));
+      SkipWs();
+      if (p_ >= end_) return Status::Corruption("unterminated array");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == ']') {
+        p_++;
+        *out = Value(std::move(arr));
+        return Status::OK();
+      }
+      return Status::Corruption("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    p_++;  // '{'
+    Object obj;
+    SkipWs();
+    if (p_ < end_ && *p_ == '}') {
+      p_++;
+      *out = Value(std::move(obj));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      if (p_ >= end_ || *p_ != '"') {
+        return Status::Corruption("expected string key in object");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWs();
+      if (p_ >= end_ || *p_ != ':') {
+        return Status::Corruption("expected ':' in object");
+      }
+      p_++;
+      Value v;
+      s = ParseValue(&v, depth + 1);
+      if (!s.ok()) return s;
+      obj[key] = std::move(v);
+      SkipWs();
+      if (p_ >= end_) return Status::Corruption("unterminated object");
+      if (*p_ == ',') {
+        p_++;
+        continue;
+      }
+      if (*p_ == '}') {
+        p_++;
+        *out = Value(std::move(obj));
+        return Status::OK();
+      }
+      return Status::Corruption("expected ',' or '}' in object");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+Status Parse(const std::string& text, Value* out) {
+  Parser p(text);
+  return p.ParseDocument(out);
+}
+
+}  // namespace elmo::json

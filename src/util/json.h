@@ -1,0 +1,78 @@
+// Mini JSON value + parser/serializer. Exists so the OpenAI chat
+// protocol module (src/llm/openai_protocol.*) can build and parse real
+// API payloads offline; it is deliberately small (no streaming, no
+// numbers beyond double/int64).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace elmo::json {
+
+class Value;
+using Array = std::vector<Value>;
+// std::map keeps key order deterministic for serialization/tests.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}            // NOLINT
+  Value(bool b) : v_(b) {}                          // NOLINT
+  Value(int64_t i) : v_(i) {}                       // NOLINT
+  Value(int i) : v_(static_cast<int64_t>(i)) {}     // NOLINT
+  Value(double d) : v_(d) {}                        // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(Array a) : v_(std::move(a)) {}              // NOLINT
+  Value(Object o) : v_(std::move(o)) {}             // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int() const {
+    return is_double() ? static_cast<int64_t>(std::get<double>(v_))
+                       : std::get<int64_t>(v_);
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(v_))
+                    : std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  // Object lookup; returns nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+// Parse a complete JSON document. Trailing garbage is an error.
+Status Parse(const std::string& text, Value* out);
+
+std::string EscapeString(const std::string& s);
+
+}  // namespace elmo::json

@@ -1,0 +1,71 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace elmo {
+
+void Logger::Log(LogLevel level, const char* format, ...) {
+  va_list ap;
+  va_start(ap, format);
+  Logv(level, format, ap);
+  va_end(ap);
+}
+
+std::string FormatLogLine(LogLevel level, const char* format, va_list ap) {
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kDebug: tag = "[DEBUG] "; break;
+    case LogLevel::kInfo:  tag = "[INFO] ";  break;
+    case LogLevel::kWarn:  tag = "[WARN] ";  break;
+    case LogLevel::kError: tag = "[ERROR] "; break;
+  }
+  char stack_buf[1024];
+  va_list ap_copy;
+  va_copy(ap_copy, ap);
+  int n = vsnprintf(stack_buf, sizeof(stack_buf), format, ap_copy);
+  va_end(ap_copy);
+  std::string line(tag);
+  if (n < 0) {
+    line += "<format error>";
+  } else if (static_cast<size_t>(n) < sizeof(stack_buf)) {
+    line += stack_buf;
+  } else {
+    std::string big(n + 1, '\0');
+    vsnprintf(big.data(), big.size(), format, ap);
+    big.resize(n);
+    line += big;
+  }
+  return line;
+}
+
+void BufferLogger::Logv(LogLevel level, const char* format, va_list ap) {
+  if (level < min_level_) return;
+  std::string line = FormatLogLine(level, format, ap);
+  std::lock_guard<std::mutex> l(mu_);
+  lines_.push_back(std::move(line));
+}
+
+std::vector<std::string> BufferLogger::TakeLines() {
+  std::lock_guard<std::mutex> l(mu_);
+  std::vector<std::string> out;
+  out.swap(lines_);
+  return out;
+}
+
+std::string BufferLogger::Contents() const {
+  std::lock_guard<std::mutex> l(mu_);
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void StderrLogger::Logv(LogLevel level, const char* format, va_list ap) {
+  if (level < min_level_) return;
+  std::string line = FormatLogLine(level, format, ap);
+  fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace elmo

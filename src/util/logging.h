@@ -1,0 +1,79 @@
+// Leveled logger with printf-style formatting. The DB writes its LOG
+// through this (background job activity, stalls, option dumps) and the
+// tuning loop scrapes some of it into prompts.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace elmo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  virtual ~Logger() = default;
+  virtual void Logv(LogLevel level, const char* format, va_list ap) = 0;
+
+  void Log(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+// Discards everything.
+class NullLogger : public Logger {
+ public:
+  void Logv(LogLevel, const char*, va_list) override {}
+};
+
+// Appends formatted lines to an in-memory buffer (used by SimEnv and by
+// tests that assert on log contents).
+class BufferLogger : public Logger {
+ public:
+  explicit BufferLogger(LogLevel min_level = LogLevel::kInfo)
+      : min_level_(min_level) {}
+
+  void Logv(LogLevel level, const char* format, va_list ap) override;
+
+  std::vector<std::string> TakeLines();
+  std::string Contents() const;
+
+ private:
+  const LogLevel min_level_;
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+// Writes to stderr; used by examples.
+class StderrLogger : public Logger {
+ public:
+  explicit StderrLogger(LogLevel min_level = LogLevel::kInfo)
+      : min_level_(min_level) {}
+
+  void Logv(LogLevel level, const char* format, va_list ap) override;
+
+ private:
+  const LogLevel min_level_;
+};
+
+std::string FormatLogLine(LogLevel level, const char* format, va_list ap);
+
+// Convenience macros used throughout the engine. `logger` may be null.
+#define ELMO_LOG_AT(logger, lvl, ...)                   \
+  do {                                                  \
+    if ((logger) != nullptr) {                          \
+      (logger)->Log((lvl), __VA_ARGS__);                \
+    }                                                   \
+  } while (0)
+
+#define ELMO_LOG(logger, ...) \
+  ELMO_LOG_AT(logger, ::elmo::LogLevel::kInfo, __VA_ARGS__)
+#define ELMO_LOG_WARN(logger, ...) \
+  ELMO_LOG_AT(logger, ::elmo::LogLevel::kWarn, __VA_ARGS__)
+#define ELMO_LOG_ERROR(logger, ...) \
+  ELMO_LOG_AT(logger, ::elmo::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace elmo

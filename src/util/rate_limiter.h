@@ -1,0 +1,51 @@
+// Token-bucket rate limiter. The engine uses it for delayed writes
+// (write slowdown) and optionally for compaction I/O; rates come from
+// the option file (`delayed_write_rate`, `rate_limiter_bytes_per_sec`).
+//
+// The limiter is clock-agnostic: callers ask "how long must I wait to
+// consume N bytes at time now" so it works under both the real and the
+// simulated clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace elmo {
+
+class RateLimiter {
+ public:
+  // bytes_per_sec == 0 disables limiting.
+  explicit RateLimiter(uint64_t bytes_per_sec)
+      : bytes_per_sec_(bytes_per_sec) {}
+
+  void SetRate(uint64_t bytes_per_sec) {
+    std::lock_guard<std::mutex> l(mu_);
+    bytes_per_sec_ = bytes_per_sec;
+  }
+
+  uint64_t rate() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return bytes_per_sec_;
+  }
+
+  // Consume `bytes` at time `now_micros`; returns the number of
+  // microseconds the caller must delay to respect the rate.
+  uint64_t Request(uint64_t bytes, uint64_t now_micros) {
+    std::lock_guard<std::mutex> l(mu_);
+    if (bytes_per_sec_ == 0 || bytes == 0) return 0;
+    // The duration this many bytes "should" take.
+    uint64_t cost_us = bytes * 1000000 / bytes_per_sec_;
+    if (cost_us == 0) cost_us = 1;
+    if (next_free_us_ < now_micros) next_free_us_ = now_micros;
+    uint64_t wait = next_free_us_ - now_micros;
+    next_free_us_ += cost_us;
+    return wait;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t bytes_per_sec_;
+  uint64_t next_free_us_ = 0;
+};
+
+}  // namespace elmo

@@ -1,0 +1,98 @@
+// Status: result type for operations that can fail without exceptions.
+// Modeled after leveldb/rocksdb Status; success path is allocation-free.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/slice.h"
+
+namespace elmo {
+
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+  static Status Aborted(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kAborted, msg, msg2);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == kNotFound; }
+  bool IsCorruption() const { return code() == kCorruption; }
+  bool IsNotSupported() const { return code() == kNotSupported; }
+  bool IsInvalidArgument() const { return code() == kInvalidArgument; }
+  bool IsIOError() const { return code() == kIOError; }
+  bool IsBusy() const { return code() == kBusy; }
+  bool IsAborted() const { return code() == kAborted; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* type = nullptr;
+    switch (rep_->code) {
+      case kNotFound:        type = "NotFound: "; break;
+      case kCorruption:      type = "Corruption: "; break;
+      case kNotSupported:    type = "Not implemented: "; break;
+      case kInvalidArgument: type = "Invalid argument: "; break;
+      case kIOError:         type = "IO error: "; break;
+      case kBusy:            type = "Busy: "; break;
+      case kAborted:         type = "Aborted: "; break;
+      default:               type = "Unknown: "; break;
+    }
+    return std::string(type) + rep_->msg;
+  }
+
+ private:
+  enum Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    kAborted = 7,
+  };
+
+  struct Rep {
+    Code code;
+    std::string msg;
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2)
+      : rep_(std::make_shared<Rep>()) {
+    rep_->code = code;
+    rep_->msg = msg.ToString();
+    if (!msg2.empty()) {
+      rep_->msg += ": ";
+      rep_->msg += msg2.ToString();
+    }
+  }
+
+  Code code() const { return rep_ == nullptr ? kOk : rep_->code; }
+
+  // shared_ptr keeps Status copyable cheaply; error paths are rare.
+  std::shared_ptr<Rep> rep_;
+};
+
+}  // namespace elmo

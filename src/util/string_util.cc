@@ -1,0 +1,157 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace elmo {
+
+std::string TrimWhitespace(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(const std::string& s) {
+  std::string r = s;
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return r;
+}
+
+std::vector<std::string> SplitString(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> out = SplitString(s, '\n');
+  for (auto& line : out) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         memcmp(s.data(), prefix.data(), prefix.size()) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         memcmp(s.data() + s.size() - suffix.size(), suffix.data(),
+                suffix.size()) == 0;
+}
+
+bool ContainsIgnoreCase(const std::string& haystack,
+                        const std::string& needle) {
+  return ToLower(haystack).find(ToLower(needle)) != std::string::npos;
+}
+
+std::optional<bool> ParseBool(const std::string& s) {
+  std::string t = ToLower(TrimWhitespace(s));
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  return std::nullopt;
+}
+
+std::optional<int64_t> ParseInt64(const std::string& s) {
+  std::string t = TrimWhitespace(s);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  long long v = strtoll(t.c_str(), &end, 10);
+  if (errno != 0 || end == t.c_str()) return std::nullopt;
+  // Optional size suffix.
+  std::string suffix = ToLower(TrimWhitespace(std::string(end)));
+  if (!suffix.empty() && (EndsWith(suffix, "ib"))) {
+    suffix = suffix.substr(0, suffix.size() - 2);
+  } else if (!suffix.empty() && suffix.back() == 'b' && suffix.size() > 1) {
+    suffix.pop_back();
+  }
+  int64_t mult = 1;
+  if (suffix.empty()) {
+    mult = 1;
+  } else if (suffix == "k") {
+    mult = 1ll << 10;
+  } else if (suffix == "m") {
+    mult = 1ll << 20;
+  } else if (suffix == "g") {
+    mult = 1ll << 30;
+  } else if (suffix == "t") {
+    mult = 1ll << 40;
+  } else {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(v) * mult;
+}
+
+std::optional<double> ParseDouble(const std::string& s) {
+  std::string t = TrimWhitespace(s);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  double v = strtod(t.c_str(), &end);
+  if (errno != 0 || end == t.c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::string FormatBytesHuman(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  double v = static_cast<double>(bytes);
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    u++;
+  }
+  char buf[64];
+  if (v == static_cast<uint64_t>(v)) {
+    snprintf(buf, sizeof(buf), "%llu %s",
+             static_cast<unsigned long long>(v), units[u]);
+  } else {
+    snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string FormatCountHuman(uint64_t n) {
+  char buf[64];
+  if (n >= 1000000000ull) {
+    snprintf(buf, sizeof(buf), "%.1fB", n / 1e9);
+  } else if (n >= 1000000ull) {
+    snprintf(buf, sizeof(buf), "%.1fM", n / 1e6);
+  } else if (n >= 1000ull) {
+    snprintf(buf, sizeof(buf), "%.1fK", n / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string ReplaceAll(std::string s, const std::string& from,
+                       const std::string& to) {
+  if (from.empty()) return s;
+  size_t pos = 0;
+  while ((pos = s.find(from, pos)) != std::string::npos) {
+    s.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return s;
+}
+
+}  // namespace elmo

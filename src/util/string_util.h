@@ -1,0 +1,37 @@
+// Small string helpers shared by the INI/option machinery, the prompt
+// generator and the LLM response parser.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elmo {
+
+std::string TrimWhitespace(const std::string& s);
+std::string ToLower(const std::string& s);
+std::vector<std::string> SplitString(const std::string& s, char delim);
+// Split on newlines, handling both \n and \r\n.
+std::vector<std::string> SplitLines(const std::string& s);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+bool ContainsIgnoreCase(const std::string& haystack, const std::string& needle);
+
+// Parse a boolean from "true"/"false"/"1"/"0" (case-insensitive).
+std::optional<bool> ParseBool(const std::string& s);
+
+// Parse a signed integer; also accepts size suffixes K/M/G/T (powers of
+// 1024, case-insensitive, optional trailing "B" or "iB"), e.g. "64MB".
+std::optional<int64_t> ParseInt64(const std::string& s);
+std::optional<double> ParseDouble(const std::string& s);
+
+// 1234567 -> "1234567"; human variants used in prompts/reports.
+std::string FormatBytesHuman(uint64_t bytes);   // "64 MiB"
+std::string FormatCountHuman(uint64_t n);       // "1.2M"
+
+// Replace all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, const std::string& from,
+                       const std::string& to);
+
+}  // namespace elmo

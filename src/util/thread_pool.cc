@@ -1,0 +1,68 @@
+#include "util/thread_pool.h"
+
+namespace elmo {
+
+ThreadPool::ThreadPool(int num_threads) : target_threads_(num_threads) {
+  std::lock_guard<std::mutex> l(mu_);
+  for (int i = 0; i < num_threads; i++) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> l(mu_);
+  idle_cv_.wait(l, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::SetBackgroundThreads(int num_threads) {
+  std::unique_lock<std::mutex> l(mu_);
+  while (static_cast<int>(threads_.size()) < num_threads) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+  // Shrinking: excess workers exit when they next look for work.
+  target_threads_ = num_threads;
+  l.unlock();
+  work_cv_.notify_all();
+}
+
+int ThreadPool::QueueLen() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (true) {
+    work_cv_.wait(l, [this] { return shutting_down_ || !queue_.empty(); });
+    if (shutting_down_ && queue_.empty()) return;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    busy_++;
+    l.unlock();
+    job();
+    l.lock();
+    busy_--;
+    if (queue_.empty() && busy_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace elmo

@@ -1,0 +1,46 @@
+// Fixed-size worker pool used by PosixEnv for background flushes and
+// compactions. Priorities mirror RocksDB's HIGH (flush) / LOW
+// (compaction) pools.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace elmo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> job);
+
+  // Block until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  // Change pool size; takes effect as workers pick up work.
+  void SetBackgroundThreads(int num_threads);
+
+  int QueueLen() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int target_threads_;
+  int busy_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace elmo

@@ -1,0 +1,81 @@
+#include "elmo/active_flagger.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::tune {
+namespace {
+
+bench::BenchResult Result(double ops, double p99w = 10.0,
+                          double p99r = 0.0) {
+  bench::BenchResult r;
+  r.ops_per_sec = ops;
+  // Populate histograms so p99 accessors return roughly p99w/p99r.
+  if (p99w > 0) {
+    for (int i = 0; i < 1000; i++) r.write_micros.Add(p99w);
+  }
+  if (p99r > 0) {
+    for (int i = 0; i < 1000; i++) r.read_micros.Add(p99r);
+  }
+  return r;
+}
+
+TEST(ActiveFlagger, KeepsClearImprovement) {
+  ActiveFlagger flagger;
+  auto d = flagger.Judge(Result(100000), Result(120000));
+  EXPECT_TRUE(d.keep);
+  EXPECT_NE(d.reason.find("improved"), std::string::npos);
+}
+
+TEST(ActiveFlagger, RevertsRegression) {
+  ActiveFlagger flagger;
+  auto d = flagger.Judge(Result(100000), Result(80000));
+  EXPECT_FALSE(d.keep);
+  EXPECT_NE(d.reason.find("reverting"), std::string::npos);
+}
+
+TEST(ActiveFlagger, RevertsFlatResult) {
+  ActiveFlagger flagger;
+  // Same throughput, same p99: no reason to churn configs.
+  auto d = flagger.Judge(Result(100000, 10.0), Result(100000, 10.0));
+  EXPECT_FALSE(d.keep);
+}
+
+TEST(ActiveFlagger, KeepsTailLatencyWinAtFlatThroughput) {
+  ActiveFlagger flagger;
+  auto d = flagger.Judge(Result(100000, /*p99w=*/50.0),
+                         Result(99800, /*p99w=*/20.0));
+  EXPECT_TRUE(d.keep);
+  EXPECT_NE(d.reason.find("p99"), std::string::npos);
+}
+
+TEST(ActiveFlagger, TailWinDoesNotExcuseBigThroughputLoss) {
+  ActiveFlagger flagger;
+  auto d = flagger.Judge(Result(100000, 50.0), Result(80000, 5.0));
+  EXPECT_FALSE(d.keep);
+}
+
+TEST(ActiveFlagger, WorstP99ConsidersReads) {
+  ActiveFlagger flagger;
+  // Read tail dominates; improving it while writes stay flat counts.
+  auto best = Result(100000, 10.0, /*p99r=*/500.0);
+  auto cand = Result(99900, 10.0, /*p99r=*/100.0);
+  EXPECT_TRUE(flagger.Judge(best, cand).keep);
+}
+
+TEST(ActiveFlagger, EarlyAbortOnCollapse) {
+  ActiveFlagger flagger;
+  EXPECT_TRUE(flagger.ShouldAbortEarly(Result(100000), Result(30000)));
+  EXPECT_FALSE(flagger.ShouldAbortEarly(Result(100000), Result(70000)));
+  EXPECT_FALSE(flagger.ShouldAbortEarly(Result(0), Result(1)));
+}
+
+TEST(ActiveFlagger, ConfigurableThresholds) {
+  FlaggerConfig cfg;
+  cfg.min_gain = 0.5;  // demand +50%
+  ActiveFlagger strict(cfg);
+  EXPECT_FALSE(strict.Judge(Result(100000, 10), Result(120000, 10)).keep);
+  EXPECT_TRUE(strict.Judge(Result(100000, 10), Result(160000, 10)).keep);
+}
+
+}  // namespace
+}  // namespace elmo::tune

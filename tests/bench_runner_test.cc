@@ -1,0 +1,114 @@
+#include "bench_kit/bench_runner.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::bench {
+namespace {
+
+HardwareProfile TestHw() {
+  return HardwareProfile::Make(4, 4, DeviceModel::NvmeSsd());
+}
+
+TEST(ScaleCapacities, DividesByteCapacities) {
+  lsm::Options o;
+  o.write_buffer_size = 64ull << 20;
+  o.block_cache_size = 1ull << 30;
+  o.max_bytes_for_level_base = 256ull << 20;
+  o.target_file_size_base = 64ull << 20;
+  lsm::Options scaled = ScaleCapacities(o);
+  EXPECT_EQ((64ull << 20) / kCapacityScale, scaled.write_buffer_size);
+  EXPECT_EQ((1ull << 30) / kCapacityScale, scaled.block_cache_size);
+  // Non-capacity options untouched.
+  EXPECT_EQ(o.max_background_jobs, scaled.max_background_jobs);
+  EXPECT_EQ(o.compaction_readahead_size, scaled.compaction_readahead_size);
+}
+
+TEST(ScaleCapacities, FloorsPreserved) {
+  lsm::Options o;
+  o.write_buffer_size = 1 << 16;  // tiny already
+  lsm::Options scaled = ScaleCapacities(o);
+  EXPECT_GE(scaled.write_buffer_size, 64u << 10);
+}
+
+TEST(BenchRunner, FillRandomProducesSaneResult) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::FillRandom(20000);
+  auto r = runner.Run(spec, lsm::Options());
+  EXPECT_EQ("fillrandom", r.workload);
+  EXPECT_EQ(20000u, r.ops);
+  EXPECT_GT(r.ops_per_sec, 1000.0);
+  EXPECT_EQ(20000u, r.write_micros.Count());
+  EXPECT_EQ(0u, r.read_micros.Count());
+  EXPECT_GT(r.flushes, 0u);
+}
+
+TEST(BenchRunner, ReadRandomMeasuresReads) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::ReadRandom(5000, 50000);
+  auto r = runner.Run(spec, lsm::Options());
+  EXPECT_EQ(5000u, r.read_micros.Count());
+  EXPECT_EQ(0u, r.write_micros.Count());
+  EXPECT_GT(r.p99_read_us(), 0.0);
+}
+
+TEST(BenchRunner, MixedWorkloadSplitsOps) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::ReadRandomWriteRandom(20000);
+  auto r = runner.Run(spec, lsm::Options());
+  EXPECT_EQ(20000u, r.write_micros.Count() + r.read_micros.Count());
+  // Roughly 50/50 split.
+  EXPECT_NEAR(10000.0, static_cast<double>(r.write_micros.Count()), 600);
+}
+
+TEST(BenchRunner, DeterministicAcrossRuns) {
+  BenchRunner a(TestHw());
+  BenchRunner b(TestHw());
+  auto spec = WorkloadSpec::FillRandom(10000);
+  auto ra = a.Run(spec, lsm::Options());
+  auto rb = b.Run(spec, lsm::Options());
+  EXPECT_EQ(ra.ops_per_sec, rb.ops_per_sec);
+  EXPECT_EQ(ra.p99_write_us(), rb.p99_write_us());
+}
+
+TEST(BenchRunner, ProbeRunsFewerOps) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::FillRandom(50000);
+  auto probe = runner.RunProbe(spec, lsm::Options(), 2000);
+  EXPECT_EQ(2000u, probe.ops);
+  EXPECT_GT(probe.ops_per_sec, 0.0);
+}
+
+TEST(BenchRunner, ReportRoundTripsThroughParser) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::Mixgraph(5000);
+  spec.preload_keys = 2000;
+  spec.num_keys = 10000;
+  auto r = runner.Run(spec, lsm::Options());
+  auto parsed = ParseReport(r.ToReport());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ("mixgraph", parsed->workload);
+  EXPECT_NEAR(r.ops_per_sec, parsed->ops_per_sec,
+              r.ops_per_sec * 0.01 + 1);
+}
+
+TEST(BenchRunner, ThreadsContractWallClock) {
+  auto spec1 = WorkloadSpec::ReadRandomWriteRandom(10000);
+  spec1.threads = 1;
+  auto spec2 = spec1;
+  spec2.threads = 2;
+  BenchRunner a(TestHw()), b(TestHw());
+  auto r1 = a.Run(spec1, lsm::Options());
+  auto r2 = b.Run(spec2, lsm::Options());
+  EXPECT_GT(r2.ops_per_sec, r1.ops_per_sec * 1.5);
+}
+
+TEST(BenchRunner, MixgraphUsesVariableValueSizes) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::Mixgraph(5000);
+  spec.preload_keys = 1000;
+  auto r = runner.Run(spec, lsm::Options());
+  EXPECT_GT(r.ops_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace elmo::bench

@@ -1,0 +1,150 @@
+// Block builder/iterator: roundtrips across restart intervals, seek
+// semantics, prefix compression, corruption.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "table/block.h"
+#include "table/block_builder.h"
+#include "table/comparator.h"
+#include "util/random.h"
+
+namespace elmo {
+namespace {
+
+class BlockRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockRoundTripTest, OrderedRoundTrip) {
+  const int restart_interval = GetParam();
+  BlockBuilder builder(restart_interval);
+  std::map<std::string, std::string> model;
+  for (int i = 0; i < 500; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i * 3);
+    std::string value = "value" + std::to_string(i);
+    builder.Add(key, value);
+    model[key] = value;
+  }
+  Block block(builder.Finish().ToString());
+
+  auto iter = block.NewIterator(BytewiseComparator());
+  auto mit = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, iter->key().ToString());
+    EXPECT_EQ(mit->second, iter->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_P(BlockRoundTripTest, SeekFindsLowerBound) {
+  const int restart_interval = GetParam();
+  BlockBuilder builder(restart_interval);
+  for (int i = 0; i < 100; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i * 10);  // 0, 10, 20...
+    builder.Add(key, "v");
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+
+  // Exact hit.
+  iter->Seek("key000500");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key000500", iter->key().ToString());
+  // Between keys: next larger.
+  iter->Seek("key000505");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key000510", iter->key().ToString());
+  // Before all.
+  iter->Seek("a");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("key000000", iter->key().ToString());
+  // Past all.
+  iter->Seek("z");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST_P(BlockRoundTripTest, BackwardIteration) {
+  BlockBuilder builder(GetParam());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 50; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    keys.push_back(key);
+    builder.Add(key, "v");
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToLast();
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(*it, iter->key().ToString());
+    iter->Prev();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockRoundTripTest,
+                         ::testing::Values(1, 2, 16, 128));
+
+TEST(Block, EmptyBlock) {
+  BlockBuilder builder(16);
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  iter->Seek("anything");
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(Block, SharedPrefixCompression) {
+  // Long common prefixes should compress well at interval 16.
+  BlockBuilder compressed(16);
+  BlockBuilder uncompressed(1);
+  std::string prefix(64, 'p');
+  for (int i = 0; i < 100; i++) {
+    char suffix[16];
+    snprintf(suffix, sizeof(suffix), "%06d", i);
+    compressed.Add(prefix + suffix, "v");
+    uncompressed.Add(prefix + suffix, "v");
+  }
+  EXPECT_LT(compressed.CurrentSizeEstimate(),
+            uncompressed.CurrentSizeEstimate() / 2);
+}
+
+TEST(Block, MalformedContentsYieldErrorIterator) {
+  Block junk("ab");  // shorter than a restart count
+  auto iter = junk.NewIterator(BytewiseComparator());
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_FALSE(iter->status().ok());
+}
+
+TEST(Block, CorruptRestartCountDetected) {
+  std::string data(8, '\xff');  // restart count astronomically large
+  Block junk(std::move(data));
+  auto iter = junk.NewIterator(BytewiseComparator());
+  EXPECT_FALSE(iter->status().ok());
+}
+
+TEST(Block, BinaryKeysAndValues) {
+  BlockBuilder builder(4);
+  std::string k1("\x00\x01\x02", 3), k2("\x00\x01\x03\xff", 4);
+  std::string v1("\xde\xad\x00\xbe\xef", 5);
+  builder.Add(k1, v1);
+  builder.Add(k2, "");
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator(BytewiseComparator());
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(k1, iter->key().ToString());
+  EXPECT_EQ(v1, iter->value().ToString());
+  iter->Next();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(k2, iter->key().ToString());
+  EXPECT_EQ("", iter->value().ToString());
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,114 @@
+#include "table/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/coding.h"
+
+namespace elmo {
+namespace {
+
+std::string IntKey(int i) {
+  std::string s;
+  PutFixed32(&s, i);
+  return s;
+}
+
+TEST(Bloom, EmptyFilterRejects) {
+  BloomFilterPolicy policy(10);
+  std::string filter;
+  policy.CreateFilter(nullptr, 0, &filter);
+  EXPECT_FALSE(policy.KeyMayMatch("hello", filter));
+}
+
+TEST(Bloom, NoFalseNegativesSmall) {
+  BloomFilterPolicy policy(10);
+  std::vector<std::string> storage = {"hello", "world", "", "x",
+                                      std::string(1000, 'a')};
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::string filter;
+  policy.CreateFilter(keys.data(), (int)keys.size(), &filter);
+  for (const auto& k : storage) {
+    EXPECT_TRUE(policy.KeyMayMatch(k, filter)) << k.substr(0, 20);
+  }
+}
+
+// Property sweep: for every (bits_per_key, n) combination, zero false
+// negatives and a false-positive rate consistent with theory.
+class BloomPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BloomPropertyTest, FprWithinTheory) {
+  auto [bits_per_key, n] = GetParam();
+  BloomFilterPolicy policy(bits_per_key);
+
+  std::vector<std::string> storage;
+  storage.reserve(n);
+  for (int i = 0; i < n; i++) storage.push_back(IntKey(i));
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::string filter;
+  policy.CreateFilter(keys.data(), n, &filter);
+
+  // No false negatives, ever.
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(policy.KeyMayMatch(IntKey(i), filter)) << i;
+  }
+
+  // False positives on fresh keys.
+  int fp = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; i++) {
+    if (policy.KeyMayMatch(IntKey(1000000000 + i), filter)) fp++;
+  }
+  double rate = fp / static_cast<double>(probes);
+  // Theory: (1 - e^{-k n / m})^k ~= 0.0082 at 10 bits/key. Allow a
+  // generous 3x envelope for hash imperfection and small n.
+  double theory =
+      std::pow(1.0 - std::exp(-0.69), 0.69 * bits_per_key);
+  EXPECT_LT(rate, std::max(0.03, theory * 3)) << "bits " << bits_per_key;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BloomPropertyTest,
+    ::testing::Combine(::testing::Values(6, 10, 16),
+                       ::testing::Values(100, 1000, 10000)));
+
+TEST(Bloom, MoreBitsFewerFalsePositives) {
+  auto fpr = [](int bits) {
+    BloomFilterPolicy policy(bits);
+    std::vector<std::string> storage;
+    for (int i = 0; i < 5000; i++) storage.push_back(IntKey(i));
+    std::vector<Slice> keys(storage.begin(), storage.end());
+    std::string filter;
+    policy.CreateFilter(keys.data(), (int)keys.size(), &filter);
+    int fp = 0;
+    for (int i = 0; i < 20000; i++) {
+      if (policy.KeyMayMatch(IntKey(900000 + i), filter)) fp++;
+    }
+    return fp;
+  };
+  EXPECT_GT(fpr(4), fpr(16));
+}
+
+TEST(Bloom, FilterSizeScalesWithBits) {
+  std::vector<std::string> storage;
+  for (int i = 0; i < 1000; i++) storage.push_back(IntKey(i));
+  std::vector<Slice> keys(storage.begin(), storage.end());
+  std::string f4, f16;
+  BloomFilterPolicy(4).CreateFilter(keys.data(), 1000, &f4);
+  BloomFilterPolicy(16).CreateFilter(keys.data(), 1000, &f16);
+  EXPECT_GT(f16.size(), 3 * f4.size());
+}
+
+TEST(Bloom, GarbageFilterDoesNotCrash) {
+  BloomFilterPolicy policy(10);
+  EXPECT_FALSE(policy.KeyMayMatch("k", Slice("")));
+  EXPECT_FALSE(policy.KeyMayMatch("k", Slice("x")));
+  // Unknown probe count encoding: conservatively match.
+  std::string weird(100, '\xff');
+  EXPECT_TRUE(policy.KeyMayMatch("k", weird));
+}
+
+}  // namespace
+}  // namespace elmo

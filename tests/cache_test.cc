@@ -1,0 +1,120 @@
+#include "table/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+std::shared_ptr<void> Val(int v) { return std::make_shared<int>(v); }
+
+int AsInt(const std::shared_ptr<void>& p) {
+  return *std::static_pointer_cast<int>(p);
+}
+
+TEST(Cache, InsertLookup) {
+  auto cache = NewLruCache(1000, /*shard_bits=*/0);
+  cache->Insert("a", Val(1), 10);
+  cache->Insert("b", Val(2), 10);
+  EXPECT_EQ(1, AsInt(cache->Lookup("a")));
+  EXPECT_EQ(2, AsInt(cache->Lookup("b")));
+  EXPECT_EQ(nullptr, cache->Lookup("c"));
+}
+
+TEST(Cache, OverwriteReplaces) {
+  auto cache = NewLruCache(1000, 0);
+  cache->Insert("k", Val(1), 10);
+  cache->Insert("k", Val(2), 10);
+  EXPECT_EQ(2, AsInt(cache->Lookup("k")));
+  EXPECT_EQ(10u, cache->TotalCharge());
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  auto cache = NewLruCache(30, 0);
+  cache->Insert("a", Val(1), 10);
+  cache->Insert("b", Val(2), 10);
+  cache->Insert("c", Val(3), 10);
+  // Touch "a" so "b" is the LRU victim.
+  cache->Lookup("a");
+  cache->Insert("d", Val(4), 10);
+  EXPECT_NE(nullptr, cache->Lookup("a"));
+  EXPECT_EQ(nullptr, cache->Lookup("b"));
+  EXPECT_NE(nullptr, cache->Lookup("c"));
+  EXPECT_NE(nullptr, cache->Lookup("d"));
+}
+
+TEST(Cache, ChargeAccounting) {
+  auto cache = NewLruCache(100, 0);
+  cache->Insert("a", Val(1), 60);
+  cache->Insert("b", Val(2), 60);  // evicts a (120 > 100)
+  EXPECT_EQ(60u, cache->TotalCharge());
+  EXPECT_EQ(nullptr, cache->Lookup("a"));
+}
+
+TEST(Cache, OversizedEntryEvictedImmediately) {
+  auto cache = NewLruCache(50, 0);
+  cache->Insert("big", Val(1), 500);
+  EXPECT_EQ(nullptr, cache->Lookup("big"));
+  EXPECT_EQ(0u, cache->TotalCharge());
+}
+
+TEST(Cache, EraseRemoves) {
+  auto cache = NewLruCache(100, 0);
+  cache->Insert("k", Val(1), 10);
+  cache->Erase("k");
+  EXPECT_EQ(nullptr, cache->Lookup("k"));
+  EXPECT_EQ(0u, cache->TotalCharge());
+  cache->Erase("k");  // idempotent
+}
+
+TEST(Cache, ValueOutlivesEviction) {
+  auto cache = NewLruCache(20, 0);
+  cache->Insert("k", Val(42), 10);
+  auto held = cache->Lookup("k");
+  cache->Insert("evictor", Val(0), 20);  // evicts k
+  EXPECT_EQ(nullptr, cache->Lookup("k"));
+  EXPECT_EQ(42, AsInt(held));  // still alive through shared_ptr
+}
+
+TEST(Cache, StatsCount) {
+  auto cache = NewLruCache(100, 0);
+  cache->Insert("k", Val(1), 10);
+  cache->Lookup("k");
+  cache->Lookup("k");
+  cache->Lookup("missing");
+  auto stats = cache->GetStats();
+  EXPECT_EQ(1u, stats.inserts);
+  EXPECT_EQ(2u, stats.hits);
+  EXPECT_EQ(1u, stats.misses);
+}
+
+TEST(Cache, SetCapacityShrinksAndEvicts) {
+  auto cache = NewLruCache(100, 0);
+  for (int i = 0; i < 10; i++) {
+    cache->Insert("k" + std::to_string(i), Val(i), 10);
+  }
+  EXPECT_EQ(100u, cache->TotalCharge());
+  cache->SetCapacity(30);
+  EXPECT_LE(cache->TotalCharge(), 30u);
+}
+
+TEST(Cache, ShardedSpreadsKeys) {
+  auto cache = NewLruCache(1600, 4);  // 16 shards x 100
+  for (int i = 0; i < 100; i++) {
+    cache->Insert("key" + std::to_string(i), Val(i), 10);
+  }
+  // Most keys should still be resident (spread over shards).
+  int resident = 0;
+  for (int i = 0; i < 100; i++) {
+    if (cache->Lookup("key" + std::to_string(i)) != nullptr) resident++;
+  }
+  EXPECT_GT(resident, 80);
+}
+
+TEST(Cache, ZeroCapacityHoldsNothing) {
+  auto cache = NewLruCache(0, 0);
+  cache->Insert("k", Val(1), 1);
+  EXPECT_EQ(nullptr, cache->Lookup("k"));
+}
+
+}  // namespace
+}  // namespace elmo

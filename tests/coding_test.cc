@@ -1,0 +1,138 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+TEST(Coding, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    PutFixed32(&s, v);
+  }
+  const char* p = s.data();
+  for (uint32_t v = 0; v < 100000; v += 7777) {
+    EXPECT_EQ(v, DecodeFixed32(p));
+    p += sizeof(uint32_t);
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  std::string s;
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = 1ull << power;
+    PutFixed64(&s, v - 1);
+    PutFixed64(&s, v);
+    PutFixed64(&s, v + 1);
+  }
+  const char* p = s.data();
+  for (int power = 0; power <= 63; power++) {
+    uint64_t v = 1ull << power;
+    EXPECT_EQ(v - 1, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v, DecodeFixed64(p));
+    p += 8;
+    EXPECT_EQ(v + 1, DecodeFixed64(p));
+    p += 8;
+  }
+}
+
+TEST(Coding, Varint32RoundTrip) {
+  std::string s;
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t v = (i / 32) << (i % 32);
+    PutVarint32(&s, v);
+  }
+  Slice input(s);
+  for (uint32_t i = 0; i < (32 * 32); i++) {
+    uint32_t expected = (i / 32) << (i % 32);
+    uint32_t actual;
+    ASSERT_TRUE(GetVarint32(&input, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0, 100, ~0ull, ~0ull - 1};
+  for (uint32_t k = 0; k < 64; k++) {
+    const uint64_t power = 1ull << k;
+    values.push_back(power);
+    values.push_back(power - 1);
+    values.push_back(power + 1);
+  }
+  std::string s;
+  for (uint64_t v : values) PutVarint64(&s, v);
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t actual;
+    ASSERT_TRUE(GetVarint64(&input, &actual));
+    EXPECT_EQ(expected, actual);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, Varint32Truncated) {
+  std::string s;
+  PutVarint32(&s, 1u << 30);
+  for (size_t len = 0; len < s.size() - 1; len++) {
+    Slice input(s.data(), len);
+    uint32_t result;
+    EXPECT_FALSE(GetVarint32(&input, &result)) << "len " << len;
+  }
+}
+
+TEST(Coding, Varint64Truncated) {
+  std::string s;
+  PutVarint64(&s, ~0ull);
+  for (size_t len = 0; len < s.size() - 1; len++) {
+    Slice input(s.data(), len);
+    uint64_t result;
+    EXPECT_FALSE(GetVarint64(&input, &result)) << "len " << len;
+  }
+}
+
+TEST(Coding, Varint32Overflow) {
+  uint32_t result;
+  std::string input("\x81\x82\x83\x84\x85\x11");
+  EXPECT_EQ(nullptr,
+            GetVarint32Ptr(input.data(), input.data() + input.size(),
+                           &result));
+}
+
+TEST(Coding, VarintLengths) {
+  EXPECT_EQ(1, VarintLength(0));
+  EXPECT_EQ(1, VarintLength(127));
+  EXPECT_EQ(2, VarintLength(128));
+  EXPECT_EQ(5, VarintLength(0xFFFFFFFFull));
+  EXPECT_EQ(10, VarintLength(~0ull));
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("foo"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice(std::string(300, 'x')));
+
+  Slice input(s);
+  Slice v;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("foo", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ("", v.ToString());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &v));
+  EXPECT_EQ(std::string(300, 'x'), v.ToString());
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+TEST(Coding, LengthPrefixedSliceTruncatedPayload) {
+  std::string s;
+  PutVarint32(&s, 100);  // claims 100 bytes
+  s += "short";
+  Slice input(s);
+  Slice v;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &v));
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,66 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace elmo::crc32c {
+namespace {
+
+TEST(Crc32c, StandardVectors) {
+  // Known CRC32C test vectors (iSCSI polynomial).
+  char buf[32];
+
+  memset(buf, 0, sizeof(buf));
+  EXPECT_EQ(0x8a9136aau, Value(buf, sizeof(buf)));
+
+  memset(buf, 0xff, sizeof(buf));
+  EXPECT_EQ(0x62a8ab43u, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) buf[i] = static_cast<char>(i);
+  EXPECT_EQ(0x46dd794eu, Value(buf, sizeof(buf)));
+
+  for (int i = 0; i < 32; i++) buf[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(0x113fdb5cu, Value(buf, sizeof(buf)));
+}
+
+TEST(Crc32c, iSCSIReadCommand) {
+  uint8_t data[48] = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x04, 0x00, 0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18, 0x28,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00,
+  };
+  EXPECT_EQ(0xd9963a56u,
+            Value(reinterpret_cast<char*>(data), sizeof(data)));
+}
+
+TEST(Crc32c, DifferentInputsDiffer) {
+  EXPECT_NE(Value("a", 1), Value("foo", 3));
+  EXPECT_NE(Value("foo", 3), Value("bar", 3));
+}
+
+TEST(Crc32c, ExtendEqualsConcat) {
+  std::string hello = "hello ";
+  std::string world = "world";
+  std::string both = hello + world;
+  EXPECT_EQ(Value(both.data(), both.size()),
+            Extend(Value(hello.data(), hello.size()), world.data(),
+                   world.size()));
+}
+
+TEST(Crc32c, MaskRoundTrip) {
+  uint32_t crc = Value("foo", 3);
+  EXPECT_NE(crc, Mask(crc));
+  EXPECT_NE(crc, Mask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Mask(crc)));
+  EXPECT_EQ(crc, Unmask(Unmask(Mask(Mask(crc)))));
+}
+
+TEST(Crc32c, EmptyInput) {
+  EXPECT_EQ(0u, Value("", 0));
+}
+
+}  // namespace
+}  // namespace elmo::crc32c

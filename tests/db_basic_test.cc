@@ -1,0 +1,327 @@
+// Core DB behavior: put/get/delete, overwrite, flush, compaction,
+// iterators, snapshots, recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+#include "util/random.h"
+
+namespace elmo::lsm {
+namespace {
+
+class DbBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    // Small buffers so tests exercise flush/compaction quickly.
+    options_.write_buffer_size = 64 << 10;
+    options_.level0_file_num_compaction_trigger = 4;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  void Reopen() {
+    db_.reset();
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERR: " + s.ToString();
+    return value;
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbBasicTest, Empty) {
+  EXPECT_EQ("NOT_FOUND", Get("missing"));
+}
+
+TEST_F(DbBasicTest, PutGet) {
+  ASSERT_TRUE(db_->Put({}, "foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  EXPECT_EQ("NOT_FOUND", Get("bar"));
+}
+
+TEST_F(DbBasicTest, Overwrite) {
+  ASSERT_TRUE(db_->Put({}, "foo", "v1").ok());
+  ASSERT_TRUE(db_->Put({}, "foo", "v2").ok());
+  EXPECT_EQ("v2", Get("foo"));
+}
+
+TEST_F(DbBasicTest, DeleteBasic) {
+  ASSERT_TRUE(db_->Put({}, "foo", "v1").ok());
+  ASSERT_TRUE(db_->Delete({}, "foo").ok());
+  EXPECT_EQ("NOT_FOUND", Get("foo"));
+}
+
+TEST_F(DbBasicTest, WriteBatchAtomicity) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(db_->Write({}, &batch).ok());
+  EXPECT_EQ("NOT_FOUND", Get("a"));
+  EXPECT_EQ("2", Get("b"));
+}
+
+TEST_F(DbBasicTest, GetFromImmutableAndSst) {
+  // Fill enough to force multiple memtable switches and flushes.
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(
+        db_->Put({}, "key" + std::to_string(i), "value" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  for (int i = 0; i < 2000; i += 97) {
+    EXPECT_EQ("value" + std::to_string(i), Get("key" + std::to_string(i)));
+  }
+  std::string files;
+  ASSERT_TRUE(db_->GetProperty("elmo.levelsummary", &files));
+  EXPECT_NE(files.find("files"), std::string::npos);
+}
+
+TEST_F(DbBasicTest, FlushMemTableExplicit) {
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  std::string n;
+  ASSERT_TRUE(db_->GetProperty("elmo.num-files-at-level0", &n));
+  EXPECT_GE(std::stoi(n), 1);
+  EXPECT_EQ("v", Get("k"));
+}
+
+TEST_F(DbBasicTest, OverwritesAcrossFlushes) {
+  ASSERT_TRUE(db_->Put({}, "k", "v1").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Put({}, "k", "v2").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Put({}, "k", "v3").ok());
+  EXPECT_EQ("v3", Get("k"));
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_EQ("v3", Get("k"));
+}
+
+TEST_F(DbBasicTest, DeleteShadowsOlderSstValue) {
+  ASSERT_TRUE(db_->Put({}, "k", "v1").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Delete({}, "k").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+}
+
+TEST_F(DbBasicTest, IteratorForward) {
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "c", "3").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  auto it = db_->NewIterator(ReadOptions());
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("b", it->key().ToString());
+  it->Next();
+  EXPECT_EQ("c", it->key().ToString());
+  it->Next();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DbBasicTest, IteratorBackward) {
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  ASSERT_TRUE(db_->Put({}, "c", "3").ok());
+  auto it = db_->NewIterator(ReadOptions());
+  it->SeekToLast();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("c", it->key().ToString());
+  it->Prev();
+  EXPECT_EQ("b", it->key().ToString());
+  it->Prev();
+  EXPECT_EQ("a", it->key().ToString());
+  it->Prev();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DbBasicTest, IteratorSkipsDeletedAndSeesAcrossLevels) {
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Delete({}, "b").ok());
+  ASSERT_TRUE(db_->Put({}, "c", "3").ok());
+
+  auto it = db_->NewIterator(ReadOptions());
+  std::string seen;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    seen += it->key().ToString() + "=" + it->value().ToString() + ";";
+  }
+  EXPECT_EQ("a=1;c=3;", seen);
+}
+
+TEST_F(DbBasicTest, IteratorSeek) {
+  for (char c = 'a'; c <= 'j'; c++) {
+    ASSERT_TRUE(db_->Put({}, std::string(1, c), "v").ok());
+  }
+  auto it = db_->NewIterator(ReadOptions());
+  it->Seek("dd");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("e", it->key().ToString());
+  it->Seek("a");
+  EXPECT_EQ("a", it->key().ToString());
+  it->Seek("zz");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DbBasicTest, SnapshotIsolation) {
+  ASSERT_TRUE(db_->Put({}, "k", "before").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put({}, "k", "after").ok());
+
+  ReadOptions ropts;
+  ropts.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ropts, "k", &value).ok());
+  EXPECT_EQ("before", value);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("after", value);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbBasicTest, SnapshotSurvivesFlushAndCompaction) {
+  ASSERT_TRUE(db_->Put({}, "k", "v1").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put({}, "k", "v2").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
+
+  ReadOptions ropts;
+  ropts.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ropts, "k", &value).ok());
+  EXPECT_EQ("v1", value);
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbBasicTest, RecoveryFromWal) {
+  ASSERT_TRUE(db_->Put({}, "persist", "me").ok());
+  ASSERT_TRUE(db_->Put({}, "and", "me too").ok());
+  Reopen();
+  EXPECT_EQ("me", Get("persist"));
+  EXPECT_EQ("me too", Get("and"));
+}
+
+TEST_F(DbBasicTest, RecoveryFromSstAndWal) {
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put({}, "key" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Put({}, "fresh", "wal-only").ok());
+  Reopen();
+  EXPECT_EQ("v", Get("key500"));
+  EXPECT_EQ("wal-only", Get("fresh"));
+}
+
+TEST_F(DbBasicTest, RecoveryPreservesDeletes) {
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->Delete({}, "k").ok());
+  Reopen();
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+}
+
+TEST_F(DbBasicTest, CompactRangeDrainsLevel0) {
+  for (int f = 0; f < 6; f++) {
+    for (int i = 0; i < 100; i++) {
+      ASSERT_TRUE(
+          db_->Put({}, "key" + std::to_string(i), "f" + std::to_string(f))
+              .ok());
+    }
+    ASSERT_TRUE(db_->FlushMemTable().ok());
+  }
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
+  std::string n0;
+  ASSERT_TRUE(db_->GetProperty("elmo.num-files-at-level0", &n0));
+  EXPECT_EQ("0", n0);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ("f5", Get("key" + std::to_string(i)));
+  }
+}
+
+TEST_F(DbBasicTest, DestroyRemovesEverything) {
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  db_.reset();
+  ASSERT_TRUE(DB::DestroyDB("/db", options_).ok());
+  options_.create_if_missing = false;
+  std::unique_ptr<DB> db2;
+  EXPECT_FALSE(DB::Open(options_, "/db", &db2).ok());
+}
+
+TEST_F(DbBasicTest, PropertiesExist) {
+  std::string v;
+  EXPECT_TRUE(db_->GetProperty("elmo.stats", &v));
+  EXPECT_TRUE(db_->GetProperty("elmo.options", &v));
+  EXPECT_NE(v.find("write_buffer_size"), std::string::npos);
+  EXPECT_TRUE(db_->GetProperty("elmo.block-cache-usage", &v));
+  EXPECT_FALSE(db_->GetProperty("elmo.not-a-property", &v));
+}
+
+TEST_F(DbBasicTest, LargeValues) {
+  std::string big(200000, 'x');
+  ASSERT_TRUE(db_->Put({}, "big", big).ok());
+  EXPECT_EQ(big, Get("big"));
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  EXPECT_EQ(big, Get("big"));
+}
+
+TEST_F(DbBasicTest, EmptyKeyAndValue) {
+  ASSERT_TRUE(db_->Put({}, "", "empty-key").ok());
+  ASSERT_TRUE(db_->Put({}, "empty-value", "").ok());
+  EXPECT_EQ("empty-key", Get(""));
+  EXPECT_EQ("", Get("empty-value"));
+}
+
+// Model-based randomized test: the DB must agree with std::map under a
+// random stream of puts/deletes/flushes/reopens.
+TEST_F(DbBasicTest, RandomizedAgainstModel) {
+  Random rnd(301);
+  std::map<std::string, std::string> model;
+  for (int step = 0; step < 5000; step++) {
+    int op = rnd.Uniform(100);
+    std::string key = "k" + std::to_string(rnd.Uniform(500));
+    if (op < 60) {
+      std::string value = "v" + std::to_string(rnd.Next());
+      ASSERT_TRUE(db_->Put({}, key, value).ok());
+      model[key] = value;
+    } else if (op < 85) {
+      ASSERT_TRUE(db_->Delete({}, key).ok());
+      model.erase(key);
+    } else if (op < 95) {
+      std::string expected =
+          model.count(key) ? model[key] : "NOT_FOUND";
+      EXPECT_EQ(expected, Get(key)) << "step " << step;
+    } else if (op < 98) {
+      ASSERT_TRUE(db_->FlushMemTable().ok());
+    } else {
+      Reopen();
+    }
+  }
+  // Full verification via iterator.
+  auto it = db_->NewIterator(ReadOptions());
+  auto mit = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, it->key().ToString());
+    EXPECT_EQ(mit->second, it->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+}  // namespace
+}  // namespace elmo::lsm

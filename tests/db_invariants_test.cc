@@ -1,0 +1,131 @@
+// Structural LSM invariants checked through the elmo.sstables
+// introspection property after randomized load.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace elmo::lsm {
+namespace {
+
+struct FileInfo {
+  int level;
+  std::string smallest, largest;
+};
+
+std::vector<FileInfo> ParseSstables(const std::string& text) {
+  std::vector<FileInfo> files;
+  for (const auto& line : SplitLines(text)) {
+    if (line.empty() || line[0] != 'L') continue;
+    FileInfo f;
+    f.level = line[1] - '0';
+    size_t open = line.find('[');
+    size_t dots = line.find("..", open);
+    size_t close = line.rfind(']');
+    if (open == std::string::npos || dots == std::string::npos) continue;
+    f.smallest = line.substr(open + 1, dots - open - 1);
+    f.largest = line.substr(dots + 2, close - dots - 2);
+    files.push_back(f);
+  }
+  return files;
+}
+
+class DbInvariantsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DbInvariantsTest, LevelsAboveZeroAreDisjointAndOrdered) {
+  const int seed = GetParam();
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.write_buffer_size = 24 << 10;
+  options.max_bytes_for_level_base = 96 << 10;
+  options.target_file_size_base = 24 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  Random64 rng(seed);
+  for (int i = 0; i < 12000; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "%016llu",
+             (unsigned long long)rng.Uniform(4000));
+    ASSERT_TRUE(db->Put({}, Slice(key, 16), std::string(96, 'v')).ok());
+  }
+  ASSERT_TRUE(db->WaitForBackgroundWork().ok());
+
+  std::string text;
+  ASSERT_TRUE(db->GetProperty("elmo.sstables", &text));
+  auto files = ParseSstables(text);
+  ASSERT_FALSE(files.empty());
+
+  // Group by level; check per-file sanity and pairwise disjointness for
+  // levels >= 1.
+  std::map<int, std::vector<FileInfo>> by_level;
+  for (const auto& f : files) {
+    EXPECT_LE(f.smallest, f.largest) << "file range inverted";
+    by_level[f.level].push_back(f);
+  }
+  EXPECT_GT(by_level.size(), 1u) << "expected a multi-level tree:\n"
+                                 << text;
+  for (const auto& [level, lf] : by_level) {
+    if (level == 0) continue;
+    for (size_t i = 1; i < lf.size(); i++) {
+      // Files are emitted sorted by smallest key; each must begin
+      // strictly after the previous ends.
+      EXPECT_GT(lf[i].smallest, lf[i - 1].largest)
+          << "overlap at L" << level << ":\n"
+          << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbInvariantsTest,
+                         ::testing::Values(1, 17, 301, 9999));
+
+TEST(DbInvariants, SstablesPropertyEmptyOnFreshDb) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  std::string text;
+  ASSERT_TRUE(db->GetProperty("elmo.sstables", &text));
+  EXPECT_TRUE(text.empty());
+}
+
+TEST(DbInvariants, EveryStoredKeyRemainsReachable) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 16 << 10;
+  options.max_bytes_for_level_base = 64 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  std::map<std::string, std::string> model;
+  Random64 rng(5);
+  for (int i = 0; i < 8000; i++) {
+    std::string key = "k" + std::to_string(rng.Uniform(1500));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(db->Put({}, key, value).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE(db->WaitForBackgroundWork().ok());
+
+  // Iterator view == model, exactly.
+  auto it = db->NewIterator({});
+  auto mit = model.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(mit->first, it->key().ToString());
+    EXPECT_EQ(mit->second, it->value().ToString());
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+}  // namespace
+}  // namespace elmo::lsm

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+
+namespace elmo::lsm {
+namespace {
+
+TEST(GetApproximateSizes, ProportionalToData) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.write_buffer_size = 32 << 10;
+  // Small output files so ranges partition cleanly after compaction.
+  options.target_file_size_base = 64 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  // Keys a000000..a004999 small values, b000000..b004999 big values.
+  for (int i = 0; i < 5000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "a%06d", i);
+    ASSERT_TRUE(db->Put({}, Slice(key, 7), std::string(50, 'x')).ok());
+    snprintf(key, sizeof(key), "b%06d", i);
+    ASSERT_TRUE(db->Put({}, Slice(key, 7), std::string(500, 'y')).ok());
+  }
+  // Fully compact so SST files are range-partitioned (the estimate
+  // charges partially-overlapping files only half).
+  ASSERT_TRUE(db->CompactRange(nullptr, nullptr).ok());
+
+  DB::Range ranges[3] = {
+      DB::Range("a", "b"),  // the small-value half
+      DB::Range("b", "c"),  // the big-value half
+      DB::Range("z", "zz"), // empty
+  };
+  uint64_t sizes[3];
+  db->GetApproximateSizes(ranges, 3, sizes);
+
+  EXPECT_GT(sizes[0], 100u << 10);          // ~250KB of small values
+  EXPECT_GT(sizes[1], sizes[0] * 3);        // big half is ~10x bigger
+  EXPECT_LT(sizes[2], sizes[0] / 4);        // empty range ~ 0
+}
+
+TEST(GetApproximateSizes, EmptyDbIsZero) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  DB::Range r("a", "z");
+  uint64_t size = 123;
+  db->GetApproximateSizes(&r, 1, &size);
+  EXPECT_EQ(0u, size);
+}
+
+}  // namespace
+}  // namespace elmo::lsm

@@ -1,0 +1,120 @@
+#include "lsm/dbformat.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+std::string IKey(const std::string& user_key, uint64_t seq, ValueType vt) {
+  std::string encoded;
+  AppendInternalKey(&encoded, ParsedInternalKey(user_key, seq, vt));
+  return encoded;
+}
+
+TEST(InternalKey, EncodeDecodeRoundTrip) {
+  const char* keys[] = {"", "k", "hello", "longggggggggggggggggggggg"};
+  const uint64_t seqs[] = {1, 2, 3, (1ull << 8) - 1, 1ull << 8,
+                           (1ull << 56) - 1};
+  for (const char* key : keys) {
+    for (uint64_t seq : seqs) {
+      for (ValueType vt : {kTypeValue, kTypeDeletion}) {
+        std::string encoded = IKey(key, seq, vt);
+        ParsedInternalKey decoded;
+        ASSERT_TRUE(ParseInternalKey(encoded, &decoded));
+        EXPECT_EQ(key, decoded.user_key.ToString());
+        EXPECT_EQ(seq, decoded.sequence);
+        EXPECT_EQ(vt, decoded.type);
+      }
+    }
+  }
+}
+
+TEST(InternalKey, ParseRejectsGarbage) {
+  ParsedInternalKey decoded;
+  EXPECT_FALSE(ParseInternalKey(Slice("short"), &decoded));
+  EXPECT_FALSE(ParseInternalKey(Slice(""), &decoded));
+  // Bad type byte.
+  std::string bad = IKey("k", 5, kTypeValue);
+  bad[bad.size() - 8] = 0x7f;
+  EXPECT_FALSE(ParseInternalKey(bad, &decoded));
+}
+
+TEST(InternalKeyComparator, Ordering) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // User key ascending dominates.
+  EXPECT_LT(icmp.Compare(IKey("a", 100, kTypeValue),
+                         IKey("b", 1, kTypeValue)),
+            0);
+  // Same user key: higher sequence sorts FIRST.
+  EXPECT_LT(icmp.Compare(IKey("a", 100, kTypeValue),
+                         IKey("a", 99, kTypeValue)),
+            0);
+  // Same user key + seq: deletion (0) sorts after value (1).
+  EXPECT_LT(icmp.Compare(IKey("a", 100, kTypeValue),
+                         IKey("a", 100, kTypeDeletion)),
+            0);
+  EXPECT_EQ(0, icmp.Compare(IKey("a", 5, kTypeValue),
+                            IKey("a", 5, kTypeValue)));
+}
+
+TEST(InternalKeyComparator, ShortestSeparator) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::string start = IKey("foo", 100, kTypeValue);
+  icmp.FindShortestSeparator(&start, IKey("hello", 200, kTypeValue));
+  // Shortened key must stay in range.
+  EXPECT_LT(icmp.Compare(IKey("foo", 100, kTypeValue), start), 0);
+  EXPECT_LT(icmp.Compare(start, IKey("hello", 200, kTypeValue)), 0);
+
+  // Prefix case: unchanged.
+  std::string p = IKey("foo", 100, kTypeValue);
+  std::string before = p;
+  icmp.FindShortestSeparator(&p, IKey("foobar", 200, kTypeValue));
+  EXPECT_EQ(before, p);
+}
+
+TEST(InternalKeyComparator, ShortSuccessor) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  std::string key = IKey("foo", 100, kTypeValue);
+  std::string orig = key;
+  icmp.FindShortSuccessor(&key);
+  EXPECT_LE(icmp.Compare(orig, key), 0);
+
+  // All 0xff user key: unchanged.
+  std::string maxed = IKey("\xff\xff", 100, kTypeValue);
+  std::string before = maxed;
+  icmp.FindShortSuccessor(&maxed);
+  EXPECT_EQ(before, maxed);
+}
+
+TEST(LookupKey, Layout) {
+  LookupKey lk("user_key", 42);
+  EXPECT_EQ("user_key", lk.user_key().ToString());
+  Slice ik = lk.internal_key();
+  ParsedInternalKey parsed;
+  ASSERT_TRUE(ParseInternalKey(ik, &parsed));
+  EXPECT_EQ("user_key", parsed.user_key.ToString());
+  EXPECT_EQ(42u, parsed.sequence);
+  // memtable_key = varint32 length + internal key.
+  Slice mk = lk.memtable_key();
+  uint32_t len;
+  ASSERT_TRUE(GetVarint32(&mk, &len));
+  EXPECT_EQ(ik.size(), len);
+}
+
+TEST(LookupKey, LongKeysHeapAllocated) {
+  std::string long_key(5000, 'k');
+  LookupKey lk(long_key, 7);
+  EXPECT_EQ(long_key, lk.user_key().ToString());
+}
+
+TEST(InternalKeyClass, ValidAndAccessors) {
+  InternalKey ik("mykey", 12, kTypeValue);
+  EXPECT_TRUE(ik.Valid());
+  EXPECT_EQ("mykey", ik.user_key().ToString());
+  InternalKey other;
+  other.DecodeFrom(ik.Encode());
+  EXPECT_EQ(ik.Encode().ToString(), other.Encode().ToString());
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,185 @@
+// MemFs / MemEnv / PosixEnv behavior.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "env/mem_env.h"
+
+namespace elmo {
+namespace {
+
+class EnvKind {
+ public:
+  virtual ~EnvKind() = default;
+  virtual Env* env() = 0;
+  virtual std::string dir() = 0;
+};
+
+class MemKind : public EnvKind {
+ public:
+  Env* env() override { return &env_; }
+  std::string dir() override { return "/dir"; }
+
+ private:
+  MemEnv env_;
+};
+
+class PosixKind : public EnvKind {
+ public:
+  PosixKind() {
+    char tmpl[] = "/tmp/elmo_env_test_XXXXXX";
+    dir_ = mkdtemp(tmpl);
+  }
+  ~PosixKind() override {
+    // Best-effort cleanup.
+    std::vector<std::string> children;
+    if (Env::Posix()->GetChildren(dir_, &children).ok()) {
+      for (const auto& c : children) {
+        Env::Posix()->RemoveFile(dir_ + "/" + c);
+      }
+    }
+    Env::Posix()->RemoveDir(dir_);
+  }
+  Env* env() override { return Env::Posix(); }
+  std::string dir() override { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+class EnvTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "mem") {
+      kind_ = std::make_unique<MemKind>();
+    } else {
+      kind_ = std::make_unique<PosixKind>();
+    }
+    env_ = kind_->env();
+    dir_ = kind_->dir();
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+
+  std::unique_ptr<EnvKind> kind_;
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  std::string fname = dir_ + "/f1";
+  ASSERT_TRUE(env_->WriteStringToFile("hello env", fname).ok());
+  ASSERT_TRUE(env_->FileExists(fname));
+  std::string data;
+  ASSERT_TRUE(env_->ReadFileToString(fname, &data).ok());
+  EXPECT_EQ("hello env", data);
+}
+
+TEST_P(EnvTest, SequentialReadChunks) {
+  std::string fname = dir_ + "/chunks";
+  std::string payload;
+  for (int i = 0; i < 1000; i++) payload += "0123456789";
+  ASSERT_TRUE(env_->WriteStringToFile(payload, fname).ok());
+
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(fname, &f).ok());
+  std::string got;
+  char scratch[333];
+  while (true) {
+    Slice out;
+    ASSERT_TRUE(f->Read(sizeof(scratch), &out, scratch).ok());
+    if (out.empty()) break;
+    got.append(out.data(), out.size());
+  }
+  EXPECT_EQ(payload, got);
+}
+
+TEST_P(EnvTest, SequentialSkip) {
+  std::string fname = dir_ + "/skip";
+  ASSERT_TRUE(env_->WriteStringToFile("abcdefghij", fname).ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(fname, &f).ok());
+  ASSERT_TRUE(f->Skip(4).ok());
+  Slice out;
+  char scratch[16];
+  ASSERT_TRUE(f->Read(3, &out, scratch).ok());
+  EXPECT_EQ("efg", out.ToString());
+}
+
+TEST_P(EnvTest, RandomAccessRead) {
+  std::string fname = dir_ + "/rand";
+  ASSERT_TRUE(env_->WriteStringToFile("abcdefghij", fname).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile(fname, &f).ok());
+  Slice out;
+  char scratch[16];
+  ASSERT_TRUE(f->Read(3, 4, &out, scratch).ok());
+  EXPECT_EQ("defg", out.ToString());
+  // Past-EOF read returns empty/short, not an error.
+  ASSERT_TRUE(f->Read(100, 4, &out, scratch).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(EnvTest, MissingFileIsNotFoundish) {
+  std::unique_ptr<SequentialFile> f;
+  EXPECT_FALSE(env_->NewSequentialFile(dir_ + "/nope", &f).ok());
+  EXPECT_FALSE(env_->FileExists(dir_ + "/nope"));
+  uint64_t size;
+  EXPECT_FALSE(env_->GetFileSize(dir_ + "/nope", &size).ok());
+}
+
+TEST_P(EnvTest, GetChildrenListsFiles) {
+  ASSERT_TRUE(env_->WriteStringToFile("1", dir_ + "/a").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("2", dir_ + "/b").ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_NE(std::find(children.begin(), children.end(), "a"),
+            children.end());
+  EXPECT_NE(std::find(children.begin(), children.end(), "b"),
+            children.end());
+}
+
+TEST_P(EnvTest, RenameReplaces) {
+  ASSERT_TRUE(env_->WriteStringToFile("new", dir_ + "/src").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("old", dir_ + "/dst").ok());
+  ASSERT_TRUE(env_->RenameFile(dir_ + "/src", dir_ + "/dst").ok());
+  EXPECT_FALSE(env_->FileExists(dir_ + "/src"));
+  std::string data;
+  ASSERT_TRUE(env_->ReadFileToString(dir_ + "/dst", &data).ok());
+  EXPECT_EQ("new", data);
+}
+
+TEST_P(EnvTest, RemoveFile) {
+  ASSERT_TRUE(env_->WriteStringToFile("x", dir_ + "/gone").ok());
+  ASSERT_TRUE(env_->RemoveFile(dir_ + "/gone").ok());
+  EXPECT_FALSE(env_->FileExists(dir_ + "/gone"));
+  EXPECT_FALSE(env_->RemoveFile(dir_ + "/gone").ok());
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  ASSERT_TRUE(env_->WriteStringToFile(std::string(1234, 'z'),
+                                      dir_ + "/sized").ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(dir_ + "/sized", &size).ok());
+  EXPECT_EQ(1234u, size);
+}
+
+TEST_P(EnvTest, OverwriteTruncates) {
+  ASSERT_TRUE(env_->WriteStringToFile("long content here",
+                                      dir_ + "/trunc").ok());
+  ASSERT_TRUE(env_->WriteStringToFile("short", dir_ + "/trunc").ok());
+  std::string data;
+  ASSERT_TRUE(env_->ReadFileToString(dir_ + "/trunc", &data).ok());
+  EXPECT_EQ("short", data);
+}
+
+TEST_P(EnvTest, NowMicrosMonotonicNonDecreasing) {
+  uint64_t a = env_->NowMicros();
+  uint64_t b = env_->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest,
+                         ::testing::Values("mem", "posix"));
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,227 @@
+// SimulatedExpertLlm: prompt comprehension, hardware/workload
+// awareness, determinism, and fault injection.
+#include "llm/expert_llm.h"
+
+#include <gtest/gtest.h>
+
+#include "elmo/option_evaluator.h"
+#include "lsm/options_schema.h"
+#include "util/string_util.h"
+
+namespace elmo::llm {
+namespace {
+
+std::string MakePrompt(const std::string& device, int cores, int mem_gib,
+                       const std::string& workload,
+                       const std::string& extra = "") {
+  lsm::Options defaults;
+  std::string options_ini =
+      lsm::OptionsSchema::Instance().ToIniText(defaults);
+  std::string p;
+  p += "## Task\nTune the store. This is tuning iteration 1.\n\n";
+  p += "## System Information\n";
+  p += "CPU cores: " + std::to_string(cores) + "\n";
+  p += "Total memory: " + std::to_string(mem_gib) + " GiB\n";
+  p += "Storage device: " + device + "\n\n";
+  p += "## Workload\n" + workload +
+       ": 400000 ops over 400000 keys, 1 thread(s)\n\n";
+  p += "## Current Configuration\n```ini\n" + options_ini + "```\n\n";
+  p += "## Last Benchmark Report\n" + workload +
+       " : 3.1 micros/op 320000 ops/sec; elapsed 1.2 seconds\n"
+       "Stalls: slowdown 0, stop 12, stall-micros 2000000, "
+       "os-writeback-bursts 15\n\n";
+  p += extra;
+  p += "## Instructions\nRespond with option changes in a ```ini block.\n";
+  return p;
+}
+
+std::string Ask(LlmClient* llm, const std::string& prompt) {
+  std::string response;
+  EXPECT_TRUE(llm->Complete({{"system", "sys"}, {"user", prompt}},
+                            &response)
+                  .ok());
+  return response;
+}
+
+std::map<std::string, std::string> ExtractPairs(const std::string& resp) {
+  auto proposals = tune::OptionEvaluator::Extract(resp);
+  std::map<std::string, std::string> m;
+  for (auto& [k, v] : proposals.pairs) m[k] = v;
+  return m;
+}
+
+TEST(ExpertLlm, ParsesPromptFacts) {
+  PromptFacts facts = SimulatedExpertLlm::ParsePrompt(
+      MakePrompt("SATA HDD", 2, 4, "fillrandom"));
+  EXPECT_EQ(2, facts.cpu_cores);
+  EXPECT_EQ(4ull << 30, facts.memory_bytes);
+  EXPECT_TRUE(facts.is_hdd);
+  EXPECT_EQ("fillrandom", facts.workload);
+  EXPECT_TRUE(facts.write_heavy);
+  EXPECT_FALSE(facts.read_heavy);
+  EXPECT_NEAR(320000.0, facts.last_ops_per_sec, 1.0);
+  EXPECT_EQ(2000000u, facts.stall_micros);
+  EXPECT_EQ(15u, facts.writeback_bursts);
+  EXPECT_EQ(1, facts.iteration);
+  EXPECT_FALSE(facts.deteriorated);
+  EXPECT_TRUE(facts.current_options.HasSection("DBOptions"));
+}
+
+TEST(ExpertLlm, ParsesDeteriorationNote) {
+  PromptFacts facts = SimulatedExpertLlm::ParsePrompt(MakePrompt(
+      "NVMe SSD", 4, 8, "fillrandom",
+      "## Feedback\nThe previous configuration DECREASED performance "
+      "and was reverted.\n\n"));
+  EXPECT_FALSE(facts.is_hdd);
+  EXPECT_TRUE(facts.deteriorated);
+}
+
+TEST(ExpertLlm, RespondsWithParseableConfig) {
+  ExpertConfig cfg;
+  cfg.hallucination_rate = 0;
+  cfg.deprecated_rate = 0;
+  cfg.blacklist_poke_rate = 0;
+  SimulatedExpertLlm llm(cfg);
+  std::string resp = Ask(&llm, MakePrompt("NVMe SSD", 4, 4, "fillrandom"));
+  EXPECT_NE(resp.find("```"), std::string::npos);
+  auto pairs = ExtractPairs(resp);
+  EXPECT_GE(pairs.size(), 3u);
+  // Every proposal must be a real option when faults are disabled.
+  for (const auto& [name, value] : pairs) {
+    EXPECT_NE(nullptr, lsm::OptionsSchema::Instance().Find(name)) << name;
+  }
+}
+
+TEST(ExpertLlm, HddGetsReadahead) {
+  ExpertConfig cfg;
+  cfg.hallucination_rate = 0;
+  cfg.deprecated_rate = 0;
+  cfg.blacklist_poke_rate = 0;
+  cfg.min_changes = 10;
+  cfg.max_changes = 14;  // take everything the knowledge base offers
+  SimulatedExpertLlm llm(cfg);
+  auto pairs =
+      ExtractPairs(Ask(&llm, MakePrompt("SATA HDD", 2, 4, "fillrandom")));
+  EXPECT_TRUE(pairs.count("compaction_readahead_size"))
+      << "HDD tuning should touch readahead";
+}
+
+TEST(ExpertLlm, ReadWorkloadGetsBloomAndCache) {
+  ExpertConfig cfg;
+  cfg.hallucination_rate = 0;
+  cfg.deprecated_rate = 0;
+  cfg.blacklist_poke_rate = 0;
+  cfg.min_changes = 10;
+  cfg.max_changes = 14;
+  SimulatedExpertLlm llm(cfg);
+  auto pairs =
+      ExtractPairs(Ask(&llm, MakePrompt("NVMe SSD", 4, 4, "readrandom")));
+  EXPECT_TRUE(pairs.count("bloom_filter_bits_per_key"));
+  EXPECT_TRUE(pairs.count("block_cache_size"));
+  // Cache sized to a fraction of the 4 GiB machine.
+  auto cache = ParseInt64(pairs["block_cache_size"]);
+  ASSERT_TRUE(cache.has_value());
+  EXPECT_GE(*cache, 64ll << 20);
+  EXPECT_LE(*cache, 2ll << 30);
+}
+
+TEST(ExpertLlm, MemoryBudgetRespected) {
+  ExpertConfig cfg;
+  cfg.hallucination_rate = 0;
+  cfg.deprecated_rate = 0;
+  cfg.blacklist_poke_rate = 0;
+  cfg.min_changes = 10;
+  cfg.max_changes = 14;
+  SimulatedExpertLlm llm(cfg);
+  // Small machine: 4 GiB.
+  auto pairs =
+      ExtractPairs(Ask(&llm, MakePrompt("NVMe SSD", 4, 4, "fillrandom")));
+  if (pairs.count("write_buffer_size")) {
+    auto wbs = ParseInt64(pairs["write_buffer_size"]);
+    ASSERT_TRUE(wbs.has_value());
+    EXPECT_LE(*wbs, 256ll << 20)
+        << "4 GiB machine must not get giant memtables";
+  }
+}
+
+TEST(ExpertLlm, DeterministicGivenSeed) {
+  ExpertConfig cfg;
+  cfg.seed = 123;
+  SimulatedExpertLlm a(cfg), b(cfg);
+  std::string prompt = MakePrompt("SATA HDD", 2, 4, "mixgraph");
+  EXPECT_EQ(Ask(&a, prompt), Ask(&b, prompt));
+}
+
+TEST(ExpertLlm, FaultInjectionProducesBadOptions) {
+  ExpertConfig cfg;
+  cfg.seed = 5;
+  cfg.hallucination_rate = 1.0;
+  cfg.deprecated_rate = 1.0;
+  cfg.blacklist_poke_rate = 1.0;
+  SimulatedExpertLlm llm(cfg);
+  auto pairs =
+      ExtractPairs(Ask(&llm, MakePrompt("NVMe SSD", 4, 4, "fillrandom")));
+  bool has_unknown = false, has_deprecated = false, has_blacklisted = false;
+  for (const auto& [name, value] : pairs) {
+    if (name == "disable_wal") has_blacklisted = true;
+    if (lsm::OptionsSchema::Instance().FindDeprecated(name) != nullptr) {
+      has_deprecated = true;
+    } else if (lsm::OptionsSchema::Instance().Find(name) == nullptr) {
+      has_unknown = true;
+    }
+  }
+  EXPECT_TRUE(has_unknown);
+  EXPECT_TRUE(has_deprecated);
+  EXPECT_TRUE(has_blacklisted);
+}
+
+TEST(ExpertLlm, AvoidsRepeatingAfterRevert) {
+  ExpertConfig cfg;
+  cfg.seed = 9;
+  cfg.hallucination_rate = 0;
+  cfg.deprecated_rate = 0;
+  cfg.blacklist_poke_rate = 0;
+  SimulatedExpertLlm llm(cfg);
+  // Responses may echo the whole options file, so compare only real
+  // CHANGES — extracted values that differ from the defaults the prompt
+  // carried.
+  auto changes_of = [](const std::map<std::string, std::string>& pairs) {
+    std::set<std::string> changed;
+    lsm::Options defaults;
+    for (const auto& [name, value] : pairs) {
+      const auto* info = lsm::OptionsSchema::Instance().Find(name);
+      if (info == nullptr || info->get(defaults) != value) {
+        changed.insert(name);
+      }
+    }
+    return changed;
+  };
+  auto first = changes_of(
+      ExtractPairs(Ask(&llm, MakePrompt("NVMe SSD", 4, 4, "fillrandom"))));
+  auto second = changes_of(ExtractPairs(Ask(
+      &llm, MakePrompt("NVMe SSD", 4, 4, "fillrandom",
+                       "## Feedback\nThe previous configuration DECREASED "
+                       "performance and was reverted.\n\n"))));
+  for (const auto& name : second) {
+    EXPECT_EQ(0u, first.count(name))
+        << "re-proposed " << name << " right after a revert";
+  }
+  EXPECT_FALSE(second.empty());
+}
+
+TEST(ExpertLlm, MentionsHardwareInProse) {
+  SimulatedExpertLlm llm;
+  std::string resp = Ask(&llm, MakePrompt("SATA HDD", 2, 8, "mixgraph"));
+  EXPECT_NE(resp.find("SATA HDD"), std::string::npos);
+  EXPECT_NE(resp.find("2 CPU"), std::string::npos);
+  EXPECT_NE(resp.find("8 GiB"), std::string::npos);
+}
+
+TEST(ExpertLlm, EmptyChatRejected) {
+  SimulatedExpertLlm llm;
+  std::string out;
+  EXPECT_FALSE(llm.Complete({}, &out).ok());
+}
+
+}  // namespace
+}  // namespace elmo::llm

@@ -1,0 +1,67 @@
+#include "lsm/filename.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+TEST(FileName, Construction) {
+  EXPECT_EQ("/db/000007.log", LogFileName("/db", 7));
+  EXPECT_EQ("/db/000123.sst", TableFileName("/db", 123));
+  EXPECT_EQ("/db/MANIFEST-000005", DescriptorFileName("/db", 5));
+  EXPECT_EQ("/db/CURRENT", CurrentFileName("/db"));
+  EXPECT_EQ("/db/LOCK", LockFileName("/db"));
+  EXPECT_EQ("/db/LOG", InfoLogFileName("/db"));
+}
+
+TEST(FileName, ParseValid) {
+  uint64_t number;
+  FileType type;
+
+  ASSERT_TRUE(ParseFileName("000007.log", &number, &type));
+  EXPECT_EQ(7u, number);
+  EXPECT_EQ(FileType::kLogFile, type);
+
+  ASSERT_TRUE(ParseFileName("000123.sst", &number, &type));
+  EXPECT_EQ(123u, number);
+  EXPECT_EQ(FileType::kTableFile, type);
+
+  ASSERT_TRUE(ParseFileName("MANIFEST-000005", &number, &type));
+  EXPECT_EQ(5u, number);
+  EXPECT_EQ(FileType::kDescriptorFile, type);
+
+  ASSERT_TRUE(ParseFileName("CURRENT", &number, &type));
+  EXPECT_EQ(FileType::kCurrentFile, type);
+  ASSERT_TRUE(ParseFileName("LOCK", &number, &type));
+  EXPECT_EQ(FileType::kLockFile, type);
+  ASSERT_TRUE(ParseFileName("LOG", &number, &type));
+  EXPECT_EQ(FileType::kInfoLogFile, type);
+  ASSERT_TRUE(ParseFileName("000009.dbtmp", &number, &type));
+  EXPECT_EQ(FileType::kTempFile, type);
+}
+
+TEST(FileName, RoundTripThroughParse) {
+  uint64_t number;
+  FileType type;
+  for (uint64_t n : {0ull, 1ull, 99999ull, 12345678ull}) {
+    std::string log = LogFileName("/d", n).substr(3);
+    ASSERT_TRUE(ParseFileName(log, &number, &type));
+    EXPECT_EQ(n, number);
+    EXPECT_EQ(FileType::kLogFile, type);
+  }
+}
+
+TEST(FileName, ParseRejectsGarbage) {
+  uint64_t number;
+  FileType type;
+  EXPECT_FALSE(ParseFileName("", &number, &type));
+  EXPECT_FALSE(ParseFileName("foo", &number, &type));
+  EXPECT_FALSE(ParseFileName("foo-dx-100.log", &number, &type));
+  EXPECT_FALSE(ParseFileName(".log", &number, &type));
+  EXPECT_FALSE(ParseFileName("100.unknowntype", &number, &type));
+  EXPECT_FALSE(ParseFileName("MANIFEST", &number, &type));
+  EXPECT_FALSE(ParseFileName("MANIFEST-abc", &number, &type));
+}
+
+}  // namespace
+}  // namespace elmo

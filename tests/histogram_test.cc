@@ -1,0 +1,106 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace elmo {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Average());
+  EXPECT_EQ(0.0, h.Percentile(99));
+  EXPECT_EQ(0.0, h.Min());
+  EXPECT_EQ(0.0, h.Max());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_DOUBLE_EQ(42.0, h.Min());
+  EXPECT_DOUBLE_EQ(42.0, h.Max());
+  // Percentiles clamp to [min, max].
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(99));
+  EXPECT_DOUBLE_EQ(42.0, h.Percentile(1));
+}
+
+TEST(Histogram, AverageAndStdDev) {
+  Histogram h;
+  for (int i = 1; i <= 100; i++) h.Add(i);
+  EXPECT_NEAR(50.5, h.Average(), 1e-9);
+  EXPECT_NEAR(28.866, h.StandardDeviation(), 0.01);
+}
+
+// Parameterized sweep: percentile estimates of a uniform distribution
+// must land within bucket resolution of the true quantile.
+class HistogramPercentileTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HistogramPercentileTest, UniformQuantileAccuracy) {
+  const double p = GetParam();
+  Histogram h;
+  Random64 rng(42);
+  const int n = 200000;
+  const double upper = 10000.0;
+  for (int i = 0; i < n; i++) {
+    h.Add(rng.NextDouble() * upper);
+  }
+  double expected = upper * p / 100.0;
+  double measured = h.Percentile(p);
+  // Bucket boundaries are ~10-20% apart at this magnitude.
+  EXPECT_NEAR(measured, expected, expected * 0.25 + 5.0) << "p" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, HistogramPercentileTest,
+                         ::testing::Values(10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 99.9));
+
+TEST(Histogram, TailSensitivity) {
+  Histogram h;
+  for (int i = 0; i < 9900; i++) h.Add(5.0);
+  for (int i = 0; i < 100; i++) h.Add(10000.0);
+  // p50 near 5, p99.5 near 10000.
+  EXPECT_LT(h.Percentile(50), 10.0);
+  EXPECT_GT(h.Percentile(99.5), 5000.0);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 1000; i++) a.Add(10);
+  for (int i = 0; i < 1000; i++) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(2000u, a.Count());
+  EXPECT_NEAR(505.0, a.Average(), 1.0);
+  EXPECT_DOUBLE_EQ(10.0, a.Min());
+  EXPECT_DOUBLE_EQ(1000.0, a.Max());
+}
+
+TEST(Histogram, Clear) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(0u, h.Count());
+  EXPECT_EQ(0.0, h.Percentile(99));
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Add(1e300);
+  EXPECT_EQ(1u, h.Count());
+  EXPECT_DOUBLE_EQ(1e300, h.Max());
+}
+
+TEST(Histogram, ToStringContainsFields) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) h.Add(i);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("Count: 100"), std::string::npos);
+  EXPECT_NE(s.find("P99:"), std::string::npos);
+  EXPECT_NE(s.find("Median:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,97 @@
+#include "util/ini.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+TEST(Ini, ParseBasic) {
+  IniDoc doc;
+  ASSERT_TRUE(IniDoc::Parse("a = 1\nb=2\n\n[Sec]\nc = three\n", &doc).ok());
+  EXPECT_EQ("1", doc.Get("", "a").value());
+  EXPECT_EQ("2", doc.Get("", "b").value());
+  EXPECT_EQ("three", doc.Get("Sec", "c").value());
+  EXPECT_FALSE(doc.Get("Sec", "a").has_value());
+  EXPECT_FALSE(doc.Get("", "missing").has_value());
+}
+
+TEST(Ini, CommentsAndWhitespace) {
+  IniDoc doc;
+  ASSERT_TRUE(IniDoc::Parse("# comment\n; also comment\n  key  =  value  \n",
+                            &doc)
+                  .ok());
+  EXPECT_EQ("value", doc.Get("", "key").value());
+}
+
+TEST(Ini, MalformedLinesReported) {
+  IniDoc doc;
+  std::vector<std::string> bad;
+  ASSERT_TRUE(
+      IniDoc::Parse("good = 1\nthis is not a pair\n= novalue\n", &doc, &bad)
+          .ok());
+  EXPECT_EQ(2u, bad.size());
+  EXPECT_EQ("1", doc.Get("", "good").value());
+}
+
+TEST(Ini, UnterminatedSectionFails) {
+  IniDoc doc;
+  EXPECT_FALSE(IniDoc::Parse("[Sec\nkey = 1\n", &doc).ok());
+}
+
+TEST(Ini, SerializeRoundTrip) {
+  IniDoc doc;
+  doc.Set("DBOptions", "max_background_jobs", "4");
+  doc.Set("DBOptions", "bytes_per_sync", "1048576");
+  doc.Set("CFOptions", "write_buffer_size", "67108864");
+  std::string text = doc.Serialize();
+
+  IniDoc parsed;
+  ASSERT_TRUE(IniDoc::Parse(text, &parsed).ok());
+  EXPECT_EQ("4", parsed.Get("DBOptions", "max_background_jobs").value());
+  EXPECT_EQ("1048576", parsed.Get("DBOptions", "bytes_per_sync").value());
+  EXPECT_EQ("67108864",
+            parsed.Get("CFOptions", "write_buffer_size").value());
+}
+
+TEST(Ini, SetOverwritesInPlace) {
+  IniDoc doc;
+  doc.Set("S", "k", "1");
+  doc.Set("S", "k2", "x");
+  doc.Set("S", "k", "2");
+  EXPECT_EQ("2", doc.Get("S", "k").value());
+  // Order preserved: k before k2.
+  ASSERT_EQ(1u, doc.sections().size());
+  EXPECT_EQ("k", doc.sections()[0].entries[0].key);
+  EXPECT_EQ("k2", doc.sections()[0].entries[1].key);
+}
+
+TEST(Ini, Erase) {
+  IniDoc doc;
+  doc.Set("S", "k", "1");
+  EXPECT_TRUE(doc.Erase("S", "k"));
+  EXPECT_FALSE(doc.Erase("S", "k"));
+  EXPECT_FALSE(doc.Get("S", "k").has_value());
+}
+
+TEST(Ini, ValuesMayContainEquals) {
+  IniDoc doc;
+  ASSERT_TRUE(IniDoc::Parse("k = a=b=c\n", &doc).ok());
+  EXPECT_EQ("a=b=c", doc.Get("", "k").value());
+}
+
+TEST(Ini, EmptySectionSurvives) {
+  IniDoc doc;
+  ASSERT_TRUE(IniDoc::Parse("[Empty]\n[Full]\nk = 1\n", &doc).ok());
+  EXPECT_TRUE(doc.HasSection("Empty"));
+  EXPECT_TRUE(doc.HasSection("Full"));
+  EXPECT_FALSE(doc.HasSection("Missing"));
+}
+
+TEST(Ini, CrLfInput) {
+  IniDoc doc;
+  ASSERT_TRUE(IniDoc::Parse("[S]\r\nk = v\r\n", &doc).ok());
+  EXPECT_EQ("v", doc.Get("S", "k").value());
+}
+
+}  // namespace
+}  // namespace elmo

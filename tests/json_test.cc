@@ -1,0 +1,114 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::json {
+namespace {
+
+Value MustParse(const std::string& text) {
+  Value v;
+  Status s = Parse(text, &v);
+  EXPECT_TRUE(s.ok()) << s.ToString() << " for " << text;
+  return v;
+}
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(true, MustParse("true").as_bool());
+  EXPECT_EQ(false, MustParse("false").as_bool());
+  EXPECT_EQ(42, MustParse("42").as_int());
+  EXPECT_EQ(-7, MustParse("-7").as_int());
+  EXPECT_DOUBLE_EQ(2.5, MustParse("2.5").as_double());
+  EXPECT_DOUBLE_EQ(1e10, MustParse("1e10").as_double());
+  EXPECT_EQ("hi", MustParse("\"hi\"").as_string());
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ("a\"b", MustParse("\"a\\\"b\"").as_string());
+  EXPECT_EQ("tab\there", MustParse("\"tab\\there\"").as_string());
+  EXPECT_EQ("line\nbreak", MustParse("\"line\\nbreak\"").as_string());
+  EXPECT_EQ("back\\slash", MustParse("\"back\\\\slash\"").as_string());
+  EXPECT_EQ("A", MustParse("\"\\u0041\"").as_string());
+  EXPECT_EQ("\xc3\xa9", MustParse("\"\\u00e9\"").as_string());  // é
+}
+
+TEST(Json, Arrays) {
+  Value v = MustParse("[1, \"two\", [3], {}]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(4u, v.as_array().size());
+  EXPECT_EQ(1, v.as_array()[0].as_int());
+  EXPECT_EQ("two", v.as_array()[1].as_string());
+  EXPECT_TRUE(v.as_array()[2].is_array());
+  EXPECT_TRUE(v.as_array()[3].is_object());
+  EXPECT_TRUE(MustParse("[]").as_array().empty());
+}
+
+TEST(Json, Objects) {
+  Value v = MustParse("{\"a\": 1, \"b\": {\"c\": [true]}}");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(1, v.Find("a")->as_int());
+  EXPECT_EQ(true, v.Find("b")->Find("c")->as_array()[0].as_bool());
+  EXPECT_EQ(nullptr, v.Find("missing"));
+}
+
+TEST(Json, ParseErrors) {
+  Value v;
+  EXPECT_FALSE(Parse("", &v).ok());
+  EXPECT_FALSE(Parse("{", &v).ok());
+  EXPECT_FALSE(Parse("[1,]", &v).ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}", &v).ok());
+  EXPECT_FALSE(Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(Parse("tru", &v).ok());
+  EXPECT_FALSE(Parse("42 garbage", &v).ok());
+  EXPECT_FALSE(Parse("{'single': 1}", &v).ok());
+}
+
+TEST(Json, DeepNestingLimited) {
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  Value v;
+  EXPECT_FALSE(Parse(deep, &v).ok());
+}
+
+TEST(Json, DumpRoundTrip) {
+  Object o;
+  o["name"] = "gpt-4";
+  o["temperature"] = 0.4;
+  o["max_tokens"] = 2048;
+  o["stop"] = nullptr;
+  Array msgs;
+  Object m;
+  m["role"] = "user";
+  m["content"] = "tune my \"db\"\nplease";
+  msgs.push_back(m);
+  o["messages"] = msgs;
+
+  std::string dumped = Value(o).Dump();
+  Value reparsed = MustParse(dumped);
+  EXPECT_EQ("gpt-4", reparsed.Find("name")->as_string());
+  EXPECT_DOUBLE_EQ(0.4, reparsed.Find("temperature")->as_double());
+  EXPECT_EQ(2048, reparsed.Find("max_tokens")->as_int());
+  EXPECT_TRUE(reparsed.Find("stop")->is_null());
+  EXPECT_EQ("tune my \"db\"\nplease",
+            reparsed.Find("messages")->as_array()[0].Find("content")
+                ->as_string());
+}
+
+TEST(Json, DumpPrettyParses) {
+  Object o;
+  o["k"] = Array{1, 2, 3};
+  std::string pretty = Value(o).Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  Value v = MustParse(pretty);
+  EXPECT_EQ(3u, v.Find("k")->as_array().size());
+}
+
+TEST(Json, NumberTypesPreserved) {
+  EXPECT_TRUE(MustParse("3").is_int());
+  EXPECT_TRUE(MustParse("3.0").is_double());
+  EXPECT_EQ(3, MustParse("3.0").as_int());
+  EXPECT_DOUBLE_EQ(3.0, MustParse("3").as_double());
+}
+
+}  // namespace
+}  // namespace elmo::json

@@ -1,0 +1,234 @@
+// WAL record-log format: roundtrips across block boundaries, corruption
+// tolerance, torn-tail handling.
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "lsm/log_reader.h"
+#include "lsm/log_writer.h"
+#include "util/random.h"
+
+namespace elmo::log {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(env_.NewWritableFile("/log", &dest_).ok());
+    writer_ = std::make_unique<Writer>(dest_.get());
+  }
+
+  void Write(const std::string& record) {
+    ASSERT_TRUE(writer_->AddRecord(record).ok());
+  }
+
+  struct Reporter : public Reader::Reporter {
+    size_t dropped_bytes = 0;
+    int corruptions = 0;
+    void Corruption(size_t bytes, const Status&) override {
+      dropped_bytes += bytes;
+      corruptions++;
+    }
+  };
+
+  // Read back every record.
+  std::vector<std::string> ReadAll() {
+    std::unique_ptr<SequentialFile> src;
+    EXPECT_TRUE(env_.NewSequentialFile("/log", &src).ok());
+    Reader reader(src.get(), &reporter_, /*checksum=*/true);
+    std::vector<std::string> records;
+    Slice record;
+    std::string scratch;
+    while (reader.ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    return records;
+  }
+
+  void CorruptByte(size_t offset, char delta) {
+    MemFs::FileRef node;
+    ASSERT_TRUE(env_.fs()->Open("/log", &node).ok());
+    std::lock_guard<std::mutex> l(node->mu);
+    ASSERT_LT(offset, node->data.size());
+    node->data[offset] += delta;
+  }
+
+  void TruncateTo(size_t size) {
+    MemFs::FileRef node;
+    ASSERT_TRUE(env_.fs()->Open("/log", &node).ok());
+    std::lock_guard<std::mutex> l(node->mu);
+    node->data.resize(size);
+  }
+
+  size_t FileSize() {
+    uint64_t size = 0;
+    EXPECT_TRUE(env_.GetFileSize("/log", &size).ok());
+    return size;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<WritableFile> dest_;
+  std::unique_ptr<Writer> writer_;
+  Reporter reporter_;
+};
+
+TEST_F(LogTest, EmptyLog) {
+  EXPECT_TRUE(ReadAll().empty());
+}
+
+TEST_F(LogTest, SmallRecords) {
+  Write("foo");
+  Write("bar");
+  Write("");
+  Write("xxxx");
+  auto records = ReadAll();
+  ASSERT_EQ(4u, records.size());
+  EXPECT_EQ("foo", records[0]);
+  EXPECT_EQ("bar", records[1]);
+  EXPECT_EQ("", records[2]);
+  EXPECT_EQ("xxxx", records[3]);
+  EXPECT_EQ(0, reporter_.corruptions);
+}
+
+TEST_F(LogTest, RecordSpanningBlocks) {
+  std::string big(3 * kBlockSize + 1000, 'A');
+  Write("before");
+  Write(big);
+  Write("after");
+  auto records = ReadAll();
+  ASSERT_EQ(3u, records.size());
+  EXPECT_EQ("before", records[0]);
+  EXPECT_EQ(big, records[1]);
+  EXPECT_EQ("after", records[2]);
+}
+
+TEST_F(LogTest, ManyRandomSizes) {
+  Random rnd(301);
+  std::vector<std::string> expected;
+  for (int i = 0; i < 300; i++) {
+    std::string rec(rnd.Skewed(15), static_cast<char>('a' + (i % 26)));
+    expected.push_back(rec);
+    Write(rec);
+  }
+  auto records = ReadAll();
+  ASSERT_EQ(expected.size(), records.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(expected[i], records[i]) << i;
+  }
+}
+
+TEST_F(LogTest, BlockTrailerPadding) {
+  // Fill a block so fewer than kHeaderSize bytes remain, forcing
+  // trailer padding before the next record.
+  std::string almost(kBlockSize - 2 * kHeaderSize - 2, 'P');
+  Write(almost);
+  Write("next");
+  auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ("next", records[1]);
+}
+
+TEST_F(LogTest, ChecksumCorruptionDropsRestOfBlock) {
+  Write("record-one");
+  Write("record-two");
+  CorruptByte(kHeaderSize + 2, 1);  // payload of record one
+  // Corruption poisons the remainder of the 32 KiB block (leveldb
+  // semantics): both records are dropped, and the drop is reported.
+  auto records = ReadAll();
+  EXPECT_TRUE(records.empty());
+  EXPECT_GE(reporter_.corruptions, 1);
+  EXPECT_GT(reporter_.dropped_bytes, 0u);
+}
+
+TEST_F(LogTest, CorruptionInLaterBlockKeepsEarlierRecords) {
+  // Exactly fill block 0 so the next record starts block 1.
+  std::string filler(kBlockSize - kHeaderSize, 'F');
+  Write(filler);
+  Write("in-block1");
+  CorruptByte(kBlockSize + kHeaderSize + 1, 1);
+  auto records = ReadAll();
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ(filler, records[0]);
+  EXPECT_GE(reporter_.corruptions, 1);
+}
+
+TEST_F(LogTest, TornTailIsSilentlyIgnored) {
+  Write("durable");
+  std::string big(2 * kBlockSize, 'T');
+  Write(big);
+  // Simulate a crash mid-write of the second record.
+  TruncateTo(FileSize() - kBlockSize);
+  auto records = ReadAll();
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("durable", records[0]);
+  // Torn tails are an expected crash artifact, not corruption.
+  EXPECT_EQ(0, reporter_.corruptions);
+}
+
+TEST_F(LogTest, TruncatedHeaderAtEof) {
+  Write("keep");
+  Write("lost");
+  TruncateTo(FileSize() - 3);
+  auto records = ReadAll();
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("keep", records[0]);
+}
+
+TEST_F(LogTest, UnknownRecordTypeReported) {
+  Write("one");
+  // Corrupt the type byte to an undefined record type. The checksum
+  // covers the type byte, so this reports as corruption.
+  CorruptByte(6, 50);
+  auto records = ReadAll();
+  EXPECT_TRUE(records.empty());
+  EXPECT_GE(reporter_.corruptions, 1);
+}
+
+TEST_F(LogTest, OversizedLengthAtEofTreatedAsTornTail) {
+  Write("one");
+  // Length field claims more bytes than the file holds; at EOF this is
+  // indistinguishable from a torn write and must NOT report corruption.
+  CorruptByte(4, 100);
+  auto records = ReadAll();
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(0, reporter_.corruptions);
+}
+
+TEST_F(LogTest, ReopenedWriterContinuesAtOffset) {
+  Write("first");
+  uint64_t size = FileSize();
+  writer_.reset();
+  // Reopen the same file for append (MemFs keeps contents via the
+  // node; emulate by re-wrapping a writer at the current length).
+  MemFs::FileRef node;
+  ASSERT_TRUE(env_.fs()->Open("/log", &node).ok());
+  class AppendFile : public WritableFile {
+   public:
+    explicit AppendFile(MemFs::FileRef n) : node_(std::move(n)) {}
+    Status Append(const Slice& data) override {
+      std::lock_guard<std::mutex> l(node_->mu);
+      node_->data.append(data.data(), data.size());
+      return Status::OK();
+    }
+    Status Close() override { return Status::OK(); }
+    Status Flush() override { return Status::OK(); }
+    Status Sync() override { return Status::OK(); }
+    uint64_t GetFileSize() const override {
+      std::lock_guard<std::mutex> l(node_->mu);
+      return node_->data.size();
+    }
+
+   private:
+    MemFs::FileRef node_;
+  };
+  AppendFile append_file(node);
+  Writer reopened(&append_file, size);
+  ASSERT_TRUE(reopened.AddRecord("second").ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(2u, records.size());
+  EXPECT_EQ("first", records[0]);
+  EXPECT_EQ("second", records[1]);
+}
+
+}  // namespace
+}  // namespace elmo::log

@@ -1,0 +1,129 @@
+#include "lsm/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/random.h"
+
+namespace elmo {
+namespace {
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(icmp_) {}
+
+  std::string Get(const std::string& key, SequenceNumber seq) {
+    LookupKey lk(key, seq);
+    std::string value;
+    Status s;
+    if (!mem_.Get(lk, &value, &s)) return "ABSENT";
+    if (s.IsNotFound()) return "DELETED";
+    return value;
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable mem_;
+};
+
+TEST_F(MemTableTest, AddGet) {
+  mem_.Add(1, kTypeValue, "key", "value");
+  EXPECT_EQ("value", Get("key", 5));
+  EXPECT_EQ("ABSENT", Get("other", 5));
+}
+
+TEST_F(MemTableTest, SequenceVisibility) {
+  mem_.Add(10, kTypeValue, "k", "v10");
+  mem_.Add(20, kTypeValue, "k", "v20");
+  EXPECT_EQ("v20", Get("k", 25));
+  EXPECT_EQ("v20", Get("k", 20));
+  EXPECT_EQ("v10", Get("k", 15));
+  EXPECT_EQ("ABSENT", Get("k", 5));
+}
+
+TEST_F(MemTableTest, DeletionVisible) {
+  mem_.Add(1, kTypeValue, "k", "v");
+  mem_.Add(2, kTypeDeletion, "k", "");
+  EXPECT_EQ("DELETED", Get("k", 5));
+  EXPECT_EQ("v", Get("k", 1));
+}
+
+TEST_F(MemTableTest, PrefixKeysDontCollide) {
+  mem_.Add(1, kTypeValue, "abc", "1");
+  mem_.Add(2, kTypeValue, "ab", "2");
+  mem_.Add(3, kTypeValue, "abcd", "3");
+  EXPECT_EQ("1", Get("abc", 10));
+  EXPECT_EQ("2", Get("ab", 10));
+  EXPECT_EQ("3", Get("abcd", 10));
+}
+
+TEST_F(MemTableTest, IteratorOrdered) {
+  mem_.Add(3, kTypeValue, "c", "3");
+  mem_.Add(1, kTypeValue, "a", "1");
+  mem_.Add(2, kTypeValue, "b", "2");
+  auto it = mem_.NewIterator();
+  std::string keys;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    keys += ExtractUserKey(it->key()).ToString();
+  }
+  EXPECT_EQ("abc", keys);
+}
+
+TEST_F(MemTableTest, IteratorSeek) {
+  for (int i = 0; i < 100; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%03d", i);
+    mem_.Add(i + 1, kTypeValue, Slice(key, 6), "v");
+  }
+  auto it = mem_.NewIterator();
+  // Seek to an internal key for key017 (odd: absent) at max seq.
+  std::string target;
+  AppendInternalKey(&target, ParsedInternalKey("key017", kMaxSequenceNumber,
+                                               kValueTypeForSeek));
+  it->Seek(target);
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("key018", ExtractUserKey(it->key()).ToString());
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  size_t before = mem_.ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_.Add(i + 1, kTypeValue, "key" + std::to_string(i),
+             std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_.ApproximateMemoryUsage(), before + 100 * 1000);
+  EXPECT_EQ(1000u, mem_.NumEntries());
+}
+
+TEST_F(MemTableTest, EmptyKeyAndValue) {
+  mem_.Add(1, kTypeValue, "", "");
+  EXPECT_EQ("", Get("", 5));
+}
+
+TEST_F(MemTableTest, LargeValues) {
+  std::string big(300000, 'B');
+  mem_.Add(1, kTypeValue, "big", big);
+  EXPECT_EQ(big, Get("big", 5));
+}
+
+TEST_F(MemTableTest, RandomizedAgainstModel) {
+  Random64 rng(99);
+  std::map<std::string, std::pair<uint64_t, std::string>> latest;
+  for (uint64_t seq = 1; seq <= 3000; seq++) {
+    std::string key = "k" + std::to_string(rng.Uniform(200));
+    if (rng.Uniform(5) == 0) {
+      mem_.Add(seq, kTypeDeletion, key, "");
+      latest[key] = {seq, "DELETED"};
+    } else {
+      std::string value = "v" + std::to_string(seq);
+      mem_.Add(seq, kTypeValue, key, value);
+      latest[key] = {seq, value};
+    }
+  }
+  for (const auto& [key, expected] : latest) {
+    EXPECT_EQ(expected.second, Get(key, 3001)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace elmo

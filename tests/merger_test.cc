@@ -1,0 +1,186 @@
+// Merging iterator + DBIter semantics over synthetic children.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lsm/db_iter.h"
+#include "lsm/merger.h"
+#include "table/block.h"
+#include "table/block_builder.h"
+
+namespace elmo::lsm {
+namespace {
+
+// Build a Block-backed iterator from sorted (key, value) pairs.
+struct BlockHolder {
+  std::unique_ptr<Block> block;
+  std::unique_ptr<Iterator> NewIter(const Comparator* cmp) {
+    return block->NewIterator(cmp);
+  }
+};
+
+BlockHolder MakeBlock(const std::map<std::string, std::string>& kvs) {
+  BlockBuilder builder(4);
+  for (const auto& [k, v] : kvs) builder.Add(k, v);
+  BlockHolder holder;
+  holder.block = std::make_unique<Block>(builder.Finish().ToString());
+  return holder;
+}
+
+TEST(Merger, InterleavesSortedStreams) {
+  auto b1 = MakeBlock({{"a", "1"}, {"c", "3"}, {"e", "5"}});
+  auto b2 = MakeBlock({{"b", "2"}, {"d", "4"}, {"f", "6"}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(b1.NewIter(BytewiseComparator()));
+  children.push_back(b2.NewIter(BytewiseComparator()));
+  auto merged =
+      NewMergingIterator(BytewiseComparator(), std::move(children));
+
+  std::string out;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    out += merged->key().ToString() + merged->value().ToString();
+  }
+  EXPECT_EQ("a1b2c3d4e5f6", out);
+}
+
+TEST(Merger, TiesPreferEarlierChild) {
+  // Same key in both children: the earlier (newer) child must win the
+  // tie in forward order.
+  auto newer = MakeBlock({{"k", "new"}});
+  auto older = MakeBlock({{"k", "old"}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(newer.NewIter(BytewiseComparator()));
+  children.push_back(older.NewIter(BytewiseComparator()));
+  auto merged =
+      NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("new", merged->value().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("old", merged->value().ToString());
+}
+
+TEST(Merger, BackwardIteration) {
+  auto b1 = MakeBlock({{"a", "1"}, {"c", "3"}});
+  auto b2 = MakeBlock({{"b", "2"}, {"d", "4"}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(b1.NewIter(BytewiseComparator()));
+  children.push_back(b2.NewIter(BytewiseComparator()));
+  auto merged =
+      NewMergingIterator(BytewiseComparator(), std::move(children));
+  std::string out;
+  for (merged->SeekToLast(); merged->Valid(); merged->Prev()) {
+    out += merged->key().ToString();
+  }
+  EXPECT_EQ("dcba", out);
+}
+
+TEST(Merger, DirectionSwitchMidStream) {
+  auto b1 = MakeBlock({{"a", "1"}, {"c", "3"}});
+  auto b2 = MakeBlock({{"b", "2"}, {"d", "4"}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(b1.NewIter(BytewiseComparator()));
+  children.push_back(b2.NewIter(BytewiseComparator()));
+  auto merged =
+      NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->Seek("c");
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", merged->key().ToString());
+  merged->Prev();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("b", merged->key().ToString());
+  merged->Next();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("c", merged->key().ToString());
+}
+
+TEST(Merger, SingleChildPassesThrough) {
+  auto b = MakeBlock({{"x", "1"}});
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(b.NewIter(BytewiseComparator()));
+  auto merged =
+      NewMergingIterator(BytewiseComparator(), std::move(children));
+  merged->SeekToFirst();
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ("x", merged->key().ToString());
+}
+
+TEST(Merger, NoChildrenIsEmpty) {
+  auto merged = NewMergingIterator(BytewiseComparator(), {});
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+  EXPECT_TRUE(merged->status().ok());
+}
+
+// ---- DBIter over hand-built internal keys ----
+
+std::string IK(const std::string& user_key, uint64_t seq, ValueType t) {
+  std::string s;
+  AppendInternalKey(&s, ParsedInternalKey(user_key, seq, t));
+  return s;
+}
+
+TEST(DbIter, HidesShadowedVersionsAndTombstones) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  // Internal entries added in internal-key order (user key asc,
+  // sequence desc) by hand — std::map's bytewise order would disagree.
+  BlockBuilder builder(4);
+  builder.Add(IK("a", 5, kTypeValue), "a5");
+  builder.Add(IK("a", 3, kTypeValue), "a3");
+  builder.Add(IK("b", 6, kTypeDeletion), "");
+  builder.Add(IK("b", 2, kTypeValue), "b2");
+  builder.Add(IK("c", 4, kTypeValue), "c4");
+  Block real_block(builder.Finish().ToString());
+
+  auto db_iter =
+      NewDBIterator(BytewiseComparator(), real_block.NewIterator(&icmp),
+                    /*sequence=*/10);
+  std::string out;
+  for (db_iter->SeekToFirst(); db_iter->Valid(); db_iter->Next()) {
+    out += db_iter->key().ToString() + "=" +
+           db_iter->value().ToString() + ";";
+  }
+  EXPECT_EQ("a=a5;c=c4;", out);
+}
+
+TEST(DbIter, SnapshotSequenceFiltersNewWrites) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  BlockBuilder builder(4);
+  builder.Add(IK("k", 9, kTypeValue), "new");
+  builder.Add(IK("k", 4, kTypeValue), "old");
+  Block block(builder.Finish().ToString());
+
+  auto at_5 = NewDBIterator(BytewiseComparator(),
+                            block.NewIterator(&icmp), /*sequence=*/5);
+  at_5->SeekToFirst();
+  ASSERT_TRUE(at_5->Valid());
+  EXPECT_EQ("old", at_5->value().ToString());
+
+  auto at_9 = NewDBIterator(BytewiseComparator(),
+                            block.NewIterator(&icmp), /*sequence=*/9);
+  at_9->SeekToFirst();
+  ASSERT_TRUE(at_9->Valid());
+  EXPECT_EQ("new", at_9->value().ToString());
+}
+
+TEST(DbIter, ReverseSkipsTombstones) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  BlockBuilder builder(4);
+  builder.Add(IK("a", 2, kTypeValue), "1");
+  builder.Add(IK("b", 5, kTypeDeletion), "");
+  builder.Add(IK("b", 1, kTypeValue), "dead");
+  builder.Add(IK("c", 3, kTypeValue), "3");
+  Block block(builder.Finish().ToString());
+
+  auto iter = NewDBIterator(BytewiseComparator(),
+                            block.NewIterator(&icmp), 10);
+  std::string out;
+  for (iter->SeekToLast(); iter->Valid(); iter->Prev()) {
+    out += iter->key().ToString();
+  }
+  EXPECT_EQ("ca", out);
+}
+
+}  // namespace
+}  // namespace elmo::lsm

@@ -1,0 +1,96 @@
+#include "llm/openai_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace elmo::llm {
+namespace {
+
+TEST(OpenAiProtocol, RequestShape) {
+  ChatCompletionParams params;
+  params.model = "gpt-4";
+  params.temperature = 0.4;
+  params.max_tokens = 2048;
+  std::vector<ChatMessage> messages = {
+      {"system", "You are an expert."},
+      {"user", "Tune my \"db\"\nplease."},
+  };
+  std::string body = BuildChatCompletionRequest(params, messages);
+
+  json::Value root;
+  ASSERT_TRUE(json::Parse(body, &root).ok());
+  EXPECT_EQ("gpt-4", root.Find("model")->as_string());
+  EXPECT_DOUBLE_EQ(0.4, root.Find("temperature")->as_double());
+  EXPECT_EQ(2048, root.Find("max_tokens")->as_int());
+  const auto& msgs = root.Find("messages")->as_array();
+  ASSERT_EQ(2u, msgs.size());
+  EXPECT_EQ("system", msgs[0].Find("role")->as_string());
+  EXPECT_EQ("user", msgs[1].Find("role")->as_string());
+  EXPECT_EQ("Tune my \"db\"\nplease.",
+            msgs[1].Find("content")->as_string());
+}
+
+TEST(OpenAiProtocol, ParseSuccessResponse) {
+  std::string body = R"({
+    "id": "chatcmpl-123",
+    "object": "chat.completion",
+    "choices": [{
+      "index": 0,
+      "message": {"role": "assistant", "content": "set jobs = 4"},
+      "finish_reason": "stop"
+    }],
+    "usage": {"prompt_tokens": 100, "completion_tokens": 10}
+  })";
+  std::string content;
+  ASSERT_TRUE(ParseChatCompletionResponse(body, &content).ok());
+  EXPECT_EQ("set jobs = 4", content);
+}
+
+TEST(OpenAiProtocol, ParseErrorBody) {
+  std::string body = R"({
+    "error": {"message": "Rate limit reached", "type": "rate_limit_error"}
+  })";
+  std::string content;
+  Status s = ParseChatCompletionResponse(body, &content);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_NE(s.ToString().find("Rate limit reached"), std::string::npos);
+}
+
+TEST(OpenAiProtocol, ParseMalformedBodies) {
+  std::string content;
+  EXPECT_FALSE(ParseChatCompletionResponse("not json", &content).ok());
+  EXPECT_FALSE(ParseChatCompletionResponse("{}", &content).ok());
+  EXPECT_FALSE(
+      ParseChatCompletionResponse(R"({"choices": []})", &content).ok());
+  EXPECT_FALSE(
+      ParseChatCompletionResponse(R"({"choices": [{"index": 0}]})",
+                                  &content)
+          .ok());
+  EXPECT_FALSE(ParseChatCompletionResponse(
+                   R"({"choices": [{"message": {"content": 42}}]})",
+                   &content)
+                   .ok());
+}
+
+TEST(ScriptedLlm, ReplaysAndRepeatsLast) {
+  ScriptedLlm llm({"first", "second"});
+  std::string out;
+  std::vector<ChatMessage> chat = {{"user", "x"}};
+  ASSERT_TRUE(llm.Complete(chat, &out).ok());
+  EXPECT_EQ("first", out);
+  ASSERT_TRUE(llm.Complete(chat, &out).ok());
+  EXPECT_EQ("second", out);
+  ASSERT_TRUE(llm.Complete(chat, &out).ok());
+  EXPECT_EQ("second", out);  // repeats last
+  EXPECT_EQ(3u, llm.calls());
+}
+
+TEST(ScriptedLlm, EmptyScriptErrors) {
+  ScriptedLlm llm({});
+  std::string out;
+  EXPECT_FALSE(llm.Complete({{"user", "x"}}, &out).ok());
+}
+
+}  // namespace
+}  // namespace elmo::llm

@@ -1,0 +1,122 @@
+// OptionEvaluator: the three response shapes the paper names — pure
+// text, single code block, interleaved — plus malformed variants.
+#include "elmo/option_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace elmo::tune {
+namespace {
+
+std::map<std::string, std::string> Pairs(const std::string& text) {
+  auto p = OptionEvaluator::Extract(text);
+  std::map<std::string, std::string> m;
+  for (auto& [k, v] : p.pairs) m[k] = v;
+  return m;
+}
+
+TEST(OptionEvaluator, FencedIniBlock) {
+  auto got = Pairs(
+      "Here you go:\n"
+      "```ini\n"
+      "[DBOptions]\n"
+      "max_background_jobs = 4\n"
+      "bytes_per_sync = 1048576\n"
+      "[CFOptions]\n"
+      "write_buffer_size = 67108864\n"
+      "```\n");
+  EXPECT_EQ(3u, got.size());
+  EXPECT_EQ("4", got["max_background_jobs"]);
+  EXPECT_EQ("1048576", got["bytes_per_sync"]);
+  EXPECT_EQ("67108864", got["write_buffer_size"]);
+}
+
+TEST(OptionEvaluator, UntaggedFence) {
+  auto got = Pairs("```\nmax_write_buffer_number = 4\n```\n");
+  EXPECT_EQ("4", got["max_write_buffer_number"]);
+}
+
+TEST(OptionEvaluator, PureProse) {
+  auto got = Pairs(
+      "You should set write_buffer_size = 134217728 and also "
+      "max_background_jobs = 6; then try again.");
+  EXPECT_EQ("134217728", got["write_buffer_size"]);
+  EXPECT_EQ("6", got["max_background_jobs"]);
+}
+
+TEST(OptionEvaluator, InterleavedProseAndBlocks) {
+  auto p = OptionEvaluator::Extract(
+      "First apply wal_bytes_per_sync = 1048576 manually.\n"
+      "Then the rest:\n"
+      "```ini\n"
+      "max_background_flushes = 2\n"
+      "```\n"
+      "And finally consider enable_pipelined_write = false.\n"
+      "```\n"
+      "level0_file_num_compaction_trigger = 6\n"
+      "```\n");
+  EXPECT_TRUE(p.had_code_block);
+  std::map<std::string, std::string> got;
+  for (auto& [k, v] : p.pairs) got[k] = v;
+  EXPECT_EQ(4u, got.size());
+  EXPECT_EQ("1048576", got["wal_bytes_per_sync"]);
+  EXPECT_EQ("2", got["max_background_flushes"]);
+  EXPECT_EQ("false", got["enable_pipelined_write"]);
+  EXPECT_EQ("6", got["level0_file_num_compaction_trigger"]);
+}
+
+TEST(OptionEvaluator, MarkdownEmphasisStripped) {
+  auto got = Pairs("1. **max_background_jobs = 5** — match cores.\n");
+  EXPECT_EQ("5", got["max_background_jobs"]);
+}
+
+TEST(OptionEvaluator, SentencePunctuationStripped) {
+  auto got = Pairs("Set bloom_filter_bits_per_key = 10.\n");
+  EXPECT_EQ("10", got["bloom_filter_bits_per_key"]);
+}
+
+TEST(OptionEvaluator, LastOccurrenceWins) {
+  auto got = Pairs(
+      "Start with write_buffer_size = 1000.\n"
+      "```ini\nwrite_buffer_size = 2000\n```\n");
+  EXPECT_EQ("2000", got["write_buffer_size"]);
+}
+
+TEST(OptionEvaluator, ProseWordsWithoutUnderscoresIgnored) {
+  auto p = OptionEvaluator::Extract(
+      "In math, x = 5 and speed = fast. Nothing here is an option.");
+  EXPECT_TRUE(p.pairs.empty());
+}
+
+TEST(OptionEvaluator, UnterminatedFenceStillParsed) {
+  auto got = Pairs("```ini\nmax_background_jobs = 3\n");
+  EXPECT_EQ("3", got["max_background_jobs"]);
+}
+
+TEST(OptionEvaluator, EmptyAndNoiseInputs) {
+  EXPECT_TRUE(OptionEvaluator::Extract("").pairs.empty());
+  EXPECT_TRUE(OptionEvaluator::Extract("Your DB looks great!").pairs.empty());
+  EXPECT_FALSE(OptionEvaluator::Extract("").had_code_block);
+}
+
+TEST(OptionEvaluator, HallucinatedNamesStillExtracted) {
+  // Extraction is mechanical; judgment belongs to the safeguard.
+  auto got = Pairs("```ini\nmemtable_prefetch_depth = 8\n```\n");
+  EXPECT_EQ("8", got["memtable_prefetch_depth"]);
+}
+
+TEST(OptionEvaluator, BooleanAndEnumValues) {
+  auto got = Pairs(
+      "```ini\n"
+      "strict_bytes_per_sync = true\n"
+      "compaction_style = universal\n"
+      "compression = none\n"
+      "```\n");
+  EXPECT_EQ("true", got["strict_bytes_per_sync"]);
+  EXPECT_EQ("universal", got["compaction_style"]);
+  EXPECT_EQ("none", got["compression"]);
+}
+
+}  // namespace
+}  // namespace elmo::tune

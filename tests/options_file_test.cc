@@ -1,0 +1,132 @@
+#include "lsm/options_file.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "lsm/db.h"
+#include "lsm/options_schema.h"
+
+namespace elmo::lsm {
+namespace {
+
+TEST(OptionsFile, SaveLoadRoundTrip) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  Options tuned;
+  tuned.max_background_jobs = 6;
+  tuned.write_buffer_size = 32ull << 20;
+  tuned.bloom_filter_bits_per_key = 10;
+  tuned.compaction_style = CompactionStyle::kUniversal;
+  ASSERT_TRUE(SaveOptionsFile(&env, "/d/OPTIONS-000001", tuned).ok());
+
+  Options loaded;
+  ASSERT_TRUE(LoadOptionsFile(&env, "/d/OPTIONS-000001", &loaded).ok());
+  for (const auto& info : OptionsSchema::Instance().all()) {
+    EXPECT_EQ(info.get(tuned), info.get(loaded)) << info.name;
+  }
+}
+
+TEST(OptionsFile, LoadReportsUnknownAndInvalid) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  std::string text =
+      "[DBOptions]\n"
+      "max_background_jobs = 4\n"
+      "mystery_option = 1\n"
+      "[CFOptions]\n"
+      "write_buffer_size = banana\n";
+  ASSERT_TRUE(env.WriteStringToFile(text, "/d/opts").ok());
+  Options loaded;
+  std::vector<std::string> unknown, invalid;
+  ASSERT_TRUE(
+      LoadOptionsFile(&env, "/d/opts", &loaded, &unknown, &invalid).ok());
+  EXPECT_EQ(4, loaded.max_background_jobs);
+  ASSERT_EQ(1u, unknown.size());
+  EXPECT_EQ("mystery_option", unknown[0]);
+  EXPECT_EQ(1u, invalid.size());
+}
+
+TEST(OptionsFile, LoadMissingFileFails) {
+  MemEnv env;
+  Options loaded;
+  EXPECT_FALSE(LoadOptionsFile(&env, "/nope", &loaded).ok());
+}
+
+TEST(OptionsFile, FindLatestPicksHighestNumber) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  Options o;
+  ASSERT_TRUE(SaveOptionsFile(&env, OptionsFileName("/d", 3), o).ok());
+  ASSERT_TRUE(SaveOptionsFile(&env, OptionsFileName("/d", 12), o).ok());
+  ASSERT_TRUE(SaveOptionsFile(&env, OptionsFileName("/d", 7), o).ok());
+  EXPECT_EQ("/d/OPTIONS-000012", FindLatestOptionsFile(&env, "/d"));
+}
+
+TEST(OptionsFile, FindLatestEmptyDir) {
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  EXPECT_EQ("", FindLatestOptionsFile(&env, "/d"));
+}
+
+TEST(OptionsFile, DbOpenPersistsActiveConfig) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.max_background_jobs = 5;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  std::string latest = FindLatestOptionsFile(&env, "/db");
+  ASSERT_FALSE(latest.empty());
+  Options loaded;
+  ASSERT_TRUE(LoadOptionsFile(&env, latest, &loaded).ok());
+  EXPECT_EQ(5, loaded.max_background_jobs);
+}
+
+TEST(OptionsFile, ReopenReplacesOldOptionsFile) {
+  MemEnv env;
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  db.reset();
+  options.max_background_jobs = 7;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  // Only one OPTIONS file remains, and it carries the new value.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env.GetChildren("/db", &children).ok());
+  int options_files = 0;
+  for (const auto& c : children) {
+    if (c.rfind("OPTIONS-", 0) == 0) options_files++;
+  }
+  EXPECT_EQ(1, options_files);
+  Options loaded;
+  ASSERT_TRUE(
+      LoadOptionsFile(&env, FindLatestOptionsFile(&env, "/db"), &loaded)
+          .ok());
+  EXPECT_EQ(7, loaded.max_background_jobs);
+}
+
+TEST(OptionsFile, TunedSessionOutputLoadsBack) {
+  // The tuning loop's final_options_file text must load into a usable
+  // Options — the handoff the paper's framework performs.
+  MemEnv env;
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  Options tuned;
+  tuned.wal_bytes_per_sync = 1 << 20;
+  std::string text = OptionsSchema::Instance().ToIniText(tuned);
+  ASSERT_TRUE(env.WriteStringToFile(text, "/d/final").ok());
+  Options loaded;
+  std::vector<std::string> unknown, invalid;
+  ASSERT_TRUE(
+      LoadOptionsFile(&env, "/d/final", &loaded, &unknown, &invalid).ok());
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_TRUE(invalid.empty());
+  EXPECT_EQ(1u << 20, loaded.wal_bytes_per_sync);
+}
+
+}  // namespace
+}  // namespace elmo::lsm

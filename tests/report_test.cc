@@ -1,0 +1,69 @@
+#include "bench_kit/report.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::bench {
+namespace {
+
+BenchResult MakeResult() {
+  BenchResult r;
+  r.workload = "fillrandom";
+  r.ops = 400000;
+  r.elapsed_seconds = 1.25;
+  r.ops_per_sec = 320000;
+  r.mb_per_sec = 35.4;
+  for (int i = 0; i < 10000; i++) r.write_micros.Add(3.0 + (i % 5));
+  r.write_stall_micros = 12345;
+  r.flushes = 42;
+  r.compactions = 17;
+  r.level_summary = "files[ 2 3 0 0 0 0 0 ]";
+  return r;
+}
+
+TEST(Report, ContainsDbBenchStyleFields) {
+  std::string text = MakeResult().ToReport();
+  EXPECT_NE(text.find("fillrandom"), std::string::npos);
+  EXPECT_NE(text.find("micros/op"), std::string::npos);
+  EXPECT_NE(text.find("320000 ops/sec"), std::string::npos);
+  EXPECT_NE(text.find("Microseconds per write:"), std::string::npos);
+  EXPECT_NE(text.find("P99:"), std::string::npos);
+  EXPECT_NE(text.find("flushes 42"), std::string::npos);
+  EXPECT_NE(text.find("LSM shape"), std::string::npos);
+}
+
+TEST(Report, ParseRoundTrip) {
+  BenchResult r = MakeResult();
+  for (int i = 0; i < 1000; i++) r.read_micros.Add(150.0);
+  auto parsed = ParseReport(r.ToReport());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ("fillrandom", parsed->workload);
+  EXPECT_NEAR(320000.0, parsed->ops_per_sec, 1.0);
+  EXPECT_NEAR(r.write_micros.Percentile(99.0), parsed->p99_write_us, 0.01);
+  EXPECT_NEAR(r.write_micros.Average(), parsed->avg_write_us, 0.01);
+  EXPECT_NEAR(r.read_micros.Percentile(99.0), parsed->p99_read_us, 0.01);
+}
+
+TEST(Report, ParseRejectsNonReports) {
+  EXPECT_FALSE(ParseReport("").has_value());
+  EXPECT_FALSE(ParseReport("hello world").has_value());
+  EXPECT_FALSE(
+      ParseReport("something about ops/sec but not a report").has_value());
+}
+
+TEST(Report, P99AccessorsHandleEmptyHistograms) {
+  BenchResult r;
+  EXPECT_EQ(0.0, r.p99_write_us());
+  EXPECT_EQ(0.0, r.p99_read_us());
+  r.read_micros.Add(500);
+  EXPECT_GT(r.p99_read_us(), 0.0);
+  EXPECT_EQ(0.0, r.p99_write_us());
+}
+
+TEST(Report, WriteOnlyReportOmitsReadHistogram) {
+  BenchResult r = MakeResult();
+  std::string text = r.ToReport();
+  EXPECT_EQ(text.find("Microseconds per read:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elmo::bench

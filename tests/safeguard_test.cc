@@ -1,0 +1,134 @@
+#include "elmo/safeguard.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::tune {
+namespace {
+
+using Proposal = std::vector<std::pair<std::string, std::string>>;
+
+TEST(Safeguard, AppliesValidChanges) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base,
+      Proposal{{"max_background_jobs", "6"}, {"write_buffer_size", "33554432"}},
+      &result);
+  EXPECT_EQ(2u, report.applied.size());
+  EXPECT_EQ(0, report.total_rejected());
+  EXPECT_EQ(6, result.max_background_jobs);
+  EXPECT_EQ(33554432u, result.write_buffer_size);
+  // Base untouched.
+  EXPECT_EQ(2, base.max_background_jobs);
+}
+
+TEST(Safeguard, RejectsHallucinations) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base, Proposal{{"memtable_prefetch_depth", "8"}}, &result);
+  ASSERT_EQ(1u, report.rejected_unknown.size());
+  EXPECT_EQ("memtable_prefetch_depth", report.rejected_unknown[0]);
+  EXPECT_TRUE(report.applied.empty());
+}
+
+TEST(Safeguard, RejectsDeprecatedWithDistinctCategory) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report =
+      guard.Validate(base, Proposal{{"flush_job_count", "4"}}, &result);
+  ASSERT_EQ(1u, report.rejected_deprecated.size());
+  EXPECT_TRUE(report.rejected_unknown.empty());
+}
+
+TEST(Safeguard, BlocksBlacklistedBeforeValidation) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report =
+      guard.Validate(base, Proposal{{"disable_wal", "true"}}, &result);
+  ASSERT_EQ(1u, report.rejected_blacklisted.size());
+  EXPECT_FALSE(result.disable_wal);
+}
+
+TEST(Safeguard, ExtraBlacklistHonored) {
+  SafeguardEnforcer guard({"max_open_files"});
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base, Proposal{{"max_open_files", "100"}, {"block_size", "8192"}},
+      &result);
+  EXPECT_EQ(1u, report.rejected_blacklisted.size());
+  EXPECT_EQ(1u, report.applied.size());
+  EXPECT_EQ(-1, result.max_open_files);
+  EXPECT_EQ(8192u, result.block_size);
+}
+
+TEST(Safeguard, RejectsInvalidValues) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base,
+      Proposal{{"write_buffer_size", "a-lot"},
+               {"max_write_buffer_number", "100000"}},
+      &result);
+  EXPECT_EQ(2u, report.rejected_invalid.size());
+  EXPECT_EQ(base.write_buffer_size, result.write_buffer_size);
+}
+
+TEST(Safeguard, NoOpChangesNotCounted) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  // Echoing the default back is not a change.
+  auto report = guard.Validate(
+      base,
+      Proposal{{"max_background_jobs", "2"},  // default
+               {"max_background_jobs", "5"}},
+      &result);
+  ASSERT_EQ(1u, report.applied.size());
+  EXPECT_EQ("5", report.applied[0].second);
+}
+
+TEST(Safeguard, EmptyProposalsIsFormatFailure) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(base, {}, &result);
+  EXPECT_FALSE(report.format_ok);
+}
+
+TEST(Safeguard, MixedBatchPartiallyApplied) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base,
+      Proposal{{"max_background_jobs", "8"},
+               {"disable_wal", "true"},
+               {"made_up", "1"},
+               {"flush_job_count", "2"},
+               {"block_size", "-5"}},
+      &result);
+  EXPECT_EQ(1u, report.applied.size());
+  EXPECT_EQ(1u, report.rejected_blacklisted.size());
+  EXPECT_EQ(1u, report.rejected_unknown.size());
+  EXPECT_EQ(1u, report.rejected_deprecated.size());
+  EXPECT_EQ(1u, report.rejected_invalid.size());
+  EXPECT_EQ(4, report.total_rejected());
+  EXPECT_EQ(8, result.max_background_jobs);
+
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("hallucinated"), std::string::npos);
+  EXPECT_NE(summary.find("deprecated"), std::string::npos);
+  EXPECT_NE(summary.find("blacklisted"), std::string::npos);
+}
+
+TEST(Safeguard, ValueNormalizedThroughSchema) {
+  SafeguardEnforcer guard;
+  lsm::Options base, result;
+  auto report = guard.Validate(
+      base, Proposal{{"write_buffer_size", "128MB"}}, &result);
+  ASSERT_EQ(1u, report.applied.size());
+  // Stored canonical (bytes), not the suffixed form.
+  EXPECT_EQ("134217728", report.applied[0].second);
+  EXPECT_EQ(128ull << 20, result.write_buffer_size);
+}
+
+}  // namespace
+}  // namespace elmo::tune

@@ -1,0 +1,240 @@
+// SimEnv mechanics: device model costs, lane scheduler, job meter,
+// page cache / dirty pool, determinism. (The DB-level behavior on
+// SimEnv lives in sim_db_test.cc.)
+#include <gtest/gtest.h>
+
+#include "env/lane_scheduler.h"
+#include "env/sim_env.h"
+
+namespace elmo {
+namespace {
+
+HardwareProfile Nvme(int cores = 4, int mem_gib = 4) {
+  return HardwareProfile::Make(cores, mem_gib, DeviceModel::NvmeSsd());
+}
+HardwareProfile Hdd(int cores = 4, int mem_gib = 4) {
+  return HardwareProfile::Make(cores, mem_gib, DeviceModel::SataHdd());
+}
+
+TEST(DeviceModel, SequentialCheaperThanRandom) {
+  auto hdd = DeviceModel::SataHdd();
+  EXPECT_LT(hdd.ReadCostMicros(4096, true), hdd.ReadCostMicros(4096, false));
+  auto nvme = DeviceModel::NvmeSsd();
+  EXPECT_LT(nvme.ReadCostMicros(4096, true),
+            nvme.ReadCostMicros(4096, false));
+}
+
+TEST(DeviceModel, HddSeeksDominateNvme) {
+  EXPECT_GT(DeviceModel::SataHdd().ReadCostMicros(4096, false),
+            20 * DeviceModel::NvmeSsd().ReadCostMicros(4096, false));
+}
+
+TEST(DeviceModel, SyncCostGrowsWithDirty) {
+  auto d = DeviceModel::SataHdd();
+  EXPECT_LT(d.SyncCostMicros(0), d.SyncCostMicros(16 << 20));
+}
+
+TEST(LaneScheduler, SerializesOnSingleSlot) {
+  LaneScheduler lanes;
+  lanes.Configure(/*cores=*/4, /*flush=*/1, /*compaction=*/1);
+  uint64_t a = lanes.Schedule(JobPriority::kHigh, 0, 100);
+  uint64_t b = lanes.Schedule(JobPriority::kHigh, 0, 100);
+  EXPECT_EQ(100u, a);
+  EXPECT_EQ(200u, b);  // same flush slot: must queue
+}
+
+TEST(LaneScheduler, ParallelWithMultipleSlots) {
+  LaneScheduler lanes;
+  lanes.Configure(4, 2, 2);
+  uint64_t a = lanes.Schedule(JobPriority::kHigh, 0, 100);
+  uint64_t b = lanes.Schedule(JobPriority::kHigh, 0, 100);
+  EXPECT_EQ(100u, a);
+  EXPECT_EQ(100u, b);  // two slots, two cores: concurrent
+}
+
+TEST(LaneScheduler, CoresBoundTotalParallelism) {
+  LaneScheduler lanes;
+  lanes.Configure(/*cores=*/1, /*flush=*/4, /*compaction=*/4);
+  uint64_t a = lanes.Schedule(JobPriority::kHigh, 0, 100);
+  uint64_t b = lanes.Schedule(JobPriority::kLow, 0, 100);
+  EXPECT_EQ(100u, a);
+  EXPECT_EQ(200u, b);  // only one core
+}
+
+TEST(LaneScheduler, RespectsReadyTime) {
+  LaneScheduler lanes;
+  lanes.Configure(4, 2, 2);
+  EXPECT_EQ(600u, lanes.Schedule(JobPriority::kLow, 500, 100));
+}
+
+TEST(LaneScheduler, BusyCoresAndNextCompletion) {
+  LaneScheduler lanes;
+  lanes.Configure(2, 2, 2);
+  lanes.Schedule(JobPriority::kHigh, 0, 100);
+  lanes.Schedule(JobPriority::kLow, 0, 300);
+  EXPECT_EQ(2, lanes.BusyCores(50));
+  EXPECT_EQ(1, lanes.BusyCores(150));
+  EXPECT_EQ(0, lanes.BusyCores(350));
+  EXPECT_EQ(100u, lanes.NextCompletionAfter(50));
+  EXPECT_EQ(300u, lanes.NextCompletionAfter(150));
+  EXPECT_EQ(400u, lanes.NextCompletionAfter(400));  // idle: returns now
+}
+
+TEST(SimEnv, ClockStartsAtZeroAndAdvances) {
+  SimEnv env(Nvme());
+  EXPECT_EQ(0u, env.NowMicros());
+  env.SleepForMicroseconds(1234);
+  EXPECT_EQ(1234u, env.NowMicros());
+  env.AdvanceTo(500);  // backwards: no-op
+  EXPECT_EQ(1234u, env.NowMicros());
+  env.AdvanceTo(5000);
+  EXPECT_EQ(5000u, env.NowMicros());
+}
+
+TEST(SimEnv, MeterCapturesChargesWithoutMovingClock) {
+  SimEnv env(Nvme());
+  env.BeginJobMeter();
+  env.SleepForMicroseconds(700);
+  uint64_t metered = env.EndJobMeter();
+  EXPECT_EQ(700u, metered);
+  EXPECT_EQ(0u, env.NowMicros());
+}
+
+TEST(SimEnv, WritesChargeOnAppendAndSync) {
+  SimEnv env(Hdd());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  uint64_t t0 = env.NowMicros();
+  ASSERT_TRUE(f->Append(std::string(1 << 20, 'x')).ok());
+  uint64_t after_append = env.NowMicros();
+  EXPECT_GT(after_append, t0);  // DRAM copy cost
+  ASSERT_TRUE(f->Sync().ok());
+  uint64_t after_sync = env.NowMicros();
+  // Sync drains 1 MiB at HDD speeds: milliseconds.
+  EXPECT_GT(after_sync - after_append, 4000u);
+}
+
+TEST(SimEnv, GlobalDirtyPoolForcesWritebackBurst) {
+  SimEnv env(Hdd());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  // Push far past the dirty limit without ever syncing.
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(f->Append(std::string(1 << 20, 'x')).ok());
+  }
+  EXPECT_GT(env.io_stats().writeback_stalls, 0u);
+}
+
+TEST(SimEnv, RangeSyncPreventsBursts) {
+  SimEnv env(Hdd());
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("/f", &f).ok());
+  for (int i = 0; i < 40; i++) {
+    ASSERT_TRUE(f->Append(std::string(1 << 20, 'x')).ok());
+    ASSERT_TRUE(f->RangeSync(1 << 20).ok());
+  }
+  EXPECT_EQ(0u, env.io_stats().writeback_stalls);
+}
+
+TEST(SimEnv, SequentialHeadModel) {
+  // With a huge app footprint the page cache is zero, so every read
+  // touches the device and the head model is observable.
+  SimEnv env(Hdd());
+  env.SetAppMemoryFootprint(64ull << 30);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/f", &w).ok());
+  ASSERT_TRUE(w->Append(std::string(1 << 20, 'x')).ok());
+  ASSERT_TRUE(w->Sync().ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  char scratch[4096];
+  Slice out;
+
+  // Sequential pass: first read pays the seek, rest stream.
+  uint64_t t0 = env.NowMicros();
+  for (uint64_t off = 0; off < (1 << 20); off += 4096) {
+    ASSERT_TRUE(r->Read(off, 4096, &out, scratch).ok());
+  }
+  uint64_t sequential_cost = env.NowMicros() - t0;
+
+  // Random pass over the same blocks.
+  t0 = env.NowMicros();
+  uint64_t off = 0;
+  for (int i = 0; i < 256; i++) {
+    off = (off + 999 * 4096) % (1 << 20);
+    ASSERT_TRUE(r->Read(off, 4096, &out, scratch).ok());
+  }
+  uint64_t random_cost = env.NowMicros() - t0;
+
+  EXPECT_GT(random_cost, sequential_cost);
+}
+
+TEST(SimEnv, ReadaheadMakesWindowReadsCheap) {
+  SimEnv env(Hdd());
+  env.SetAppMemoryFootprint(64ull << 30);  // no page cache
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("/f", &w).ok());
+  ASSERT_TRUE(w->Append(std::string(4 << 20, 'x')).ok());
+  ASSERT_TRUE(w->Sync().ok());
+
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &r).ok());
+  r->Readahead(0, 4 << 20);
+  uint64_t t0 = env.NowMicros();
+  char scratch[4096];
+  Slice out;
+  ASSERT_TRUE(r->Read(1 << 20, 4096, &out, scratch).ok());
+  // Within the window: DRAM cost, far below a seek.
+  EXPECT_LT(env.NowMicros() - t0, 100u);
+}
+
+TEST(SimEnv, PagingPenaltyWhenOvercommitted) {
+  SimEnv sane(Nvme(4, 4));
+  SimEnv greedy(Nvme(4, 4));
+  greedy.SetAppMemoryFootprint(8ull << 30);  // 8 GiB app on 4 GiB box
+  sane.ChargeCpu(1000);
+  greedy.ChargeCpu(1000);
+  EXPECT_GT(greedy.NowMicros(), sane.NowMicros());
+}
+
+TEST(SimEnv, DeterministicAcrossInstances) {
+  auto run = [] {
+    SimEnv env(Hdd(), 77);
+    std::unique_ptr<WritableFile> f;
+    env.NewWritableFile("/f", &f);
+    for (int i = 0; i < 100; i++) {
+      f->Append(std::string(10000, 'x'));
+    }
+    f->Sync();
+    std::unique_ptr<RandomAccessFile> r;
+    env.NewRandomAccessFile("/f", &r);
+    char scratch[512];
+    Slice out;
+    for (int i = 0; i < 50; i++) {
+      r->Read((i * 7919) % 900000, 512, &out, scratch);
+    }
+    return env.NowMicros();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimEnv, FilesystemSemanticsMatchMemEnv) {
+  SimEnv env(Nvme());
+  ASSERT_TRUE(env.CreateDirIfMissing("/d").ok());
+  ASSERT_TRUE(env.WriteStringToFile("payload", "/d/f").ok());
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("/d/f", &data).ok());
+  EXPECT_EQ("payload", data);
+  std::vector<std::string> kids;
+  ASSERT_TRUE(env.GetChildren("/d", &kids).ok());
+  ASSERT_EQ(1u, kids.size());
+  EXPECT_EQ("f", kids[0]);
+  ASSERT_TRUE(env.RenameFile("/d/f", "/d/g").ok());
+  EXPECT_TRUE(env.FileExists("/d/g"));
+  ASSERT_TRUE(env.RemoveFile("/d/g").ok());
+  EXPECT_FALSE(env.FileExists("/d/g"));
+}
+
+}  // namespace
+}  // namespace elmo

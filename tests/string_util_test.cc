@@ -1,0 +1,112 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo {
+namespace {
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ("abc", TrimWhitespace("  abc  "));
+  EXPECT_EQ("abc", TrimWhitespace("\tabc\r\n"));
+  EXPECT_EQ("", TrimWhitespace("   "));
+  EXPECT_EQ("a b", TrimWhitespace(" a b "));
+  EXPECT_EQ("", TrimWhitespace(""));
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ("hello world", ToLower("HeLLo WoRLD"));
+  EXPECT_EQ("123_abc", ToLower("123_ABC"));
+}
+
+TEST(StringUtil, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(4u, parts.size());
+  EXPECT_EQ("a", parts[0]);
+  EXPECT_EQ("b", parts[1]);
+  EXPECT_EQ("", parts[2]);
+  EXPECT_EQ("c", parts[3]);
+  EXPECT_EQ(1u, SplitString("", ',').size());
+}
+
+TEST(StringUtil, SplitLinesHandlesCrLf) {
+  auto lines = SplitLines("one\r\ntwo\nthree\r\n");
+  ASSERT_EQ(4u, lines.size());
+  EXPECT_EQ("one", lines[0]);
+  EXPECT_EQ("two", lines[1]);
+  EXPECT_EQ("three", lines[2]);
+  EXPECT_EQ("", lines[3]);
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_FALSE(EndsWith("ab", "aab"));
+}
+
+TEST(StringUtil, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("SATA HDD device", "hdd"));
+  EXPECT_FALSE(ContainsIgnoreCase("NVMe SSD", "hdd"));
+}
+
+TEST(StringUtil, ParseBool) {
+  EXPECT_EQ(true, ParseBool("true").value());
+  EXPECT_EQ(true, ParseBool(" TRUE ").value());
+  EXPECT_EQ(true, ParseBool("1").value());
+  EXPECT_EQ(false, ParseBool("false").value());
+  EXPECT_EQ(false, ParseBool("0").value());
+  EXPECT_EQ(false, ParseBool("off").value());
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+  EXPECT_FALSE(ParseBool("").has_value());
+}
+
+TEST(StringUtil, ParseInt64Plain) {
+  EXPECT_EQ(0, ParseInt64("0").value());
+  EXPECT_EQ(-42, ParseInt64("-42").value());
+  EXPECT_EQ(67108864, ParseInt64("67108864").value());
+  EXPECT_EQ(123, ParseInt64("  123  ").value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("12abc").has_value());
+}
+
+TEST(StringUtil, ParseInt64Suffixes) {
+  EXPECT_EQ(64ll << 20, ParseInt64("64MB").value());
+  EXPECT_EQ(64ll << 20, ParseInt64("64m").value());
+  EXPECT_EQ(64ll << 20, ParseInt64("64 MiB").value());
+  EXPECT_EQ(1ll << 30, ParseInt64("1G").value());
+  EXPECT_EQ(4ll << 10, ParseInt64("4K").value());
+  EXPECT_EQ(2ll << 40, ParseInt64("2TB").value());
+}
+
+TEST(StringUtil, ParseDouble) {
+  EXPECT_DOUBLE_EQ(3.5, ParseDouble("3.5").value());
+  EXPECT_DOUBLE_EQ(-0.25, ParseDouble("-0.25").value());
+  EXPECT_FALSE(ParseDouble("3.5x").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(StringUtil, FormatBytesHuman) {
+  EXPECT_EQ("512 B", FormatBytesHuman(512));
+  EXPECT_EQ("4 KiB", FormatBytesHuman(4096));
+  EXPECT_EQ("64 MiB", FormatBytesHuman(64ull << 20));
+  EXPECT_EQ("4 GiB", FormatBytesHuman(4ull << 30));
+  EXPECT_EQ("1.5 KiB", FormatBytesHuman(1536));
+}
+
+TEST(StringUtil, FormatCountHuman) {
+  EXPECT_EQ("999", FormatCountHuman(999));
+  EXPECT_EQ("1.5K", FormatCountHuman(1500));
+  EXPECT_EQ("25.0M", FormatCountHuman(25000000));
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ("b.b.b", ReplaceAll("a.a.a", "a", "b"));
+  EXPECT_EQ("xya", ReplaceAll("aba", "ab", "xy"));
+  EXPECT_EQ("unchanged", ReplaceAll("unchanged", "zz", "y"));
+}
+
+}  // namespace
+}  // namespace elmo

@@ -1,0 +1,55 @@
+#include "sysinfo/system_probe.h"
+
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "env/sim_env.h"
+
+namespace elmo::sysinfo {
+namespace {
+
+TEST(SystemProbe, SimEnvReportsConfiguredHardware) {
+  SimEnv env(HardwareProfile::Make(2, 4, DeviceModel::SataHdd()));
+  SystemProfile p = SystemProbe::Collect(&env, "/probe");
+  EXPECT_EQ(2, p.cpu_cores);
+  EXPECT_EQ(4ull << 30, p.memory_bytes);
+  EXPECT_EQ("SATA HDD", p.device_name);
+  EXPECT_GT(p.seq_write_mbps, 0.0);
+  EXPECT_GT(p.sync_latency_us, 0.0);
+}
+
+TEST(SystemProbe, DeviceClassesDistinguishable) {
+  SimEnv hdd(HardwareProfile::Make(4, 4, DeviceModel::SataHdd()));
+  SimEnv nvme(HardwareProfile::Make(4, 4, DeviceModel::NvmeSsd()));
+  SystemProfile ph = SystemProbe::Collect(&hdd, "/probe");
+  SystemProfile pn = SystemProbe::Collect(&nvme, "/probe");
+  // The fio-style probe must see the device difference.
+  EXPECT_GT(ph.sync_latency_us, pn.sync_latency_us * 5);
+  EXPECT_LT(ph.seq_write_mbps, pn.seq_write_mbps);
+}
+
+TEST(SystemProbe, PromptTextMentionsEverything) {
+  SimEnv env(HardwareProfile::Make(2, 8, DeviceModel::NvmeSsd()));
+  SystemProfile p = SystemProbe::Collect(&env, "/probe");
+  std::string text = p.ToPromptText();
+  EXPECT_NE(text.find("CPU cores: 2"), std::string::npos);
+  EXPECT_NE(text.find("8 GiB"), std::string::npos);
+  EXPECT_NE(text.find("NVMe SSD"), std::string::npos);
+  EXPECT_NE(text.find("fio-style"), std::string::npos);
+}
+
+TEST(SystemProbe, HostFallbackProducesSomething) {
+  MemEnv env;  // not a SimEnv: falls back to host facts
+  SystemProfile p = SystemProbe::Collect(&env, "/probe");
+  EXPECT_GT(p.cpu_cores, 0);
+  EXPECT_GT(p.memory_bytes, 0u);
+}
+
+TEST(SystemProbe, ProbeCleansUpScratchFile) {
+  SimEnv env(HardwareProfile::Make(4, 4, DeviceModel::NvmeSsd()));
+  SystemProbe::Collect(&env, "/probe");
+  EXPECT_FALSE(env.FileExists("/probe/ioprobe.tmp"));
+}
+
+}  // namespace
+}  // namespace elmo::sysinfo

@@ -1,0 +1,253 @@
+// VersionEdit encoding, FindFile/overlap helpers, compaction scoring
+// and picking (level + universal).
+#include <gtest/gtest.h>
+
+#include "env/mem_env.h"
+#include "lsm/version_set.h"
+
+namespace elmo::lsm {
+namespace {
+
+TEST(VersionEdit, EncodeDecodeRoundTrip) {
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    edit.AddFile(3, 300 + i, 555 + i,
+                 InternalKey("aoo" + std::to_string(i), 100 + i, kTypeValue),
+                 InternalKey("zoo" + std::to_string(i), 200 + i,
+                             kTypeDeletion));
+    edit.RemoveFile(4, 700 + i);
+  }
+  edit.SetComparatorName("foo-comparator");
+  edit.SetLogNumber(8);
+  edit.SetNextFile(9);
+  edit.SetLastSequence(10);
+
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  ASSERT_TRUE(parsed.DecodeFrom(encoded).ok());
+  std::string reencoded;
+  parsed.EncodeTo(&reencoded);
+  EXPECT_EQ(encoded, reencoded);
+  EXPECT_EQ("foo-comparator", parsed.comparator_);
+  EXPECT_EQ(8u, parsed.log_number_);
+  EXPECT_EQ(4u, parsed.new_files_.size());
+  EXPECT_EQ(4u, parsed.deleted_files_.size());
+}
+
+TEST(VersionEdit, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\x42\x99garbage")).ok());
+}
+
+// Harness exposing FindFile / SomeFileOverlapsRange over a synthetic
+// file list.
+class FindFileTest : public ::testing::Test {
+ protected:
+  void Add(const char* smallest, const char* largest,
+           SequenceNumber smallest_seq = 100,
+           SequenceNumber largest_seq = 100) {
+    auto f = std::make_shared<FileMetaData>();
+    f->number = files_.size() + 1;
+    f->smallest = InternalKey(smallest, smallest_seq, kTypeValue);
+    f->largest = InternalKey(largest, largest_seq, kTypeValue);
+    files_.push_back(f);
+  }
+
+  int Find(const char* key) {
+    InternalKey target(key, 100, kTypeValue);
+    return FindFile(icmp_, files_, target.Encode());
+  }
+
+  bool Overlaps(const char* smallest, const char* largest) {
+    Slice s(smallest != nullptr ? smallest : "");
+    Slice l(largest != nullptr ? largest : "");
+    return SomeFileOverlapsRange(icmp_, /*disjoint=*/true, files_,
+                                 (smallest != nullptr ? &s : nullptr),
+                                 (largest != nullptr ? &l : nullptr));
+  }
+
+  InternalKeyComparator icmp_{BytewiseComparator()};
+  std::vector<FileRef> files_;
+};
+
+TEST_F(FindFileTest, Empty) {
+  EXPECT_EQ(0, Find("foo"));
+  EXPECT_FALSE(Overlaps("a", "z"));
+  EXPECT_FALSE(Overlaps(nullptr, nullptr));
+}
+
+TEST_F(FindFileTest, Single) {
+  Add("p", "q");
+  EXPECT_EQ(0, Find("a"));
+  EXPECT_EQ(0, Find("p"));
+  EXPECT_EQ(0, Find("q"));
+  EXPECT_EQ(1, Find("q1"));
+  EXPECT_EQ(1, Find("z"));
+
+  EXPECT_FALSE(Overlaps("a", "b"));
+  EXPECT_FALSE(Overlaps("z1", "z2"));
+  EXPECT_TRUE(Overlaps("a", "p"));
+  EXPECT_TRUE(Overlaps("p1", "p2"));
+  EXPECT_TRUE(Overlaps("q", "z"));
+  EXPECT_TRUE(Overlaps(nullptr, "p"));
+  EXPECT_TRUE(Overlaps("q", nullptr));
+  EXPECT_TRUE(Overlaps(nullptr, nullptr));
+  EXPECT_FALSE(Overlaps(nullptr, "b"));
+  EXPECT_FALSE(Overlaps("z", nullptr));
+}
+
+TEST_F(FindFileTest, Multiple) {
+  Add("150", "200");
+  Add("200", "250");
+  Add("300", "350");
+  Add("400", "450");
+  EXPECT_EQ(0, Find("100"));
+  EXPECT_EQ(0, Find("150"));
+  EXPECT_EQ(1, Find("201"));
+  EXPECT_EQ(2, Find("251"));
+  EXPECT_EQ(2, Find("301"));
+  EXPECT_EQ(3, Find("351"));
+  EXPECT_EQ(4, Find("451"));
+
+  EXPECT_TRUE(Overlaps("100", "150"));
+  EXPECT_FALSE(Overlaps("251", "299"));
+  EXPECT_TRUE(Overlaps("251", "300"));
+  EXPECT_TRUE(Overlaps("100", "500"));
+}
+
+// Compaction picking through a real VersionSet on MemEnv.
+class VersionSetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.env = &env_;
+    options_.level0_file_num_compaction_trigger = 4;
+    icmp_ = std::make_unique<InternalKeyComparator>(BytewiseComparator());
+    table_cache_ = std::make_unique<TableCache>("/vdb", options_,
+                                                icmp_.get(), nullptr, 100);
+    vset_ = std::make_unique<VersionSet>("/vdb", &options_,
+                                         table_cache_.get(), icmp_.get());
+    ASSERT_TRUE(env_.CreateDirIfMissing("/vdb").ok());
+  }
+
+  // Install a file at `level` spanning [smallest, largest].
+  void AddFile(int level, const char* smallest, const char* largest,
+               uint64_t size = 1 << 20) {
+    VersionEdit edit;
+    uint64_t number = vset_->NewFileNumber();
+    edit.AddFile(level, number, size,
+                 InternalKey(smallest, 1, kTypeValue),
+                 InternalKey(largest, 1, kTypeValue));
+    ASSERT_TRUE(vset_->LogAndApply(&edit).ok());
+  }
+
+  MemEnv env_;
+  Options options_;
+  std::unique_ptr<InternalKeyComparator> icmp_;
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<VersionSet> vset_;
+};
+
+TEST_F(VersionSetTest, NoCompactionWhenEmpty) {
+  EXPECT_FALSE(vset_->NeedsCompaction());
+  EXPECT_EQ(nullptr, vset_->PickCompaction());
+}
+
+TEST_F(VersionSetTest, L0TriggerFiresAtThreshold) {
+  AddFile(0, "a", "m");
+  AddFile(0, "b", "n");
+  AddFile(0, "c", "o");
+  EXPECT_FALSE(vset_->NeedsCompaction());
+  AddFile(0, "d", "p");
+  EXPECT_TRUE(vset_->NeedsCompaction());
+
+  auto c = vset_->PickCompaction();
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(0, c->level());
+  EXPECT_EQ(1, c->output_level());
+  // All overlapping L0 files come along.
+  EXPECT_EQ(4, c->num_input_files(0));
+}
+
+TEST_F(VersionSetTest, L0CompactionPullsOverlappingL1) {
+  AddFile(1, "a", "e");
+  AddFile(1, "f", "j");
+  AddFile(1, "x", "z");
+  for (int i = 0; i < 4; i++) {
+    AddFile(0, "b", "g");  // overlaps first two L1 files only
+  }
+  auto c = vset_->PickCompaction();
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(4, c->num_input_files(0));
+  EXPECT_EQ(2, c->num_input_files(1));
+}
+
+TEST_F(VersionSetTest, SizeTriggeredLevelCompaction) {
+  // L1 target is max_bytes_for_level_base (256 MiB); exceed it.
+  AddFile(1, "a", "b", 200ull << 20);
+  AddFile(1, "c", "d", 200ull << 20);
+  EXPECT_TRUE(vset_->NeedsCompaction());
+  auto c = vset_->PickCompaction();
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(1, c->num_input_files(0));
+  // No overlap in empty L2: trivially movable.
+  EXPECT_TRUE(c->IsTrivialMove());
+}
+
+TEST_F(VersionSetTest, DisableAutoCompactionsSuppressesPicking) {
+  options_.disable_auto_compactions = true;
+  for (int i = 0; i < 10; i++) AddFile(0, "a", "z");
+  EXPECT_FALSE(vset_->NeedsCompaction());
+  EXPECT_EQ(nullptr, vset_->PickCompaction());
+}
+
+TEST_F(VersionSetTest, UniversalMergesAllL0Runs) {
+  options_.compaction_style = CompactionStyle::kUniversal;
+  for (int i = 0; i < 4; i++) AddFile(0, "a", "z");
+  EXPECT_TRUE(vset_->NeedsCompaction());
+  auto c = vset_->PickCompaction();
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(0, c->level());
+  EXPECT_EQ(0, c->output_level());
+  EXPECT_EQ(4, c->num_input_files(0));
+  EXPECT_FALSE(c->IsTrivialMove());
+}
+
+TEST_F(VersionSetTest, PendingCompactionBytesGrowWithDebt) {
+  uint64_t before = vset_->EstimatePendingCompactionBytes();
+  AddFile(1, "a", "b", 400ull << 20);  // above the 256 MiB target
+  AddFile(1, "c", "d", 400ull << 20);
+  EXPECT_GT(vset_->EstimatePendingCompactionBytes(), before);
+}
+
+TEST_F(VersionSetTest, RecoverRestoresState) {
+  AddFile(0, "a", "m");
+  AddFile(2, "p", "q", 7777);
+  SequenceNumber seq = 42;
+  vset_->SetLastSequence(seq);
+  VersionEdit edit;
+  ASSERT_TRUE(vset_->LogAndApply(&edit).ok());
+
+  // Fresh VersionSet recovering from the same manifest.
+  VersionSet recovered("/vdb", &options_, table_cache_.get(), icmp_.get());
+  ASSERT_TRUE(recovered.Recover().ok());
+  EXPECT_EQ(1, recovered.NumLevelFiles(0));
+  EXPECT_EQ(1, recovered.NumLevelFiles(2));
+  EXPECT_EQ(7777u, recovered.NumLevelBytes(2));
+  EXPECT_EQ(seq, recovered.LastSequence());
+}
+
+TEST_F(VersionSetTest, DynamicLevelBytesChangesScoring) {
+  options_.level_compaction_dynamic_level_bytes = true;
+  // A big last level sets targets for upper levels.
+  AddFile(6, "a", "z", 10ull << 30);
+  AddFile(2, "a", "m", 500ull << 20);
+  // Under dynamic sizing, L2's target derives from L6 downward; the
+  // version must still produce a sane compaction decision.
+  (void)vset_->NeedsCompaction();  // must not crash / assert
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace elmo::lsm

@@ -1,0 +1,60 @@
+#include "bench_kit/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace elmo::bench {
+namespace {
+
+TEST(Workload, FactoryShapesMatchPaperSetup) {
+  auto fr = WorkloadSpec::FillRandom();
+  EXPECT_EQ(WorkloadType::kFillRandom, fr.type);
+  EXPECT_EQ(0u, fr.preload_keys);
+  EXPECT_EQ(1, fr.threads);
+
+  auto rr = WorkloadSpec::ReadRandom();
+  EXPECT_EQ(WorkloadType::kReadRandom, rr.type);
+  EXPECT_GT(rr.preload_keys, 0u) << "paper preloads the DB for RR";
+  EXPECT_EQ(rr.preload_keys, rr.num_keys);
+
+  auto rrwr = WorkloadSpec::ReadRandomWriteRandom();
+  EXPECT_EQ(2, rrwr.threads) << "paper runs RRWR with 2 threads";
+  EXPECT_DOUBLE_EQ(0.5, rrwr.write_fraction);
+  EXPECT_GT(rrwr.num_keys, rrwr.preload_keys);
+
+  auto mg = WorkloadSpec::Mixgraph();
+  EXPECT_DOUBLE_EQ(0.5, mg.write_fraction) << "paper: 50% writes";
+  EXPECT_GT(mg.zipf_theta, 0.0);
+  EXPECT_LT(mg.zipf_theta, 1.0);
+}
+
+TEST(Workload, TypeNames) {
+  EXPECT_STREQ("fillrandom", WorkloadTypeName(WorkloadType::kFillRandom));
+  EXPECT_STREQ("readrandom", WorkloadTypeName(WorkloadType::kReadRandom));
+  EXPECT_STREQ("readrandomwriterandom",
+               WorkloadTypeName(WorkloadType::kReadRandomWriteRandom));
+  EXPECT_STREQ("mixgraph", WorkloadTypeName(WorkloadType::kMixgraph));
+}
+
+TEST(Workload, DescribeMentionsKeyFacts) {
+  auto spec = WorkloadSpec::ReadRandomWriteRandom(200000);
+  std::string d = spec.Describe();
+  EXPECT_NE(d.find("readrandomwriterandom"), std::string::npos);
+  EXPECT_NE(d.find("200000 ops"), std::string::npos);
+  EXPECT_NE(d.find("2 thread"), std::string::npos);
+  EXPECT_NE(d.find("50% writes"), std::string::npos);
+
+  std::string fr = WorkloadSpec::FillRandom().Describe();
+  EXPECT_NE(fr.find("100% writes"), std::string::npos);
+  std::string rr = WorkloadSpec::ReadRandom().Describe();
+  EXPECT_NE(rr.find("0% writes"), std::string::npos);
+}
+
+TEST(Workload, OpCountsScaleTogether) {
+  auto big = WorkloadSpec::Mixgraph(500000);
+  auto small = WorkloadSpec::Mixgraph(50000);
+  EXPECT_EQ(big.num_ops, 10 * small.num_ops);
+  EXPECT_EQ(big.preload_keys, 10 * small.preload_keys);
+}
+
+}  // namespace
+}  // namespace elmo::bench

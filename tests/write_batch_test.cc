@@ -1,0 +1,127 @@
+#include "lsm/write_batch.h"
+
+#include <gtest/gtest.h>
+
+#include "lsm/memtable.h"
+
+namespace elmo {
+namespace {
+
+// Renders batch contents by applying to a memtable and scanning it.
+std::string PrintContents(WriteBatch* b) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(cmp);
+  EXPECT_TRUE(b->InsertInto(&mem).ok());
+  std::string state;
+  auto iter = mem.NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    ParsedInternalKey ikey;
+    EXPECT_TRUE(ParseInternalKey(iter->key(), &ikey));
+    if (ikey.type == kTypeValue) {
+      state += "Put(" + ikey.user_key.ToString() + ", " +
+               iter->value().ToString() + ")@" +
+               std::to_string(ikey.sequence);
+    } else {
+      state += "Delete(" + ikey.user_key.ToString() + ")@" +
+               std::to_string(ikey.sequence);
+    }
+    state += ";";
+  }
+  return state;
+}
+
+TEST(WriteBatch, Empty) {
+  WriteBatch batch;
+  EXPECT_EQ(0, batch.Count());
+  EXPECT_EQ("", PrintContents(&batch));
+}
+
+TEST(WriteBatch, Multiple) {
+  WriteBatch batch;
+  batch.Put("foo", "bar");
+  batch.Delete("box");
+  batch.Put("baz", "boo");
+  batch.SetSequence(100);
+  EXPECT_EQ(100u, batch.Sequence());
+  EXPECT_EQ(3, batch.Count());
+  EXPECT_EQ(
+      "Put(baz, boo)@102;"
+      "Delete(box)@101;"
+      "Put(foo, bar)@100;",
+      PrintContents(&batch));
+}
+
+TEST(WriteBatch, Append) {
+  WriteBatch b1, b2;
+  b1.Put("a", "va");
+  b2.Put("b", "vb");
+  b2.Delete("c");
+  b1.Append(b2);
+  b1.SetSequence(200);
+  EXPECT_EQ(3, b1.Count());
+  EXPECT_EQ(
+      "Put(a, va)@200;"
+      "Put(b, vb)@201;"
+      "Delete(c)@202;",
+      PrintContents(&b1));
+}
+
+TEST(WriteBatch, Clear) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  batch.Clear();
+  EXPECT_EQ(0, batch.Count());
+}
+
+TEST(WriteBatch, ApproximateSizeGrows) {
+  WriteBatch batch;
+  size_t empty = batch.ApproximateSize();
+  batch.Put("key", "value");
+  size_t one = batch.ApproximateSize();
+  batch.Put("key2", std::string(1000, 'v'));
+  size_t two = batch.ApproximateSize();
+  EXPECT_LT(empty, one);
+  EXPECT_LT(one + 1000, two + 100);
+}
+
+TEST(WriteBatch, CorruptedContentsRejected) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  std::string raw = batch.Contents().ToString();
+  raw.resize(raw.size() - 1);  // truncate payload
+  WriteBatch corrupt;
+  corrupt.SetContentsFrom(raw);
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(cmp);
+  EXPECT_FALSE(corrupt.InsertInto(&mem).ok());
+}
+
+TEST(WriteBatch, WrongCountDetected) {
+  WriteBatch batch;
+  batch.Put("k", "v");
+  std::string raw = batch.Contents().ToString();
+  raw[8] = 9;  // claim 9 entries
+  WriteBatch corrupt;
+  corrupt.SetContentsFrom(raw);
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(cmp);
+  EXPECT_FALSE(corrupt.InsertInto(&mem).ok());
+}
+
+TEST(WriteBatch, BinaryPayloads) {
+  WriteBatch batch;
+  std::string key("\x00\x01", 2), value("\xff\x00\xfe", 3);
+  batch.Put(key, value);
+  batch.SetSequence(1);
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(cmp);
+  ASSERT_TRUE(batch.InsertInto(&mem).ok());
+  LookupKey lk(key, 10);
+  std::string got;
+  Status s;
+  ASSERT_TRUE(mem.Get(lk, &got, &s));
+  EXPECT_EQ(value, got);
+}
+
+}  // namespace
+}  // namespace elmo
