@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hdd_iterations.dir/fig3_hdd_iterations.cc.o"
+  "CMakeFiles/fig3_hdd_iterations.dir/fig3_hdd_iterations.cc.o.d"
+  "fig3_hdd_iterations"
+  "fig3_hdd_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hdd_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

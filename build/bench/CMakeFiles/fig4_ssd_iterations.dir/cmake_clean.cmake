@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ssd_iterations.dir/fig4_ssd_iterations.cc.o"
+  "CMakeFiles/fig4_ssd_iterations.dir/fig4_ssd_iterations.cc.o.d"
+  "fig4_ssd_iterations"
+  "fig4_ssd_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ssd_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_ssd_iterations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llm_robustness.dir/llm_robustness.cc.o"
+  "CMakeFiles/llm_robustness.dir/llm_robustness.cc.o.d"
+  "llm_robustness"
+  "llm_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llm_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_2_hardware.dir/table1_2_hardware.cc.o"
+  "CMakeFiles/table1_2_hardware.dir/table1_2_hardware.cc.o.d"
+  "table1_2_hardware"
+  "table1_2_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

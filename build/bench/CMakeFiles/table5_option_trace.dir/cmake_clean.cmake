@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_option_trace.dir/table5_option_trace.cc.o"
+  "CMakeFiles/table5_option_trace.dir/table5_option_trace.cc.o.d"
+  "table5_option_trace"
+  "table5_option_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_option_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

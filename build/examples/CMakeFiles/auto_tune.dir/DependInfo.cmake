@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/auto_tune.cpp" "examples/CMakeFiles/auto_tune.dir/auto_tune.cpp.o" "gcc" "examples/CMakeFiles/auto_tune.dir/auto_tune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elmo/CMakeFiles/elmo_elmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/elmo_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysinfo/CMakeFiles/elmo_sysinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_kit/CMakeFiles/elmo_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/elmo_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/elmo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/elmo_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_tune.dir/auto_tune.cpp.o"
+  "CMakeFiles/auto_tune.dir/auto_tune.cpp.o.d"
+  "auto_tune"
+  "auto_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

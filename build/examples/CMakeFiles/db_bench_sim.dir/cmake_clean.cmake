@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_bench_sim.dir/db_bench_sim.cpp.o"
+  "CMakeFiles/db_bench_sim.dir/db_bench_sim.cpp.o.d"
+  "db_bench_sim"
+  "db_bench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_bench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

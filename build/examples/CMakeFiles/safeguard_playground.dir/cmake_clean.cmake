@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safeguard_playground.dir/safeguard_playground.cpp.o"
+  "CMakeFiles/safeguard_playground.dir/safeguard_playground.cpp.o.d"
+  "safeguard_playground"
+  "safeguard_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safeguard_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

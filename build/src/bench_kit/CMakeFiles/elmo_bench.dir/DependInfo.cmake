@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_kit/bench_runner.cc" "src/bench_kit/CMakeFiles/elmo_bench.dir/bench_runner.cc.o" "gcc" "src/bench_kit/CMakeFiles/elmo_bench.dir/bench_runner.cc.o.d"
+  "/root/repo/src/bench_kit/generators.cc" "src/bench_kit/CMakeFiles/elmo_bench.dir/generators.cc.o" "gcc" "src/bench_kit/CMakeFiles/elmo_bench.dir/generators.cc.o.d"
+  "/root/repo/src/bench_kit/report.cc" "src/bench_kit/CMakeFiles/elmo_bench.dir/report.cc.o" "gcc" "src/bench_kit/CMakeFiles/elmo_bench.dir/report.cc.o.d"
+  "/root/repo/src/bench_kit/workload.cc" "src/bench_kit/CMakeFiles/elmo_bench.dir/workload.cc.o" "gcc" "src/bench_kit/CMakeFiles/elmo_bench.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsm/CMakeFiles/elmo_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/elmo_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/elmo_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_bench.dir/bench_runner.cc.o"
+  "CMakeFiles/elmo_bench.dir/bench_runner.cc.o.d"
+  "CMakeFiles/elmo_bench.dir/generators.cc.o"
+  "CMakeFiles/elmo_bench.dir/generators.cc.o.d"
+  "CMakeFiles/elmo_bench.dir/report.cc.o"
+  "CMakeFiles/elmo_bench.dir/report.cc.o.d"
+  "CMakeFiles/elmo_bench.dir/workload.cc.o"
+  "CMakeFiles/elmo_bench.dir/workload.cc.o.d"
+  "libelmo_bench.a"
+  "libelmo_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elmo/active_flagger.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/active_flagger.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/active_flagger.cc.o.d"
+  "/root/repo/src/elmo/history_export.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/history_export.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/history_export.cc.o.d"
+  "/root/repo/src/elmo/option_evaluator.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/option_evaluator.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/option_evaluator.cc.o.d"
+  "/root/repo/src/elmo/prompt_generator.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/prompt_generator.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/prompt_generator.cc.o.d"
+  "/root/repo/src/elmo/safeguard.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/safeguard.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/safeguard.cc.o.d"
+  "/root/repo/src/elmo/tuning_session.cc" "src/elmo/CMakeFiles/elmo_elmo.dir/tuning_session.cc.o" "gcc" "src/elmo/CMakeFiles/elmo_elmo.dir/tuning_session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_kit/CMakeFiles/elmo_bench.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/elmo_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysinfo/CMakeFiles/elmo_sysinfo.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/elmo_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/elmo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/elmo_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_elmo.dir/active_flagger.cc.o"
+  "CMakeFiles/elmo_elmo.dir/active_flagger.cc.o.d"
+  "CMakeFiles/elmo_elmo.dir/history_export.cc.o"
+  "CMakeFiles/elmo_elmo.dir/history_export.cc.o.d"
+  "CMakeFiles/elmo_elmo.dir/option_evaluator.cc.o"
+  "CMakeFiles/elmo_elmo.dir/option_evaluator.cc.o.d"
+  "CMakeFiles/elmo_elmo.dir/prompt_generator.cc.o"
+  "CMakeFiles/elmo_elmo.dir/prompt_generator.cc.o.d"
+  "CMakeFiles/elmo_elmo.dir/safeguard.cc.o"
+  "CMakeFiles/elmo_elmo.dir/safeguard.cc.o.d"
+  "CMakeFiles/elmo_elmo.dir/tuning_session.cc.o"
+  "CMakeFiles/elmo_elmo.dir/tuning_session.cc.o.d"
+  "libelmo_elmo.a"
+  "libelmo_elmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_elmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

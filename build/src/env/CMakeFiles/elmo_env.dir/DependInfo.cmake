@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/device_model.cc" "src/env/CMakeFiles/elmo_env.dir/device_model.cc.o" "gcc" "src/env/CMakeFiles/elmo_env.dir/device_model.cc.o.d"
+  "/root/repo/src/env/env.cc" "src/env/CMakeFiles/elmo_env.dir/env.cc.o" "gcc" "src/env/CMakeFiles/elmo_env.dir/env.cc.o.d"
+  "/root/repo/src/env/mem_env.cc" "src/env/CMakeFiles/elmo_env.dir/mem_env.cc.o" "gcc" "src/env/CMakeFiles/elmo_env.dir/mem_env.cc.o.d"
+  "/root/repo/src/env/posix_env.cc" "src/env/CMakeFiles/elmo_env.dir/posix_env.cc.o" "gcc" "src/env/CMakeFiles/elmo_env.dir/posix_env.cc.o.d"
+  "/root/repo/src/env/sim_env.cc" "src/env/CMakeFiles/elmo_env.dir/sim_env.cc.o" "gcc" "src/env/CMakeFiles/elmo_env.dir/sim_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_env.dir/device_model.cc.o"
+  "CMakeFiles/elmo_env.dir/device_model.cc.o.d"
+  "CMakeFiles/elmo_env.dir/env.cc.o"
+  "CMakeFiles/elmo_env.dir/env.cc.o.d"
+  "CMakeFiles/elmo_env.dir/mem_env.cc.o"
+  "CMakeFiles/elmo_env.dir/mem_env.cc.o.d"
+  "CMakeFiles/elmo_env.dir/posix_env.cc.o"
+  "CMakeFiles/elmo_env.dir/posix_env.cc.o.d"
+  "CMakeFiles/elmo_env.dir/sim_env.cc.o"
+  "CMakeFiles/elmo_env.dir/sim_env.cc.o.d"
+  "libelmo_env.a"
+  "libelmo_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

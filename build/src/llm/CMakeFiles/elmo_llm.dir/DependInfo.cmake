@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/expert_llm.cc" "src/llm/CMakeFiles/elmo_llm.dir/expert_llm.cc.o" "gcc" "src/llm/CMakeFiles/elmo_llm.dir/expert_llm.cc.o.d"
+  "/root/repo/src/llm/openai_protocol.cc" "src/llm/CMakeFiles/elmo_llm.dir/openai_protocol.cc.o" "gcc" "src/llm/CMakeFiles/elmo_llm.dir/openai_protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/elmo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

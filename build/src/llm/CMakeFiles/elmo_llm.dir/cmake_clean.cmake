@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_llm.dir/expert_llm.cc.o"
+  "CMakeFiles/elmo_llm.dir/expert_llm.cc.o.d"
+  "CMakeFiles/elmo_llm.dir/openai_protocol.cc.o"
+  "CMakeFiles/elmo_llm.dir/openai_protocol.cc.o.d"
+  "libelmo_llm.a"
+  "libelmo_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_sysinfo.dir/system_probe.cc.o"
+  "CMakeFiles/elmo_sysinfo.dir/system_probe.cc.o.d"
+  "libelmo_sysinfo.a"
+  "libelmo_sysinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_sysinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

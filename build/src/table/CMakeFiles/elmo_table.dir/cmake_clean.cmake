@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_table.dir/block.cc.o"
+  "CMakeFiles/elmo_table.dir/block.cc.o.d"
+  "CMakeFiles/elmo_table.dir/block_builder.cc.o"
+  "CMakeFiles/elmo_table.dir/block_builder.cc.o.d"
+  "CMakeFiles/elmo_table.dir/bloom.cc.o"
+  "CMakeFiles/elmo_table.dir/bloom.cc.o.d"
+  "CMakeFiles/elmo_table.dir/cache.cc.o"
+  "CMakeFiles/elmo_table.dir/cache.cc.o.d"
+  "CMakeFiles/elmo_table.dir/comparator.cc.o"
+  "CMakeFiles/elmo_table.dir/comparator.cc.o.d"
+  "CMakeFiles/elmo_table.dir/format.cc.o"
+  "CMakeFiles/elmo_table.dir/format.cc.o.d"
+  "CMakeFiles/elmo_table.dir/iterator.cc.o"
+  "CMakeFiles/elmo_table.dir/iterator.cc.o.d"
+  "CMakeFiles/elmo_table.dir/table.cc.o"
+  "CMakeFiles/elmo_table.dir/table.cc.o.d"
+  "CMakeFiles/elmo_table.dir/table_builder.cc.o"
+  "CMakeFiles/elmo_table.dir/table_builder.cc.o.d"
+  "libelmo_table.a"
+  "libelmo_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

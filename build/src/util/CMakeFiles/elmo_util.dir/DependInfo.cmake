@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arena.cc" "src/util/CMakeFiles/elmo_util.dir/arena.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/arena.cc.o.d"
+  "/root/repo/src/util/coding.cc" "src/util/CMakeFiles/elmo_util.dir/coding.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/coding.cc.o.d"
+  "/root/repo/src/util/crc32c.cc" "src/util/CMakeFiles/elmo_util.dir/crc32c.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/crc32c.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/elmo_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/ini.cc" "src/util/CMakeFiles/elmo_util.dir/ini.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/ini.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/util/CMakeFiles/elmo_util.dir/json.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/elmo_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/util/CMakeFiles/elmo_util.dir/string_util.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/elmo_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/elmo_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elmo_util.dir/arena.cc.o"
+  "CMakeFiles/elmo_util.dir/arena.cc.o.d"
+  "CMakeFiles/elmo_util.dir/coding.cc.o"
+  "CMakeFiles/elmo_util.dir/coding.cc.o.d"
+  "CMakeFiles/elmo_util.dir/crc32c.cc.o"
+  "CMakeFiles/elmo_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/elmo_util.dir/histogram.cc.o"
+  "CMakeFiles/elmo_util.dir/histogram.cc.o.d"
+  "CMakeFiles/elmo_util.dir/ini.cc.o"
+  "CMakeFiles/elmo_util.dir/ini.cc.o.d"
+  "CMakeFiles/elmo_util.dir/json.cc.o"
+  "CMakeFiles/elmo_util.dir/json.cc.o.d"
+  "CMakeFiles/elmo_util.dir/logging.cc.o"
+  "CMakeFiles/elmo_util.dir/logging.cc.o.d"
+  "CMakeFiles/elmo_util.dir/string_util.cc.o"
+  "CMakeFiles/elmo_util.dir/string_util.cc.o.d"
+  "CMakeFiles/elmo_util.dir/thread_pool.cc.o"
+  "CMakeFiles/elmo_util.dir/thread_pool.cc.o.d"
+  "libelmo_util.a"
+  "libelmo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elmo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

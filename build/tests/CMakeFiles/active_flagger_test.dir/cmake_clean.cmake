@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_flagger_test.dir/active_flagger_test.cc.o"
+  "CMakeFiles/active_flagger_test.dir/active_flagger_test.cc.o.d"
+  "active_flagger_test"
+  "active_flagger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_flagger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

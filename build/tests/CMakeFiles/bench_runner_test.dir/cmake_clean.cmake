@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runner_test.dir/bench_runner_test.cc.o"
+  "CMakeFiles/bench_runner_test.dir/bench_runner_test.cc.o.d"
+  "bench_runner_test"
+  "bench_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_invariants_test.dir/db_invariants_test.cc.o"
+  "CMakeFiles/db_invariants_test.dir/db_invariants_test.cc.o.d"
+  "db_invariants_test"
+  "db_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

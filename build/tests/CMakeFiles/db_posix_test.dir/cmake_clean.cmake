@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_posix_test.dir/db_posix_test.cc.o"
+  "CMakeFiles/db_posix_test.dir/db_posix_test.cc.o.d"
+  "db_posix_test"
+  "db_posix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_sizes_test.dir/db_sizes_test.cc.o"
+  "CMakeFiles/db_sizes_test.dir/db_sizes_test.cc.o.d"
+  "db_sizes_test"
+  "db_sizes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_sizes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_llm_test.dir/expert_llm_test.cc.o"
+  "CMakeFiles/expert_llm_test.dir/expert_llm_test.cc.o.d"
+  "expert_llm_test"
+  "expert_llm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_llm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

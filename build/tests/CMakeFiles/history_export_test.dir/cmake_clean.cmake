@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_export_test.dir/history_export_test.cc.o"
+  "CMakeFiles/history_export_test.dir/history_export_test.cc.o.d"
+  "history_export_test"
+  "history_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openai_protocol_test.dir/openai_protocol_test.cc.o"
+  "CMakeFiles/openai_protocol_test.dir/openai_protocol_test.cc.o.d"
+  "openai_protocol_test"
+  "openai_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openai_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

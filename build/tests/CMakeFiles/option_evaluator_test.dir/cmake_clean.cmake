@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/option_evaluator_test.dir/option_evaluator_test.cc.o"
+  "CMakeFiles/option_evaluator_test.dir/option_evaluator_test.cc.o.d"
+  "option_evaluator_test"
+  "option_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/option_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

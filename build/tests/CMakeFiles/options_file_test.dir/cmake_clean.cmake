@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_file_test.dir/options_file_test.cc.o"
+  "CMakeFiles/options_file_test.dir/options_file_test.cc.o.d"
+  "options_file_test"
+  "options_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/options_schema_test.dir/options_schema_test.cc.o"
+  "CMakeFiles/options_schema_test.dir/options_schema_test.cc.o.d"
+  "options_schema_test"
+  "options_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/options_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

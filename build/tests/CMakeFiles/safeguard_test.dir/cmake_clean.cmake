@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safeguard_test.dir/safeguard_test.cc.o"
+  "CMakeFiles/safeguard_test.dir/safeguard_test.cc.o.d"
+  "safeguard_test"
+  "safeguard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safeguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

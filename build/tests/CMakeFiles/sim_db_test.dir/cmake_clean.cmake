@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_db_test.dir/sim_db_test.cc.o"
+  "CMakeFiles/sim_db_test.dir/sim_db_test.cc.o.d"
+  "sim_db_test"
+  "sim_db_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

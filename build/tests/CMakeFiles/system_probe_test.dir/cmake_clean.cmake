@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_probe_test.dir/system_probe_test.cc.o"
+  "CMakeFiles/system_probe_test.dir/system_probe_test.cc.o.d"
+  "system_probe_test"
+  "system_probe_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
