@@ -162,6 +162,9 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   if (db->GetProperty("elmo.levelsummary", &prop)) {
     result.level_summary = prop;
   }
+  if (db->GetProperty("elmo.stats", &prop)) {
+    result.engine_stats = prop;
+  }
   return result;
 }
 

@@ -45,6 +45,11 @@ std::string BenchResult::ToReport() const {
   if (!level_summary.empty()) {
     out += "LSM shape: " + level_summary + "\n";
   }
+  if (!engine_stats.empty()) {
+    out += "Engine statistics:\n";
+    out += engine_stats;
+    if (engine_stats.back() != '\n') out += '\n';
+  }
   return out;
 }
 

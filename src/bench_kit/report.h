@@ -32,6 +32,10 @@ struct BenchResult {
   double block_cache_hit_rate = 0;
   std::string level_summary;
 
+  // Full "elmo.stats" dump (tickers, stall reasons, latency/size
+  // histograms, per-level table) captured at the end of the run.
+  std::string engine_stats;
+
   // Convenience accessors used by tables/figures.
   double p99_write_us() const {
     return write_micros.Count() ? write_micros.Percentile(99.0) : 0;

@@ -34,6 +34,17 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += "\n";
   }
 
+  // Skip the standalone section when the report above already embeds
+  // the same dump (BenchResult::ToReport inlines engine_stats).
+  if (!in.engine_telemetry.empty() &&
+      in.last_benchmark_report.find(in.engine_telemetry) ==
+          std::string::npos) {
+    p += "## Engine Telemetry\n";
+    p += "```\n" + in.engine_telemetry;
+    if (in.engine_telemetry.back() != '\n') p += "\n";
+    p += "```\n\n";
+  }
+
   if (!in.deterioration_note.empty()) {
     p += "## Feedback\n";
     p += in.deterioration_note + "\n\n";

@@ -18,6 +18,10 @@ struct PromptInputs {
   std::string workload_description;
   std::string current_options_ini;   // the best-known options file text
   std::string last_benchmark_report; // raw report text
+  // Full engine telemetry dump ("elmo.stats": tickers, stall reasons,
+  // latency histograms, per-level read/write-amp table) from the best
+  // run so far — richer signal than the report summary alone.
+  std::string engine_telemetry;
   // Set when the previous iteration was reverted (the paper's
   // "intermediate prompt with the information about deterioration").
   std::string deterioration_note;

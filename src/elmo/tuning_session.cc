@@ -62,6 +62,7 @@ TuningOutcome TuningSession::Run(const Options& initial) {
     inputs.current_options_ini =
         OptionsSchema::Instance().ToIniText(best_options);
     inputs.last_benchmark_report = best_result.ToReport();
+    inputs.engine_telemetry = best_result.engine_stats;
     inputs.deterioration_note = deterioration_note;
     inputs.history = history;
     for (const auto& name : safeguard.blacklist()) {

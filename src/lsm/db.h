@@ -61,7 +61,11 @@ class DB {
   virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
   // Supported properties:
-  //   "elmo.stats"                       engine counters dump
+  //   "elmo.stats"                       full telemetry dump: tickers,
+  //                                      stall reasons, latency/size
+  //                                      histograms, per-level table
+  //   "elmo.levelstats"                  per-level files/bytes/score/
+  //                                      read/write/amp table
   //   "elmo.levelsummary"                file count per level
   //   "elmo.num-files-at-level<N>"
   //   "elmo.estimate-pending-compaction-bytes"

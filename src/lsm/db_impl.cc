@@ -11,6 +11,7 @@
 #include "lsm/merger.h"
 #include "lsm/options_file.h"
 #include "lsm/options_schema.h"
+#include "lsm/perf_context.h"
 #include "table/table_builder.h"
 #include "util/string_util.h"
 
@@ -380,6 +381,9 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   if (updates == nullptr || updates->Count() == 0) return Status::OK();
 
+  const uint64_t t_start = env_->NowMicros();
+  PerfContext* perf = GetPerfContext();
+
   std::unique_lock<std::mutex> l(mu_);
   Status s = MakeRoomForWrite(l);
   if (!s.ok()) return s;
@@ -393,18 +397,27 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   if (!opts.disable_wal && !options_.disable_wal) {
     s = log_->AddRecord(updates->Contents());
     stats_.Add(Ticker::kWalBytes, batch_bytes);
+    perf->write_wal_bytes += batch_bytes;
     wal_live_bytes_ += batch_bytes;
     if (s.ok()) {
       if (opts.sync) {
+        const uint64_t t_sync = env_->NowMicros();
         s = logfile_->Sync();
         stats_.Add(Ticker::kWalSyncs, 1);
+        stats_.Measure(HistogramType::kWalSyncMicros,
+                       env_->NowMicros() - t_sync);
+        perf->write_wal_syncs++;
       } else if (options_.wal_bytes_per_sync > 0) {
         wal_bytes_since_sync_ += batch_bytes;
         if (wal_bytes_since_sync_ >= options_.wal_bytes_per_sync) {
+          const uint64_t t_sync = env_->NowMicros();
           s = logfile_->RangeSync(options_.strict_bytes_per_sync
                                       ? options_.wal_bytes_per_sync
                                       : wal_bytes_since_sync_);
           stats_.Add(Ticker::kWalSyncs, 1);
+          stats_.Measure(HistogramType::kWalSyncMicros,
+                         env_->NowMicros() - t_sync);
+          perf->write_wal_syncs++;
           wal_bytes_since_sync_ = 0;
         }
       }
@@ -421,6 +434,12 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   stats_.Add(Ticker::kWriteCount, count);
   stats_.Add(Ticker::kBytesWritten, batch_bytes);
   ChargeWriteCpu(batch_bytes, count);
+
+  const uint64_t elapsed = env_->NowMicros() - t_start;
+  stats_.Measure(HistogramType::kWriteMicros, elapsed);
+  perf->write_batches++;
+  perf->write_count += count;
+  perf->write_micros += elapsed;
   return s;
 }
 
@@ -475,10 +494,15 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
         l0 < options_.level0_stop_writes_trigger) {
       // Slowdown regime: rate-limit this writer once, then proceed.
       stats_.Add(Ticker::kWriteSlowdownCount, 1);
+      stats_.Add(Ticker::kStallL0SlowdownCount, 1);
       uint64_t now = env_->NowMicros();
       uint64_t wait = slowdown_limiter_.Request(1024, now);
       if (wait == 0) wait = 1000;  // leveldb's 1ms nudge
       stats_.Add(Ticker::kWriteStallMicros, wait);
+      stats_.Measure(HistogramType::kStallMicros, wait);
+      GetPerfContext()->write_stall_micros += wait;
+      UpdateStallCondition(StallCondition::kDelayed,
+                           StallReason::kL0FileCount, wait);
       if (sim_ != nullptr) {
         sim_->AdvanceTo(now + wait);
       } else {
@@ -493,12 +517,17 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
     if (mem_->ApproximateMemoryUsage() <= options_.write_buffer_size &&
         (options_.max_total_wal_size == 0 ||
          wal_live_bytes_ <= options_.max_total_wal_size)) {
+      UpdateStallCondition(StallCondition::kNormal, StallReason::kNone, 0);
       return Status::OK();  // room available
     }
 
     if (ImmCountForStall() >= options_.max_write_buffer_number - 1) {
       // All memtable slots full: wait for a flush.
       stats_.Add(Ticker::kWriteStopCount, 1);
+      stats_.Add(Ticker::kStallMemtableStopCount, 1);
+      UpdateStallCondition(StallCondition::kStopped,
+                           StallReason::kMemtableLimit, 0);
+      uint64_t waited = 0;
       if (sim_ != nullptr) {
         uint64_t now = sim_->NowMicros();
         uint64_t next = vstall_.NextEventAfter(now);
@@ -506,33 +535,45 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
           // No pending completion — should not happen; avoid spinning.
           return Status::Busy("stalled with no pending flush");
         }
-        stats_.Add(Ticker::kWriteStallMicros, next - now);
+        waited = next - now;
         sim_->AdvanceTo(next);
       } else {
         MaybeScheduleFlush();
         uint64_t t0 = env_->NowMicros();
         bg_work_finished_.wait(l);
-        stats_.Add(Ticker::kWriteStallMicros, env_->NowMicros() - t0);
+        waited = env_->NowMicros() - t0;
       }
+      stats_.Add(Ticker::kWriteStallMicros, waited);
+      stats_.Measure(HistogramType::kStallMicros, waited);
+      GetPerfContext()->write_stall_micros += waited;
+      NotifyWriteStop(StallReason::kMemtableLimit, waited);
       continue;
     }
 
     if (l0 >= options_.level0_stop_writes_trigger) {
       stats_.Add(Ticker::kWriteStopCount, 1);
+      stats_.Add(Ticker::kStallL0StopCount, 1);
+      UpdateStallCondition(StallCondition::kStopped,
+                           StallReason::kL0FileCount, 0);
+      uint64_t waited = 0;
       if (sim_ != nullptr) {
         uint64_t now = sim_->NowMicros();
         uint64_t next = vstall_.NextEventAfter(now);
         if (next <= now) {
           return Status::Busy("stalled with no pending compaction");
         }
-        stats_.Add(Ticker::kWriteStallMicros, next - now);
+        waited = next - now;
         sim_->AdvanceTo(next);
       } else {
         MaybeScheduleCompaction();
         uint64_t t0 = env_->NowMicros();
         bg_work_finished_.wait(l);
-        stats_.Add(Ticker::kWriteStallMicros, env_->NowMicros() - t0);
+        waited = env_->NowMicros() - t0;
       }
+      stats_.Add(Ticker::kWriteStallMicros, waited);
+      stats_.Measure(HistogramType::kStallMicros, waited);
+      GetPerfContext()->write_stall_micros += waited;
+      NotifyWriteStop(StallReason::kL0FileCount, waited);
       continue;
     }
 
@@ -584,10 +625,16 @@ void DBImpl::MaybeScheduleCompaction() {
 void DBImpl::BackgroundFlushCall() {
   std::unique_lock<std::mutex> l(mu_);
   if (!shutting_down_.load() && bg_error_.ok()) {
-    int merged = 0;
-    uint64_t file = 0;
-    Status s = FlushWork(&merged, &file);
-    if (!s.ok()) RecordBackgroundError(s);
+    FlushJobInfo info;
+    const uint64_t t0 = env_->NowMicros();
+    Status s = FlushWork(&info);
+    if (!s.ok()) {
+      RecordBackgroundError(s);
+    } else if (info.imms_merged > 0) {
+      info.duration_micros = env_->NowMicros() - t0;
+      stats_.Measure(HistogramType::kFlushMicros, info.duration_micros);
+      NotifyFlushCompleted(info);
+    }
   }
   active_flushes_--;
   MaybeScheduleFlush();
@@ -602,8 +649,21 @@ void DBImpl::BackgroundCompactionCall() {
     if (c != nullptr) {
       int l0c = 0, l0p = 0;
       std::vector<uint64_t> outs;
-      Status s = CompactionWork(std::move(c), &l0c, &l0p, &outs);
-      if (!s.ok()) RecordBackgroundError(s);
+      CompactionJobInfo info;
+      info.reason =
+          options_.compaction_style == CompactionStyle::kUniversal
+              ? CompactionReason::kUniversal
+              : CompactionReason::kLevelScore;
+      const uint64_t t0 = env_->NowMicros();
+      Status s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info);
+      if (!s.ok()) {
+        RecordBackgroundError(s);
+      } else {
+        info.duration_micros = env_->NowMicros() - t0;
+        stats_.Measure(HistogramType::kCompactionMicros,
+                       info.duration_micros);
+        NotifyCompactionCompleted(info);
+      }
     }
   }
   active_compactions_--;
@@ -618,17 +678,20 @@ void DBImpl::RunFlushSim() {
 
   const uint64_t now = sim_->NowMicros();
   sim_->BeginJobMeter();
-  int merged = 0;
-  uint64_t file = 0;
-  Status s = FlushWork(&merged, &file);
+  FlushJobInfo info;
+  Status s = FlushWork(&info);
   const uint64_t duration = sim_->EndJobMeter();
 
   if (s.ok()) {
-    if (merged > 0) {
+    if (info.imms_merged > 0) {
+      const uint64_t file = info.file_number;
       const uint64_t done =
           sim_->ScheduleBackgroundJob(JobPriority::kHigh, now, duration);
-      vstall_.OnFlushScheduled(merged, file != 0 ? 1 : 0, done);
+      vstall_.OnFlushScheduled(info.imms_merged, file != 0 ? 1 : 0, done);
       if (file != 0) vstall_.SetFileAvailableAt(file, done);
+      info.duration_micros = duration;
+      stats_.Measure(HistogramType::kFlushMicros, duration);
+      NotifyFlushCompleted(info);
     }
   } else {
     RecordBackgroundError(s);
@@ -664,8 +727,12 @@ void DBImpl::RunCompactionsSim() {
     sim_->BeginJobMeter();
     int l0_consumed = 0, l0_produced = 0;
     std::vector<uint64_t> output_numbers;
+    CompactionJobInfo info;
+    info.reason = options_.compaction_style == CompactionStyle::kUniversal
+                      ? CompactionReason::kUniversal
+                      : CompactionReason::kLevelScore;
     Status s = CompactionWork(std::move(c), &l0_consumed, &l0_produced,
-                              &output_numbers);
+                              &output_numbers, &info);
     uint64_t duration = sim_->EndJobMeter();
 
     if (!s.ok()) {
@@ -681,6 +748,10 @@ void DBImpl::RunCompactionsSim() {
     if (subs > 1) {
       duration = static_cast<uint64_t>(duration / subs * 1.15);
     }
+
+    info.duration_micros = duration;
+    stats_.Measure(HistogramType::kCompactionMicros, duration);
+    NotifyCompactionCompleted(info);
 
     const uint64_t done =
         sim_->ScheduleBackgroundJob(JobPriority::kLow, ready, duration);
@@ -708,10 +779,9 @@ void DBImpl::RecordBackgroundError(const Status& s) {
 // ---------------------------------------------------------------------
 // Flush
 
-Status DBImpl::FlushWork(int* imms_merged, uint64_t* l0_file_number) {
+Status DBImpl::FlushWork(FlushJobInfo* info) {
   // REQUIRES: mu_ held.
-  *imms_merged = 0;
-  *l0_file_number = 0;
+  *info = FlushJobInfo{};
   if (imm_.empty()) return Status::OK();
 
   // Capture the memtables to flush (all currently queued).
@@ -719,6 +789,12 @@ Status DBImpl::FlushWork(int* imms_merged, uint64_t* l0_file_number) {
   const size_t n_taken = imm_.size();
   mems.reserve(n_taken);
   for (const auto& e : imm_) mems.push_back(e.mem);
+
+  {
+    FlushJobInfo begin;
+    begin.imms_merged = static_cast<int>(n_taken);
+    NotifyFlushBegin(begin);
+  }
 
   VersionEdit edit;
   FileMetaData meta;
@@ -742,10 +818,14 @@ Status DBImpl::FlushWork(int* imms_merged, uint64_t* l0_file_number) {
 
   if (s.ok()) {
     imm_.erase(imm_.begin(), imm_.begin() + n_taken);
-    *imms_merged = static_cast<int>(n_taken);
-    *l0_file_number = meta.file_size > 0 ? meta.number : 0;
+    info->imms_merged = static_cast<int>(n_taken);
+    info->file_number = meta.file_size > 0 ? meta.number : 0;
+    info->output_bytes = meta.file_size;
     stats_.Add(Ticker::kFlushCount, 1);
     stats_.Add(Ticker::kFlushBytes, meta.file_size);
+    stats_.Measure(HistogramType::kFlushOutputBytes, meta.file_size);
+    stats_.AddLevelWriteBytes(0, meta.file_size);
+    stats_.AddLevelInBytes(0, meta.file_size);
     if (options_.dump_malloc_stats) {
       ELMO_LOG(options_.info_log.get(),
                "flush #%llu: %llu bytes, %s (malloc stats: arena reuse ok)",
@@ -862,12 +942,19 @@ Status DBImpl::OpenCompactionOutputFile(std::unique_ptr<WritableFile>* file,
 
 Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                               int* l0_produced,
-                              std::vector<uint64_t>* output_numbers) {
-  // REQUIRES: mu_ held.
+                              std::vector<uint64_t>* output_numbers,
+                              CompactionJobInfo* info) {
+  // REQUIRES: mu_ held. info->reason is preset by the caller.
   *l0_consumed = 0;
   *l0_produced = 0;
 
   if (c->level() == 0) *l0_consumed = c->num_input_files(0);
+
+  info->level = c->level();
+  info->output_level = c->output_level();
+  info->num_input_files = c->num_input_files(0) + c->num_input_files(1);
+  info->input_bytes = c->TotalInputBytes();
+  NotifyCompactionBegin(*info);
 
   // Trivial move: retarget the file without rewriting it.
   if (c->IsTrivialMove()) {
@@ -877,6 +964,12 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                        f->smallest, f->largest);
     Status s = versions_->LogAndApply(c->edit());
     stats_.Add(Ticker::kTrivialMoveCount, 1);
+    // The file changed levels without a rewrite: bytes arrive at the
+    // output level for free (no write amplification charged).
+    stats_.AddLevelInBytes(c->output_level(), f->file_size);
+    info->trivial_move = true;
+    info->num_output_files = 1;
+    info->output_bytes = f->file_size;
     if (c->output_level() == 0) *l0_produced = 1;
     output_numbers->push_back(f->number);
     RemoveObsoleteFiles();
@@ -1022,6 +1115,21 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
       stats_.Add(Ticker::kCompactionCount, 1);
       stats_.Add(Ticker::kCompactionBytesRead, input_bytes);
       stats_.Add(Ticker::kCompactionBytesWritten, output_bytes);
+      stats_.Measure(HistogramType::kCompactionInputBytes, input_bytes);
+      stats_.Measure(HistogramType::kCompactionOutputBytes, output_bytes);
+      // Per-level data flow: bytes leave both input levels, land at the
+      // output level; upper-level input is the level's inflow (the
+      // write-amplification denominator).
+      uint64_t upper_bytes = 0;
+      for (const auto& f : c->inputs(0)) upper_bytes += f->file_size;
+      stats_.AddLevelReadBytes(c->level(), upper_bytes);
+      stats_.AddLevelReadBytes(c->output_level(),
+                               input_bytes - upper_bytes);
+      stats_.AddLevelWriteBytes(c->output_level(), output_bytes);
+      stats_.AddLevelInBytes(c->output_level(), upper_bytes);
+      stats_.AddLevelCompaction(c->output_level());
+      info->num_output_files = static_cast<int>(outputs.size());
+      info->output_bytes = output_bytes;
       if (c->output_level() == 0) {
         *l0_produced = static_cast<int>(outputs.size());
       }
@@ -1089,6 +1197,8 @@ void DBImpl::RemoveObsoleteFiles() {
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   value->clear();
+  const uint64_t t_start = env_->NowMicros();
+  PerfContext* perf = GetPerfContext();
   std::shared_ptr<MemTable> mem;
   std::vector<std::shared_ptr<MemTable>> imms;
   std::shared_ptr<Version> version;
@@ -1117,11 +1227,13 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 
   if (mem->Get(lkey, value, &s)) {
     done = true;
+    if (s.ok()) perf->get_memtable_hit++;
   }
   if (!done) {
     for (const auto& m : imms) {
       if (m->Get(lkey, value, &s)) {
         done = true;
+        if (s.ok()) perf->get_imm_hit++;
         break;
       }
     }
@@ -1130,11 +1242,23 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
     Version::GetStats vstats;
     s = version->Get(options, lkey, value, &vstats);
     files_probed = vstats.files_probed;
+    if (s.ok()) perf->get_sst_hit++;
   }
 
   ChargeGetCpu(files_probed);
   stats_.Add(s.ok() ? Ticker::kGetHit : Ticker::kGetMiss, 1);
   if (s.ok()) stats_.Add(Ticker::kBytesRead, value->size());
+
+  const uint64_t elapsed = env_->NowMicros() - t_start;
+  stats_.Measure(HistogramType::kGetMicros, elapsed);
+  perf->get_count++;
+  perf->get_files_probed += files_probed;
+  perf->get_micros += elapsed;
+  if (s.ok()) {
+    perf->get_read_bytes += value->size();
+  } else {
+    perf->get_miss++;
+  }
   return s;
 }
 
@@ -1194,6 +1318,92 @@ void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
 }
 
 // ---------------------------------------------------------------------
+// Observability
+
+void DBImpl::NotifyFlushBegin(const FlushJobInfo& info) {
+  for (const auto& l : options_.listeners) l->OnFlushBegin(info);
+}
+
+void DBImpl::NotifyFlushCompleted(const FlushJobInfo& info) {
+  for (const auto& l : options_.listeners) l->OnFlushCompleted(info);
+}
+
+void DBImpl::NotifyCompactionBegin(const CompactionJobInfo& info) {
+  for (const auto& l : options_.listeners) l->OnCompactionBegin(info);
+}
+
+void DBImpl::NotifyCompactionCompleted(const CompactionJobInfo& info) {
+  for (const auto& l : options_.listeners) l->OnCompactionCompleted(info);
+}
+
+void DBImpl::UpdateStallCondition(StallCondition next, StallReason reason,
+                                  uint64_t wait_micros) {
+  // REQUIRES: mu_ held.
+  if (next == stall_condition_) return;
+  StallInfo info;
+  info.previous = stall_condition_;
+  info.current = next;
+  info.reason = reason;
+  info.wait_micros = wait_micros;
+  stall_condition_ = next;
+  for (const auto& l : options_.listeners) l->OnStallConditionChanged(info);
+}
+
+void DBImpl::NotifyWriteStop(StallReason reason, uint64_t wait_micros) {
+  StallInfo info;
+  info.previous = StallCondition::kStopped;
+  info.current = StallCondition::kStopped;
+  info.reason = reason;
+  info.wait_micros = wait_micros;
+  for (const auto& l : options_.listeners) l->OnWriteStop(info);
+}
+
+std::string DBImpl::LevelStatsString() const {
+  // REQUIRES: mu_ held.
+  auto version = versions_->current();
+  std::string out =
+      "Level  Files  Size(MB)  Score  In(MB)  Read(MB)  Write(MB)  "
+      "W-Amp  Cmp\n";
+  char buf[160];
+  const double mb = 1048576.0;
+  int total_files = 0;
+  uint64_t total_size = 0, total_in = 0, total_read = 0, total_write = 0,
+           total_cmp = 0;
+  for (int level = 0; level < version->num_levels(); level++) {
+    const int files = version->NumFiles(level);
+    const uint64_t size = version->NumBytes(level);
+    const uint64_t in = stats_.LevelInBytes(level);
+    const uint64_t read = stats_.LevelReadBytes(level);
+    const uint64_t write = stats_.LevelWriteBytes(level);
+    const uint64_t cmp = stats_.LevelCompactions(level);
+    const double wamp =
+        in == 0 ? 0.0 : static_cast<double>(write) / static_cast<double>(in);
+    snprintf(buf, sizeof(buf),
+             "  L%-3d  %5d  %8.1f  %5.2f  %6.1f  %8.1f  %9.1f  %5.1f  %3llu\n",
+             level, files, size / mb, version->LevelScore(level), in / mb,
+             read / mb, write / mb, wamp, (unsigned long long)cmp);
+    out += buf;
+    total_files += files;
+    total_size += size;
+    total_in += in;
+    total_read += read;
+    total_write += write;
+    total_cmp += cmp;
+  }
+  const uint64_t user_bytes = stats_.Get(Ticker::kBytesWritten);
+  const double total_wamp =
+      user_bytes == 0
+          ? 0.0
+          : static_cast<double>(total_write) / static_cast<double>(user_bytes);
+  snprintf(buf, sizeof(buf),
+           "  Sum   %5d  %8.1f   -     %6.1f  %8.1f  %9.1f  %5.1f  %3llu\n",
+           total_files, total_size / mb, total_in / mb, total_read / mb,
+           total_write / mb, total_wamp, (unsigned long long)total_cmp);
+  out += buf;
+  return out;
+}
+
+// ---------------------------------------------------------------------
 // Admin
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
@@ -1204,6 +1414,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   if (prop == "elmo.stats") {
     *value = stats_.ToString();
     *value += versions_->LevelSummary() + "\n";
+    *value += LevelStatsString();
     auto cache_stats = block_cache_->GetStats();
     char buf[256];
     snprintf(buf, sizeof(buf),
@@ -1212,6 +1423,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
              (unsigned long long)cache_stats.hits,
              (unsigned long long)cache_stats.misses);
     *value += buf;
+    return true;
+  }
+  if (prop == "elmo.levelstats") {
+    *value = LevelStatsString();
     return true;
   }
   if (prop == "elmo.levelsummary") {
@@ -1385,7 +1600,16 @@ Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       if (c == nullptr) break;
       int l0c = 0, l0p = 0;
       std::vector<uint64_t> outs;
-      s = CompactionWork(std::move(c), &l0c, &l0p, &outs);
+      CompactionJobInfo info;
+      info.reason = CompactionReason::kManual;
+      const uint64_t t0 = env_->NowMicros();
+      s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info);
+      if (s.ok()) {
+        info.duration_micros = env_->NowMicros() - t0;
+        stats_.Measure(HistogramType::kCompactionMicros,
+                       info.duration_micros);
+        NotifyCompactionCompleted(info);
+      }
     }
   }
 

@@ -20,6 +20,7 @@
 #include "env/sim_env.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
+#include "lsm/event_listener.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
 #include "lsm/version_set.h"
@@ -89,11 +90,17 @@ class DBImpl : public DB {
   void BackgroundCompactionCall();
 
   // --- background: the work ---
-  // Flush every queued immutable memtable into one L0 table.
-  Status FlushWork(int* imms_merged, uint64_t* l0_file_number);
+  // Flush every queued immutable memtable into one L0 table. Fills
+  // `info` (everything except duration_micros, which the caller owns)
+  // and fires OnFlushBegin; the caller fires OnFlushCompleted once it
+  // knows the job duration.
+  Status FlushWork(FlushJobInfo* info);
+  // Same contract for compactions: the caller presets info->reason and
+  // fires OnCompactionCompleted with the duration.
   Status CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                         int* l0_produced,
-                        std::vector<uint64_t>* output_numbers);
+                        std::vector<uint64_t>* output_numbers,
+                        CompactionJobInfo* info);
   Status WriteLevel0Table(const std::vector<std::shared_ptr<MemTable>>& mems,
                           VersionEdit* edit, FileMetaData* meta);
   Status OpenCompactionOutputFile(std::unique_ptr<WritableFile>* file,
@@ -114,6 +121,20 @@ class DBImpl : public DB {
   // Charge the sim clock for a foreground write/get (no-op on real env).
   void ChargeWriteCpu(size_t batch_bytes, int batch_count);
   void ChargeGetCpu(int files_probed);
+
+  // --- observability ---
+  void NotifyFlushBegin(const FlushJobInfo& info);
+  void NotifyFlushCompleted(const FlushJobInfo& info);
+  void NotifyCompactionBegin(const CompactionJobInfo& info);
+  void NotifyCompactionCompleted(const CompactionJobInfo& info);
+  // Fires OnStallConditionChanged when `next` differs from the current
+  // condition. REQUIRES: mu_.
+  void UpdateStallCondition(StallCondition next, StallReason reason,
+                            uint64_t wait_micros);
+  void NotifyWriteStop(StallReason reason, uint64_t wait_micros);
+  // RocksDB-style per-level table (files, bytes, score, read/write amp).
+  // REQUIRES: mu_.
+  std::string LevelStatsString() const;
 
   // --- constant state ---
   Options options_;  // sanitized copy
@@ -151,6 +172,9 @@ class DBImpl : public DB {
   // Sim-mode state.
   VirtualStallState vstall_;
   bool in_sim_background_ = false;  // re-entrancy guard
+
+  // Current write-path throttle state (for listener transitions).
+  StallCondition stall_condition_ = StallCondition::kNormal;
 
   DbStats stats_;
 };

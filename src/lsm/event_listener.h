@@ -1,0 +1,117 @@
+// EventListener: callback interface for observing engine lifecycle
+// events (flushes, compactions, write-stall transitions). Listeners are
+// registered via Options::listeners and fired synchronously from the
+// flush/compaction/stall paths of DBImpl.
+//
+// Callbacks run with the DB mutex held: they must be cheap and must not
+// call back into the DB. Durations are measured on the engine's clock —
+// virtual time under SimEnv, wall time otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace elmo::lsm {
+
+// Write-path throttle state, mirroring RocksDB's WriteStallCondition.
+enum class StallCondition {
+  kNormal = 0,   // writes proceed at full speed
+  kDelayed = 1,  // slowdown regime: writers rate-limited
+  kStopped = 2,  // writers blocked until background work catches up
+};
+
+enum class StallReason {
+  kNone = 0,
+  kL0FileCount = 1,     // L0 file count hit slowdown/stop trigger
+  kMemtableLimit = 2,   // all memtable slots full, waiting on flush
+};
+
+enum class CompactionReason {
+  kLevelScore = 0,   // picked because a level's score reached 1.0
+  kUniversal = 1,    // universal (size-tiered) merge of L0 runs
+  kManual = 2,       // CompactRange
+};
+
+const char* StallConditionName(StallCondition c);
+const char* StallReasonName(StallReason r);
+const char* CompactionReasonName(CompactionReason r);
+
+struct FlushJobInfo {
+  // Number of immutable memtables merged into the output table.
+  int imms_merged = 0;
+  // Output L0 file (0 when the flush produced an empty table).
+  uint64_t file_number = 0;
+  uint64_t output_bytes = 0;
+  // Always 0 today; present so listeners need not hard-code it.
+  int output_level = 0;
+  // Job duration on the engine clock (virtual under SimEnv). Zero in
+  // OnFlushBegin.
+  uint64_t duration_micros = 0;
+};
+
+struct CompactionJobInfo {
+  int level = 0;         // input level
+  int output_level = 0;
+  CompactionReason reason = CompactionReason::kLevelScore;
+  int num_input_files = 0;
+  uint64_t input_bytes = 0;
+  // Filled for OnCompactionCompleted only.
+  int num_output_files = 0;
+  uint64_t output_bytes = 0;
+  uint64_t duration_micros = 0;
+  // True when the job retargeted a file without rewriting it.
+  bool trivial_move = false;
+};
+
+struct StallInfo {
+  StallCondition previous = StallCondition::kNormal;
+  StallCondition current = StallCondition::kNormal;
+  StallReason reason = StallReason::kNone;
+  // For kStopped/kDelayed transitions: how long this writer waited (or
+  // expects to wait) before re-checking, in engine-clock microseconds.
+  uint64_t wait_micros = 0;
+};
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  virtual void OnFlushBegin(const FlushJobInfo& /*info*/) {}
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+  virtual void OnCompactionBegin(const CompactionJobInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
+  // Fired on every transition of the write-stall condition (normal ->
+  // delayed -> stopped and back).
+  virtual void OnStallConditionChanged(const StallInfo& /*info*/) {}
+  // Fired each time a writer blocks completely (condition kStopped).
+  virtual void OnWriteStop(const StallInfo& /*info*/) {}
+};
+
+inline const char* StallConditionName(StallCondition c) {
+  switch (c) {
+    case StallCondition::kNormal: return "normal";
+    case StallCondition::kDelayed: return "delayed";
+    case StallCondition::kStopped: return "stopped";
+  }
+  return "unknown";
+}
+
+inline const char* StallReasonName(StallReason r) {
+  switch (r) {
+    case StallReason::kNone: return "none";
+    case StallReason::kL0FileCount: return "l0-file-count";
+    case StallReason::kMemtableLimit: return "memtable-limit";
+  }
+  return "unknown";
+}
+
+inline const char* CompactionReasonName(CompactionReason r) {
+  switch (r) {
+    case CompactionReason::kLevelScore: return "level-score";
+    case CompactionReason::kUniversal: return "universal";
+    case CompactionReason::kManual: return "manual";
+  }
+  return "unknown";
+}
+
+}  // namespace elmo::lsm

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "env/env.h"
+#include "lsm/event_listener.h"
 #include "table/cache.h"
 #include "table/format.h"
 #include "util/logging.h"
@@ -105,6 +107,10 @@ struct Options {
   std::shared_ptr<Logger> info_log;
   bool create_if_missing = true;
   bool error_if_exists = false;
+  // Observers of flush/compaction/stall events (see event_listener.h).
+  // Callbacks run synchronously on engine threads with the DB mutex
+  // held; they must be cheap and must not call back into the DB.
+  std::vector<std::shared_ptr<EventListener>> listeners;
 
   // Resolved background slot counts (RocksDB 8.x derivation: a quarter
   // of max_background_jobs flush, the rest compact, at least one each).

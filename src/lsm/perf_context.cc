@@ -1,0 +1,37 @@
+#include "lsm/perf_context.h"
+
+namespace elmo::lsm {
+
+namespace {
+thread_local PerfContext t_perf_context;
+}  // namespace
+
+PerfContext* GetPerfContext() { return &t_perf_context; }
+
+std::string PerfContext::ToString() const {
+  std::string r;
+  auto emit = [&r](const char* name, uint64_t v) {
+    if (v == 0) return;
+    if (!r.empty()) r += ' ';
+    r += name;
+    r += '=';
+    r += std::to_string(v);
+  };
+  emit("get_count", get_count);
+  emit("get_memtable_hit", get_memtable_hit);
+  emit("get_imm_hit", get_imm_hit);
+  emit("get_sst_hit", get_sst_hit);
+  emit("get_miss", get_miss);
+  emit("get_files_probed", get_files_probed);
+  emit("get_read_bytes", get_read_bytes);
+  emit("get_micros", get_micros);
+  emit("write_count", write_count);
+  emit("write_batches", write_batches);
+  emit("write_wal_bytes", write_wal_bytes);
+  emit("write_wal_syncs", write_wal_syncs);
+  emit("write_stall_micros", write_stall_micros);
+  emit("write_micros", write_micros);
+  return r;
+}
+
+}  // namespace elmo::lsm

@@ -1,0 +1,45 @@
+// PerfContext: thread-local per-operation breakdown of where a Get or
+// Write spent its effort, in the spirit of RocksDB's perf_context. The
+// engine updates the calling thread's context on every user operation;
+// callers reset it around the operation(s) they want to attribute.
+//
+//   GetPerfContext()->Reset();
+//   db->Get(...);
+//   ELMO_LOG(..., "%s", GetPerfContext()->ToString().c_str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace elmo::lsm {
+
+struct PerfContext {
+  // --- read breakdown ---
+  uint64_t get_count = 0;
+  uint64_t get_memtable_hit = 0;   // served from the active memtable
+  uint64_t get_imm_hit = 0;        // served from an immutable memtable
+  uint64_t get_sst_hit = 0;        // served from an SST file
+  uint64_t get_miss = 0;
+  uint64_t get_files_probed = 0;   // SST files consulted across gets
+  uint64_t get_read_bytes = 0;     // value bytes returned
+  uint64_t get_micros = 0;         // engine-clock time inside Get
+
+  // --- write breakdown ---
+  uint64_t write_count = 0;        // batched entries written
+  uint64_t write_batches = 0;      // Write() calls
+  uint64_t write_wal_bytes = 0;
+  uint64_t write_wal_syncs = 0;
+  uint64_t write_stall_micros = 0; // time this thread spent stalled
+  uint64_t write_micros = 0;       // engine-clock time inside Write
+
+  void Reset() { *this = PerfContext{}; }
+
+  // Single-line "name=value name=value ..." rendering of the non-zero
+  // fields (empty string when nothing was recorded).
+  std::string ToString() const;
+};
+
+// The calling thread's context. Never null.
+PerfContext* GetPerfContext();
+
+}  // namespace elmo::lsm

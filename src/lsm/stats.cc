@@ -4,6 +4,98 @@
 
 namespace elmo::lsm {
 
+const char* HistogramTypeName(HistogramType h) {
+  switch (h) {
+    case HistogramType::kGetMicros: return "get micros";
+    case HistogramType::kWriteMicros: return "write micros";
+    case HistogramType::kWalSyncMicros: return "wal sync micros";
+    case HistogramType::kFlushMicros: return "flush micros";
+    case HistogramType::kCompactionMicros: return "compaction micros";
+    case HistogramType::kStallMicros: return "stall micros";
+    case HistogramType::kFlushOutputBytes: return "flush output bytes";
+    case HistogramType::kCompactionInputBytes:
+      return "compaction input bytes";
+    case HistogramType::kCompactionOutputBytes:
+      return "compaction output bytes";
+    case HistogramType::kHistogramMax: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void AtomicHistogram::Add(uint64_t value) {
+  const double v = static_cast<double>(value);
+  int b = 0;
+  while (b < Histogram::kNumBuckets - 1 &&
+         Histogram::BucketUpperBound(b) <= v) {
+    b++;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+  num_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+  AtomicAddDouble(sum_squares_, v * v);
+}
+
+void AtomicHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  num_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  sum_squares_.store(0, std::memory_order_relaxed);
+}
+
+Histogram AtomicHistogram::Snapshot() const {
+  Histogram h;
+  uint64_t num = num_.load(std::memory_order_relaxed);
+  if (num == 0) return h;
+  uint64_t buckets[Histogram::kNumBuckets];
+  for (int b = 0; b < Histogram::kNumBuckets; b++) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  h.SetRaw(static_cast<double>(min_.load(std::memory_order_relaxed)),
+           static_cast<double>(max_.load(std::memory_order_relaxed)), num,
+           sum_.load(std::memory_order_relaxed),
+           sum_squares_.load(std::memory_order_relaxed), buckets);
+  return h;
+}
+
+void DbStats::Reset() {
+  for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  for (auto& h : histograms_) h.Reset();
+  for (int l = 0; l < kMaxLevels; l++) {
+    level_read_[l].store(0, std::memory_order_relaxed);
+    level_write_[l].store(0, std::memory_order_relaxed);
+    level_in_[l].store(0, std::memory_order_relaxed);
+    level_compactions_[l].store(0, std::memory_order_relaxed);
+  }
+}
+
 std::string DbStats::ToString() const {
   char buf[1024];
   snprintf(
@@ -12,7 +104,8 @@ std::string DbStats::ToString() const {
       "bytes written: %llu  bytes read: %llu  wal bytes: %llu  wal syncs: %llu\n"
       "flushes: %llu (%llu bytes)  compactions: %llu (read %llu, wrote %llu)"
       "  trivial moves: %llu\n"
-      "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n",
+      "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n"
+      "stall reasons: l0-slowdown %llu, l0-stop %llu, memtable-stop %llu\n",
       (unsigned long long)Get(Ticker::kWriteCount),
       (unsigned long long)Get(Ticker::kDeleteCount),
       (unsigned long long)Get(Ticker::kGetHit),
@@ -30,8 +123,23 @@ std::string DbStats::ToString() const {
       (unsigned long long)Get(Ticker::kTrivialMoveCount),
       (unsigned long long)Get(Ticker::kWriteSlowdownCount),
       (unsigned long long)Get(Ticker::kWriteStopCount),
-      (unsigned long long)Get(Ticker::kWriteStallMicros));
-  return buf;
+      (unsigned long long)Get(Ticker::kWriteStallMicros),
+      (unsigned long long)Get(Ticker::kStallL0SlowdownCount),
+      (unsigned long long)Get(Ticker::kStallL0StopCount),
+      (unsigned long long)Get(Ticker::kStallMemtableStopCount));
+  std::string out = buf;
+
+  out += "histograms (count / p50 / p99 / max):\n";
+  for (int i = 0; i < static_cast<int>(HistogramType::kHistogramMax); i++) {
+    const auto type = static_cast<HistogramType>(i);
+    Histogram h = GetHistogram(type);
+    snprintf(buf, sizeof(buf),
+             "  %-24s: count %llu  p50 %.1f  p99 %.1f  max %.1f\n",
+             HistogramTypeName(type), (unsigned long long)h.Count(),
+             h.Median(), h.Percentile(99.0), h.Max());
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace elmo::lsm

@@ -1,10 +1,15 @@
 // DB runtime statistics: the numbers the benchmark report and the
-// tuning prompt are built from. All counters are mutex-free atomics.
+// tuning prompt are built from. A full statistics registry: flat
+// tickers, lock-free latency/size histograms, and per-level cumulative
+// compaction counters. Everything is mutex-free atomics so the hot
+// paths never serialize on telemetry.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
+
+#include "util/histogram.h"
 
 namespace elmo::lsm {
 
@@ -27,11 +32,53 @@ enum class Ticker : int {
   kWriteCount,
   kDeleteCount,
   kWalSyncs,
+  // Stall-reason breakdown (kWriteSlowdownCount/kWriteStopCount keep
+  // the totals; these attribute them).
+  kStallL0SlowdownCount,
+  kStallL0StopCount,
+  kStallMemtableStopCount,
   kTickerMax,
+};
+
+enum class HistogramType : int {
+  kGetMicros = 0,
+  kWriteMicros,
+  kWalSyncMicros,
+  kFlushMicros,
+  kCompactionMicros,
+  kStallMicros,
+  kFlushOutputBytes,
+  kCompactionInputBytes,
+  kCompactionOutputBytes,
+  kHistogramMax,
+};
+
+const char* HistogramTypeName(HistogramType h);
+
+// Lock-free histogram sharing Histogram's bucket layout: atomic bucket
+// counters plus CAS-maintained min/max/sum aggregates. Snapshot() fills
+// a plain Histogram for percentile math and rendering.
+class AtomicHistogram {
+ public:
+  void Add(uint64_t value);
+  void Reset();
+  Histogram Snapshot() const;
+  uint64_t Count() const { return num_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[Histogram::kNumBuckets] = {};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> num_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> sum_squares_{0};
 };
 
 class DbStats {
  public:
+  // Deep enough for the sanitized num_levels ceiling (12).
+  static constexpr int kMaxLevels = 12;
+
   DbStats() = default;
 
   void Add(Ticker t, uint64_t n) {
@@ -40,16 +87,65 @@ class DbStats {
   uint64_t Get(Ticker t) const {
     return counters_[static_cast<int>(t)].load(std::memory_order_relaxed);
   }
-  void Reset() {
-    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+
+  // Record one sample (latency in micros, or a byte size) in the given
+  // histogram.
+  void Measure(HistogramType h, uint64_t value) {
+    histograms_[static_cast<int>(h)].Add(value);
+  }
+  // Point-in-time copy usable for percentile queries.
+  Histogram GetHistogram(HistogramType h) const {
+    return histograms_[static_cast<int>(h)].Snapshot();
+  }
+  uint64_t HistogramCount(HistogramType h) const {
+    return histograms_[static_cast<int>(h)].Count();
   }
 
+  // --- per-level cumulative counters (compaction data flow) ---
+  // Bytes read *from* `level` as compaction input.
+  void AddLevelReadBytes(int level, uint64_t n) { LevelAdd(level_read_, level, n); }
+  // Bytes written *into* `level` (flush outputs for L0, compaction
+  // outputs below).
+  void AddLevelWriteBytes(int level, uint64_t n) { LevelAdd(level_write_, level, n); }
+  // Bytes that arrived at `level` from the level above (flush bytes for
+  // L0, upper-level compaction input otherwise); the denominator of the
+  // per-level write amplification.
+  void AddLevelInBytes(int level, uint64_t n) { LevelAdd(level_in_, level, n); }
+  // One compaction whose output landed at `level`.
+  void AddLevelCompaction(int level) { LevelAdd(level_compactions_, level, 1); }
+
+  uint64_t LevelReadBytes(int level) const { return LevelGet(level_read_, level); }
+  uint64_t LevelWriteBytes(int level) const { return LevelGet(level_write_, level); }
+  uint64_t LevelInBytes(int level) const { return LevelGet(level_in_, level); }
+  uint64_t LevelCompactions(int level) const {
+    return LevelGet(level_compactions_, level);
+  }
+
+  void Reset();
+
   // Multi-line dump used by GetProperty("elmo.stats") and scraped into
-  // the tuning prompt.
+  // the tuning prompt: tickers, stall-reason breakdown, and a p50/p99
+  // table of every histogram.
   std::string ToString() const;
 
  private:
+  using LevelArray = std::atomic<uint64_t>[kMaxLevels];
+
+  static void LevelAdd(LevelArray& a, int level, uint64_t n) {
+    if (level < 0 || level >= kMaxLevels) return;
+    a[level].fetch_add(n, std::memory_order_relaxed);
+  }
+  static uint64_t LevelGet(const LevelArray& a, int level) {
+    if (level < 0 || level >= kMaxLevels) return 0;
+    return a[level].load(std::memory_order_relaxed);
+  }
+
   std::atomic<uint64_t> counters_[static_cast<int>(Ticker::kTickerMax)] = {};
+  AtomicHistogram histograms_[static_cast<int>(HistogramType::kHistogramMax)];
+  LevelArray level_read_ = {};
+  LevelArray level_write_ = {};
+  LevelArray level_in_ = {};
+  LevelArray level_compactions_ = {};
 };
 
 }  // namespace elmo::lsm

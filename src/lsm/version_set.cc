@@ -494,6 +494,7 @@ void VersionSet::Finalize(Version* v) {
     }
   }
 
+  v->level_scores_.assign(num_levels, 0.0);
   for (int level = 0; level < num_levels - 1; level++) {
     double score;
     if (level == 0) {
@@ -504,6 +505,7 @@ void VersionSet::Finalize(Version* v) {
       score = static_cast<double>(v->NumBytes(level)) /
               static_cast<double>(targets[level]);
     }
+    v->level_scores_[level] = score;
     if (score > best_score) {
       best_level = level;
       best_score = score;

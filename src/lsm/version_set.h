@@ -69,6 +69,15 @@ class Version {
 
   const std::vector<FileRef>& files(int level) const { return files_[level]; }
 
+  // Compaction pressure score of `level` (>= 1.0 means the level wants
+  // compaction), as computed by VersionSet::Finalize. 0 for the last
+  // level and before the first Finalize.
+  double LevelScore(int level) const {
+    return (level >= 0 && level < static_cast<int>(level_scores_.size()))
+               ? level_scores_[level]
+               : 0.0;
+  }
+
   std::string LevelSummary() const;
 
  private:
@@ -82,6 +91,7 @@ class Version {
   // Compaction state computed by VersionSet::Finalize.
   double compaction_score_ = -1;
   int compaction_level_ = -1;
+  std::vector<double> level_scores_;
 };
 
 class VersionSet {

@@ -41,6 +41,20 @@ Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
 
 double Histogram::BucketLimit(int b) const { return kBucketLimit[b]; }
 
+double Histogram::BucketUpperBound(int b) { return kBucketLimit[b]; }
+
+void Histogram::SetRaw(double min, double max, uint64_t num, double sum,
+                       double sum_squares, const uint64_t* bucket_counts) {
+  Clear();
+  if (num == 0) return;
+  min_ = min;
+  max_ = max;
+  num_ = num;
+  sum_ = sum;
+  sum_squares_ = sum_squares;
+  for (int b = 0; b < kNumBuckets; b++) buckets_[b] = bucket_counts[b];
+}
+
 void Histogram::Clear() {
   min_ = kBucketLimit[kNumBuckets - 1];
   max_ = 0;

@@ -32,6 +32,16 @@ class Histogram {
 
   static constexpr int kNumBuckets = 154;
 
+  // Upper bound of bucket `b` (shared with AtomicHistogram, which keeps
+  // its own lock-free counters over the same bucket layout).
+  static double BucketUpperBound(int b);
+
+  // Overwrite this histogram with raw state captured elsewhere
+  // (AtomicHistogram snapshots). `bucket_counts` has kNumBuckets
+  // entries.
+  void SetRaw(double min, double max, uint64_t num, double sum,
+              double sum_squares, const uint64_t* bucket_counts);
+
  private:
   double BucketLimit(int b) const;
 

@@ -12,6 +12,7 @@ void Logger::Log(LogLevel level, const char* format, ...) {
 }
 
 std::string FormatLogLine(LogLevel level, const char* format, va_list ap) {
+  if (format == nullptr) format = "";
   const char* tag = "";
   switch (level) {
     case LogLevel::kDebug: tag = "[DEBUG] "; break;

@@ -2,12 +2,51 @@
 // universal style, trivial moves, option effects on tree shape.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "env/mem_env.h"
 #include "lsm/db.h"
+#include "lsm/event_listener.h"
 #include "util/random.h"
 
 namespace elmo::lsm {
 namespace {
+
+// Counts every event; the fixture cross-checks the counts against the
+// engine tickers so no flush/compaction escapes the listener.
+class CountingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo&) override { flush_begin++; }
+  void OnFlushCompleted(const FlushJobInfo& info) override {
+    flush_completed++;
+    flush_bytes += info.output_bytes;
+    EXPECT_GT(info.imms_merged, 0);
+    EXPECT_EQ(0, info.output_level);
+  }
+  void OnCompactionBegin(const CompactionJobInfo&) override {
+    compaction_begin++;
+  }
+  void OnCompactionCompleted(const CompactionJobInfo& info) override {
+    compaction_completed++;
+    if (info.trivial_move) trivial_moves++;
+    EXPECT_GE(info.output_level, info.level);
+    EXPECT_GT(info.num_input_files, 0);
+  }
+  void OnStallConditionChanged(const StallInfo& info) override {
+    stall_changes++;
+    EXPECT_NE(info.previous, info.current);
+  }
+  void OnWriteStop(const StallInfo&) override { write_stops++; }
+
+  std::atomic<uint64_t> flush_begin{0};
+  std::atomic<uint64_t> flush_completed{0};
+  std::atomic<uint64_t> flush_bytes{0};
+  std::atomic<uint64_t> compaction_begin{0};
+  std::atomic<uint64_t> compaction_completed{0};
+  std::atomic<uint64_t> trivial_moves{0};
+  std::atomic<uint64_t> stall_changes{0};
+  std::atomic<uint64_t> write_stops{0};
+};
 
 class DbCompactionTest : public ::testing::Test {
  protected:
@@ -15,7 +54,26 @@ class DbCompactionTest : public ::testing::Test {
     env_ = std::make_unique<MemEnv>();
     options_.env = env_.get();
     options_.create_if_missing = true;
+    listener_ = std::make_shared<CountingListener>();
+    options_.listeners.push_back(listener_);
     ASSERT_TRUE(DB::Open(options_, "/db", &db_).ok());
+  }
+
+  void TearDown() override {
+    if (db_ == nullptr || listener_ == nullptr) return;
+    // The listener must have observed every flush and compaction the
+    // engine counted, on whichever path (background, sim, manual).
+    EXPECT_TRUE(db_->WaitForBackgroundWork().ok());
+    const auto& stats = db_->stats();
+    EXPECT_EQ(stats.Get(Ticker::kFlushCount), listener_->flush_completed);
+    EXPECT_EQ(stats.Get(Ticker::kFlushBytes), listener_->flush_bytes);
+    EXPECT_EQ(stats.Get(Ticker::kCompactionCount) +
+                  stats.Get(Ticker::kTrivialMoveCount),
+              listener_->compaction_completed);
+    EXPECT_EQ(stats.Get(Ticker::kTrivialMoveCount),
+              listener_->trivial_moves);
+    EXPECT_GE(listener_->flush_begin, listener_->flush_completed);
+    EXPECT_GE(listener_->compaction_begin, listener_->compaction_completed);
   }
 
   int FilesAt(int level) {
@@ -39,6 +97,7 @@ class DbCompactionTest : public ::testing::Test {
   std::unique_ptr<MemEnv> env_;
   Options options_;
   std::unique_ptr<DB> db_;
+  std::shared_ptr<CountingListener> listener_;
 };
 
 TEST_F(DbCompactionTest, LeveledLoadPushesDataDown) {

@@ -1,0 +1,174 @@
+#include "lsm/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace elmo::lsm {
+namespace {
+
+TEST(StatsTest, TickersStartAtZeroAndAccumulate) {
+  DbStats stats;
+  for (int t = 0; t < static_cast<int>(Ticker::kTickerMax); t++) {
+    EXPECT_EQ(0u, stats.Get(static_cast<Ticker>(t)));
+  }
+  stats.Add(Ticker::kBytesWritten, 100);
+  stats.Add(Ticker::kBytesWritten, 23);
+  stats.Add(Ticker::kStallL0StopCount, 1);
+  EXPECT_EQ(123u, stats.Get(Ticker::kBytesWritten));
+  EXPECT_EQ(1u, stats.Get(Ticker::kStallL0StopCount));
+  EXPECT_EQ(0u, stats.Get(Ticker::kBytesRead));
+}
+
+TEST(StatsTest, HistogramMeasureAndSnapshot) {
+  DbStats stats;
+  EXPECT_EQ(0u, stats.HistogramCount(HistogramType::kGetMicros));
+
+  for (uint64_t v = 1; v <= 100; v++) {
+    stats.Measure(HistogramType::kGetMicros, v);
+  }
+  EXPECT_EQ(100u, stats.HistogramCount(HistogramType::kGetMicros));
+
+  Histogram h = stats.GetHistogram(HistogramType::kGetMicros);
+  EXPECT_EQ(100u, h.Count());
+  EXPECT_DOUBLE_EQ(1.0, h.Min());
+  EXPECT_DOUBLE_EQ(100.0, h.Max());
+  EXPECT_DOUBLE_EQ(50.5, h.Average());
+  // Bucketed percentiles are approximate; generous envelope.
+  EXPECT_GE(h.Percentile(50), 30.0);
+  EXPECT_LE(h.Percentile(50), 70.0);
+  EXPECT_GE(h.Percentile(99), h.Percentile(50));
+  EXPECT_LE(h.Percentile(99), 100.0);
+
+  // Other histograms are untouched.
+  EXPECT_EQ(0u, stats.HistogramCount(HistogramType::kWriteMicros));
+}
+
+TEST(StatsTest, AtomicHistogramMatchesPlainHistogram) {
+  AtomicHistogram ah;
+  Histogram plain;
+  const uint64_t values[] = {0, 1, 2, 9, 10, 55, 1000, 123456, 9999999};
+  for (uint64_t v : values) {
+    ah.Add(v);
+    plain.Add(static_cast<double>(v));
+  }
+  Histogram snap = ah.Snapshot();
+  EXPECT_EQ(plain.Count(), snap.Count());
+  EXPECT_DOUBLE_EQ(plain.Min(), snap.Min());
+  EXPECT_DOUBLE_EQ(plain.Max(), snap.Max());
+  EXPECT_DOUBLE_EQ(plain.Average(), snap.Average());
+  EXPECT_DOUBLE_EQ(plain.Percentile(50), snap.Percentile(50));
+  EXPECT_DOUBLE_EQ(plain.Percentile(99), snap.Percentile(99));
+}
+
+TEST(StatsTest, AtomicHistogramConcurrentAdds) {
+  AtomicHistogram ah;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&ah] {
+      for (int i = 1; i <= kPerThread; i++) {
+        ah.Add(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  Histogram h = ah.Snapshot();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kPerThread, h.Count());
+  EXPECT_DOUBLE_EQ(1.0, h.Min());
+  EXPECT_DOUBLE_EQ(static_cast<double>(kPerThread), h.Max());
+  EXPECT_DOUBLE_EQ((1.0 + kPerThread) / 2.0, h.Average());
+}
+
+TEST(StatsTest, PerLevelCounters) {
+  DbStats stats;
+  stats.AddLevelWriteBytes(0, 4096);
+  stats.AddLevelInBytes(0, 4096);
+  stats.AddLevelReadBytes(1, 1000);
+  stats.AddLevelWriteBytes(1, 5000);
+  stats.AddLevelInBytes(1, 2500);
+  stats.AddLevelCompaction(1);
+  stats.AddLevelCompaction(1);
+
+  EXPECT_EQ(4096u, stats.LevelWriteBytes(0));
+  EXPECT_EQ(4096u, stats.LevelInBytes(0));
+  EXPECT_EQ(0u, stats.LevelReadBytes(0));
+  EXPECT_EQ(1000u, stats.LevelReadBytes(1));
+  EXPECT_EQ(5000u, stats.LevelWriteBytes(1));
+  EXPECT_EQ(2500u, stats.LevelInBytes(1));
+  EXPECT_EQ(2u, stats.LevelCompactions(1));
+
+  // Out-of-range levels are ignored, not UB.
+  stats.AddLevelWriteBytes(-1, 7);
+  stats.AddLevelWriteBytes(DbStats::kMaxLevels, 7);
+  EXPECT_EQ(0u, stats.LevelWriteBytes(-1));
+  EXPECT_EQ(0u, stats.LevelWriteBytes(DbStats::kMaxLevels));
+}
+
+TEST(StatsTest, ResetClearsEverything) {
+  DbStats stats;
+  stats.Add(Ticker::kFlushCount, 3);
+  stats.Measure(HistogramType::kFlushMicros, 1234);
+  stats.AddLevelWriteBytes(2, 999);
+  stats.AddLevelCompaction(2);
+
+  stats.Reset();
+
+  EXPECT_EQ(0u, stats.Get(Ticker::kFlushCount));
+  EXPECT_EQ(0u, stats.HistogramCount(HistogramType::kFlushMicros));
+  EXPECT_EQ(0u, stats.GetHistogram(HistogramType::kFlushMicros).Count());
+  EXPECT_EQ(0u, stats.LevelWriteBytes(2));
+  EXPECT_EQ(0u, stats.LevelCompactions(2));
+}
+
+TEST(StatsTest, HistogramTypeNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (int h = 0; h < static_cast<int>(HistogramType::kHistogramMax); h++) {
+    std::string name = HistogramTypeName(static_cast<HistogramType>(h));
+    EXPECT_FALSE(name.empty());
+    for (const auto& prev : names) EXPECT_NE(prev, name);
+    names.push_back(name);
+  }
+}
+
+TEST(StatsTest, ToStringContainsHistogramTableAndStallReasons) {
+  DbStats stats;
+  stats.Add(Ticker::kStallL0SlowdownCount, 2);
+  stats.Add(Ticker::kStallMemtableStopCount, 1);
+  stats.Measure(HistogramType::kGetMicros, 10);
+  stats.Measure(HistogramType::kWriteMicros, 20);
+  stats.Measure(HistogramType::kFlushMicros, 30);
+  stats.Measure(HistogramType::kCompactionMicros, 40);
+  stats.Measure(HistogramType::kStallMicros, 50);
+
+  std::string dump = stats.ToString();
+
+  EXPECT_NE(std::string::npos, dump.find("stall reasons:"));
+  EXPECT_NE(std::string::npos, dump.find("l0-slowdown 2"));
+  EXPECT_NE(std::string::npos, dump.find("memtable-stop 1"));
+
+  // Search the histogram table only — ticker lines above it also
+  // mention "stall micros" etc.
+  size_t table = dump.find("histograms (count / p50 / p99 / max):");
+  ASSERT_NE(std::string::npos, table);
+  // All five core latency histograms appear with the p50/p99/max columns.
+  const char* expected[] = {"get micros", "write micros", "flush micros",
+                            "compaction micros", "stall micros"};
+  for (const char* name : expected) {
+    size_t pos = dump.find(name, table);
+    ASSERT_NE(std::string::npos, pos) << name;
+    size_t eol = dump.find('\n', pos);
+    std::string line = dump.substr(pos, eol - pos);
+    EXPECT_NE(std::string::npos, line.find("count 1")) << line;
+    EXPECT_NE(std::string::npos, line.find("p50")) << line;
+    EXPECT_NE(std::string::npos, line.find("p99")) << line;
+    EXPECT_NE(std::string::npos, line.find("max")) << line;
+  }
+}
+
+}  // namespace
+}  // namespace elmo::lsm
