@@ -89,6 +89,17 @@ inline void RunIterationFigure(const char* figure_name,
     printf("\n");
   }
 
+  PrintHeader(std::string(figure_name) +
+                  " (d): Throughput over time (engine sampler)",
+              paper_ref);
+  for (const auto& s : series) {
+    printf("%s, default configuration:\n%s", s.label,
+           bench::TimeSeriesTable(s.outcome.baseline.timeseries, 10).c_str());
+    printf("%s, best tuned configuration:\n%s\n", s.label,
+           bench::TimeSeriesTable(s.outcome.best_result.timeseries, 10)
+               .c_str());
+  }
+
   // Summary line: the paper's headline claims.
   printf("\nSummary (best vs default):\n");
   for (const auto& s : series) {

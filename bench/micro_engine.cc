@@ -6,7 +6,11 @@
 
 #include <map>
 #include <memory>
+#include <string>
 
+#include "bench_kit/bench_runner.h"
+#include "env/device_model.h"
+#include "env/hardware_profile.h"
 #include "env/mem_env.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
@@ -208,4 +212,53 @@ BENCHMARK(BM_DbGet)->Arg(0)->Arg(10);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Write a JSON benchmark report (headline numbers + the engine's
+// sampled time series) of a small SimEnv fillrandom smoke run. CI
+// uploads this file as a workflow artifact.
+static int WriteSmokeReport(const std::string& path) {
+  const auto hw =
+      elmo::HardwareProfile::Make(2, 4, elmo::DeviceModel::NvmeSsd());
+  elmo::bench::BenchRunner runner(hw, /*seed=*/42);
+  elmo::bench::WorkloadSpec spec =
+      elmo::bench::WorkloadSpec::FillRandom(60000);
+  elmo::lsm::Options opts;
+  const elmo::bench::BenchResult result = runner.Run(spec, opts);
+
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "micro_engine: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::string json = result.ToJson();
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  fprintf(stderr, "micro_engine: smoke report (%zu samples) -> %s\n",
+          result.timeseries.size(), path.c_str());
+  return result.timeseries.empty() ? 1 : 0;
+}
+
+// BENCHMARK_MAIN plus an --elmo_smoke_json=<path> flag (consumed before
+// google-benchmark sees the argument list).
+int main(int argc, char** argv) {
+  std::string smoke_path;
+  int out_argc = 1;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--elmo_smoke_json=";
+    if (arg.rfind(prefix, 0) == 0) {
+      smoke_path = arg.substr(prefix.size());
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!smoke_path.empty()) return WriteSmokeReport(smoke_path);
+  return 0;
+}

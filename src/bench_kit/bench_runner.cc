@@ -57,6 +57,11 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   Options opts = ScaleCapacities(tuning_opts);
   opts.env = env.get();
   opts.create_if_missing = true;
+  // Benchmarks always record a time series (virtual-time intervals under
+  // SimEnv) unless the caller configured a cadence explicitly.
+  if (opts.stats_sample_interval_ms == 0) {
+    opts.stats_sample_interval_ms = 250;
+  }
 
   std::unique_ptr<DB> db;
   Status s = DB::Open(opts, "/bench/db", &db);
@@ -164,6 +169,10 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   }
   if (db->GetProperty("elmo.stats", &prop)) {
     result.engine_stats = prop;
+  }
+  if (db->GetProperty("elmo.timeseries", &prop)) {
+    lsm::TimeSeriesFromJson(prop, &result.timeseries,
+                            &result.sample_interval_us);
   }
   return result;
 }

@@ -1,11 +1,37 @@
 #include "bench_kit/report.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace elmo::bench {
+
+std::string TimeSeriesTable(const std::vector<lsm::IntervalSample>& samples,
+                            size_t max_rows) {
+  if (samples.empty()) return "";
+  const size_t stride =
+      max_rows == 0 ? 1 : std::max<size_t>(1, (samples.size() + max_rows - 1) /
+                                                  max_rows);
+  std::string out =
+      "    t(s)      ops/s   p99w(us)   p99r(us)  stall%  L0  pend(MB)\n";
+  char buf[160];
+  for (size_t i = 0; i < samples.size(); i += stride) {
+    // Keep the final sample visible even when striding skips it.
+    const lsm::IntervalSample& s =
+        (i + stride >= samples.size()) ? samples.back() : samples[i];
+    snprintf(buf, sizeof(buf),
+             "%8.2f %10.0f %10.1f %10.1f %6.1f %3d %9.1f\n",
+             s.ts_us / 1e6, s.ops_per_sec, s.p99_write_us, s.p99_get_us,
+             s.stall_fraction * 100.0, s.l0_files,
+             s.pending_compaction_bytes / 1048576.0);
+    out += buf;
+    if (i + stride >= samples.size()) break;
+  }
+  return out;
+}
 
 std::string BenchResult::ToReport() const {
   std::string out;
@@ -50,7 +76,40 @@ std::string BenchResult::ToReport() const {
     out += engine_stats;
     if (engine_stats.back() != '\n') out += '\n';
   }
+  if (!timeseries.empty()) {
+    // Rows deliberately avoid the "micros/op ... ops/sec" shape so
+    // ParseReport's throughput scan cannot match them.
+    out += "Throughput over time:\n";
+    out += TimeSeriesTable(timeseries, 20);
+  }
   return out;
+}
+
+std::string BenchResult::ToJson() const {
+  json::Object doc;
+  doc["workload"] = workload;
+  doc["ops"] = static_cast<int64_t>(ops);
+  doc["elapsed_seconds"] = elapsed_seconds;
+  doc["ops_per_sec"] = ops_per_sec;
+  doc["mb_per_sec"] = mb_per_sec;
+  doc["p99_write_us"] = p99_write_us();
+  doc["p99_read_us"] = p99_read_us();
+  doc["write_stall_micros"] = static_cast<int64_t>(write_stall_micros);
+  doc["write_slowdowns"] = static_cast<int64_t>(write_slowdowns);
+  doc["write_stops"] = static_cast<int64_t>(write_stops);
+  doc["flushes"] = static_cast<int64_t>(flushes);
+  doc["compactions"] = static_cast<int64_t>(compactions);
+  doc["block_cache_hit_rate"] = block_cache_hit_rate;
+  doc["level_summary"] = level_summary;
+  // Embed the engine's own time-series JSON as a sub-document so the
+  // artifact round-trips through the same parser as the property.
+  json::Value series;
+  if (json::Parse(lsm::TimeSeriesToJson(sample_interval_us, 0, timeseries),
+                  &series)
+          .ok()) {
+    doc["timeseries"] = std::move(series);
+  }
+  return json::Value(std::move(doc)).Dump(2);
 }
 
 namespace {

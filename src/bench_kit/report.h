@@ -4,10 +4,13 @@
 // "Benchmark Parser" module consumes text, not structs).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bench_kit/workload.h"
+#include "lsm/stats_sampler.h"
 #include "util/histogram.h"
 
 namespace elmo::bench {
@@ -36,6 +39,12 @@ struct BenchResult {
   // histograms, per-level table) captured at the end of the run.
   std::string engine_stats;
 
+  // Per-interval telemetry recorded by the engine's StatsSampler
+  // (GetProperty("elmo.timeseries")): the throughput-over-time data the
+  // figures and the tuning prompt use.
+  std::vector<lsm::IntervalSample> timeseries;
+  uint64_t sample_interval_us = 0;
+
   // Convenience accessors used by tables/figures.
   double p99_write_us() const {
     return write_micros.Count() ? write_micros.Percentile(99.0) : 0;
@@ -45,7 +54,17 @@ struct BenchResult {
   }
 
   std::string ToReport() const;
+
+  // Machine-readable variant of the report (headline numbers + the full
+  // time series); what CI uploads as the smoke-run artifact.
+  std::string ToJson() const;
 };
+
+// Render a time series as the fixed-width "Throughput over time" table
+// used by reports and figure output. At most `max_rows` rows are shown
+// (strided evenly); 0 means no limit. Empty input yields "".
+std::string TimeSeriesTable(const std::vector<lsm::IntervalSample>& samples,
+                            size_t max_rows);
 
 // Subset of a report the tuning loop needs; parsed back from text.
 struct ParsedReport {

@@ -1,0 +1,65 @@
+#include "bench_kit/trace_replay.h"
+
+#include "bench_kit/generators.h"
+#include "lsm/trace.h"
+
+namespace elmo::bench {
+
+Status ReplayTrace(Env* env, const std::string& trace_path, lsm::DB* db,
+                   bool preserve_timing, ReplayStats* stats) {
+  *stats = ReplayStats();
+  lsm::TraceReader reader(env);
+  Status s = reader.Open(trace_path);
+  if (!s.ok()) return s;
+
+  // Same seed on every replay: a record's value depends only on its
+  // size and position, keeping replays byte-deterministic.
+  ValueGenerator values(0x7ace);
+  const uint64_t replay_start = env->NowMicros();
+  const uint64_t trace_base = reader.base_ts_us();
+  uint64_t last_ts = trace_base;
+
+  lsm::TraceRecord rec;
+  bool eof = false;
+  while (true) {
+    s = reader.Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+
+    if (preserve_timing && rec.ts_us > trace_base) {
+      const uint64_t target = replay_start + (rec.ts_us - trace_base);
+      const uint64_t now = env->NowMicros();
+      if (target > now) {
+        env->SleepForMicroseconds(target - now);
+      }
+    }
+
+    Status op_status;
+    switch (rec.op) {
+      case lsm::TraceOp::kPut:
+        op_status = db->Put({}, rec.key, values.Generate(rec.value_size));
+        stats->puts++;
+        break;
+      case lsm::TraceOp::kDelete:
+        op_status = db->Delete({}, rec.key);
+        stats->deletes++;
+        break;
+      case lsm::TraceOp::kGet: {
+        std::string value;
+        op_status = db->Get({}, rec.key, &value);
+        if (op_status.IsNotFound()) op_status = Status::OK();
+        stats->gets++;
+        break;
+      }
+    }
+    stats->ops++;
+    if (!op_status.ok()) stats->failed++;
+    if (rec.ts_us > last_ts) last_ts = rec.ts_us;
+  }
+
+  stats->trace_span_us = last_ts - trace_base;
+  stats->replay_elapsed_us = env->NowMicros() - replay_start;
+  return Status::OK();
+}
+
+}  // namespace elmo::bench

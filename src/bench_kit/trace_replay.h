@@ -1,0 +1,40 @@
+// TraceReplayer: re-execute a workload trace captured with
+// DB::StartTrace against another DB instance. Values are regenerated
+// deterministically at the recorded sizes (traces store sizes, not
+// bytes), so a replayed fillrandom produces the same key set and the
+// same data volume as the original run — on any hardware profile.
+//
+// Two modes:
+//   - full speed (preserve_timing=false): issue ops back to back; use
+//     this to rebuild a DB state or stress a different configuration.
+//   - timing-preserving (preserve_timing=true): sleep out the recorded
+//     inter-op gaps on the target Env's clock. Under SimEnv the sleeps
+//     charge virtual time, so the replay reproduces the original
+//     arrival process deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/db.h"
+#include "util/status.h"
+
+namespace elmo::bench {
+
+struct ReplayStats {
+  uint64_t ops = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  // Ops whose DB call returned an error (NotFound on Get is not an
+  // error: a traced read of a since-deleted key legitimately misses).
+  uint64_t failed = 0;
+  uint64_t trace_span_us = 0;     // last record ts - trace base ts
+  uint64_t replay_elapsed_us = 0; // on the target Env's clock
+};
+
+Status ReplayTrace(Env* env, const std::string& trace_path, lsm::DB* db,
+                   bool preserve_timing, ReplayStats* stats);
+
+}  // namespace elmo::bench

@@ -1,5 +1,7 @@
 #include "elmo/prompt_generator.h"
 
+#include "bench_kit/report.h"
+
 namespace elmo::tune {
 
 std::string PromptGenerator::SystemMessage() {
@@ -43,6 +45,13 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += "```\n" + in.engine_telemetry;
     if (in.engine_telemetry.back() != '\n') p += "\n";
     p += "```\n\n";
+  }
+
+  if (!in.timeseries.empty()) {
+    p += "## Telemetry Over The Run\n";
+    p += "Per-interval engine samples (condensed). Watch for throughput "
+         "collapses, stall spikes, and growing compaction debt:\n";
+    p += "```\n" + bench::TimeSeriesTable(in.timeseries, 12) + "```\n\n";
   }
 
   if (!in.deterioration_note.empty()) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench_kit/workload.h"
+#include "lsm/stats_sampler.h"
 #include "sysinfo/system_probe.h"
 
 namespace elmo::tune {
@@ -22,6 +23,11 @@ struct PromptInputs {
   // latency histograms, per-level read/write-amp table) from the best
   // run so far — richer signal than the report summary alone.
   std::string engine_telemetry;
+  // Per-interval samples from the best run's StatsSampler; rendered as
+  // a condensed throughput-over-time table so the LLM sees the *shape*
+  // of the run (warmup, stall cliffs, compaction backlog growth), not
+  // just end-of-run aggregates.
+  std::vector<lsm::IntervalSample> timeseries;
   // Set when the previous iteration was reverted (the paper's
   // "intermediate prompt with the information about deterioration").
   std::string deterioration_note;

@@ -63,6 +63,7 @@ TuningOutcome TuningSession::Run(const Options& initial) {
         OptionsSchema::Instance().ToIniText(best_options);
     inputs.last_benchmark_report = best_result.ToReport();
     inputs.engine_telemetry = best_result.engine_stats;
+    inputs.timeseries = best_result.timeseries;
     inputs.deterioration_note = deterioration_note;
     inputs.history = history;
     for (const auto& name : safeguard.blacklist()) {

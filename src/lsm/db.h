@@ -72,6 +72,11 @@ class DB {
   //   "elmo.block-cache-usage"
   //   "elmo.block-cache-hit-rate"
   //   "elmo.options"                     active options file text
+  //   "elmo.timeseries"                  JSON time series recorded by the
+  //                                      StatsSampler (enabled via
+  //                                      options.stats_sample_interval_ms):
+  //                                      {"interval_us":N,"dropped":N,
+  //                                       "samples":[{...}, ...]}
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // Compact the key range [*begin, *end]; null means open-ended.
@@ -91,6 +96,15 @@ class DB {
 
   // Block until all scheduled background work has settled.
   virtual Status WaitForBackgroundWork() = 0;
+
+  // Start recording every user operation (puts, deletes, gets) to a
+  // trace file at `path` (see lsm/trace.h for the format and
+  // bench_kit/trace_replay.h for the replayer). Returns Busy if a trace
+  // is already active.
+  virtual Status StartTrace(const std::string& path) = 0;
+  // Stop recording and finalize the trace file. Returns InvalidArgument
+  // if no trace is active.
+  virtual Status EndTrace() = 0;
 
   virtual const DbStats& stats() const = 0;
   virtual const Options& options() const = 0;

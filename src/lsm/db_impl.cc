@@ -1,7 +1,9 @@
 #include "lsm/db_impl.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "lsm/cost_model.h"
@@ -100,6 +102,7 @@ Options SanitizeOptions(const Options& src) {
                                           o.level0_slowdown_writes_trigger);
   o.num_levels = std::clamp(o.num_levels, 2, 12);
   o.write_buffer_size = std::max<uint64_t>(o.write_buffer_size, 1 << 16);
+  o.stats_history_size = std::max<uint64_t>(o.stats_history_size, 16);
   return o;
 }
 
@@ -129,12 +132,38 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     env_->SetBackgroundThreads(options_.ResolvedCompactionSlots(),
                                JobPriority::kLow);
   }
+  if (options_.stats_sample_interval_ms > 0) {
+    sampler_ = std::make_unique<StatsSampler>(
+        &stats_, options_.stats_sample_interval_ms * 1000,
+        static_cast<size_t>(options_.stats_history_size), env_->NowMicros());
+  }
 }
 
 DBImpl::~DBImpl() {
   shutting_down_.store(true);
   if (sim_ == nullptr) {
     env_->WaitForBackgroundWork();
+  }
+  // Stop the sampler thread before touching any observability sink: a
+  // tick must never race the LOG/trace teardown below or outlive the
+  // Env.
+  if (sampler_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> sl(sampler_mu_);
+      sampler_stop_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_thread_.join();
+  }
+  if (tracing_.load(std::memory_order_acquire)) {
+    EndTrace();  // flush + sync the trace file
+  }
+  if (info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["lines"] =
+        static_cast<int64_t>(info_event_log_->lines_written());
+    info_event_log_->LogEvent("close", std::move(fields));
+    info_event_log_->Close();
   }
 }
 
@@ -215,6 +244,29 @@ Status DBImpl::Recover() {
     return Status::InvalidArgument(dbname_, "exists (error_if_exists=true)");
   }
 
+  // Structured info LOG: JSONL through the Env, so SimEnv runs produce a
+  // deterministic LOG with virtual-clock timestamps. Registered as a
+  // listener so flush/compaction/stall events flow in automatically;
+  // options.info_log keeps receiving a human-readable tee.
+  info_event_log_ = std::make_shared<DbInfoLogger>(env_, options_.info_log);
+  {
+    Status ls = info_event_log_->Open(InfoLogFileName(dbname_));
+    if (!ls.ok()) {
+      ELMO_LOG_WARN(options_.info_log.get(), "failed to open info LOG: %s",
+                    ls.ToString().c_str());
+    }
+  }
+  options_.listeners.push_back(info_event_log_);
+  {
+    json::Object fields;
+    fields["dbname"] = dbname_;
+    fields["deterministic_env"] = sim_ != nullptr;
+    info_event_log_->LogEvent("open", std::move(fields));
+    json::Object opt_fields;
+    opt_fields["ini"] = OptionsSchema::Instance().ToIniText(options_);
+    info_event_log_->LogEvent("options", std::move(opt_fields));
+  }
+
   s = versions_->Recover();
   if (!s.ok()) return s;
   vstall_.SetInitialL0(versions_->NumLevelFiles(0));
@@ -274,6 +326,12 @@ Status DBImpl::Recover() {
 
   RemoveObsoleteFiles();
   MaybeScheduleCompaction();
+
+  // Under a real env a dedicated thread drives the sampler; under SimEnv
+  // ticks piggyback on engine call sites (see MaybeSampleLocked).
+  if (sampler_ != nullptr && sim_ == nullptr) {
+    sampler_thread_ = std::thread([this] { SamplerThreadLoop(); });
+  }
   return Status::OK();
 }
 
@@ -440,6 +498,11 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   perf->write_batches++;
   perf->write_count += count;
   perf->write_micros += elapsed;
+
+  if (s.ok() && tracing_.load(std::memory_order_acquire)) {
+    TraceWriteBatch(*updates, t_start);
+  }
+  MaybeSampleLocked();
   return s;
 }
 
@@ -637,6 +700,7 @@ void DBImpl::BackgroundFlushCall() {
     }
   }
   active_flushes_--;
+  MaybeSampleLocked();
   MaybeScheduleFlush();
   MaybeScheduleCompaction();
   bg_work_finished_.notify_all();
@@ -667,6 +731,7 @@ void DBImpl::BackgroundCompactionCall() {
     }
   }
   active_compactions_--;
+  MaybeSampleLocked();
   MaybeScheduleCompaction();
   bg_work_finished_.notify_all();
 }
@@ -699,6 +764,7 @@ void DBImpl::RunFlushSim() {
   in_sim_background_ = false;
 
   RunCompactionsSim();
+  MaybeSampleLocked();
 }
 
 void DBImpl::RunCompactionsSim() {
@@ -766,6 +832,7 @@ void DBImpl::RunCompactionsSim() {
   }
 
   in_sim_background_ = false;
+  MaybeSampleLocked();
 }
 
 void DBImpl::RecordBackgroundError(const Status& s) {
@@ -1259,6 +1326,16 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   } else {
     perf->get_miss++;
   }
+
+  // Misses are traced too: a replayed read of a since-deleted key should
+  // miss again.
+  if (tracing_.load(std::memory_order_acquire)) {
+    TraceGet(key, t_start);
+  }
+  if (sampler_ != nullptr && sampler_->Due(env_->NowMicros())) {
+    std::lock_guard<std::mutex> sample_lock(mu_);
+    MaybeSampleLocked();
+  }
   return s;
 }
 
@@ -1403,6 +1480,143 @@ std::string DBImpl::LevelStatsString() const {
   return out;
 }
 
+void DBImpl::MaybeSampleLocked() {
+  // REQUIRES: mu_ held.
+  if (sampler_ == nullptr) return;
+  const uint64_t now = env_->NowMicros();
+  if (!sampler_->Due(now)) return;
+
+  EngineGauges g;
+  g.memtable_bytes = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+  for (const auto& e : imm_) {
+    g.memtable_bytes += e.mem->ApproximateMemoryUsage();
+  }
+  g.imm_count = ImmCountForStall();
+  g.pending_compaction_bytes = versions_->EstimatePendingCompactionBytes();
+  auto version = versions_->current();
+  g.num_levels = std::min(version->num_levels(), DbStats::kMaxLevels);
+  for (int level = 0; level < g.num_levels; level++) {
+    g.level_files[level] = version->NumFiles(level);
+  }
+  // L0 stalls are decided on the virtual count under sim; report the
+  // same number the stall logic sees.
+  if (g.num_levels > 0) g.level_files[0] = L0CountForStall();
+
+  if (sampler_->Tick(now, g) && info_event_log_ != nullptr) {
+    const IntervalSample s = sampler_->Latest();
+    json::Object fields;
+    fields["ops"] = static_cast<int64_t>(s.ops);
+    fields["ops_per_sec"] = s.ops_per_sec;
+    fields["p99_write_us"] = s.p99_write_us;
+    fields["stall_fraction"] = s.stall_fraction;
+    fields["l0_files"] = s.l0_files;
+    fields["pending_compaction_bytes"] =
+        static_cast<int64_t>(s.pending_compaction_bytes);
+    info_event_log_->LogEvent("sampler_tick", std::move(fields));
+  }
+}
+
+void DBImpl::SamplerThreadLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.stats_sample_interval_ms);
+  std::unique_lock<std::mutex> sl(sampler_mu_);
+  while (!sampler_stop_) {
+    sampler_cv_.wait_for(sl, interval, [this] { return sampler_stop_; });
+    if (sampler_stop_) break;
+    sl.unlock();
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      MaybeSampleLocked();
+    }
+    sl.lock();
+  }
+}
+
+namespace {
+
+uint32_t CurrentThreadId32() {
+  return static_cast<uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+// Forwards every batch entry to the trace writer, all stamped with the
+// batch's arrival time: replay sees the batch as one arrival, matching
+// how the write path treated it.
+class TraceBatchHandler : public WriteBatch::Handler {
+ public:
+  TraceBatchHandler(TraceWriter* writer, uint64_t ts_us, uint32_t thread_id)
+      : writer_(writer), ts_us_(ts_us), thread_id_(thread_id) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    writer_->AddRecord(TraceOp::kPut, ts_us_, thread_id_, key,
+                       static_cast<uint32_t>(value.size()));
+  }
+  void Delete(const Slice& key) override {
+    writer_->AddRecord(TraceOp::kDelete, ts_us_, thread_id_, key, 0);
+  }
+
+ private:
+  TraceWriter* const writer_;
+  const uint64_t ts_us_;
+  const uint32_t thread_id_;
+};
+
+}  // namespace
+
+Status DBImpl::StartTrace(const std::string& path) {
+  std::lock_guard<std::mutex> l(trace_mu_);
+  if (trace_ != nullptr) return Status::Busy("a trace is already active");
+  auto writer = std::make_shared<TraceWriter>(env_);
+  Status s = writer->Open(path, env_->NowMicros());
+  if (!s.ok()) return s;
+  trace_ = std::move(writer);
+  tracing_.store(true, std::memory_order_release);
+  if (info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["path"] = path;
+    info_event_log_->LogEvent("trace_start", std::move(fields));
+  }
+  return Status::OK();
+}
+
+Status DBImpl::EndTrace() {
+  std::shared_ptr<TraceWriter> writer;
+  {
+    std::lock_guard<std::mutex> l(trace_mu_);
+    if (trace_ == nullptr) return Status::InvalidArgument("no trace active");
+    tracing_.store(false, std::memory_order_release);
+    writer = std::move(trace_);
+  }
+  Status s = writer->Close();
+  if (info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["records"] = static_cast<int64_t>(writer->records());
+    info_event_log_->LogEvent("trace_end", std::move(fields));
+  }
+  return s;
+}
+
+void DBImpl::TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us) {
+  std::shared_ptr<TraceWriter> writer;
+  {
+    std::lock_guard<std::mutex> l(trace_mu_);
+    writer = trace_;
+  }
+  if (writer == nullptr) return;
+  TraceBatchHandler handler(writer.get(), ts_us, CurrentThreadId32());
+  updates.Iterate(&handler);
+}
+
+void DBImpl::TraceGet(const Slice& key, uint64_t ts_us) {
+  std::shared_ptr<TraceWriter> writer;
+  {
+    std::lock_guard<std::mutex> l(trace_mu_);
+    writer = trace_;
+  }
+  if (writer == nullptr) return;
+  writer->AddRecord(TraceOp::kGet, ts_us, CurrentThreadId32(), key, 0);
+}
+
 // ---------------------------------------------------------------------
 // Admin
 
@@ -1480,6 +1694,15 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     *value = OptionsSchema::Instance().ToIniText(options_);
     return true;
   }
+  if (prop == "elmo.timeseries") {
+    // Reading the property is itself a tick opportunity, so a SimEnv
+    // run that just advanced virtual time gets an up-to-date final
+    // sample without any extra call.
+    MaybeSampleLocked();
+    *value = sampler_ != nullptr ? sampler_->ToJson()
+                                 : TimeSeriesToJson(0, 0, {});
+    return true;
+  }
   return false;
 }
 
@@ -1524,6 +1747,7 @@ Status DBImpl::WaitForBackgroundWork() {
       sim_->AdvanceTo(next);
       vstall_.ProcessUntil(next);
     }
+    MaybeSampleLocked();
     return bg_error_;
   }
   std::unique_lock<std::mutex> l(mu_);
@@ -1537,6 +1761,7 @@ Status DBImpl::WaitForBackgroundWork() {
             !versions_->NeedsCompaction()) ||
            !bg_error_.ok() || shutting_down_.load();
   });
+  MaybeSampleLocked();
   return bg_error_;
 }
 

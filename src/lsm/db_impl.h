@@ -16,13 +16,17 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "env/sim_env.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/event_listener.h"
+#include "lsm/info_logger.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
+#include "lsm/stats_sampler.h"
+#include "lsm/trace.h"
 #include "lsm/version_set.h"
 #include "lsm/virtual_stall.h"
 #include "util/rate_limiter.h"
@@ -55,6 +59,8 @@ class DBImpl : public DB {
                            uint64_t* sizes) override;
   Status FlushMemTable() override;
   Status WaitForBackgroundWork() override;
+  Status StartTrace(const std::string& path) override;
+  Status EndTrace() override;
   const DbStats& stats() const override { return stats_; }
   const Options& options() const override { return options_; }
 
@@ -135,6 +141,15 @@ class DBImpl : public DB {
   // RocksDB-style per-level table (files, bytes, score, read/write amp).
   // REQUIRES: mu_.
   std::string LevelStatsString() const;
+  // Record a time-series sample if one is due on the engine clock. Under
+  // SimEnv this is the only sampling mechanism: the DB piggybacks it on
+  // write/read/background call sites, since no real thread can observe
+  // virtual time. REQUIRES: mu_.
+  void MaybeSampleLocked();
+  // Real-env sampler thread body (SimEnv never starts the thread).
+  void SamplerThreadLoop();
+  void TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us);
+  void TraceGet(const Slice& key, uint64_t ts_us);
 
   // --- constant state ---
   Options options_;  // sanitized copy
@@ -177,6 +192,23 @@ class DBImpl : public DB {
   StallCondition stall_condition_ = StallCondition::kNormal;
 
   DbStats stats_;
+
+  // --- observability: time series, structured LOG, trace ---
+  std::unique_ptr<StatsSampler> sampler_;  // null unless sampling enabled
+  std::shared_ptr<DbInfoLogger> info_event_log_;
+
+  // Real-env sampler thread; joined in the destructor before the info
+  // LOG closes so no tick outlives the DB.
+  std::thread sampler_thread_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;  // guarded by sampler_mu_
+
+  // Trace capture. `tracing_` is the hot-path gate; `trace_` is swapped
+  // under trace_mu_ (a leaf mutex, safe to take with mu_ held).
+  std::atomic<bool> tracing_{false};
+  std::mutex trace_mu_;
+  std::shared_ptr<TraceWriter> trace_;
 };
 
 }  // namespace elmo::lsm

@@ -1,0 +1,107 @@
+#include "lsm/info_logger.h"
+
+#include <utility>
+
+namespace elmo::lsm {
+
+DbInfoLogger::DbInfoLogger(Env* env, std::shared_ptr<Logger> tee)
+    : env_(env), tee_(std::move(tee)) {}
+
+DbInfoLogger::~DbInfoLogger() { Close(); }
+
+Status DbInfoLogger::Open(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  return env_->NewWritableFile(path, &file_);
+}
+
+void DbInfoLogger::LogEvent(const std::string& event, json::Object fields) {
+  const uint64_t now = env_->NowMicros();
+  fields["ts_us"] = static_cast<int64_t>(now);
+  fields["event"] = event;
+  std::string line = json::Value(std::move(fields)).Dump();
+
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return;
+  line.push_back('\n');
+  if (file_->Append(Slice(line)).ok()) {
+    file_->Flush();
+    lines_++;
+  }
+  if (tee_ != nullptr) {
+    line.pop_back();
+    tee_->Log(LogLevel::kDebug, "%s", line.c_str());
+  }
+}
+
+void DbInfoLogger::Close() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return;
+  file_->Sync();
+  file_->Close();
+  file_.reset();
+}
+
+uint64_t DbInfoLogger::lines_written() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return lines_;
+}
+
+json::Object DbInfoLogger::FlushFields(const FlushJobInfo& info) const {
+  json::Object o;
+  o["imms_merged"] = info.imms_merged;
+  o["file_number"] = static_cast<int64_t>(info.file_number);
+  o["output_bytes"] = static_cast<int64_t>(info.output_bytes);
+  o["output_level"] = info.output_level;
+  o["duration_micros"] = static_cast<int64_t>(info.duration_micros);
+  return o;
+}
+
+json::Object DbInfoLogger::CompactionFields(
+    const CompactionJobInfo& info) const {
+  json::Object o;
+  o["level"] = info.level;
+  o["output_level"] = info.output_level;
+  o["reason"] = CompactionReasonName(info.reason);
+  o["num_input_files"] = info.num_input_files;
+  o["input_bytes"] = static_cast<int64_t>(info.input_bytes);
+  o["num_output_files"] = info.num_output_files;
+  o["output_bytes"] = static_cast<int64_t>(info.output_bytes);
+  o["duration_micros"] = static_cast<int64_t>(info.duration_micros);
+  o["trivial_move"] = info.trivial_move;
+  return o;
+}
+
+json::Object DbInfoLogger::StallFields(const StallInfo& info) const {
+  json::Object o;
+  o["previous"] = StallConditionName(info.previous);
+  o["current"] = StallConditionName(info.current);
+  o["reason"] = StallReasonName(info.reason);
+  o["wait_micros"] = static_cast<int64_t>(info.wait_micros);
+  return o;
+}
+
+void DbInfoLogger::OnFlushBegin(const FlushJobInfo& info) {
+  LogEvent("flush_begin", FlushFields(info));
+}
+
+void DbInfoLogger::OnFlushCompleted(const FlushJobInfo& info) {
+  LogEvent("flush_end", FlushFields(info));
+}
+
+void DbInfoLogger::OnCompactionBegin(const CompactionJobInfo& info) {
+  LogEvent("compaction_begin", CompactionFields(info));
+}
+
+void DbInfoLogger::OnCompactionCompleted(const CompactionJobInfo& info) {
+  LogEvent("compaction_end", CompactionFields(info));
+}
+
+void DbInfoLogger::OnStallConditionChanged(const StallInfo& info) {
+  LogEvent("stall_transition", StallFields(info));
+}
+
+void DbInfoLogger::OnWriteStop(const StallInfo& info) {
+  LogEvent("write_stop", StallFields(info));
+}
+
+}  // namespace elmo::lsm

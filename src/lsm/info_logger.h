@@ -1,0 +1,75 @@
+// DbInfoLogger: the DB's structured info LOG. Writes one JSON object
+// per line (JSONL) to InfoLogFileName(dbname) through the Env — so under
+// SimEnv the LOG lands in the simulated filesystem with virtual-clock
+// timestamps, and tests can read it back deterministically.
+//
+// It doubles as an EventListener: DBImpl appends it to the sanitized
+// listener list, so flush/compaction/stall lifecycle events flow into
+// the LOG without extra call sites. DBImpl also logs open/options/
+// sampler_tick/close events explicitly via LogEvent().
+//
+// Every line carries "ts_us" (engine clock) and "event"; remaining keys
+// are event-specific. Lines are parseable with util/json — nothing in
+// the LOG is free-form text.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/event_listener.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace elmo::lsm {
+
+class DbInfoLogger : public EventListener {
+ public:
+  // `tee` (optional, may be null) additionally receives each event as a
+  // one-line debug message — this keeps options.info_log working as the
+  // human-readable mirror of the structured LOG.
+  DbInfoLogger(Env* env, std::shared_ptr<Logger> tee);
+  ~DbInfoLogger() override;
+
+  DbInfoLogger(const DbInfoLogger&) = delete;
+  DbInfoLogger& operator=(const DbInfoLogger&) = delete;
+
+  // Create/truncate the LOG file. Until Open succeeds (or after Close),
+  // LogEvent is a no-op, so a LOG-less DB still runs.
+  Status Open(const std::string& path);
+
+  // Append one event line. `fields` must not contain "ts_us"/"event";
+  // both are added here. Thread-safe; callers may hold the DB mutex
+  // (this class takes only its own leaf mutex).
+  void LogEvent(const std::string& event, json::Object fields);
+
+  // Flush+sync+close the LOG file. Idempotent; called from the DB
+  // destructor so no writes can outlive the Env.
+  void Close();
+
+  uint64_t lines_written() const;
+
+  // EventListener: lifecycle events become LOG lines.
+  void OnFlushBegin(const FlushJobInfo& info) override;
+  void OnFlushCompleted(const FlushJobInfo& info) override;
+  void OnCompactionBegin(const CompactionJobInfo& info) override;
+  void OnCompactionCompleted(const CompactionJobInfo& info) override;
+  void OnStallConditionChanged(const StallInfo& info) override;
+  void OnWriteStop(const StallInfo& info) override;
+
+ private:
+  json::Object FlushFields(const FlushJobInfo& info) const;
+  json::Object CompactionFields(const CompactionJobInfo& info) const;
+  json::Object StallFields(const StallInfo& info) const;
+
+  Env* const env_;
+  const std::shared_ptr<Logger> tee_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t lines_ = 0;
+};
+
+}  // namespace elmo::lsm

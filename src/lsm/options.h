@@ -97,6 +97,13 @@ struct Options {
   bool paranoid_checks = false;
   // Dump engine statistics to the info log every N seconds (0 = off).
   uint64_t stats_dump_period_sec = 600;
+  // Record an IntervalSample (ops/s, interval p99s, stall fraction,
+  // compaction debt, per-level files) every N milliseconds of engine
+  // time; exposed via GetProperty("elmo.timeseries"). 0 = sampler off.
+  uint64_t stats_sample_interval_ms = 0;
+  // Ring capacity of the time-series sampler: at most this many
+  // intervals are retained (oldest dropped, drop count reported).
+  uint64_t stats_history_size = 512;
   // WAL: globally disabling the journal is possible here but the tuning
   // framework blacklists it (losing durability to win a benchmark is
   // exactly the failure mode the Safeguard Enforcer exists for).

@@ -230,6 +230,14 @@ OptionsSchema::OptionsSchema() {
   options_.push_back(UintOpt(
       "stats_dump_period_sec", "DBOptions", &Options::stats_dump_period_sec,
       600, 0, 86400, "Dump engine stats to the info log every N seconds."));
+  options_.push_back(UintOpt(
+      "stats_sample_interval_ms", "DBOptions",
+      &Options::stats_sample_interval_ms, 0, 0, 3600000,
+      "Record a telemetry time-series sample every N ms (0 = off); "
+      "read back via GetProperty(\"elmo.timeseries\")."));
+  options_.push_back(UintOpt(
+      "stats_history_size", "DBOptions", &Options::stats_history_size, 512,
+      16, 1 << 20, "Max time-series samples retained (drop-oldest ring)."));
   options_.push_back(BoolOpt(
       "use_direct_reads", "DBOptions", &Options::use_direct_reads, false,
       "Bypass the OS page cache for user reads."));

@@ -85,6 +85,31 @@ Histogram AtomicHistogram::Snapshot() const {
   return h;
 }
 
+StatsSnapshot StatsSnapshot::Delta(const StatsSnapshot& prev) const {
+  StatsSnapshot d;
+  for (int i = 0; i < static_cast<int>(Ticker::kTickerMax); i++) {
+    d.tickers[i] = tickers[i] >= prev.tickers[i]
+                       ? tickers[i] - prev.tickers[i]
+                       : 0;
+  }
+  for (int i = 0; i < static_cast<int>(HistogramType::kHistogramMax); i++) {
+    d.histograms[i] = histograms[i];
+    d.histograms[i].SubtractBaseline(prev.histograms[i]);
+  }
+  return d;
+}
+
+StatsSnapshot DbStats::GetSnapshot() const {
+  StatsSnapshot s;
+  for (int i = 0; i < static_cast<int>(Ticker::kTickerMax); i++) {
+    s.tickers[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  for (int i = 0; i < static_cast<int>(HistogramType::kHistogramMax); i++) {
+    s.histograms[i] = histograms_[i].Snapshot();
+  }
+  return s;
+}
+
 void DbStats::Reset() {
   for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
   for (auto& h : histograms_) h.Reset();

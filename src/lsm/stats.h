@@ -55,6 +55,27 @@ enum class HistogramType : int {
 
 const char* HistogramTypeName(HistogramType h);
 
+// Point-in-time copy of the whole statistics registry. Taken with
+// DbStats::GetSnapshot(); Delta() turns two cumulative snapshots into
+// per-interval counts so rate consumers (the StatsSampler, the
+// "elmo.stats" scrapers) never do racy manual subtraction. Each field is
+// individually consistent (relaxed atomic loads); the snapshot as a
+// whole is not a cross-counter atomic cut, which is fine for telemetry.
+struct StatsSnapshot {
+  uint64_t tickers[static_cast<int>(Ticker::kTickerMax)] = {};
+  Histogram histograms[static_cast<int>(HistogramType::kHistogramMax)];
+
+  uint64_t Get(Ticker t) const { return tickers[static_cast<int>(t)]; }
+  const Histogram& GetHistogram(HistogramType h) const {
+    return histograms[static_cast<int>(h)];
+  }
+
+  // Interval delta "this - prev". Ticker deltas are clamped at zero so a
+  // stale `prev` cannot underflow; histogram deltas subtract per-bucket
+  // counts, so interval percentiles are exact.
+  StatsSnapshot Delta(const StatsSnapshot& prev) const;
+};
+
 // Lock-free histogram sharing Histogram's bucket layout: atomic bucket
 // counters plus CAS-maintained min/max/sum aggregates. Snapshot() fills
 // a plain Histogram for percentile math and rendering.
@@ -122,6 +143,10 @@ class DbStats {
   }
 
   void Reset();
+
+  // Copy every ticker and histogram into a StatsSnapshot (see above).
+  // Safe to call concurrently with writers.
+  StatsSnapshot GetSnapshot() const;
 
   // Multi-line dump used by GetProperty("elmo.stats") and scraped into
   // the tuning prompt: tickers, stall-reason breakdown, and a p50/p99

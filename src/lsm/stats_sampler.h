@@ -1,0 +1,119 @@
+// StatsSampler: turns the cumulative DbStats registry into a bounded
+// time series. On every tick it snapshots the registry, computes the
+// delta against the previous tick (StatsSnapshot::Delta), and records
+// one IntervalSample — ops/s, interval p99 latencies, stall fraction,
+// compaction debt, memtable memory, per-level file counts — into a ring
+// of fixed capacity (drop-oldest).
+//
+// Ticks run on the *engine* clock: virtual time under SimEnv (the DB
+// piggybacks ticks on its write/read/background paths, since no real
+// thread can observe virtual time), wall time under PosixEnv/MemEnv
+// (DBImpl runs a dedicated sampler thread). The ring is exposed as JSON
+// through GetProperty("elmo.timeseries") — the native source of the
+// paper's Fig. 3/4 throughput-over-time curves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lsm/stats.h"
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+// Instantaneous engine state the registry does not carry; filled by
+// DBImpl (which can see memtables and the version tree) at tick time.
+struct EngineGauges {
+  uint64_t memtable_bytes = 0;  // active + immutable memtables
+  int imm_count = 0;
+  uint64_t pending_compaction_bytes = 0;  // compaction debt estimate
+  int num_levels = 0;
+  int level_files[DbStats::kMaxLevels] = {};
+};
+
+// One recorded interval. Counts are deltas over [ts_us - interval_us,
+// ts_us]; gauges are the state at ts_us. Timestamps are engine-clock
+// micros (virtual under SimEnv).
+struct IntervalSample {
+  uint64_t ts_us = 0;
+  uint64_t interval_us = 0;
+
+  // Interval counts / rates.
+  uint64_t ops = 0;     // writes + gets
+  uint64_t writes = 0;  // user write ops
+  uint64_t gets = 0;    // hits + misses
+  double ops_per_sec = 0;
+  double p50_write_us = 0;  // interval percentiles, not cumulative
+  double p99_write_us = 0;
+  double p99_get_us = 0;
+  uint64_t stall_micros = 0;
+  double stall_fraction = 0;  // stall_micros / interval, clamped to 1
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_written = 0;
+
+  // Gauges at the sample instant.
+  uint64_t memtable_bytes = 0;
+  int imm_count = 0;
+  uint64_t pending_compaction_bytes = 0;
+  int l0_files = 0;
+  int num_levels = 0;
+  int level_files[DbStats::kMaxLevels] = {};
+};
+
+// Render a sample list as the "elmo.timeseries" JSON document:
+//   {"interval_us": N, "dropped": N, "samples": [{...}, ...]}
+std::string TimeSeriesToJson(uint64_t interval_us, uint64_t dropped,
+                             const std::vector<IntervalSample>& samples);
+
+// Parse a document produced by TimeSeriesToJson. Unknown fields are
+// ignored; missing fields default to zero.
+Status TimeSeriesFromJson(const std::string& text,
+                          std::vector<IntervalSample>* samples,
+                          uint64_t* interval_us = nullptr,
+                          uint64_t* dropped = nullptr);
+
+class StatsSampler {
+ public:
+  // `interval_us` must be > 0. `start_ts_us` anchors the first interval.
+  StatsSampler(const DbStats* stats, uint64_t interval_us, size_t capacity,
+               uint64_t start_ts_us);
+
+  // Cheap lock-free pre-check for hot paths: is a sample due at `now`?
+  bool Due(uint64_t now_us) const {
+    return now_us >= next_due_.load(std::memory_order_relaxed);
+  }
+
+  // Record one sample covering (prev tick, now] if one is due. Returns
+  // true when a sample was recorded. Thread-safe.
+  bool Tick(uint64_t now_us, const EngineGauges& gauges);
+
+  std::vector<IntervalSample> Samples() const;
+  // Most recent sample; only meaningful when NumSamples() > 0.
+  IntervalSample Latest() const;
+  size_t NumSamples() const;
+  // Samples evicted from the ring so far (drop-oldest).
+  uint64_t DroppedSamples() const;
+  uint64_t interval_us() const { return interval_us_; }
+
+  std::string ToJson() const;
+
+ private:
+  const DbStats* const stats_;
+  const uint64_t interval_us_;
+  const size_t capacity_;
+
+  std::atomic<uint64_t> next_due_;
+
+  mutable std::mutex mu_;
+  StatsSnapshot prev_;
+  uint64_t prev_ts_us_;
+  std::deque<IntervalSample> ring_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace elmo::lsm

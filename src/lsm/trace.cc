@@ -1,0 +1,167 @@
+#include "lsm/trace.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo::lsm {
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'E', 'L', 'M', 'O', 'T', 'R', 'C', '1'};
+constexpr uint32_t kTraceVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kTraceMagic) + 4 + 8;
+// fixed64 ts + fixed32 thread + op byte; key/value_size are variable.
+constexpr size_t kPayloadFixed = 1 + 8 + 4;
+
+}  // namespace
+
+TraceWriter::TraceWriter(Env* env) : env_(env) {}
+
+TraceWriter::~TraceWriter() { Close(); }
+
+Status TraceWriter::Open(const std::string& path, uint64_t base_ts_us) {
+  std::lock_guard<std::mutex> l(mu_);
+  Status s = env_->NewWritableFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header(kTraceMagic, sizeof(kTraceMagic));
+  PutFixed32(&header, kTraceVersion);
+  PutFixed64(&header, base_ts_us);
+  s = file_->Append(Slice(header));
+  if (!s.ok()) file_.reset();
+  return s;
+}
+
+Status TraceWriter::AddRecord(TraceOp op, uint64_t ts_us, uint32_t thread_id,
+                              const Slice& key, uint32_t value_size) {
+  std::string payload;
+  payload.reserve(kPayloadFixed + 5 + key.size() + 5);
+  payload.push_back(static_cast<char>(op));
+  PutFixed64(&payload, ts_us);
+  PutFixed32(&payload, thread_id);
+  PutVarint32(&payload, static_cast<uint32_t>(key.size()));
+  payload.append(key.data(), key.size());
+  PutVarint32(&payload, value_size);
+
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::IOError("trace writer not open");
+  Status s = file_->Append(Slice(frame));
+  if (s.ok()) records_++;
+  return s;
+}
+
+Status TraceWriter::Close() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  Status c = file_->Close();
+  if (s.ok()) s = c;
+  file_.reset();
+  return s;
+}
+
+uint64_t TraceWriter::records() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return records_;
+}
+
+TraceReader::TraceReader(Env* env) : env_(env) {}
+
+Status TraceReader::Open(const std::string& path) {
+  Status s = env_->NewSequentialFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header;
+  bool eof = false;
+  s = ReadFully(kHeaderSize, &header, &eof);
+  if (!s.ok()) return s;
+  if (eof || memcmp(header.data(), kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    return Status::Corruption("not an elmo trace file");
+  }
+  const uint32_t version = DecodeFixed32(header.data() + sizeof(kTraceMagic));
+  if (version != kTraceVersion) {
+    return Status::Corruption("unsupported trace version");
+  }
+  base_ts_us_ = DecodeFixed64(header.data() + sizeof(kTraceMagic) + 4);
+  return Status::OK();
+}
+
+Status TraceReader::ReadFully(size_t n, std::string* out, bool* clean_eof) {
+  out->clear();
+  *clean_eof = false;
+  std::string scratch(n, '\0');
+  size_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    Status s = file_->Read(n - got, &chunk, &scratch[0] + got);
+    if (!s.ok()) return s;
+    if (chunk.empty()) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::Corruption("truncated trace record");
+    }
+    // The file may return data in its own buffer; normalize into ours.
+    if (chunk.data() != scratch.data() + got) {
+      memcpy(&scratch[0] + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  *out = std::move(scratch);
+  return Status::OK();
+}
+
+Status TraceReader::Next(TraceRecord* rec, bool* eof) {
+  *eof = false;
+  if (file_ == nullptr) return Status::IOError("trace reader not open");
+
+  std::string frame_header;
+  Status s = ReadFully(8, &frame_header, eof);
+  if (!s.ok() || *eof) return s;
+  const uint32_t expected_crc =
+      crc32c::Unmask(DecodeFixed32(frame_header.data()));
+  const uint32_t len = DecodeFixed32(frame_header.data() + 4);
+  if (len < kPayloadFixed + 2 || len > (1u << 26)) {
+    return Status::Corruption("bad trace record length");
+  }
+
+  std::string payload;
+  bool payload_eof = false;
+  s = ReadFully(len, &payload, &payload_eof);
+  if (!s.ok()) return s;
+  if (payload_eof) return Status::Corruption("truncated trace record");
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("trace record checksum mismatch");
+  }
+
+  const uint8_t op = static_cast<uint8_t>(payload[0]);
+  if (op < static_cast<uint8_t>(TraceOp::kPut) ||
+      op > static_cast<uint8_t>(TraceOp::kGet)) {
+    return Status::Corruption("bad trace op");
+  }
+  rec->op = static_cast<TraceOp>(op);
+  rec->ts_us = DecodeFixed64(payload.data() + 1);
+  rec->thread_id = DecodeFixed32(payload.data() + 9);
+  Slice rest(payload.data() + kPayloadFixed, payload.size() - kPayloadFixed);
+  uint32_t key_len = 0;
+  if (!GetVarint32(&rest, &key_len) || rest.size() < key_len) {
+    return Status::Corruption("bad trace key length");
+  }
+  rec->key.assign(rest.data(), key_len);
+  rest.remove_prefix(key_len);
+  if (!GetVarint32(&rest, &rec->value_size) || !rest.empty()) {
+    return Status::Corruption("bad trace value size");
+  }
+  return Status::OK();
+}
+
+}  // namespace elmo::lsm

@@ -55,6 +55,19 @@ void Histogram::SetRaw(double min, double max, uint64_t num, double sum,
   for (int b = 0; b < kNumBuckets; b++) buckets_[b] = bucket_counts[b];
 }
 
+void Histogram::SubtractBaseline(const Histogram& prev) {
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] -= std::min(buckets_[b], prev.buckets_[b]);
+  }
+  num_ -= std::min(num_, prev.num_);
+  sum_ = std::max(0.0, sum_ - prev.sum_);
+  sum_squares_ = std::max(0.0, sum_squares_ - prev.sum_squares_);
+  if (num_ == 0) {
+    uint64_t zero[kNumBuckets] = {};
+    SetRaw(0, 0, 0, 0, 0, zero);
+  }
+}
+
 void Histogram::Clear() {
   min_ = kBucketLimit[kNumBuckets - 1];
   max_ = 0;

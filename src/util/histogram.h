@@ -17,6 +17,12 @@ class Histogram {
   void Clear();
   void Add(double value);
   void Merge(const Histogram& other);
+  // Turn this cumulative histogram into the interval histogram
+  // "this - prev" by subtracting per-bucket counts (clamped at zero, so
+  // a racy snapshot pair degrades gracefully instead of underflowing).
+  // min/max keep the cumulative extremes: percentiles and averages come
+  // from the buckets and sums, which are exact.
+  void SubtractBaseline(const Histogram& prev);
 
   double Median() const;
   double Percentile(double p) const;  // p in [0, 100]

@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <cstdio>
+#include <iterator>
 
 namespace elmo {
 
@@ -44,13 +45,23 @@ void BufferLogger::Logv(LogLevel level, const char* format, va_list ap) {
   std::string line = FormatLogLine(level, format, ap);
   std::lock_guard<std::mutex> l(mu_);
   lines_.push_back(std::move(line));
+  while (lines_.size() > max_lines_) {
+    lines_.pop_front();
+    dropped_++;
+  }
 }
 
 std::vector<std::string> BufferLogger::TakeLines() {
   std::lock_guard<std::mutex> l(mu_);
-  std::vector<std::string> out;
-  out.swap(lines_);
+  std::vector<std::string> out(std::make_move_iterator(lines_.begin()),
+                               std::make_move_iterator(lines_.end()));
+  lines_.clear();
   return out;
+}
+
+uint64_t BufferLogger::dropped_lines() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dropped_;
 }
 
 std::string BufferLogger::Contents() const {

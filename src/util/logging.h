@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -30,21 +32,28 @@ class NullLogger : public Logger {
 };
 
 // Appends formatted lines to an in-memory buffer (used by SimEnv and by
-// tests that assert on log contents).
+// tests that assert on log contents). Bounded: at most `max_lines` are
+// retained; beyond that the oldest line is dropped and counted, so a
+// chatty multi-hour simulated run cannot grow memory without bound.
 class BufferLogger : public Logger {
  public:
-  explicit BufferLogger(LogLevel min_level = LogLevel::kInfo)
-      : min_level_(min_level) {}
+  explicit BufferLogger(LogLevel min_level = LogLevel::kInfo,
+                        size_t max_lines = 4096)
+      : min_level_(min_level), max_lines_(max_lines == 0 ? 1 : max_lines) {}
 
   void Logv(LogLevel level, const char* format, va_list ap) override;
 
   std::vector<std::string> TakeLines();
   std::string Contents() const;
+  // Lines evicted to honor the cap (cumulative; not reset by TakeLines).
+  uint64_t dropped_lines() const;
 
  private:
   const LogLevel min_level_;
+  const size_t max_lines_;
   mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  std::deque<std::string> lines_;
+  uint64_t dropped_ = 0;
 };
 
 // Writes to stderr; used by examples.

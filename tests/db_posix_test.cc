@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "lsm/db.h"
 #include "lsm/options_file.h"
+#include "lsm/stats_sampler.h"
 
 namespace elmo::lsm {
 namespace {
@@ -100,6 +103,35 @@ TEST_F(DbPosixTest, IteratorOverRealSsts) {
     seen += it->key().ToString();
   }
   EXPECT_EQ("abcdefghijklmnopqrstuvwxyz", seen);
+}
+
+// On a real Env the sampler runs as a background thread on the wall
+// clock; it must produce samples without any foreground traffic and be
+// joined cleanly when the DB closes (sanitizer jobs cover the latter).
+TEST_F(DbPosixTest, WallClockSamplerThreadTicksAndJoins) {
+  options_.stats_sample_interval_ms = 5;
+  Reopen();
+
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db_->Put({}, "key" + std::to_string(i), "value").ok());
+  }
+
+  // Give the sampler thread a few intervals; bounded wait, not a fixed
+  // sleep, so the test is fast on idle machines and robust on loaded
+  // ones.
+  std::string text;
+  std::vector<IntervalSample> samples;
+  for (int attempt = 0; attempt < 200 && samples.size() < 2; attempt++) {
+    Env::Posix()->SleepForMicroseconds(5000);
+    ASSERT_TRUE(db_->GetProperty("elmo.timeseries", &text));
+    samples.clear();
+    ASSERT_TRUE(TimeSeriesFromJson(text, &samples).ok()) << text;
+  }
+  ASSERT_GE(samples.size(), 2u) << text;
+  for (size_t i = 1; i < samples.size(); i++) {
+    EXPECT_GT(samples[i].ts_us, samples[i - 1].ts_us);
+  }
+  db_.reset();  // joins the sampler thread
 }
 
 }  // namespace

@@ -125,6 +125,57 @@ TEST(StatsTest, ResetClearsEverything) {
   EXPECT_EQ(0u, stats.LevelCompactions(2));
 }
 
+TEST(StatsTest, SnapshotDeltaNeverUnderflowsUnderConcurrentWriters) {
+  DbStats stats;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  // Baseline before the writers start, so the interval deltas below
+  // partition every operation.
+  StatsSnapshot prev = stats.GetSnapshot();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < kPerThread; i++) {
+        stats.Add(Ticker::kWriteCount, 1);
+        stats.Add(Ticker::kBytesWritten, 64);
+        stats.Measure(HistogramType::kWriteMicros,
+                      static_cast<uint64_t>(i % 100) + 1);
+      }
+    });
+  }
+
+  // Snapshot repeatedly while the writers run. Cumulative snapshots must
+  // be non-decreasing, so every interval delta must be >= 0 (clamped) and
+  // histogram bucket subtraction must never produce a negative count.
+  uint64_t delta_writes = 0;
+  uint64_t delta_hist = 0;
+  for (int round = 0; round < 200; round++) {
+    StatsSnapshot cur = stats.GetSnapshot();
+    StatsSnapshot d = cur.Delta(prev);
+    EXPECT_GE(cur.Get(Ticker::kWriteCount), prev.Get(Ticker::kWriteCount));
+    delta_writes += d.Get(Ticker::kWriteCount);
+    delta_hist += d.GetHistogram(HistogramType::kWriteMicros).Count();
+    if (d.GetHistogram(HistogramType::kWriteMicros).Count() > 0) {
+      EXPECT_GE(d.GetHistogram(HistogramType::kWriteMicros).Min(), 1.0);
+      EXPECT_LE(d.GetHistogram(HistogramType::kWriteMicros).Percentile(99),
+                d.GetHistogram(HistogramType::kWriteMicros).Max());
+    }
+    prev = cur;
+    std::this_thread::yield();
+  }
+  for (auto& th : threads) th.join();
+
+  // A final interval picks up whatever the mid-run snapshots missed:
+  // intervals partition the cumulative totals exactly.
+  StatsSnapshot last = stats.GetSnapshot().Delta(prev);
+  delta_writes += last.Get(Ticker::kWriteCount);
+  delta_hist += last.GetHistogram(HistogramType::kWriteMicros).Count();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(stats.Get(Ticker::kWriteCount), total);
+  EXPECT_EQ(delta_writes, total);
+  EXPECT_EQ(delta_hist, total);
+}
+
 TEST(StatsTest, HistogramTypeNamesAreUniqueAndNonEmpty) {
   std::vector<std::string> names;
   for (int h = 0; h < static_cast<int>(HistogramType::kHistogramMax); h++) {

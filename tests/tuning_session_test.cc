@@ -167,6 +167,29 @@ TEST(TuningSession, PromptCarriesAllSections) {
   EXPECT_NE(prompt.find("Do not modify: disable_wal"), std::string::npos);
 }
 
+TEST(PromptGenerator, TimeseriesRendersTelemetrySection) {
+  PromptInputs in;
+  in.iteration = 2;
+  in.workload_description = "fillrandom";
+  in.current_options_ini = "k = v\n";
+  lsm::IntervalSample s;
+  s.ts_us = 250000;
+  s.interval_us = 250000;
+  s.ops = 50000;
+  s.ops_per_sec = 200000.0;
+  s.stall_fraction = 0.25;
+  in.timeseries = {s};
+  std::string p = PromptGenerator::Generate(in);
+  EXPECT_NE(p.find("## Telemetry Over The Run"), std::string::npos);
+  EXPECT_NE(p.find("ops/s"), std::string::npos);
+  EXPECT_NE(p.find("200000"), std::string::npos);
+
+  // Without samples the section is omitted entirely.
+  in.timeseries.clear();
+  p = PromptGenerator::Generate(in);
+  EXPECT_EQ(p.find("## Telemetry Over The Run"), std::string::npos);
+}
+
 TEST(PromptGenerator, DeteriorationNoteIncludedWhenSet) {
   PromptInputs in;
   in.iteration = 3;

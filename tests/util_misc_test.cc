@@ -198,5 +198,29 @@ TEST(Logging, LongMessagesNotTruncated) {
   EXPECT_NE(logger.Contents().find(big), std::string::npos);
 }
 
+TEST(Logging, BufferLoggerCapDropsOldestAndCounts) {
+  BufferLogger logger(LogLevel::kInfo, /*max_lines=*/3);
+  for (int i = 0; i < 10; i++) {
+    logger.Log(LogLevel::kInfo, "line %d", i);
+  }
+  EXPECT_EQ(logger.dropped_lines(), 7u);
+
+  // Only the newest max_lines survive, in order.
+  std::vector<std::string> lines = logger.TakeLines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("line 7"), std::string::npos);
+  EXPECT_NE(lines[1].find("line 8"), std::string::npos);
+  EXPECT_NE(lines[2].find("line 9"), std::string::npos);
+
+  // TakeLines drains the buffer but the drop counter is cumulative.
+  EXPECT_TRUE(logger.TakeLines().empty());
+  EXPECT_EQ(logger.dropped_lines(), 7u);
+
+  // Below-threshold lines neither occupy the ring nor count as dropped.
+  logger.Log(LogLevel::kDebug, "invisible");
+  EXPECT_TRUE(logger.TakeLines().empty());
+  EXPECT_EQ(logger.dropped_lines(), 7u);
+}
+
 }  // namespace
 }  // namespace elmo
