@@ -238,16 +238,67 @@ static int WriteSmokeReport(const std::string& path) {
   return result.timeseries.empty() ? 1 : 0;
 }
 
-// BENCHMARK_MAIN plus an --elmo_smoke_json=<path> flag (consumed before
-// google-benchmark sees the argument list).
+// Materialize a small real on-disk DB (SSTs, MANIFEST, LOG, plus IO
+// and block-cache traces) at `dir` for elmo_dump to inspect. CI drives
+// the inspection CLI over exactly this output.
+static int WriteDumpableDb(const std::string& dir) {
+  elmo::lsm::Options opts;
+  opts.env = elmo::Env::Posix();
+  opts.create_if_missing = true;
+  opts.write_buffer_size = 64 << 10;  // several flush-sized SSTs
+  opts.block_cache_size = 256 << 10;
+  opts.bloom_filter_bits_per_key = 10;
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(opts, dir, &db);
+  if (!s.ok()) {
+    fprintf(stderr, "micro_engine: open %s: %s\n", dir.c_str(),
+            s.ToString().c_str());
+    return 1;
+  }
+  if (!db->StartIOTrace(dir + "/io.trace").ok() ||
+      !db->StartBlockCacheTrace(dir + "/cache.trace").ok()) {
+    fprintf(stderr, "micro_engine: trace start failed\n");
+    return 1;
+  }
+
+  const std::string value(256, 'v');
+  for (int i = 0; i < 3000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i * 7919 % 1000);
+    if (!db->Put({}, key, value).ok()) return 1;
+  }
+  db->FlushMemTable();
+  std::string out;
+  for (int i = 0; i < 1000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    db->Get({}, key, &out);
+  }
+
+  if (!db->EndIOTrace().ok() || !db->EndBlockCacheTrace().ok()) {
+    fprintf(stderr, "micro_engine: trace end failed\n");
+    return 1;
+  }
+  db.reset();
+  fprintf(stderr, "micro_engine: dumpable db -> %s\n", dir.c_str());
+  return 0;
+}
+
+// BENCHMARK_MAIN plus --elmo_smoke_json=<path> / --elmo_dump_db=<dir>
+// flags (consumed before google-benchmark sees the argument list).
 int main(int argc, char** argv) {
   std::string smoke_path;
+  std::string dump_db_dir;
   int out_argc = 1;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
-    const std::string prefix = "--elmo_smoke_json=";
-    if (arg.rfind(prefix, 0) == 0) {
-      smoke_path = arg.substr(prefix.size());
+    const std::string smoke_prefix = "--elmo_smoke_json=";
+    const std::string dump_prefix = "--elmo_dump_db=";
+    if (arg.rfind(smoke_prefix, 0) == 0) {
+      smoke_path = arg.substr(smoke_prefix.size());
+    } else if (arg.rfind(dump_prefix, 0) == 0) {
+      dump_db_dir = arg.substr(dump_prefix.size());
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -259,6 +310,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  if (!dump_db_dir.empty()) {
+    int rc = WriteDumpableDb(dump_db_dir);
+    if (rc != 0) return rc;
+  }
   if (!smoke_path.empty()) return WriteSmokeReport(smoke_path);
   return 0;
 }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "bench_kit/cache_sim.h"
 #include "bench_kit/generators.h"
+#include "bench_kit/io_analyzer.h"
 #include "env/sim_env.h"
 #include "lsm/db.h"
+#include "util/json.h"
 
 namespace elmo::bench {
 
@@ -69,6 +72,15 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
     result.workload += " OPEN-FAILED: " + s.ToString();
     return result;
   }
+
+  // Capture device IO and block-cache accesses for the whole run (the
+  // preload included — its flush/compaction traffic is part of the
+  // evidence). Trace files live outside the DB dir, on the same SimEnv.
+  const std::string io_trace_path = "/bench/io.trace";
+  const std::string cache_trace_path = "/bench/cache.trace";
+  const bool io_tracing = db->StartIOTrace(io_trace_path).ok();
+  const bool cache_tracing =
+      db->StartBlockCacheTrace(cache_trace_path).ok();
 
   Random64 op_rng(spec.seed ^ 0x5ca1ab1e);
   ValueGenerator value_gen(spec.seed + 1);
@@ -173,6 +185,30 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   if (db->GetProperty("elmo.timeseries", &prop)) {
     lsm::TimeSeriesFromJson(prop, &result.timeseries,
                             &result.sample_interval_us);
+  }
+
+  // Close out the traces and distill them offline: per-kind/context IO
+  // breakdown plus the miss-ratio-vs-capacity curve simulated around the
+  // *scaled* capacity the engine actually ran with.
+  if (io_tracing && db->EndIOTrace().ok()) {
+    IOAnalysis analysis;
+    if (AnalyzeIOTrace(env.get(), io_trace_path, /*heatmap_buckets=*/20,
+                       &analysis)
+            .ok()) {
+      result.io_breakdown = analysis.ToPromptText();
+      result.io_analysis_json = json::Value(analysis.ToJson()).Dump();
+    }
+  }
+  if (cache_tracing && db->EndBlockCacheTrace().ok()) {
+    CacheSimResult sim;
+    if (SimulateCacheTrace(env.get(), cache_trace_path,
+                           DefaultCapacityLadder(opts.block_cache_size),
+                           /*num_shard_bits=*/4, &sim)
+            .ok() &&
+        sim.records > 0) {
+      result.cache_sim_summary = sim.ToPromptText(opts.block_cache_size);
+      result.cache_sim_json = json::Value(sim.ToJson()).Dump();
+    }
   }
   return result;
 }

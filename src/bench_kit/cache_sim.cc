@@ -1,0 +1,257 @@
+#include "bench_kit/cache_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "table/block_cache_tracer.h"
+#include "util/coding.h"
+
+namespace elmo::bench {
+
+namespace {
+
+// Same FNV-1a as table/cache.cc so ghost shard assignment matches the
+// real cache's distribution.
+uint32_t HashKey(const std::string& s) {
+  uint32_t h = 2166136261u;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// One ghost shard: the real LruShard's bookkeeping (recency list +
+// charge accounting, evict-from-tail while over capacity) without block
+// payloads.
+class GhostShard {
+ public:
+  void SetCapacity(uint64_t capacity) { capacity_ = capacity; }
+
+  bool Lookup(const std::string& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  void Insert(const std::string& key, uint64_t charge) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      usage_ -= it->second->charge;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    lru_.push_front(Entry{key, charge});
+    map_[key] = lru_.begin();
+    usage_ += charge;
+    while (usage_ > capacity_ && !lru_.empty()) {
+      Entry& victim = lru_.back();
+      usage_ -= victim.charge;
+      map_.erase(victim.key);
+      lru_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t charge;
+  };
+  uint64_t capacity_ = 0;
+  uint64_t usage_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+};
+
+class GhostCache {
+ public:
+  GhostCache(uint64_t capacity, int num_shard_bits)
+      : shards_(1u << num_shard_bits),
+        shard_mask_((1u << num_shard_bits) - 1) {
+    const uint64_t per_shard =
+        (capacity + shards_.size() - 1) / shards_.size();
+    for (auto& s : shards_) s.SetCapacity(per_shard);
+  }
+
+  // Mirrors the table reader's flow: lookup; on a miss that would fill
+  // the real cache, insert.
+  void Access(const std::string& key, bool fill, uint64_t charge,
+              CacheSimPoint* point) {
+    point->lookups++;
+    GhostShard& shard = shards_[HashKey(key) & shard_mask_];
+    if (shard.Lookup(key)) {
+      point->hits++;
+    } else {
+      point->misses++;
+      if (fill) shard.Insert(key, charge);
+    }
+  }
+
+ private:
+  std::vector<GhostShard> shards_;
+  const uint32_t shard_mask_;
+};
+
+// Knee of the miss-ratio curve: the point of maximum curvature (largest
+// |second difference|) of miss ratio against log2(capacity).
+size_t KneeIndex(const std::vector<CacheSimPoint>& curve) {
+  if (curve.size() < 3) return 0;
+  size_t best = 1;
+  double best_curv = -1.0;
+  for (size_t i = 1; i + 1 < curve.size(); i++) {
+    const double x0 = std::log2(static_cast<double>(curve[i - 1].capacity));
+    const double x1 = std::log2(static_cast<double>(curve[i].capacity));
+    const double x2 = std::log2(static_cast<double>(curve[i + 1].capacity));
+    const double left =
+        (curve[i].miss_ratio - curve[i - 1].miss_ratio) / (x1 - x0);
+    const double right =
+        (curve[i + 1].miss_ratio - curve[i].miss_ratio) / (x2 - x1);
+    const double curv = std::fabs(right - left);
+    if (curv > best_curv) {
+      best_curv = curv;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+json::Object CacheSimResult::ToJson() const {
+  json::Object doc;
+  doc["records"] = static_cast<int64_t>(records);
+  doc["unique_blocks"] = static_cast<int64_t>(unique_blocks);
+  doc["working_set_bytes"] = static_cast<int64_t>(total_charge);
+  json::Array points;
+  points.reserve(curve.size());
+  for (const CacheSimPoint& p : curve) {
+    json::Object o;
+    o["capacity"] = static_cast<int64_t>(p.capacity);
+    o["lookups"] = static_cast<int64_t>(p.lookups);
+    o["hits"] = static_cast<int64_t>(p.hits);
+    o["misses"] = static_cast<int64_t>(p.misses);
+    o["hit_ratio"] = p.hit_ratio;
+    o["miss_ratio"] = p.miss_ratio;
+    points.emplace_back(std::move(o));
+  }
+  doc["curve"] = std::move(points);
+  doc["knee_capacity"] = static_cast<int64_t>(
+      curve.empty() ? 0 : curve[knee_index].capacity);
+  return doc;
+}
+
+std::string CacheSimResult::ToText() const {
+  std::string out;
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "cache sim: %llu accesses, %llu unique blocks,"
+           " working set %llu bytes\n",
+           (unsigned long long)records, (unsigned long long)unique_blocks,
+           (unsigned long long)total_charge);
+  out += buf;
+  out += "miss-ratio curve:\n";
+  for (size_t i = 0; i < curve.size(); i++) {
+    const CacheSimPoint& p = curve[i];
+    snprintf(buf, sizeof(buf),
+             "  capacity %12llu  hit %6.2f%%  miss %6.2f%%%s\n",
+             (unsigned long long)p.capacity, 100.0 * p.hit_ratio,
+             100.0 * p.miss_ratio, i == knee_index ? "   <- knee" : "");
+    out += buf;
+  }
+  return out;
+}
+
+std::string CacheSimResult::ToPromptText(uint64_t configured_capacity) const {
+  std::string out;
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           "Miss-ratio curve (simulated from the block-cache trace; %llu"
+           " accesses, working set %llu bytes):\n",
+           (unsigned long long)records, (unsigned long long)total_charge);
+  out += buf;
+  for (size_t i = 0; i < curve.size(); i++) {
+    const CacheSimPoint& p = curve[i];
+    const char* marker = "";
+    if (p.capacity == configured_capacity) {
+      marker = " (configured)";
+    } else if (i == knee_index) {
+      marker = " (knee)";
+    }
+    snprintf(buf, sizeof(buf), "- capacity %llu: miss ratio %.3f%s\n",
+             (unsigned long long)p.capacity, p.miss_ratio, marker);
+    out += buf;
+  }
+  return out;
+}
+
+Status SimulateCacheTrace(Env* env, const std::string& path,
+                          const std::vector<uint64_t>& capacities,
+                          int num_shard_bits, CacheSimResult* out) {
+  *out = CacheSimResult();
+  std::vector<uint64_t> caps = capacities;
+  std::sort(caps.begin(), caps.end());
+  caps.erase(std::unique(caps.begin(), caps.end()), caps.end());
+  if (caps.empty()) {
+    return Status::InvalidArgument("cache sim: no capacities given");
+  }
+
+  BlockCacheTraceReader reader(env);
+  Status s = reader.Open(path);
+  if (!s.ok()) return s;
+
+  std::vector<GhostCache> ghosts;
+  ghosts.reserve(caps.size());
+  out->curve.resize(caps.size());
+  for (size_t i = 0; i < caps.size(); i++) {
+    ghosts.emplace_back(caps[i], num_shard_bits);
+    out->curve[i].capacity = caps[i];
+  }
+
+  std::unordered_set<std::string> seen;
+  BlockCacheAccessRecord rec;
+  bool eof = false;
+  std::string key;
+  while (true) {
+    s = reader.Next(&rec, &eof);
+    if (!s.ok()) return s;
+    if (eof) break;
+    key.clear();
+    PutFixed64(&key, rec.file_number);
+    PutFixed64(&key, rec.offset);
+    if (seen.insert(key).second) {
+      out->unique_blocks++;
+      out->total_charge += rec.charge;
+    }
+    for (size_t i = 0; i < ghosts.size(); i++) {
+      ghosts[i].Access(key, rec.fill, rec.charge, &out->curve[i]);
+    }
+    out->records++;
+  }
+
+  for (CacheSimPoint& p : out->curve) {
+    if (p.lookups > 0) {
+      p.hit_ratio = static_cast<double>(p.hits) / p.lookups;
+      p.miss_ratio = static_cast<double>(p.misses) / p.lookups;
+    }
+  }
+  out->knee_index = KneeIndex(out->curve);
+  return Status::OK();
+}
+
+std::vector<uint64_t> DefaultCapacityLadder(uint64_t base) {
+  std::vector<uint64_t> caps;
+  if (base == 0) base = 8 << 20;  // curve around 8 MiB when cache is off
+  for (uint64_t c : {base / 4, base / 2, base, base * 2, base * 4, base * 8}) {
+    if (c > 0) caps.push_back(c);
+  }
+  std::sort(caps.begin(), caps.end());
+  caps.erase(std::unique(caps.begin(), caps.end()), caps.end());
+  return caps;
+}
+
+}  // namespace elmo::bench

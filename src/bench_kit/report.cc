@@ -33,6 +33,16 @@ std::string TimeSeriesTable(const std::vector<lsm::IntervalSample>& samples,
   return out;
 }
 
+std::string BenchResult::IoCacheEvidence() const {
+  std::string out;
+  if (!io_breakdown.empty()) out += io_breakdown;
+  if (!cache_sim_summary.empty()) {
+    if (!out.empty()) out += "\n";
+    out += cache_sim_summary;
+  }
+  return out;
+}
+
 std::string BenchResult::ToReport() const {
   std::string out;
   char buf[512];
@@ -82,6 +92,12 @@ std::string BenchResult::ToReport() const {
     out += "Throughput over time:\n";
     out += TimeSeriesTable(timeseries, 20);
   }
+  const std::string evidence = IoCacheEvidence();
+  if (!evidence.empty()) {
+    out += "IO & cache evidence:\n";
+    out += evidence;
+    if (evidence.back() != '\n') out += '\n';
+  }
   return out;
 }
 
@@ -108,6 +124,18 @@ std::string BenchResult::ToJson() const {
                   &series)
           .ok()) {
     doc["timeseries"] = std::move(series);
+  }
+  // The offline-analyzer documents ride along so one artifact carries
+  // the whole run: throughput, telemetry, IO breakdown, miss-ratio curve.
+  json::Value io_analysis;
+  if (!io_analysis_json.empty() &&
+      json::Parse(io_analysis_json, &io_analysis).ok()) {
+    doc["io_analysis"] = std::move(io_analysis);
+  }
+  json::Value cache_sim;
+  if (!cache_sim_json.empty() &&
+      json::Parse(cache_sim_json, &cache_sim).ok()) {
+    doc["cache_sim"] = std::move(cache_sim);
   }
   return json::Value(std::move(doc)).Dump(2);
 }

@@ -45,6 +45,18 @@ struct BenchResult {
   std::vector<lsm::IntervalSample> timeseries;
   uint64_t sample_interval_us = 0;
 
+  // Offline-analyzer output from the run's IO and block-cache traces
+  // (bench_kit/io_analyzer.h, bench_kit/cache_sim.h): compact prompt
+  // text plus the full JSON documents embedded in ToJson().
+  std::string io_breakdown;       // IOAnalysis::ToPromptText()
+  std::string cache_sim_summary;  // CacheSimResult::ToPromptText()
+  std::string io_analysis_json;   // IOAnalysis::ToJson() dump
+  std::string cache_sim_json;     // CacheSimResult::ToJson() dump
+
+  // The "IO & Cache Evidence" prompt section body; empty when the run
+  // captured no traces.
+  std::string IoCacheEvidence() const;
+
   // Convenience accessors used by tables/figures.
   double p99_write_us() const {
     return write_micros.Count() ? write_micros.Percentile(99.0) : 0;

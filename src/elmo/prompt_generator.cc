@@ -54,6 +54,15 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += "```\n" + bench::TimeSeriesTable(in.timeseries, 12) + "```\n\n";
   }
 
+  if (!in.io_cache_evidence.empty()) {
+    p += "## IO & Cache Evidence\n";
+    p += "Measured device IO attribution and the simulated miss-ratio "
+         "curve from the engine's traces:\n";
+    p += "```\n" + in.io_cache_evidence;
+    if (in.io_cache_evidence.back() != '\n') p += "\n";
+    p += "```\n\n";
+  }
+
   if (!in.deterioration_note.empty()) {
     p += "## Feedback\n";
     p += in.deterioration_note + "\n\n";

@@ -28,6 +28,12 @@ struct PromptInputs {
   // of the run (warmup, stall cliffs, compaction backlog growth), not
   // just end-of-run aggregates.
   std::vector<lsm::IntervalSample> timeseries;
+  // Offline-analyzer evidence from the best run's IO and block-cache
+  // traces (BenchResult::IoCacheEvidence()): per-kind/per-context IO
+  // byte breakdown plus the simulated miss-ratio-vs-capacity curve, so
+  // the LLM can argue about block_cache_size/bloom settings from
+  // measured device traffic instead of guessing.
+  std::string io_cache_evidence;
   // Set when the previous iteration was reverted (the paper's
   // "intermediate prompt with the information about deterioration").
   std::string deterioration_note;

@@ -64,6 +64,7 @@ TuningOutcome TuningSession::Run(const Options& initial) {
     inputs.last_benchmark_report = best_result.ToReport();
     inputs.engine_telemetry = best_result.engine_stats;
     inputs.timeseries = best_result.timeseries;
+    inputs.io_cache_evidence = best_result.IoCacheEvidence();
     inputs.deterioration_note = deterioration_note;
     inputs.history = history;
     for (const auto& name : safeguard.blacklist()) {

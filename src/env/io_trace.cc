@@ -1,0 +1,286 @@
+#include "env/io_trace.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo {
+
+namespace {
+
+constexpr char kIOTraceMagic[8] = {'E', 'L', 'M', 'O', 'I', 'O', 'T', '1'};
+constexpr uint32_t kIOTraceVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kIOTraceMagic) + 4 + 8;
+// op + kind + ctx + ts + offset + len + latency; fname is variable.
+constexpr size_t kPayloadFixed = 1 + 1 + 1 + 8 + 8 + 8 + 8;
+
+thread_local IOContextTag tls_io_context = IOContextTag::kUnknown;
+thread_local bool tls_io_metadata_hint = false;
+
+}  // namespace
+
+const char* IOOpName(IOOp op) {
+  switch (op) {
+    case IOOp::kRead:
+      return "read";
+    case IOOp::kWrite:
+      return "write";
+    case IOOp::kSync:
+      return "sync";
+    case IOOp::kRangeSync:
+      return "range_sync";
+  }
+  return "unknown";
+}
+
+const char* IOFileKindName(IOFileKind kind) {
+  switch (kind) {
+    case IOFileKind::kUnknown:
+      return "unknown";
+    case IOFileKind::kWal:
+      return "wal";
+    case IOFileKind::kSstData:
+      return "sst_data";
+    case IOFileKind::kSstIndexFilter:
+      return "sst_index_filter";
+    case IOFileKind::kManifest:
+      return "manifest";
+    case IOFileKind::kInfoLog:
+      return "info_log";
+    case IOFileKind::kCurrent:
+      return "current";
+    case IOFileKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+const char* IOContextTagName(IOContextTag tag) {
+  switch (tag) {
+    case IOContextTag::kUnknown:
+      return "unknown";
+    case IOContextTag::kUserGet:
+      return "user_get";
+    case IOContextTag::kUserWrite:
+      return "user_write";
+    case IOContextTag::kFlush:
+      return "flush";
+    case IOContextTag::kCompaction:
+      return "compaction";
+    case IOContextTag::kRecovery:
+      return "recovery";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// True if `s` is all digits (at least one). Engine data files are named
+// NNNNNN.log / NNNNNN.sst (see lsm/filename.h); this layer re-derives
+// the convention locally so elmo_env does not depend on elmo_lsm.
+bool AllDigits(const Slice& s) {
+  if (s.empty()) return false;
+  for (size_t i = 0; i < s.size(); i++) {
+    if (s[i] < '0' || s[i] > '9') return false;
+  }
+  return true;
+}
+
+bool HasNumericSuffix(const std::string& base, const char* suffix) {
+  const size_t sl = strlen(suffix);
+  if (base.size() <= sl || base.compare(base.size() - sl, sl, suffix) != 0) {
+    return false;
+  }
+  return AllDigits(Slice(base.data(), base.size() - sl));
+}
+
+}  // namespace
+
+IOFileKind ClassifyIOFileKind(const std::string& fname, bool hint_metadata) {
+  size_t slash = fname.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? fname : fname.substr(slash + 1);
+  if (base == "CURRENT") return IOFileKind::kCurrent;
+  if (base == "LOG") return IOFileKind::kInfoLog;
+  if (base.rfind("MANIFEST-", 0) == 0) return IOFileKind::kManifest;
+  if (HasNumericSuffix(base, ".log")) return IOFileKind::kWal;
+  if (HasNumericSuffix(base, ".sst")) {
+    return hint_metadata ? IOFileKind::kSstIndexFilter : IOFileKind::kSstData;
+  }
+  return IOFileKind::kOther;
+}
+
+IOContextTag CurrentIOContext() { return tls_io_context; }
+
+bool CurrentIOMetadataHint() { return tls_io_metadata_hint; }
+
+IOContextScope::IOContextScope(IOContextTag tag) : saved_(tls_io_context) {
+  tls_io_context = tag;
+}
+
+IOContextScope::~IOContextScope() { tls_io_context = saved_; }
+
+IOMetadataHintScope::IOMetadataHintScope() : saved_(tls_io_metadata_hint) {
+  tls_io_metadata_hint = true;
+}
+
+IOMetadataHintScope::~IOMetadataHintScope() { tls_io_metadata_hint = saved_; }
+
+IOTracer::IOTracer(Env* env) : env_(env) {}
+
+IOTracer::~IOTracer() { Close(); }
+
+Status IOTracer::Open(const std::string& path, uint64_t base_ts_us) {
+  std::lock_guard<std::mutex> l(mu_);
+  Status s = env_->NewWritableFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header(kIOTraceMagic, sizeof(kIOTraceMagic));
+  PutFixed32(&header, kIOTraceVersion);
+  PutFixed64(&header, base_ts_us);
+  s = file_->Append(Slice(header));
+  if (!s.ok()) file_.reset();
+  return s;
+}
+
+Status IOTracer::AddRecord(const IOTraceRecord& rec) {
+  std::string payload;
+  payload.reserve(kPayloadFixed + 5 + rec.fname.size());
+  payload.push_back(static_cast<char>(rec.op));
+  payload.push_back(static_cast<char>(rec.kind));
+  payload.push_back(static_cast<char>(rec.context));
+  PutFixed64(&payload, rec.ts_us);
+  PutFixed64(&payload, rec.offset);
+  PutFixed64(&payload, rec.len);
+  PutFixed64(&payload, rec.latency_us);
+  PutVarint32(&payload, static_cast<uint32_t>(rec.fname.size()));
+  payload.append(rec.fname);
+
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::IOError("io tracer not open");
+  Status s = file_->Append(Slice(frame));
+  if (s.ok()) records_++;
+  return s;
+}
+
+Status IOTracer::Close() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  Status c = file_->Close();
+  if (s.ok()) s = c;
+  file_.reset();
+  return s;
+}
+
+uint64_t IOTracer::records() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return records_;
+}
+
+IOTraceReader::IOTraceReader(Env* env) : env_(env) {}
+
+Status IOTraceReader::Open(const std::string& path) {
+  Status s = env_->NewSequentialFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header;
+  bool eof = false;
+  s = ReadFully(kHeaderSize, &header, &eof);
+  if (!s.ok()) return s;
+  if (eof || memcmp(header.data(), kIOTraceMagic, sizeof(kIOTraceMagic)) != 0) {
+    return Status::Corruption("not an elmo io trace file");
+  }
+  const uint32_t version = DecodeFixed32(header.data() + sizeof(kIOTraceMagic));
+  if (version != kIOTraceVersion) {
+    return Status::Corruption("unsupported io trace version");
+  }
+  base_ts_us_ = DecodeFixed64(header.data() + sizeof(kIOTraceMagic) + 4);
+  return Status::OK();
+}
+
+Status IOTraceReader::ReadFully(size_t n, std::string* out, bool* clean_eof) {
+  out->clear();
+  *clean_eof = false;
+  std::string scratch(n, '\0');
+  size_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    Status s = file_->Read(n - got, &chunk, &scratch[0] + got);
+    if (!s.ok()) return s;
+    if (chunk.empty()) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::Corruption("truncated io trace record");
+    }
+    if (chunk.data() != scratch.data() + got) {
+      memcpy(&scratch[0] + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  *out = std::move(scratch);
+  return Status::OK();
+}
+
+Status IOTraceReader::Next(IOTraceRecord* rec, bool* eof) {
+  *eof = false;
+  if (file_ == nullptr) return Status::IOError("io trace reader not open");
+
+  std::string frame_header;
+  Status s = ReadFully(8, &frame_header, eof);
+  if (!s.ok() || *eof) return s;
+  const uint32_t expected_crc =
+      crc32c::Unmask(DecodeFixed32(frame_header.data()));
+  const uint32_t len = DecodeFixed32(frame_header.data() + 4);
+  if (len < kPayloadFixed + 1 || len > (1u << 26)) {
+    return Status::Corruption("bad io trace record length");
+  }
+
+  std::string payload;
+  bool payload_eof = false;
+  s = ReadFully(len, &payload, &payload_eof);
+  if (!s.ok()) return s;
+  if (payload_eof) return Status::Corruption("truncated io trace record");
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("io trace record checksum mismatch");
+  }
+
+  const uint8_t op = static_cast<uint8_t>(payload[0]);
+  if (op < static_cast<uint8_t>(IOOp::kRead) ||
+      op > static_cast<uint8_t>(IOOp::kRangeSync)) {
+    return Status::Corruption("bad io trace op");
+  }
+  const uint8_t kind = static_cast<uint8_t>(payload[1]);
+  if (kind > static_cast<uint8_t>(IOFileKind::kOther)) {
+    return Status::Corruption("bad io trace file kind");
+  }
+  const uint8_t ctx = static_cast<uint8_t>(payload[2]);
+  if (ctx > static_cast<uint8_t>(IOContextTag::kRecovery)) {
+    return Status::Corruption("bad io trace context");
+  }
+  rec->op = static_cast<IOOp>(op);
+  rec->kind = static_cast<IOFileKind>(kind);
+  rec->context = static_cast<IOContextTag>(ctx);
+  rec->ts_us = DecodeFixed64(payload.data() + 3);
+  rec->offset = DecodeFixed64(payload.data() + 11);
+  rec->len = DecodeFixed64(payload.data() + 19);
+  rec->latency_us = DecodeFixed64(payload.data() + 27);
+  Slice rest(payload.data() + kPayloadFixed, payload.size() - kPayloadFixed);
+  uint32_t fname_len = 0;
+  if (!GetVarint32(&rest, &fname_len) || rest.size() != fname_len) {
+    return Status::Corruption("bad io trace file name length");
+  }
+  rec->fname.assign(rest.data(), fname_len);
+  return Status::OK();
+}
+
+}  // namespace elmo

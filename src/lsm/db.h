@@ -106,6 +106,20 @@ class DB {
   // if no trace is active.
   virtual Status EndTrace() = 0;
 
+  // Start recording every file read/write/sync the engine issues to a
+  // binary IO trace at `path` (see env/io_trace.h for the record format
+  // and bench_kit/io_analyzer.h for the offline analyzer). Returns Busy
+  // if an IO trace is already active.
+  virtual Status StartIOTrace(const std::string& path) = 0;
+  virtual Status EndIOTrace() = 0;
+
+  // Start recording every block-cache lookup (data/index/filter blocks)
+  // to a trace at `path` (see table/block_cache_tracer.h for the format
+  // and bench_kit/cache_sim.h for the miss-ratio-curve simulator).
+  // Returns Busy if a block-cache trace is already active.
+  virtual Status StartBlockCacheTrace(const std::string& path) = 0;
+  virtual Status EndBlockCacheTrace() = 0;
+
   virtual const DbStats& stats() const = 0;
   virtual const Options& options() const = 0;
 };

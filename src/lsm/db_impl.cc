@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "env/io_trace.h"
 #include "lsm/cost_model.h"
 #include "lsm/db_iter.h"
 #include "lsm/filename.h"
@@ -15,6 +16,7 @@
 #include "lsm/options_schema.h"
 #include "lsm/perf_context.h"
 #include "table/table_builder.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace elmo::lsm {
@@ -111,13 +113,21 @@ Options SanitizeOptions(const Options& src) {
 DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     : options_(SanitizeOptions(raw_options)),
       dbname_(dbname),
-      env_(options_.env),
-      sim_(dynamic_cast<SimEnv*>(env_)),
+      raw_env_(options_.env),
+      io_env_(std::make_unique<IOTracingEnv>(raw_env_)),
+      env_(io_env_.get()),
+      sim_(dynamic_cast<SimEnv*>(raw_env_)),
       block_cache_(NewLruCache(options_.block_cache_size)),
+      block_cache_tracer_(std::make_shared<BlockCacheTracer>(raw_env_)),
       internal_comparator_(BytewiseComparator()),
       slowdown_limiter_(options_.delayed_write_rate) {
+  // Everything that takes an Env from the options (TableCache,
+  // VersionSet, OPTIONS persistence, ...) must go through the tracing
+  // wrapper, so repoint the sanitized copy at it.
+  options_.env = env_;
   table_cache_ = std::make_unique<TableCache>(
       dbname_, options_, &internal_comparator_, block_cache_,
+      block_cache_tracer_,
       options_.max_open_files < 0 ? (1 << 20) : options_.max_open_files);
   versions_ = std::make_unique<VersionSet>(dbname_, &options_,
                                            table_cache_.get(),
@@ -158,10 +168,28 @@ DBImpl::~DBImpl() {
   if (tracing_.load(std::memory_order_acquire)) {
     EndTrace();  // flush + sync the trace file
   }
+  if (io_env_->tracing()) {
+    EndIOTrace();
+  }
+  if (block_cache_tracer_->active()) {
+    EndBlockCacheTrace();
+  }
+  {
+    // Fold the final cache counters into the tickers so post-close stats
+    // snapshots are complete.
+    std::lock_guard<std::mutex> l(mu_);
+    SyncCacheStatsLocked();
+  }
   if (info_event_log_ != nullptr) {
     json::Object fields;
     fields["lines"] =
         static_cast<int64_t>(info_event_log_->lines_written());
+    // A BufferLogger that hit its line cap makes truncation detectable
+    // post-mortem.
+    if (auto* buffered = dynamic_cast<BufferLogger*>(options_.info_log.get())) {
+      fields["info_log_dropped_lines"] =
+          static_cast<int64_t>(buffered->dropped_lines());
+    }
     info_event_log_->LogEvent("close", std::move(fields));
     info_event_log_->Close();
   }
@@ -228,6 +256,8 @@ Status DBImpl::NewDBFiles() {
 }
 
 Status DBImpl::Recover() {
+  // Manifest reads and WAL replay are attributed to recovery.
+  IOContextScope io_ctx(IOContextTag::kRecovery);
   std::unique_lock<std::mutex> l(mu_);
 
   Status s = env_->CreateDirIfMissing(dbname_);
@@ -257,6 +287,15 @@ Status DBImpl::Recover() {
     }
   }
   options_.listeners.push_back(info_event_log_);
+  if (options_.cache_index_and_filter_blocks &&
+      options_.block_cache_size == 0) {
+    // Honored, but with a zero-capacity cache every metadata access
+    // reloads from disk; flag the likely misconfiguration.
+    ELMO_LOG_WARN(options_.info_log.get(),
+                  "cache_index_and_filter_blocks=true with "
+                  "block_cache_size=0: index/filter blocks will be "
+                  "re-read on every access");
+  }
   {
     json::Object fields;
     fields["dbname"] = dbname_;
@@ -439,6 +478,9 @@ Status DBImpl::Delete(const WriteOptions& options, const Slice& key) {
 Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   if (updates == nullptr || updates->Count() == 0) return Status::OK();
 
+  // WAL appends/syncs (and any memtable-switch IO this write triggers)
+  // are attributed to the user write path.
+  IOContextScope io_ctx(IOContextTag::kUserWrite);
   const uint64_t t_start = env_->NowMicros();
   PerfContext* perf = GetPerfContext();
 
@@ -848,6 +890,7 @@ void DBImpl::RecordBackgroundError(const Status& s) {
 
 Status DBImpl::FlushWork(FlushJobInfo* info) {
   // REQUIRES: mu_ held.
+  IOContextScope io_ctx(IOContextTag::kFlush);
   *info = FlushJobInfo{};
   if (imm_.empty()) return Status::OK();
 
@@ -1012,6 +1055,7 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                               std::vector<uint64_t>* output_numbers,
                               CompactionJobInfo* info) {
   // REQUIRES: mu_ held. info->reason is preset by the caller.
+  IOContextScope io_ctx(IOContextTag::kCompaction);
   *l0_consumed = 0;
   *l0_produced = 0;
 
@@ -1052,6 +1096,7 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
   std::vector<std::unique_ptr<Iterator>> children;
   uint64_t input_bytes = c->TotalInputBytes();
   for (int which = 0; which < 2; which++) {
+    in_opts.level = which == 0 ? c->level() : c->output_level();
     for (const auto& f : c->inputs(which)) {
       children.push_back(
           table_cache_->NewIterator(f->number, f->file_size, in_opts));
@@ -1264,6 +1309,7 @@ void DBImpl::RemoveObsoleteFiles() {
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
   value->clear();
+  IOContextScope io_ctx(IOContextTag::kUserGet);
   const uint64_t t_start = env_->NowMicros();
   PerfContext* perf = GetPerfContext();
   std::shared_ptr<MemTable> mem;
@@ -1480,11 +1526,23 @@ std::string DBImpl::LevelStatsString() const {
   return out;
 }
 
+void DBImpl::SyncCacheStatsLocked() {
+  // REQUIRES: mu_ held. The cache counts internally; fold the delta
+  // since the last sync into the registry tickers.
+  const Cache::Stats cur = block_cache_->GetStats();
+  stats_.Add(Ticker::kBlockCacheHit, cur.hits - last_cache_stats_.hits);
+  stats_.Add(Ticker::kBlockCacheMiss, cur.misses - last_cache_stats_.misses);
+  last_cache_stats_ = cur;
+}
+
 void DBImpl::MaybeSampleLocked() {
   // REQUIRES: mu_ held.
   if (sampler_ == nullptr) return;
   const uint64_t now = env_->NowMicros();
   if (!sampler_->Due(now)) return;
+
+  // Tickers must be current before the sampler computes its delta.
+  SyncCacheStatsLocked();
 
   EngineGauges g;
   g.memtable_bytes = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
@@ -1501,6 +1559,7 @@ void DBImpl::MaybeSampleLocked() {
   // L0 stalls are decided on the virtual count under sim; report the
   // same number the stall logic sees.
   if (g.num_levels > 0) g.level_files[0] = L0CountForStall();
+  g.block_cache_usage = block_cache_->TotalCharge();
 
   if (sampler_->Tick(now, g) && info_event_log_ != nullptr) {
     const IntervalSample s = sampler_->Latest();
@@ -1596,6 +1655,48 @@ Status DBImpl::EndTrace() {
   return s;
 }
 
+Status DBImpl::StartIOTrace(const std::string& path) {
+  Status s = io_env_->StartTrace(path);
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["path"] = path;
+    info_event_log_->LogEvent("io_trace_start", std::move(fields));
+  }
+  return s;
+}
+
+Status DBImpl::EndIOTrace() {
+  uint64_t records = 0;
+  Status s = io_env_->EndTrace(&records);
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["records"] = static_cast<int64_t>(records);
+    info_event_log_->LogEvent("io_trace_end", std::move(fields));
+  }
+  return s;
+}
+
+Status DBImpl::StartBlockCacheTrace(const std::string& path) {
+  Status s = block_cache_tracer_->Start(path);
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["path"] = path;
+    info_event_log_->LogEvent("block_cache_trace_start", std::move(fields));
+  }
+  return s;
+}
+
+Status DBImpl::EndBlockCacheTrace() {
+  uint64_t records = 0;
+  Status s = block_cache_tracer_->Stop(&records);
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["records"] = static_cast<int64_t>(records);
+    info_event_log_->LogEvent("block_cache_trace_end", std::move(fields));
+  }
+  return s;
+}
+
 void DBImpl::TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us) {
   std::shared_ptr<TraceWriter> writer;
   {
@@ -1626,6 +1727,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   std::lock_guard<std::mutex> l(mu_);
 
   if (prop == "elmo.stats") {
+    SyncCacheStatsLocked();  // tickers current as of this dump
     *value = stats_.ToString();
     *value += versions_->LevelSummary() + "\n";
     *value += LevelStatsString();

@@ -18,6 +18,7 @@
 #include <string>
 #include <thread>
 
+#include "env/io_tracing_env.h"
 #include "env/sim_env.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
@@ -61,6 +62,10 @@ class DBImpl : public DB {
   Status WaitForBackgroundWork() override;
   Status StartTrace(const std::string& path) override;
   Status EndTrace() override;
+  Status StartIOTrace(const std::string& path) override;
+  Status EndIOTrace() override;
+  Status StartBlockCacheTrace(const std::string& path) override;
+  Status EndBlockCacheTrace() override;
   const DbStats& stats() const override { return stats_; }
   const Options& options() const override { return options_; }
 
@@ -146,6 +151,9 @@ class DBImpl : public DB {
   // write/read/background call sites, since no real thread can observe
   // virtual time. REQUIRES: mu_.
   void MaybeSampleLocked();
+  // Fold the block cache's since-last-sync hit/miss deltas into the
+  // stats registry tickers. REQUIRES: mu_.
+  void SyncCacheStatsLocked();
   // Real-env sampler thread body (SimEnv never starts the thread).
   void SamplerThreadLoop();
   void TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us);
@@ -154,9 +162,16 @@ class DBImpl : public DB {
   // --- constant state ---
   Options options_;  // sanitized copy
   const std::string dbname_;
-  Env* env_;
-  SimEnv* sim_;  // non-null iff env_->is_deterministic()
+  Env* raw_env_;  // env the user supplied; trace output is written here
+  // All engine IO is routed through this decorator (options_.env is
+  // repointed at it in the constructor) so DB::StartIOTrace can observe
+  // every file operation. Declared before table_cache_/versions_ so it
+  // outlives everything that holds an Env*.
+  std::unique_ptr<IOTracingEnv> io_env_;
+  Env* env_;     // == io_env_.get()
+  SimEnv* sim_;  // non-null iff the raw env is deterministic
   std::shared_ptr<Cache> block_cache_;
+  std::shared_ptr<BlockCacheTracer> block_cache_tracer_;
   InternalKeyComparator internal_comparator_;
   std::unique_ptr<TableCache> table_cache_;
 
@@ -192,6 +207,8 @@ class DBImpl : public DB {
   StallCondition stall_condition_ = StallCondition::kNormal;
 
   DbStats stats_;
+  // Cache counters already folded into the tickers; guarded by mu_.
+  Cache::Stats last_cache_stats_;
 
   // --- observability: time series, structured LOG, trace ---
   std::unique_ptr<StatsSampler> sampler_;  // null unless sampling enabled

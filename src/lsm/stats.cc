@@ -130,7 +130,8 @@ std::string DbStats::ToString() const {
       "flushes: %llu (%llu bytes)  compactions: %llu (read %llu, wrote %llu)"
       "  trivial moves: %llu\n"
       "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n"
-      "stall reasons: l0-slowdown %llu, l0-stop %llu, memtable-stop %llu\n",
+      "stall reasons: l0-slowdown %llu, l0-stop %llu, memtable-stop %llu\n"
+      "block cache: hits %llu, misses %llu\n",
       (unsigned long long)Get(Ticker::kWriteCount),
       (unsigned long long)Get(Ticker::kDeleteCount),
       (unsigned long long)Get(Ticker::kGetHit),
@@ -151,7 +152,9 @@ std::string DbStats::ToString() const {
       (unsigned long long)Get(Ticker::kWriteStallMicros),
       (unsigned long long)Get(Ticker::kStallL0SlowdownCount),
       (unsigned long long)Get(Ticker::kStallL0StopCount),
-      (unsigned long long)Get(Ticker::kStallMemtableStopCount));
+      (unsigned long long)Get(Ticker::kStallMemtableStopCount),
+      (unsigned long long)Get(Ticker::kBlockCacheHit),
+      (unsigned long long)Get(Ticker::kBlockCacheMiss));
   std::string out = buf;
 
   out += "histograms (count / p50 / p99 / max):\n";

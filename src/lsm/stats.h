@@ -37,6 +37,9 @@ enum class Ticker : int {
   kStallL0SlowdownCount,
   kStallL0StopCount,
   kStallMemtableStopCount,
+  // Block cache lookups, folded in from Cache::GetStats by the DB.
+  kBlockCacheHit,
+  kBlockCacheMiss,
   kTickerMax,
 };
 

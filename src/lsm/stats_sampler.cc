@@ -32,6 +32,9 @@ json::Object SampleToJson(const IntervalSample& s) {
   o["compactions"] = static_cast<int64_t>(s.compactions);
   o["compaction_bytes_written"] =
       static_cast<int64_t>(s.compaction_bytes_written);
+  o["block_cache_hits"] = static_cast<int64_t>(s.block_cache_hits);
+  o["block_cache_misses"] = static_cast<int64_t>(s.block_cache_misses);
+  o["block_cache_usage"] = static_cast<int64_t>(s.block_cache_usage);
   o["memtable_bytes"] = static_cast<int64_t>(s.memtable_bytes);
   o["imm_count"] = s.imm_count;
   o["pending_compaction_bytes"] =
@@ -72,6 +75,9 @@ IntervalSample SampleFromJson(const json::Value& obj) {
   s.flushes = GetU64(obj, "flushes");
   s.compactions = GetU64(obj, "compactions");
   s.compaction_bytes_written = GetU64(obj, "compaction_bytes_written");
+  s.block_cache_hits = GetU64(obj, "block_cache_hits");
+  s.block_cache_misses = GetU64(obj, "block_cache_misses");
+  s.block_cache_usage = GetU64(obj, "block_cache_usage");
   s.memtable_bytes = GetU64(obj, "memtable_bytes");
   s.imm_count = static_cast<int>(GetU64(obj, "imm_count"));
   s.pending_compaction_bytes = GetU64(obj, "pending_compaction_bytes");
@@ -169,8 +175,11 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   s.flushes = delta.Get(Ticker::kFlushCount);
   s.compactions = delta.Get(Ticker::kCompactionCount);
   s.compaction_bytes_written = delta.Get(Ticker::kCompactionBytesWritten);
+  s.block_cache_hits = delta.Get(Ticker::kBlockCacheHit);
+  s.block_cache_misses = delta.Get(Ticker::kBlockCacheMiss);
 
   s.memtable_bytes = gauges.memtable_bytes;
+  s.block_cache_usage = gauges.block_cache_usage;
   s.imm_count = gauges.imm_count;
   s.pending_compaction_bytes = gauges.pending_compaction_bytes;
   s.num_levels = std::min(gauges.num_levels, DbStats::kMaxLevels);

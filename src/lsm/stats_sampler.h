@@ -33,6 +33,7 @@ struct EngineGauges {
   uint64_t pending_compaction_bytes = 0;  // compaction debt estimate
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
+  uint64_t block_cache_usage = 0;  // bytes charged to the block cache
 };
 
 // One recorded interval. Counts are deltas over [ts_us - interval_us,
@@ -55,6 +56,8 @@ struct IntervalSample {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t compaction_bytes_written = 0;
+  uint64_t block_cache_hits = 0;    // interval delta
+  uint64_t block_cache_misses = 0;  // interval delta
 
   // Gauges at the sample instant.
   uint64_t memtable_bytes = 0;
@@ -63,6 +66,7 @@ struct IntervalSample {
   int l0_files = 0;
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
+  uint64_t block_cache_usage = 0;
 };
 
 // Render a sample list as the "elmo.timeseries" JSON document:

@@ -7,11 +7,14 @@ namespace elmo::lsm {
 
 TableCache::TableCache(const std::string& dbname, const Options& options,
                        const InternalKeyComparator* icmp,
-                       std::shared_ptr<Cache> block_cache, int entries)
+                       std::shared_ptr<Cache> block_cache,
+                       std::shared_ptr<BlockCacheTracer> cache_tracer,
+                       int entries)
     : dbname_(dbname),
       options_(options),
       icmp_(icmp),
       block_cache_(std::move(block_cache)),
+      cache_tracer_(std::move(cache_tracer)),
       // Capacity counts entries (charge 1 per table).
       cache_(NewLruCache(entries <= 0 ? (1 << 20) : entries,
                          /*num_shard_bits=*/2)) {
@@ -47,6 +50,9 @@ std::shared_ptr<Table> TableCache::FindTable(uint64_t file_number,
   }
   topts.block_cache = block_cache_;
   topts.verify_checksums = options_.paranoid_checks;
+  topts.cache_index_and_filter_blocks = options_.cache_index_and_filter_blocks;
+  topts.file_number = file_number;
+  topts.cache_tracer = cache_tracer_;
 
   std::unique_ptr<Table> t;
   *s = Table::Open(topts, std::move(file), file_size, &t);
@@ -91,11 +97,12 @@ std::unique_ptr<Iterator> TableCache::NewIterator(
 
 Status TableCache::Get(
     uint64_t file_number, uint64_t file_size, const Slice& ikey,
-    const std::function<void(const Slice&, const Slice&)>& handler) {
+    const std::function<void(const Slice&, const Slice&)>& handler,
+    int level) {
   Status s;
   auto table = FindTable(file_number, file_size, &s);
   if (table == nullptr) return s;
-  return table->InternalGet(ikey, handler);
+  return table->InternalGet(ikey, handler, level);
 }
 
 void TableCache::Evict(uint64_t file_number) {

@@ -15,9 +15,12 @@ namespace elmo::lsm {
 
 class TableCache {
  public:
+  // `cache_tracer` (may be null) is handed to every Table so block-cache
+  // lookups can be traced.
   TableCache(const std::string& dbname, const Options& options,
              const InternalKeyComparator* icmp,
-             std::shared_ptr<Cache> block_cache, int entries);
+             std::shared_ptr<Cache> block_cache,
+             std::shared_ptr<BlockCacheTracer> cache_tracer, int entries);
 
   // Iterator over the named file. If tableptr is non-null it is set to
   // the underlying Table (owned by the cache entry, valid while the
@@ -26,9 +29,11 @@ class TableCache {
                                         uint64_t file_size,
                                         const TableIterOptions& iter_opts = {});
 
-  // Point lookup into the named file.
+  // Point lookup into the named file. `level` labels block-cache trace
+  // records (-1 = unknown).
   Status Get(uint64_t file_number, uint64_t file_size, const Slice& ikey,
-             const std::function<void(const Slice&, const Slice&)>& handler);
+             const std::function<void(const Slice&, const Slice&)>& handler,
+             int level = -1);
 
   void Evict(uint64_t file_number);
 
@@ -40,6 +45,7 @@ class TableCache {
   const Options& options_;
   const InternalKeyComparator* icmp_;
   std::shared_ptr<Cache> block_cache_;
+  std::shared_ptr<BlockCacheTracer> cache_tracer_;
   std::shared_ptr<Cache> cache_;  // file_number -> shared_ptr<Table>
   std::unique_ptr<BloomFilterPolicy> filter_policy_;
 };

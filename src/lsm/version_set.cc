@@ -125,7 +125,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
   for (FileMetaData* f : l0) {
     stats->files_probed++;
     Status s = vset_->table_cache()->Get(f->number, f->file_size, ikey,
-                                         handler);
+                                         handler, /*level=*/0);
     if (!s.ok()) return s;
     if (!status.ok()) return status;
     if (found) return Status::OK();
@@ -142,8 +142,8 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
     if (ucmp->Compare(user_key, f->smallest.user_key()) < 0) continue;
 
     stats->files_probed++;
-    Status s =
-        vset_->table_cache()->Get(f->number, f->file_size, ikey, handler);
+    Status s = vset_->table_cache()->Get(f->number, f->file_size, ikey,
+                                         handler, level);
     if (!s.ok()) return s;
     if (!status.ok()) return status;
     if (found) return Status::OK();
@@ -161,16 +161,19 @@ void Version::AddIterators(const TableIterOptions& iter_opts,
   std::sort(l0.begin(), l0.end(), [](const FileRef& a, const FileRef& b) {
     return a->number > b->number;
   });
+  TableIterOptions level_opts = iter_opts;
+  level_opts.level = 0;
   for (const auto& f : l0) {
     iters->push_back(vset_->table_cache()->NewIterator(f->number,
                                                        f->file_size,
-                                                       iter_opts));
+                                                       level_opts));
   }
   for (int level = 1; level < num_levels(); level++) {
+    level_opts.level = level;
     for (const auto& f : files_[level]) {
       iters->push_back(vset_->table_cache()->NewIterator(f->number,
                                                          f->file_size,
-                                                         iter_opts));
+                                                         level_opts));
     }
   }
 }

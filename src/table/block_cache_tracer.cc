@@ -1,0 +1,184 @@
+#include "table/block_cache_tracer.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo {
+
+namespace {
+
+constexpr char kBctMagic[8] = {'E', 'L', 'M', 'O', 'B', 'C', 'T', '1'};
+constexpr uint32_t kBctVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kBctMagic) + 4 + 8;
+// ts + type + hit + fill + level + file_number + offset + charge.
+constexpr size_t kPayloadSize = 8 + 1 + 1 + 1 + 1 + 8 + 8 + 8;
+
+}  // namespace
+
+const char* TraceBlockTypeName(TraceBlockType type) {
+  switch (type) {
+    case TraceBlockType::kData:
+      return "data";
+    case TraceBlockType::kIndex:
+      return "index";
+    case TraceBlockType::kFilter:
+      return "filter";
+  }
+  return "unknown";
+}
+
+BlockCacheTracer::BlockCacheTracer(Env* env) : env_(env) {}
+
+BlockCacheTracer::~BlockCacheTracer() { Stop(nullptr); }
+
+Status BlockCacheTracer::Start(const std::string& path) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ != nullptr) return Status::Busy("block cache trace already active");
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(path, &file);
+  if (!s.ok()) return s;
+  std::string header(kBctMagic, sizeof(kBctMagic));
+  PutFixed32(&header, kBctVersion);
+  PutFixed64(&header, env_->NowMicros());
+  s = file->Append(Slice(header));
+  if (!s.ok()) return s;
+  file_ = std::move(file);
+  records_ = 0;
+  enabled_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status BlockCacheTracer::Stop(uint64_t* records) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return Status::InvalidArgument("no block cache trace");
+  enabled_.store(false, std::memory_order_release);
+  if (records != nullptr) *records = records_;
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  Status c = file_->Close();
+  if (s.ok()) s = c;
+  file_.reset();
+  return s;
+}
+
+void BlockCacheTracer::Record(TraceBlockType type, bool hit, bool fill,
+                              int level, uint64_t file_number, uint64_t offset,
+                              uint64_t charge) {
+  if (!active()) return;
+  if (level < -1 || level > 127) level = -1;
+
+  std::string payload;
+  payload.reserve(kPayloadSize);
+  PutFixed64(&payload, env_->NowMicros());
+  payload.push_back(static_cast<char>(type));
+  payload.push_back(hit ? 1 : 0);
+  payload.push_back(fill ? 1 : 0);
+  payload.push_back(static_cast<char>(static_cast<int8_t>(level)));
+  PutFixed64(&payload, file_number);
+  PutFixed64(&payload, offset);
+  PutFixed64(&payload, charge);
+
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return;  // raced with Stop(); drop the record
+  if (file_->Append(Slice(frame)).ok()) records_++;
+}
+
+BlockCacheTraceReader::BlockCacheTraceReader(Env* env) : env_(env) {}
+
+Status BlockCacheTraceReader::Open(const std::string& path) {
+  Status s = env_->NewSequentialFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header;
+  bool eof = false;
+  s = ReadFully(kHeaderSize, &header, &eof);
+  if (!s.ok()) return s;
+  if (eof || memcmp(header.data(), kBctMagic, sizeof(kBctMagic)) != 0) {
+    return Status::Corruption("not an elmo block cache trace file");
+  }
+  const uint32_t version = DecodeFixed32(header.data() + sizeof(kBctMagic));
+  if (version != kBctVersion) {
+    return Status::Corruption("unsupported block cache trace version");
+  }
+  base_ts_us_ = DecodeFixed64(header.data() + sizeof(kBctMagic) + 4);
+  return Status::OK();
+}
+
+Status BlockCacheTraceReader::ReadFully(size_t n, std::string* out,
+                                        bool* clean_eof) {
+  out->clear();
+  *clean_eof = false;
+  std::string scratch(n, '\0');
+  size_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    Status s = file_->Read(n - got, &chunk, &scratch[0] + got);
+    if (!s.ok()) return s;
+    if (chunk.empty()) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::Corruption("truncated block cache trace record");
+    }
+    if (chunk.data() != scratch.data() + got) {
+      memcpy(&scratch[0] + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  *out = std::move(scratch);
+  return Status::OK();
+}
+
+Status BlockCacheTraceReader::Next(BlockCacheAccessRecord* rec, bool* eof) {
+  *eof = false;
+  if (file_ == nullptr) {
+    return Status::IOError("block cache trace reader not open");
+  }
+
+  std::string frame_header;
+  Status s = ReadFully(8, &frame_header, eof);
+  if (!s.ok() || *eof) return s;
+  const uint32_t expected_crc =
+      crc32c::Unmask(DecodeFixed32(frame_header.data()));
+  const uint32_t len = DecodeFixed32(frame_header.data() + 4);
+  if (len != kPayloadSize) {
+    return Status::Corruption("bad block cache trace record length");
+  }
+
+  std::string payload;
+  bool payload_eof = false;
+  s = ReadFully(len, &payload, &payload_eof);
+  if (!s.ok()) return s;
+  if (payload_eof) {
+    return Status::Corruption("truncated block cache trace record");
+  }
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("block cache trace record checksum mismatch");
+  }
+
+  rec->ts_us = DecodeFixed64(payload.data());
+  const uint8_t type = static_cast<uint8_t>(payload[8]);
+  if (type < static_cast<uint8_t>(TraceBlockType::kData) ||
+      type > static_cast<uint8_t>(TraceBlockType::kFilter)) {
+    return Status::Corruption("bad block cache trace block type");
+  }
+  rec->type = static_cast<TraceBlockType>(type);
+  rec->hit = payload[9] != 0;
+  rec->fill = payload[10] != 0;
+  rec->level = static_cast<int8_t>(payload[11]);
+  rec->file_number = DecodeFixed64(payload.data() + 12);
+  rec->offset = DecodeFixed64(payload.data() + 20);
+  rec->charge = DecodeFixed64(payload.data() + 28);
+  return Status::OK();
+}
+
+}  // namespace elmo

@@ -25,8 +25,7 @@ class LruShard {
     EvictIfNeeded();
   }
 
-  void Insert(const Slice& key, std::shared_ptr<void> value, size_t charge,
-              Cache::Stats* stats) {
+  void Insert(const Slice& key, std::shared_ptr<void> value, size_t charge) {
     std::lock_guard<std::mutex> l(mu_);
     std::string k = key.ToString();
     auto it = map_.find(k);
@@ -38,21 +37,26 @@ class LruShard {
     lru_.push_front(Entry{k, std::move(value), charge});
     map_[k] = lru_.begin();
     usage_ += charge;
-    stats->inserts++;
-    stats->evictions += EvictIfNeeded();
+    stats_.inserts++;
+    stats_.evictions += EvictIfNeeded();
   }
 
-  std::shared_ptr<void> Lookup(const Slice& key, Cache::Stats* stats) {
+  std::shared_ptr<void> Lookup(const Slice& key) {
     std::lock_guard<std::mutex> l(mu_);
     auto it = map_.find(key.ToString());
     if (it == map_.end()) {
-      stats->misses++;
+      stats_.misses++;
       return nullptr;
     }
-    stats->hits++;
+    stats_.hits++;
     // Move to front (most recently used).
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->value;
+  }
+
+  Cache::Stats GetStats() const {
+    std::lock_guard<std::mutex> l(mu_);
+    return stats_;
   }
 
   void Erase(const Slice& key) {
@@ -92,6 +96,7 @@ class LruShard {
   mutable std::mutex mu_;
   size_t capacity_ = 0;
   size_t usage_ = 0;
+  Cache::Stats stats_;  // per-shard, so lookups never cross-serialize
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> map_;
 };
@@ -108,13 +113,11 @@ class ShardedLruCache : public Cache {
 
   void Insert(const Slice& key, std::shared_ptr<void> value,
               size_t charge) override {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    Shard(key).Insert(key, std::move(value), charge, &stats_);
+    Shard(key).Insert(key, std::move(value), charge);
   }
 
   std::shared_ptr<void> Lookup(const Slice& key) override {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    return Shard(key).Lookup(key, &stats_);
+    return Shard(key).Lookup(key);
   }
 
   void Erase(const Slice& key) override { Shard(key).Erase(key); }
@@ -135,8 +138,15 @@ class ShardedLruCache : public Cache {
   }
 
   Stats GetStats() const override {
-    std::lock_guard<std::mutex> l(stats_mu_);
-    return stats_;
+    Stats total;
+    for (const auto& s : shards_) {
+      Stats shard = s.GetStats();
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.inserts += shard.inserts;
+      total.evictions += shard.evictions;
+    }
+    return total;
   }
 
  private:
@@ -147,8 +157,6 @@ class ShardedLruCache : public Cache {
   std::vector<LruShard> shards_;
   const uint32_t shard_mask_;
   size_t capacity_;
-  mutable std::mutex stats_mu_;
-  Stats stats_;
 };
 
 }  // namespace

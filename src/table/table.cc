@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "env/io_trace.h"
 #include "table/block.h"
 #include "table/format.h"
 #include "util/coding.h"
@@ -16,14 +17,53 @@ uint64_t NextCacheId() {
   return next.fetch_add(1);
 }
 
+// The returned iterator keeps the block alive via the shared_ptr.
+class OwningIter : public Iterator {
+ public:
+  OwningIter(std::shared_ptr<const Block> block, const Comparator* cmp)
+      : block_(std::move(block)), iter_(block_->NewIterator(cmp)) {}
+  bool Valid() const override { return iter_->Valid(); }
+  void SeekToFirst() override { iter_->SeekToFirst(); }
+  void SeekToLast() override { iter_->SeekToLast(); }
+  void Seek(const Slice& t) override { iter_->Seek(t); }
+  void Next() override { iter_->Next(); }
+  void Prev() override { iter_->Prev(); }
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  std::shared_ptr<const Block> block_;
+  std::unique_ptr<Iterator> iter_;
+};
+
 }  // namespace
 
 struct Table::Rep {
   TableReadOptions options;
   std::unique_ptr<RandomAccessFile> file;
   uint64_t cache_id = 0;
-  std::unique_ptr<Block> index_block;
-  std::string filter_data;  // raw bloom filter block (may be empty)
+  // Pinned copies, used unless cache_metadata is set.
+  std::shared_ptr<const Block> index_block;
+  std::shared_ptr<const std::string> filter_data;
+  // Handles for reload-on-miss when index/filter live in the block cache.
+  BlockHandle index_handle;
+  BlockHandle filter_handle;  // size()==0 when the table has no filter
+  bool cache_metadata = false;
+
+  Slice CacheKey(char* buf, uint64_t offset) const {
+    EncodeFixed64(buf, cache_id);
+    EncodeFixed64(buf + 8, offset);
+    return Slice(buf, 16);
+  }
+
+  void Trace(TraceBlockType type, bool hit, bool fill, int level,
+             uint64_t offset, uint64_t charge) const {
+    if (options.cache_tracer != nullptr) {
+      options.cache_tracer->Record(type, hit, fill, level,
+                                   options.file_number, offset, charge);
+    }
+  }
 };
 
 Table::Table(std::unique_ptr<Rep> rep) : rep_(std::move(rep)) {}
@@ -36,6 +76,9 @@ Status Table::Open(const TableReadOptions& options,
   if (file_size < Footer::kEncodedLength) {
     return Status::Corruption("file is too short to be an sstable");
   }
+
+  // Footer/index/filter reads are SST metadata in the IO trace.
+  IOMetadataHintScope metadata_scope;
 
   char footer_space[Footer::kEncodedLength];
   Slice footer_input;
@@ -56,23 +99,100 @@ Status Table::Open(const TableReadOptions& options,
   rep->options = options;
   rep->file = std::move(file);
   rep->cache_id = options.block_cache ? NextCacheId() : 0;
-  rep->index_block = std::make_unique<Block>(std::move(index_contents.data));
+  rep->index_handle = footer.index_handle();
+  rep->cache_metadata =
+      options.cache_index_and_filter_blocks && options.block_cache != nullptr;
 
-  if (options.filter_policy != nullptr &&
-      footer.filter_handle().size() > 0) {
+  auto index = std::make_shared<Block>(std::move(index_contents.data));
+  std::shared_ptr<std::string> filter;
+  if (options.filter_policy != nullptr && footer.filter_handle().size() > 0) {
+    rep->filter_handle = footer.filter_handle();
     BlockContents filter_contents;
     s = ReadBlock(rep->file.get(), footer.filter_handle(), &filter_contents,
                   options.verify_checksums);
     if (!s.ok()) return s;
-    rep->filter_data = std::move(filter_contents.data);
+    filter = std::make_shared<std::string>(std::move(filter_contents.data));
+  }
+
+  if (rep->cache_metadata) {
+    // Charge the metadata to the block cache instead of pinning; the
+    // initial loads count as (filling) misses in the access trace.
+    char key_buf[16];
+    rep->options.block_cache->Insert(
+        rep->CacheKey(key_buf, rep->index_handle.offset()), index,
+        index->size());
+    rep->Trace(TraceBlockType::kIndex, /*hit=*/false, /*fill=*/true,
+               /*level=*/-1, rep->index_handle.offset(), index->size());
+    if (filter != nullptr) {
+      rep->options.block_cache->Insert(
+          rep->CacheKey(key_buf, rep->filter_handle.offset()), filter,
+          filter->size());
+      rep->Trace(TraceBlockType::kFilter, false, true, -1,
+                 rep->filter_handle.offset(), filter->size());
+    }
+  } else {
+    rep->index_block = std::move(index);
+    rep->filter_data = std::move(filter);
   }
 
   *table = std::unique_ptr<Table>(new Table(std::move(rep)));
   return Status::OK();
 }
 
+std::shared_ptr<const Block> Table::GetIndexBlock(Status* status) const {
+  const Rep* r = rep_.get();
+  *status = Status::OK();
+  if (!r->cache_metadata) return r->index_block;
+
+  char key_buf[16];
+  Slice key = r->CacheKey(key_buf, r->index_handle.offset());
+  auto cached = r->options.block_cache->LookupAs<const Block>(key);
+  if (cached != nullptr) {
+    r->Trace(TraceBlockType::kIndex, true, true, -1, r->index_handle.offset(),
+             cached->size());
+    return cached;
+  }
+  IOMetadataHintScope metadata_scope;
+  BlockContents contents;
+  *status = ReadBlock(r->file.get(), r->index_handle, &contents,
+                      r->options.verify_checksums);
+  if (!status->ok()) return nullptr;
+  auto fresh = std::make_shared<Block>(std::move(contents.data));
+  r->options.block_cache->Insert(key, fresh, fresh->size());
+  r->Trace(TraceBlockType::kIndex, false, true, -1, r->index_handle.offset(),
+           fresh->size());
+  return fresh;
+}
+
+std::shared_ptr<const std::string> Table::GetFilter(Status* status) const {
+  const Rep* r = rep_.get();
+  *status = Status::OK();
+  if (!r->cache_metadata) return r->filter_data;
+  if (r->filter_handle.size() == 0) return nullptr;  // table has no filter
+
+  char key_buf[16];
+  Slice key = r->CacheKey(key_buf, r->filter_handle.offset());
+  auto cached = r->options.block_cache->LookupAs<const std::string>(key);
+  if (cached != nullptr) {
+    r->Trace(TraceBlockType::kFilter, true, true, -1,
+             r->filter_handle.offset(), cached->size());
+    return cached;
+  }
+  IOMetadataHintScope metadata_scope;
+  BlockContents contents;
+  *status = ReadBlock(r->file.get(), r->filter_handle, &contents,
+                      r->options.verify_checksums);
+  if (!status->ok()) return nullptr;
+  auto fresh = std::make_shared<std::string>(std::move(contents.data));
+  r->options.block_cache->Insert(key, fresh, fresh->size());
+  r->Trace(TraceBlockType::kFilter, false, true, -1,
+           r->filter_handle.offset(), fresh->size());
+  return fresh;
+}
+
 std::unique_ptr<Iterator> Table::BlockReader(const Slice& index_value,
-                                             bool fill_cache) const {
+                                             bool fill_cache,
+                                             int level) const {
   const Rep* r = rep_.get();
   Slice input = index_value;
   BlockHandle handle;
@@ -82,12 +202,12 @@ std::unique_ptr<Iterator> Table::BlockReader(const Slice& index_value,
   std::shared_ptr<const Block> block;
   if (r->options.block_cache != nullptr) {
     char cache_key_buf[16];
-    EncodeFixed64(cache_key_buf, r->cache_id);
-    EncodeFixed64(cache_key_buf + 8, handle.offset());
-    Slice cache_key(cache_key_buf, sizeof(cache_key_buf));
+    Slice cache_key = r->CacheKey(cache_key_buf, handle.offset());
     auto cached =
         r->options.block_cache->LookupAs<const Block>(cache_key);
     if (cached != nullptr) {
+      r->Trace(TraceBlockType::kData, true, fill_cache, level,
+               handle.offset(), cached->size());
       block = cached;
     } else {
       BlockContents contents;
@@ -98,6 +218,8 @@ std::unique_ptr<Iterator> Table::BlockReader(const Slice& index_value,
       if (fill_cache) {
         r->options.block_cache->Insert(cache_key, fresh, fresh->size());
       }
+      r->Trace(TraceBlockType::kData, false, fill_cache, level,
+               handle.offset(), fresh->size());
       block = fresh;
     }
   } else {
@@ -108,25 +230,6 @@ std::unique_ptr<Iterator> Table::BlockReader(const Slice& index_value,
     block = std::make_shared<Block>(std::move(contents.data));
   }
 
-  // The returned iterator keeps the block alive via the capture below.
-  class OwningIter : public Iterator {
-   public:
-    OwningIter(std::shared_ptr<const Block> block, const Comparator* cmp)
-        : block_(std::move(block)), iter_(block_->NewIterator(cmp)) {}
-    bool Valid() const override { return iter_->Valid(); }
-    void SeekToFirst() override { iter_->SeekToFirst(); }
-    void SeekToLast() override { iter_->SeekToLast(); }
-    void Seek(const Slice& t) override { iter_->Seek(t); }
-    void Next() override { iter_->Next(); }
-    void Prev() override { iter_->Prev(); }
-    Slice key() const override { return iter_->key(); }
-    Slice value() const override { return iter_->value(); }
-    Status status() const override { return iter_->status(); }
-
-   private:
-    std::shared_ptr<const Block> block_;
-    std::unique_ptr<Iterator> iter_;
-  };
   return std::make_unique<OwningIter>(std::move(block),
                                       r->options.comparator);
 }
@@ -248,6 +351,9 @@ class TwoLevelIterator : public Iterator {
 
 std::unique_ptr<Iterator> Table::NewIterator(
     const TableIterOptions& iter_options) const {
+  Status s;
+  std::shared_ptr<const Block> index = GetIndexBlock(&s);
+  if (index == nullptr) return NewEmptyIterator(s);
   // Cursor tracking how far readahead has been issued.
   auto readahead_pos = std::make_shared<uint64_t>(0);
   auto block_fn = [this, iter_options,
@@ -260,32 +366,41 @@ std::unique_ptr<Iterator> Table::NewIterator(
         *readahead_pos = bh.offset() + iter_options.readahead_bytes;
       }
     }
-    return BlockReader(handle, iter_options.fill_cache);
+    return BlockReader(handle, iter_options.fill_cache, iter_options.level);
   };
+  // The index iterator keeps the (possibly cache-resident) block alive.
   return std::make_unique<TwoLevelIterator>(
-      rep_->index_block->NewIterator(rep_->options.comparator), block_fn);
+      std::make_unique<OwningIter>(std::move(index), rep_->options.comparator),
+      block_fn);
 }
 
 Status Table::InternalGet(
     const Slice& key,
-    const std::function<void(const Slice&, const Slice&)>& handler) const {
+    const std::function<void(const Slice&, const Slice&)>& handler,
+    int level) const {
   const Rep* r = rep_.get();
 
   // Filter check first: a negative verdict saves the block read.
-  if (r->options.filter_policy != nullptr && !r->filter_data.empty()) {
+  Status s;
+  std::shared_ptr<const std::string> filter = GetFilter(&s);
+  if (!s.ok()) return s;
+  if (r->options.filter_policy != nullptr && filter != nullptr &&
+      !filter->empty()) {
     Slice filter_key = r->options.filter_key_transform
                            ? r->options.filter_key_transform(key)
                            : key;
-    if (!r->options.filter_policy->KeyMayMatch(filter_key,
-                                               Slice(r->filter_data))) {
+    if (!r->options.filter_policy->KeyMayMatch(filter_key, Slice(*filter))) {
       return Status::OK();  // definitely absent from this table
     }
   }
 
-  auto index_iter = r->index_block->NewIterator(r->options.comparator);
+  std::shared_ptr<const Block> index = GetIndexBlock(&s);
+  if (index == nullptr) return s;
+  auto index_iter = index->NewIterator(r->options.comparator);
   index_iter->Seek(key);
   if (index_iter->Valid()) {
-    auto block_iter = BlockReader(index_iter->value(), /*fill_cache=*/true);
+    auto block_iter =
+        BlockReader(index_iter->value(), /*fill_cache=*/true, level);
     block_iter->Seek(key);
     if (block_iter->Valid()) {
       handler(block_iter->key(), block_iter->value());
@@ -296,8 +411,10 @@ Status Table::InternalGet(
 }
 
 uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
-  auto index_iter =
-      rep_->index_block->NewIterator(rep_->options.comparator);
+  Status s;
+  std::shared_ptr<const Block> index = GetIndexBlock(&s);
+  if (index == nullptr) return 0;
+  auto index_iter = index->NewIterator(rep_->options.comparator);
   index_iter->Seek(key);
   if (index_iter->Valid()) {
     Slice input = index_iter->value();

@@ -1,11 +1,14 @@
-// Table: immutable SST reader. Index and filter blocks are pinned in
-// memory; data blocks go through the (optional) shared block cache.
+// Table: immutable SST reader. Data blocks go through the (optional)
+// shared block cache. Index and filter blocks are pinned in memory by
+// default, or charged to the block cache (and reloaded on demand) when
+// cache_index_and_filter_blocks is set.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "env/env.h"
+#include "table/block_cache_tracer.h"
 #include "table/bloom.h"
 #include "table/cache.h"
 #include "table/comparator.h"
@@ -15,6 +18,8 @@
 
 namespace elmo {
 
+class Block;
+
 struct TableReadOptions {
   const Comparator* comparator = BytewiseComparator();
   const FilterPolicy* filter_policy = nullptr;
@@ -22,6 +27,15 @@ struct TableReadOptions {
   // Shared block cache; null reads every block from the file.
   std::shared_ptr<Cache> block_cache;
   bool verify_checksums = true;
+  // Charge index/filter blocks to the block cache (reloading on miss)
+  // instead of pinning them for the table's lifetime. Ignored (with a
+  // pinned fallback) when block_cache is null.
+  bool cache_index_and_filter_blocks = false;
+  // Identity + tracing for block-cache observability. file_number names
+  // the SST in trace records; cache_tracer (if set) records every
+  // block-cache lookup this table issues.
+  uint64_t file_number = 0;
+  std::shared_ptr<BlockCacheTracer> cache_tracer;
 };
 
 struct TableIterOptions {
@@ -30,6 +44,9 @@ struct TableIterOptions {
   // RandomAccessFile::Readahead as the iterator crosses block
   // boundaries.
   uint64_t readahead_bytes = 0;
+  // LSM level of the file being read (-1 = unknown); only used to label
+  // block-cache trace records.
+  int level = -1;
 };
 
 class Table {
@@ -49,10 +66,12 @@ class Table {
 
   // Point lookup: calls handler(key, value) on the first entry at or
   // after `key` in this table, if any. The bloom filter is consulted
-  // with the transform-applied key first.
+  // with the transform-applied key first. `level` only labels trace
+  // records (-1 = unknown).
   Status InternalGet(const Slice& key,
                      const std::function<void(const Slice&, const Slice&)>&
-                         handler) const;
+                         handler,
+                     int level = -1) const;
 
   uint64_t ApproximateOffsetOf(const Slice& key) const;
 
@@ -61,7 +80,9 @@ class Table {
   explicit Table(std::unique_ptr<Rep> rep);
 
   std::unique_ptr<Iterator> BlockReader(const Slice& index_value,
-                                        bool fill_cache) const;
+                                        bool fill_cache, int level) const;
+  std::shared_ptr<const Block> GetIndexBlock(Status* status) const;
+  std::shared_ptr<const std::string> GetFilter(Status* status) const;
 
   std::unique_ptr<Rep> rep_;
 };

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/json.h"
+
 namespace elmo::bench {
 namespace {
 
@@ -100,6 +102,38 @@ TEST(BenchRunner, ThreadsContractWallClock) {
   auto r1 = a.Run(spec1, lsm::Options());
   auto r2 = b.Run(spec2, lsm::Options());
   EXPECT_GT(r2.ops_per_sec, r1.ops_per_sec * 1.5);
+}
+
+// Every benchmark run carries IO-trace and cache-sim evidence: a
+// non-empty per-kind breakdown and a >= 4-point miss-ratio curve, both
+// as prompt text and as embedded JSON.
+TEST(BenchRunner, RunProducesIoAndCacheEvidence) {
+  BenchRunner runner(TestHw());
+  auto spec = WorkloadSpec::ReadRandomWriteRandom(20000);
+  auto r = runner.Run(spec, lsm::Options());
+
+  ASSERT_FALSE(r.io_breakdown.empty());
+  EXPECT_NE(r.io_breakdown.find("Per-kind IO"), std::string::npos);
+  EXPECT_NE(r.io_breakdown.find("wal"), std::string::npos);
+
+  ASSERT_FALSE(r.cache_sim_summary.empty());
+  EXPECT_NE(r.cache_sim_summary.find("Miss-ratio curve"), std::string::npos);
+  EXPECT_NE(r.cache_sim_summary.find("(configured)"), std::string::npos);
+
+  json::Value sim;
+  ASSERT_TRUE(json::Parse(r.cache_sim_json, &sim).ok());
+  const json::Value* curve = sim.Find("curve");
+  ASSERT_NE(nullptr, curve);
+  ASSERT_TRUE(curve->is_array());
+  EXPECT_GE(curve->as_array().size(), 4u);
+
+  json::Value io;
+  ASSERT_TRUE(json::Parse(r.io_analysis_json, &io).ok());
+  ASSERT_NE(nullptr, io.Find("by_kind"));
+
+  // The combined evidence block reaches reports and the prompt.
+  EXPECT_NE(r.IoCacheEvidence().find("Per-kind IO"), std::string::npos);
+  EXPECT_NE(r.ToReport().find("IO & cache evidence"), std::string::npos);
 }
 
 TEST(BenchRunner, MixgraphUsesVariableValueSizes) {

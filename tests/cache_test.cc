@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace elmo {
 namespace {
 
@@ -114,6 +119,94 @@ TEST(Cache, ZeroCapacityHoldsNothing) {
   auto cache = NewLruCache(0, 0);
   cache->Insert("k", Val(1), 1);
   EXPECT_EQ(nullptr, cache->Lookup("k"));
+}
+
+// Hammer a sharded cache held exactly at capacity from many threads:
+// charge accounting must never exceed capacity (per-shard ceil rounding
+// aside) and no operation may lose an update or crash.
+TEST(Cache, ConcurrentInsertsRespectCapacity) {
+  constexpr size_t kCapacity = 1600;  // 16 shards x 100
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  auto cache = NewLruCache(kCapacity, 4);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; i++) {
+        cache->Insert("key" + std::to_string((t * kOpsPerThread + i) % 400),
+                      Val(i), 10);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Each of the 16 shards caps at ceil(1600/16) = 100, so the sharded
+  // total can never exceed the configured capacity.
+  EXPECT_LE(cache->TotalCharge(), kCapacity);
+  auto stats = cache->GetStats();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kOpsPerThread, stats.inserts);
+}
+
+// Per-shard hit/miss counters must not lose updates under concurrent
+// lookups: hits + misses == total lookups, exactly.
+TEST(Cache, ConcurrentLookupStatsBalance) {
+  constexpr int kThreads = 8;
+  constexpr int kLookupsPerThread = 5000;
+  auto cache = NewLruCache(10000, 4);
+  for (int i = 0; i < 100; i++) {
+    cache->Insert("key" + std::to_string(i), Val(i), 10);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      // Half the keys exist, half do not, interleaved per thread.
+      for (int i = 0; i < kLookupsPerThread; i++) {
+        cache->Lookup("key" + std::to_string((t + i) % 200));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto stats = cache->GetStats();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kLookupsPerThread,
+            stats.hits + stats.misses);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+// Shrinking capacity while readers and writers are live must converge
+// to the new bound once the dust settles.
+TEST(Cache, ConcurrentSetCapacityShrink) {
+  auto cache = NewLruCache(3200, 4);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; t++) {
+    workers.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        cache->Insert("key" + std::to_string((t * 1000 + i) % 500), Val(i),
+                      10);
+        cache->Lookup("key" + std::to_string(i % 500));
+        i++;
+      }
+    });
+  }
+
+  for (size_t cap : {1600u, 800u, 160u}) {
+    cache->SetCapacity(cap);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : workers) th.join();
+
+  // One more shrink with the cache quiescent: the bound must hold.
+  cache->SetCapacity(160);
+  EXPECT_LE(cache->TotalCharge(), 160u);
+  EXPECT_EQ(160u, cache->Capacity());
 }
 
 }  // namespace

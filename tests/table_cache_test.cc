@@ -63,7 +63,7 @@ class TableCacheTest : public ::testing::Test {
 
 TEST_F(TableCacheTest, GetThroughCache) {
   auto [num, size] = WriteTable(5, "key", 100);
-  TableCache cache("/db", options_, icmp_.get(), nullptr, 10);
+  TableCache cache("/db", options_, icmp_.get(), nullptr, nullptr, 10);
   EXPECT_EQ("value42", LookupUser(&cache, num, size, "key000042"));
   EXPECT_EQ("ABSENT", LookupUser(&cache, num, size, "key999999"));
   // Second lookup hits the cached Table reader.
@@ -72,7 +72,7 @@ TEST_F(TableCacheTest, GetThroughCache) {
 
 TEST_F(TableCacheTest, IteratorKeepsTableAlive) {
   auto [num, size] = WriteTable(6, "it", 50);
-  TableCache cache("/db", options_, icmp_.get(), nullptr, 1);
+  TableCache cache("/db", options_, icmp_.get(), nullptr, nullptr, 1);
   auto iter = cache.NewIterator(num, size);
   // Force the entry out of the tiny cache by opening another table.
   auto [num2, size2] = WriteTable(7, "other", 50);
@@ -85,7 +85,7 @@ TEST_F(TableCacheTest, IteratorKeepsTableAlive) {
 
 TEST_F(TableCacheTest, EvictForcesReopen) {
   auto [num, size] = WriteTable(8, "ev", 20);
-  TableCache cache("/db", options_, icmp_.get(), nullptr, 10);
+  TableCache cache("/db", options_, icmp_.get(), nullptr, nullptr, 10);
   EXPECT_EQ("value3", LookupUser(&cache, num, size, "ev000003"));
   cache.Evict(num);
   // Reopen from disk transparently.
@@ -93,7 +93,7 @@ TEST_F(TableCacheTest, EvictForcesReopen) {
 }
 
 TEST_F(TableCacheTest, MissingFileSurfacesError) {
-  TableCache cache("/db", options_, icmp_.get(), nullptr, 10);
+  TableCache cache("/db", options_, icmp_.get(), nullptr, nullptr, 10);
   LookupKey lk("k", 100);
   Status s = cache.Get(999, 1000, lk.internal_key(),
                        [](const Slice&, const Slice&) {});
@@ -109,7 +109,7 @@ TEST_F(TableCacheTest, BloomFilterWiredThroughOptions) {
   auto [num, size] = WriteTable(9, "bf", 100);
   // Build again WITH the filter policy active so the file carries one.
   {
-    TableCache cache("/db", options_, icmp_.get(), nullptr, 10);
+    TableCache cache("/db", options_, icmp_.get(), nullptr, nullptr, 10);
     EXPECT_EQ("value5", LookupUser(&cache, num, size, "bf000005"));
     EXPECT_EQ("ABSENT", LookupUser(&cache, num, size, "zz999999"));
   }

@@ -190,6 +190,27 @@ TEST(PromptGenerator, TimeseriesRendersTelemetrySection) {
   EXPECT_EQ(p.find("## Telemetry Over The Run"), std::string::npos);
 }
 
+TEST(PromptGenerator, IoCacheEvidenceSectionRendersWhenPresent) {
+  PromptInputs in;
+  in.iteration = 2;
+  in.workload_description = "readrandom";
+  in.current_options_ini = "k = v\n";
+  in.io_cache_evidence =
+      "Per-kind IO (from the engine's IO trace):\n"
+      "- wal: 10 ops, 4096 bytes (50.0%)\n"
+      "Miss-ratio curve (ghost LRU replay of the block-cache trace):\n"
+      "- 1 MiB: miss 40.0%\n";
+  std::string p = PromptGenerator::Generate(in);
+  EXPECT_NE(p.find("## IO & Cache Evidence"), std::string::npos);
+  EXPECT_NE(p.find("Per-kind IO"), std::string::npos);
+  EXPECT_NE(p.find("Miss-ratio curve"), std::string::npos);
+
+  // Without evidence the section is omitted entirely.
+  in.io_cache_evidence.clear();
+  p = PromptGenerator::Generate(in);
+  EXPECT_EQ(p.find("## IO & Cache Evidence"), std::string::npos);
+}
+
 TEST(PromptGenerator, DeteriorationNoteIncludedWhenSet) {
   PromptInputs in;
   in.iteration = 3;

@@ -123,8 +123,8 @@ class VersionSetTest : public ::testing::Test {
     options_.env = &env_;
     options_.level0_file_num_compaction_trigger = 4;
     icmp_ = std::make_unique<InternalKeyComparator>(BytewiseComparator());
-    table_cache_ = std::make_unique<TableCache>("/vdb", options_,
-                                                icmp_.get(), nullptr, 100);
+    table_cache_ = std::make_unique<TableCache>("/vdb", options_, icmp_.get(),
+                                                nullptr, nullptr, 100);
     vset_ = std::make_unique<VersionSet>("/vdb", &options_,
                                          table_cache_.get(), icmp_.get());
     ASSERT_TRUE(env_.CreateDirIfMissing("/vdb").ok());
