@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_kit/bench_runner.h"
+#include "stress_kit/stress_driver.h"
 #include "env/device_model.h"
 #include "env/hardware_profile.h"
 #include "env/mem_env.h"
@@ -285,20 +286,50 @@ static int WriteDumpableDb(const std::string& dir) {
   return 0;
 }
 
-// BENCHMARK_MAIN plus --elmo_smoke_json=<path> / --elmo_dump_db=<dir>
-// flags (consumed before google-benchmark sees the argument list).
+// Run the flagship smoke workload shape under FaultInjectionEnv: one
+// short randomized segment, one crash/reopen cycle, full oracle
+// verification. A cheap crash-safety canary next to the perf canaries.
+static int RunFaultSmoke(uint64_t seed) {
+  elmo::stress::StressConfig cfg;
+  cfg.seed = seed;
+  cfg.ops = 3000;
+  cfg.crash_cycles = 1;
+  cfg.num_keys = 256;
+  cfg.db_path = "/fault_smoke";
+  const elmo::stress::StressReport report = elmo::stress::RunStress(cfg);
+  if (!report.ok) {
+    fprintf(stderr, "micro_engine: fault smoke FAILED: %s\n",
+            report.first_divergence.c_str());
+    return 1;
+  }
+  fprintf(stderr,
+          "micro_engine: fault smoke ok (seed=%llu, %llu ops, "
+          "%llu kill-point fires)\n",
+          static_cast<unsigned long long>(seed),
+          static_cast<unsigned long long>(report.ops_executed),
+          static_cast<unsigned long long>(report.kill_point_fires));
+  return 0;
+}
+
+// BENCHMARK_MAIN plus --elmo_smoke_json=<path> / --elmo_dump_db=<dir> /
+// --fault_seed=<n> flags (consumed before google-benchmark sees the
+// argument list).
 int main(int argc, char** argv) {
   std::string smoke_path;
   std::string dump_db_dir;
+  std::string fault_seed;
   int out_argc = 1;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     const std::string smoke_prefix = "--elmo_smoke_json=";
     const std::string dump_prefix = "--elmo_dump_db=";
+    const std::string fault_prefix = "--fault_seed=";
     if (arg.rfind(smoke_prefix, 0) == 0) {
       smoke_path = arg.substr(smoke_prefix.size());
     } else if (arg.rfind(dump_prefix, 0) == 0) {
       dump_db_dir = arg.substr(dump_prefix.size());
+    } else if (arg.rfind(fault_prefix, 0) == 0) {
+      fault_seed = arg.substr(fault_prefix.size());
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -310,6 +341,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  if (!fault_seed.empty()) {
+    int rc = RunFaultSmoke(elmo::stress::StressSeedFromString(fault_seed));
+    if (rc != 0) return rc;
+  }
   if (!dump_db_dir.empty()) {
     int rc = WriteDumpableDb(dump_db_dir);
     if (rc != 0) return rc;

@@ -6,6 +6,7 @@
 #include "elmo/prompt_generator.h"
 #include "env/sim_env.h"
 #include "lsm/options_schema.h"
+#include "stress_kit/stress_driver.h"
 #include "sysinfo/system_probe.h"
 
 namespace elmo::tune {
@@ -149,6 +150,29 @@ TuningOutcome TuningSession::Run(const Options& initial) {
 
     rec.result = runner_->Run(workload_, candidate);
     FlaggerDecision decision = flagger.Judge(best_result, rec.result);
+
+    // A faster configuration still has to survive crash certification
+    // before it can become the new best: the stress harness crashes and
+    // recovers it under FaultInjectionEnv and checks the oracle.
+    if (decision.keep && cfg_.certify_ops > 0) {
+      stress::StressConfig scfg;
+      scfg.seed = cfg_.certify_seed;
+      scfg.ops = cfg_.certify_ops;
+      scfg.crash_cycles = cfg_.certify_crash_cycles;
+      scfg.base_options = candidate;
+      scfg.db_path = "/certify_db";
+      const stress::StressReport sr = stress::RunStress(scfg);
+      if (sr.ok) {
+        rec.certify_summary = "certified: ok";
+      } else {
+        decision.keep = false;
+        decision.reason =
+            "crash certification failed: " + sr.first_divergence;
+        rec.certify_summary = "certification FAILED: " +
+                              sr.first_divergence;
+      }
+    }
+
     rec.kept = decision.keep;
     rec.decision_reason = decision.reason;
 

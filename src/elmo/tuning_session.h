@@ -30,6 +30,13 @@ struct TuningConfig {
   double probe_fraction = 0.1;
   FlaggerConfig flagger;
   std::set<std::string> extra_blacklist;
+  // Crash certification: before a winning configuration is kept, run it
+  // through the elmo_stress harness (FaultInjectionEnv + crash/reopen
+  // cycles + expected-state oracle). A config that loses acknowledged
+  // writes is reverted no matter how fast it is. 0 ops disables.
+  uint64_t certify_ops = 0;
+  int certify_crash_cycles = 2;
+  uint64_t certify_seed = 42;
 };
 
 struct IterationRecord {
@@ -43,6 +50,8 @@ struct IterationRecord {
   bool early_aborted = false;  // probe triggered a redo
   bool kept = false;
   std::string decision_reason;
+  // Verdict of the crash-certification stress run ("" when disabled).
+  std::string certify_summary;
 };
 
 struct TuningOutcome {

@@ -1,0 +1,85 @@
+#include "fault/kill_point.h"
+
+namespace elmo {
+
+KillPointRegistry& KillPointRegistry::Instance() {
+  static KillPointRegistry registry;
+  return registry;
+}
+
+void KillPointRegistry::Arm(const std::string& name,
+                            std::function<void()> handler, int skip) {
+  std::lock_guard<std::mutex> l(mu_);
+  armed_ = true;
+  fired_ = false;
+  armed_name_ = name;
+  fired_point_.clear();
+  handler_ = std::move(handler);
+  remaining_skips_ = skip;
+  UpdateActive();
+}
+
+void KillPointRegistry::Disarm() {
+  std::lock_guard<std::mutex> l(mu_);
+  armed_ = false;
+  armed_name_.clear();
+  handler_ = nullptr;
+  remaining_skips_ = 0;
+  UpdateActive();
+}
+
+bool KillPointRegistry::armed() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return armed_;
+}
+
+bool KillPointRegistry::fired() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return fired_;
+}
+
+std::string KillPointRegistry::fired_point() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return fired_point_;
+}
+
+void KillPointRegistry::SetTracking(bool on) {
+  std::lock_guard<std::mutex> l(mu_);
+  tracking_ = on;
+  if (!on) seen_.clear();
+  UpdateActive();
+}
+
+std::vector<std::string> KillPointRegistry::SeenPoints() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return {seen_.begin(), seen_.end()};
+}
+
+void KillPointRegistry::HitSlow(const char* name) {
+  std::function<void()> run;
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    if (tracking_) seen_.insert(name);
+    if (armed_ && armed_name_ == name) {
+      if (remaining_skips_ > 0) {
+        remaining_skips_--;
+      } else {
+        run = std::move(handler_);
+        armed_ = false;
+        fired_ = true;
+        fired_point_ = armed_name_;
+        armed_name_.clear();
+        handler_ = nullptr;
+        UpdateActive();
+      }
+    }
+  }
+  // Run outside mu_ so a handler can query the registry if it wants to.
+  if (run) run();
+}
+
+void KillPointRegistry::UpdateActive() {
+  active_.store(armed_ || tracking_, std::memory_order_relaxed);
+}
+
+}  // namespace elmo

@@ -1,0 +1,72 @@
+// Kill points: named crash hooks compiled into the engine's durability
+// paths (flush, compaction, MANIFEST write, CURRENT swap, WAL append).
+// Each hook is a single relaxed atomic load when nothing is armed, so
+// they stay in production builds. A test or the stress driver arms one
+// point with a handler (typically FaultInjectionEnv::CrashNow) and the
+// handler runs synchronously the next time execution reaches the point
+// — "the machine dies at this instruction".
+//
+//   ELMO_KILL_POINT("flush:after_sst_sync");
+//
+// Handlers must be async-signal-style: flip atomics, never take engine
+// locks (kill points fire while DB mutexes are held) and never re-enter
+// the registry.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace elmo {
+
+class KillPointRegistry {
+ public:
+  static KillPointRegistry& Instance();
+
+  // Arm `name`: the handler runs on the (skip+1)-th hit of that point,
+  // then the registry disarms itself. Re-arming replaces the previous
+  // armed point.
+  void Arm(const std::string& name, std::function<void()> handler,
+           int skip = 0);
+  void Disarm();
+  bool armed() const;
+  // True once the armed handler has run (cleared by the next Arm).
+  bool fired() const;
+  // Name of the point whose handler last ran ("" if none).
+  std::string fired_point() const;
+
+  // While tracking, every distinct point name that executes is recorded
+  // (used by tests to discover which points a workload exercises).
+  void SetTracking(bool on);
+  std::vector<std::string> SeenPoints() const;
+
+  // Hook entry. Call through ELMO_KILL_POINT so the fast path stays a
+  // single atomic load.
+  void Hit(const char* name) {
+    if (active_.load(std::memory_order_relaxed)) HitSlow(name);
+  }
+
+ private:
+  KillPointRegistry() = default;
+  void HitSlow(const char* name);
+  void UpdateActive();  // caller holds mu_
+
+  std::atomic<bool> active_{false};  // armed or tracking
+  mutable std::mutex mu_;
+  bool tracking_ = false;
+  bool armed_ = false;
+  bool fired_ = false;
+  int remaining_skips_ = 0;
+  std::string armed_name_;
+  std::string fired_point_;
+  std::function<void()> handler_;
+  std::set<std::string> seen_;
+};
+
+#define ELMO_KILL_POINT(point_name) \
+  ::elmo::KillPointRegistry::Instance().Hit(point_name)
+
+}  // namespace elmo

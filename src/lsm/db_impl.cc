@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "env/io_trace.h"
+#include "fault/fault_injection_env.h"
+#include "fault/kill_point.h"
 #include "lsm/cost_model.h"
 #include "lsm/db_iter.h"
 #include "lsm/filename.h"
@@ -108,6 +110,21 @@ Options SanitizeOptions(const Options& src) {
   return o;
 }
 
+// The deterministic inline-background-work path must engage whenever a
+// SimEnv sits anywhere under the user's env, including below a
+// FaultInjectionEnv decorator (stress runs pass
+// FaultInjectionEnv(SimEnv) as options.env).
+SimEnv* FindSimEnv(Env* env) {
+  if (auto* sim = dynamic_cast<SimEnv*>(env)) return sim;
+  if (auto* fault = dynamic_cast<FaultInjectionEnv*>(env)) {
+    return FindSimEnv(fault->base());
+  }
+  if (auto* tracing = dynamic_cast<IOTracingEnv*>(env)) {
+    return FindSimEnv(tracing->base());
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
@@ -116,7 +133,7 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       raw_env_(options_.env),
       io_env_(std::make_unique<IOTracingEnv>(raw_env_)),
       env_(io_env_.get()),
-      sim_(dynamic_cast<SimEnv*>(raw_env_)),
+      sim_(FindSimEnv(raw_env_)),
       block_cache_(NewLruCache(options_.block_cache_size)),
       block_cache_tracer_(std::make_shared<BlockCacheTracer>(raw_env_)),
       internal_comparator_(BytewiseComparator()),
@@ -247,8 +264,7 @@ Status DBImpl::NewDBFiles() {
     if (s.ok()) s = file->Close();
   }
   if (s.ok()) {
-    s = env_->WriteStringToFile(Slice("MANIFEST-000001\n"),
-                                CurrentFileName(dbname_), /*sync=*/true);
+    s = SetCurrentFile(env_, dbname_, 1);
   } else {
     env_->RemoveFile(manifest);
   }
@@ -392,7 +408,8 @@ Status DBImpl::RecoverLogFile(uint64_t log_number,
   Status replay_status;
   LogReporter reporter;
   reporter.status = &replay_status;
-  log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+  log::Reader reader(file.get(), &reporter, /*checksum=*/true,
+                     /*tolerate_torn_tail=*/true);
 
   std::string scratch;
   Slice record;
@@ -499,10 +516,12 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
     stats_.Add(Ticker::kWalBytes, batch_bytes);
     perf->write_wal_bytes += batch_bytes;
     wal_live_bytes_ += batch_bytes;
+    if (s.ok()) ELMO_KILL_POINT("wal:after_append");
     if (s.ok()) {
       if (opts.sync) {
         const uint64_t t_sync = env_->NowMicros();
         s = logfile_->Sync();
+        if (s.ok()) ELMO_KILL_POINT("wal:after_sync");
         stats_.Add(Ticker::kWalSyncs, 1);
         stats_.Measure(HistogramType::kWalSyncMicros,
                        env_->NowMicros() - t_sync);
@@ -923,6 +942,7 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
                                    ? imm_[n_taken].log_number
                                    : logfile_number_;
     edit.SetLogNumber(log_floor);
+    ELMO_KILL_POINT("flush:before_manifest_apply");
     s = versions_->LogAndApply(&edit);
   }
 
@@ -1006,7 +1026,9 @@ Status DBImpl::WriteLevel0Table(
         s = builder.Finish();
         if (s.ok()) {
           meta->file_size = builder.FileSize();
+          ELMO_KILL_POINT("flush:before_sst_sync");
           s = file->Sync();
+          if (s.ok()) ELMO_KILL_POINT("flush:after_sst_sync");
         }
         if (s.ok()) s = file->Close();
       } else {
@@ -1140,6 +1162,7 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
     if (builder == nullptr) return Status::OK();
     Status fs = builder->Finish();
     uint64_t size = builder->FileSize();
+    ELMO_KILL_POINT("compaction:before_output_sync");
     if (fs.ok()) fs = out_file->Sync();
     if (fs.ok()) fs = out_file->Close();
     builder.reset();
@@ -1223,6 +1246,7 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
       output_bytes += out.file_size;
     }
     s = versions_->LogAndApply(c->edit());
+    if (s.ok()) ELMO_KILL_POINT("compaction:after_apply");
     if (s.ok()) {
       stats_.Add(Ticker::kCompactionCount, 1);
       stats_.Add(Ticker::kCompactionBytesRead, input_bytes);

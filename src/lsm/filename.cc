@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "env/env.h"
+#include "fault/kill_point.h"
 #include "util/string_util.h"
 
 namespace elmo {
@@ -85,6 +87,22 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
   }
   *number = static_cast<uint64_t>(*num);
   return true;
+}
+
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number) {
+  char contents[32];
+  snprintf(contents, sizeof(contents), "MANIFEST-%06llu\n",
+           static_cast<unsigned long long>(descriptor_number));
+  const std::string tmp = TempFileName(dbname, descriptor_number);
+  Status s = env->WriteStringToFile(Slice(contents), tmp, /*sync=*/true);
+  if (s.ok()) {
+    ELMO_KILL_POINT("current:before_rename");
+    s = env->RenameFile(tmp, CurrentFileName(dbname));
+    ELMO_KILL_POINT("current:after_rename");
+  }
+  if (!s.ok()) env->RemoveFile(tmp);
+  return s;
 }
 
 }  // namespace elmo

@@ -6,8 +6,11 @@
 #include <string>
 
 #include "util/slice.h"
+#include "util/status.h"
 
 namespace elmo {
+
+class Env;
 
 enum class FileType {
   kLogFile,
@@ -30,5 +33,13 @@ std::string TempFileName(const std::string& dbname, uint64_t number);
 // Parse a bare filename (no directory). Returns false if unrecognized.
 bool ParseFileName(const std::string& filename, uint64_t* number,
                    FileType* type);
+
+// Point CURRENT at MANIFEST-<descriptor_number> crash-safely: the new
+// contents are written to a temp file, synced, then renamed over
+// CURRENT. A crash at any instant leaves either the old or the new
+// pointer — never a torn or missing one (an in-place rewrite would
+// destroy the only reference to the MANIFEST).
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
 
 }  // namespace elmo

@@ -5,8 +5,12 @@
 
 namespace elmo::log {
 
-Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum)
-    : file_(file), reporter_(reporter), checksum_(checksum) {
+Reader::Reader(SequentialFile* file, Reporter* reporter, bool checksum,
+               bool tolerate_torn_tail)
+    : file_(file),
+      reporter_(reporter),
+      checksum_(checksum),
+      tolerate_torn_tail_(tolerate_torn_tail) {
   backing_store_.resize(kBlockSize);
 }
 
@@ -143,8 +147,16 @@ unsigned int Reader::ReadPhysicalRecord(Slice* result) {
       uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
       uint32_t actual_crc = crc32c::Value(header + 6, 1 + length);
       if (actual_crc != expected_crc) {
+        // A mismatching record that extends exactly to the end of the
+        // final block is a torn tail write (the machine died while the
+        // last record was going out): clean EOF, recoverable. A bad CRC
+        // anywhere else — records follow it, or more blocks follow —
+        // is real mid-log corruption and must be reported.
+        const bool torn_tail = tolerate_torn_tail_ && eof_ &&
+                               kHeaderSize + length == buffer_.size();
         size_t drop_size = buffer_.size();
         buffer_.clear();
+        if (torn_tail) return kEof;
         ReportCorruption(drop_size, "checksum mismatch");
         return kBadRecord;
       }

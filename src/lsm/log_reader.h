@@ -20,8 +20,13 @@ class Reader {
   };
 
   // Reads records from file (not owned). If checksum is true, verifies
-  // fragment checksums.
-  Reader(SequentialFile* file, Reporter* reporter, bool checksum);
+  // fragment checksums. With tolerate_torn_tail, a checksum mismatch in
+  // the final record of the log — when that record extends exactly to
+  // EOF — reads as a clean end-of-log instead of corruption: that shape
+  // is what a power cut mid-write leaves behind. Recovery paths (WAL
+  // and MANIFEST replay) enable it; offline integrity tools must not.
+  Reader(SequentialFile* file, Reporter* reporter, bool checksum,
+         bool tolerate_torn_tail = false);
 
   Reader(const Reader&) = delete;
   Reader& operator=(const Reader&) = delete;
@@ -41,6 +46,7 @@ class Reader {
   SequentialFile* const file_;
   Reporter* const reporter_;
   bool const checksum_;
+  bool const tolerate_torn_tail_;
   std::string backing_store_;
   Slice buffer_;
   bool eof_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/kill_point.h"
 #include "lsm/filename.h"
 #include "lsm/log_reader.h"
 #include "util/logging.h"
@@ -344,23 +345,18 @@ Status VersionSet::LogAndApply(VersionEdit* edit) {
     std::string record;
     edit->EncodeTo(&record);
     s = descriptor_log_->AddRecord(Slice(record));
+    ELMO_KILL_POINT("manifest:before_sync");
     if (s.ok()) {
       s = descriptor_file_->Sync();
     }
+    if (s.ok()) ELMO_KILL_POINT("manifest:after_sync");
   }
 
-  // Install CURRENT if we created a new manifest.
+  // Install CURRENT if we created a new manifest. The MANIFEST is fully
+  // synced by this point, and the swap itself is temp-file + rename so a
+  // crash mid-install leaves the old pointer intact.
   if (s.ok() && !new_manifest_file.empty()) {
-    std::string contents =
-        "MANIFEST-" + std::string(6 - std::min<size_t>(
-                                          6, std::to_string(
-                                                 manifest_file_number_)
-                                                 .size()),
-                                  '0') +
-        std::to_string(manifest_file_number_) + "\n";
-    s = options_->env->WriteStringToFile(Slice(contents),
-                                         CurrentFileName(dbname_),
-                                         /*sync=*/true);
+    s = SetCurrentFile(options_->env, dbname_, manifest_file_number_);
   }
 
   if (s.ok()) {
@@ -418,7 +414,8 @@ Status VersionSet::Recover() {
     };
     LogReporter reporter;
     reporter.status = &s;
-    log::Reader reader(file.get(), &reporter, /*checksum=*/true);
+    log::Reader reader(file.get(), &reporter, /*checksum=*/true,
+                       /*tolerate_torn_tail=*/true);
     Slice record;
     std::string scratch;
     while (reader.ReadRecord(&record, &scratch) && s.ok()) {

@@ -1,0 +1,268 @@
+#include "stress_kit/expected_state.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/random.h"
+
+namespace elmo::stress {
+
+namespace {
+
+using Interval = std::pair<uint64_t, uint64_t>;  // [lo, hi)
+
+std::vector<Interval> Intersect(const std::vector<Interval>& a,
+                                const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const uint64_t lo = std::max(a[i].first, b[j].first);
+    const uint64_t hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) out.push_back({lo, hi});
+    if (a[i].second < b[j].second) {
+      i++;
+    } else {
+      j++;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StressKeyName(uint32_t key_index) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%08u", key_index);
+  return buf;
+}
+
+bool ParseStressKey(const Slice& key, uint32_t* key_index) {
+  if (key.size() != 11 || memcmp(key.data(), "key", 3) != 0) return false;
+  uint32_t v = 0;
+  for (size_t i = 3; i < key.size(); i++) {
+    const char c = key.data()[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint32_t>(c - '0');
+  }
+  *key_index = v;
+  return true;
+}
+
+std::string StressValueFor(uint32_t key_index, uint64_t op_index, size_t len) {
+  char hdr[48];
+  const int n = snprintf(hdr, sizeof(hdr), "v:%u:%" PRIu64 ":", key_index,
+                         op_index);
+  std::string value(hdr, static_cast<size_t>(n));
+  Random64 filler(op_index * 0x9e3779b97f4a7c15ull ^ key_index);
+  while (value.size() < len) {
+    value.push_back(static_cast<char>('a' + filler.Uniform(26)));
+  }
+  return value;
+}
+
+bool DecodeStressValue(const Slice& value, uint32_t* key_index,
+                       uint64_t* op_index) {
+  unsigned key = 0;
+  unsigned long long op = 0;
+  int consumed = 0;
+  const std::string v = value.ToString();
+  if (sscanf(v.c_str(), "v:%u:%llu:%n", &key, &op, &consumed) < 2 ||
+      consumed <= 0) {
+    return false;
+  }
+  *key_index = key;
+  *op_index = op;
+  // The filler is a pure function of (key, op); any flipped byte that
+  // survived the engine's CRCs shows up as a mismatch here.
+  return v == StressValueFor(key, op, v.size());
+}
+
+ExpectedState::ExpectedState(uint32_t num_keys, int shards)
+    : num_keys_(num_keys),
+      shard_mu_(std::max(1, shards)),
+      history_(num_keys),
+      key_floor_(num_keys, 0) {}
+
+void ExpectedState::RecordWrite(uint32_t key, uint64_t op_index,
+                                bool is_delete, bool acked) {
+  std::lock_guard<std::mutex> l(MuFor(key));
+  history_[key].push_back(Entry{op_index, is_delete, acked});
+}
+
+void ExpectedState::RecordSyncPoint(uint64_t op_index) {
+  uint64_t cur = last_sync_.load(std::memory_order_relaxed);
+  while (cur < op_index &&
+         !last_sync_.compare_exchange_weak(cur, op_index,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+void ExpectedState::RecordKeySync(uint32_t key, uint64_t op_index) {
+  std::lock_guard<std::mutex> l(MuFor(key));
+  key_floor_[key] = std::max(key_floor_[key], op_index);
+}
+
+ExpectedState::Expected ExpectedState::Latest(uint32_t key) const {
+  std::lock_guard<std::mutex> l(MuFor(key));
+  const auto& h = history_[key];
+  Expected e;
+  if (!h.empty() && !h.back().is_delete) {
+    e.exists = true;
+    e.op_index = h.back().op;
+  }
+  return e;
+}
+
+uint64_t ExpectedState::LiveKeyCount() const {
+  uint64_t n = 0;
+  for (uint32_t k = 0; k < num_keys_; k++) {
+    if (Latest(k).exists) n++;
+  }
+  return n;
+}
+
+std::string ExpectedState::DescribeKey(uint32_t key,
+                                       const Observed& obs) const {
+  char buf[256];
+  std::string tail;
+  const auto& h = history_[key];
+  const size_t start = h.size() > 3 ? h.size() - 3 : 0;
+  for (size_t i = start; i < h.size(); i++) {
+    char e[64];
+    snprintf(e, sizeof(e), "%s%s@%" PRIu64 "%s", i == start ? "" : ", ",
+             h[i].is_delete ? "del" : "put", h[i].op,
+             h[i].acked ? "" : "(unacked)");
+    tail += e;
+  }
+  if (obs.found) {
+    snprintf(buf, sizeof(buf),
+             "key %u: observed value from op %" PRIu64
+             "; history tail [%s]; last_sync=%" PRIu64,
+             key, obs.op_index, tail.c_str(), last_sync());
+  } else {
+    snprintf(buf, sizeof(buf),
+             "key %u: observed MISSING; history tail [%s]; last_sync=%" PRIu64,
+             key, tail.c_str(), last_sync());
+  }
+  return buf;
+}
+
+bool ExpectedState::VerifyCrashCut(const std::vector<Observed>& observed,
+                                   uint64_t max_op_index, uint64_t* cut,
+                                   std::string* divergence) {
+  // Caller guarantees quiescence (workers joined, DB reopened).
+  const uint64_t horizon = max_op_index + 1;  // cuts live in [0, max_op]
+  std::vector<Interval> acc{{last_sync(), horizon}};
+  for (uint32_t key = 0; key < num_keys_ && key < observed.size(); key++) {
+    const auto& h = history_[key];
+    const Observed& obs = observed[key];
+    std::vector<Interval> allowed;
+    if (obs.found) {
+      for (size_t i = 0; i < h.size(); i++) {
+        if (!h[i].is_delete && h[i].op == obs.op_index) {
+          allowed.push_back(
+              {h[i].op, i + 1 < h.size() ? h[i + 1].op : horizon});
+          break;
+        }
+      }
+      if (allowed.empty()) {
+        *divergence = DescribeKey(key, obs) +
+                      " — value does not correspond to any recorded write "
+                      "(resurrected or corrupt)";
+        return false;
+      }
+    } else {
+      if (h.empty()) {
+        continue;  // never written: missing is consistent with every cut
+      }
+      if (h[0].op > 0) allowed.push_back({0, h[0].op});
+      for (size_t i = 0; i < h.size(); i++) {
+        if (h[i].is_delete) {
+          allowed.push_back(
+              {h[i].op, i + 1 < h.size() ? h[i + 1].op : horizon});
+        }
+      }
+      if (allowed.empty()) {
+        *divergence = DescribeKey(key, obs) +
+                      " — key was written before any crash window and never "
+                      "deleted (lost write)";
+        return false;
+      }
+    }
+    acc = Intersect(acc, allowed);
+    if (acc.empty()) {
+      *divergence =
+          DescribeKey(key, obs) +
+          " — no single WAL cut at or after last_sync explains all keys";
+      return false;
+    }
+  }
+  *cut = acc.front().first;
+  // Lost ops (op > cut) never happened; recovery also flushed the WAL
+  // into synced L0 tables, so the surviving prefix is durable now.
+  for (uint32_t key = 0; key < num_keys_; key++) {
+    auto& h = history_[key];
+    while (!h.empty() && h.back().op > *cut) h.pop_back();
+    key_floor_[key] = h.empty() ? 0 : h.back().op;
+  }
+  last_sync_.store(*cut, std::memory_order_release);
+  return true;
+}
+
+bool ExpectedState::VerifyCrashRelaxed(const std::vector<Observed>& observed,
+                                       std::string* divergence) {
+  for (uint32_t key = 0; key < num_keys_ && key < observed.size(); key++) {
+    auto& h = history_[key];
+    const Observed& obs = observed[key];
+    // Durability floor: the key's own synced entry (RecordKeySync) —
+    // anything observed must be at least this new.
+    const uint64_t floor = key_floor_[key];
+    if (obs.found) {
+      size_t hit = h.size();
+      for (size_t i = 0; i < h.size(); i++) {
+        if (!h[i].is_delete && h[i].op == obs.op_index) {
+          hit = i;
+          break;
+        }
+      }
+      if (hit == h.size()) {
+        *divergence = DescribeKey(key, obs) +
+                      " — value does not correspond to any recorded write";
+        return false;
+      }
+      if (obs.op_index < floor) {
+        *divergence = DescribeKey(key, obs) +
+                      " — older than the key's synced write (durable data "
+                      "lost)";
+        return false;
+      }
+      h.resize(hit + 1);
+      key_floor_[key] = obs.op_index;
+    } else {
+      if (floor > 0) {
+        // The synced entry could itself be a delete; find it.
+        bool floor_is_delete = false;
+        for (const auto& e : h) {
+          if (e.op == floor) floor_is_delete = e.is_delete;
+        }
+        bool delete_at_or_after_floor = floor_is_delete;
+        for (const auto& e : h) {
+          if (e.is_delete && e.op >= floor) delete_at_or_after_floor = true;
+        }
+        if (!delete_at_or_after_floor) {
+          *divergence = DescribeKey(key, obs) +
+                        " — synced value vanished without a delete";
+          return false;
+        }
+      }
+      // Recovery kept "missing": truncate to the newest delete (or
+      // empty) so future expectations start from the observed state.
+      while (!h.empty() && !h.back().is_delete) h.pop_back();
+      key_floor_[key] = h.empty() ? 0 : h.back().op;
+    }
+  }
+  return true;
+}
+
+}  // namespace elmo::stress

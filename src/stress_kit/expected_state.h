@@ -1,0 +1,112 @@
+// The expected-state oracle behind elmo_stress. Every write the driver
+// issues is recorded here as a (key, op_index, put|delete, acked)
+// history entry; op indexes are globally unique and monotonically
+// increasing, and every stored value encodes its own (key, op_index),
+// so any byte the DB later returns can be located in the history.
+//
+// After a crash + DropUnsyncedData + reopen, WAL-prefix semantics say
+// the recovered database must equal the oracle's state at SOME single
+// cut S: all writes with op_index <= S applied, everything later gone —
+// and S must be at least the last acknowledged synced write (nothing
+// durable may be lost). VerifyCrashCut checks exactly that: it
+// intersects, across all keys, the set of cuts each key's observed
+// value allows, then truncates the history to the chosen cut. This
+// strict check is sound when the driver runs single-threaded (op order
+// == WAL order); multi-threaded runs use VerifyCrashRelaxed, which
+// checks per-key history membership and per-key durability floors
+// instead of a global cut.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace elmo::stress {
+
+// Keys are "key%08u" so lexicographic order == numeric order.
+std::string StressKeyName(uint32_t key_index);
+bool ParseStressKey(const Slice& key, uint32_t* key_index);
+
+// Values are "v:<key>:<op>:" plus deterministic filler derived from
+// (key, op) — self-identifying and cheap to re-derive for validation.
+std::string StressValueFor(uint32_t key_index, uint64_t op_index, size_t len);
+// Decode + integrity-check (the filler must match a regeneration).
+bool DecodeStressValue(const Slice& value, uint32_t* key_index,
+                       uint64_t* op_index);
+
+class ExpectedState {
+ public:
+  explicit ExpectedState(uint32_t num_keys, int shards = 16);
+
+  uint32_t num_keys() const { return num_keys_; }
+
+  // Record a write the driver attempted. `acked` = the DB returned OK.
+  // Unacked writes stay in the history: they may legally surface after
+  // a crash (they can have reached the WAL before the error).
+  void RecordWrite(uint32_t key, uint64_t op_index, bool is_delete,
+                   bool acked);
+  // All acked ops with index <= op_index are durable (single-threaded
+  // driver only: op order there matches WAL order).
+  void RecordSyncPoint(uint64_t op_index);
+  // Multi-threaded form: only key's own entry at op_index is known
+  // durable.
+  void RecordKeySync(uint32_t key, uint64_t op_index);
+  uint64_t last_sync() const {
+    return last_sync_.load(std::memory_order_acquire);
+  }
+
+  // Steady-state expectation for reads between crashes.
+  struct Expected {
+    bool exists = false;
+    uint64_t op_index = 0;  // of the newest put when exists
+  };
+  Expected Latest(uint32_t key) const;
+  uint64_t LiveKeyCount() const;
+
+  // What a post-recovery scan found for each key.
+  struct Observed {
+    bool found = false;
+    uint64_t op_index = 0;
+  };
+
+  // Strict WAL-prefix verification (see file comment). On success picks
+  // the smallest consistent cut, truncates the history to it, marks it
+  // durable (recovery flushed the WAL into synced L0 tables) and
+  // returns it in *cut. On failure fills *divergence with the first
+  // inconsistent key. `max_op_index` = highest op index ever issued.
+  bool VerifyCrashCut(const std::vector<Observed>& observed,
+                      uint64_t max_op_index, uint64_t* cut,
+                      std::string* divergence);
+
+  // Relaxed per-key verification for multi-threaded runs: each observed
+  // value must exist in its key's history at or above the key's
+  // durability floor; missing keys need a delete (or empty history) at
+  // or above the floor. Truncates each key's history to what recovery
+  // kept.
+  bool VerifyCrashRelaxed(const std::vector<Observed>& observed,
+                          std::string* divergence);
+
+ private:
+  struct Entry {
+    uint64_t op = 0;
+    bool is_delete = false;
+    bool acked = false;
+  };
+
+  std::mutex& MuFor(uint32_t key) const {
+    return shard_mu_[key % shard_mu_.size()];
+  }
+  std::string DescribeKey(uint32_t key, const Observed& obs) const;
+
+  const uint32_t num_keys_;
+  mutable std::vector<std::mutex> shard_mu_;
+  std::vector<std::vector<Entry>> history_;  // per key, op ascending
+  std::vector<uint64_t> key_floor_;          // per-key durable op floor
+  std::atomic<uint64_t> last_sync_{0};
+};
+
+}  // namespace elmo::stress

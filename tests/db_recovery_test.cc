@@ -63,6 +63,44 @@ class DbRecoveryTest : public ::testing::Test {
     node->data.resize(node->data.size() - remove_bytes);
   }
 
+  void FlipByte(const std::string& path, size_t pos) {
+    MemFs::FileRef node;
+    ASSERT_TRUE(env_->fs()->Open(path, &node).ok());
+    std::lock_guard<std::mutex> l(node->mu);
+    ASSERT_LT(pos, node->data.size());
+    node->data[pos] ^= 0xff;
+  }
+
+  void AppendBytes(const std::string& path, const std::string& bytes) {
+    MemFs::FileRef node;
+    ASSERT_TRUE(env_->fs()->Open(path, &node).ok());
+    std::lock_guard<std::mutex> l(node->mu);
+    node->data.append(bytes);
+  }
+
+  size_t SizeOf(const std::string& path) {
+    uint64_t size = 0;
+    EXPECT_TRUE(env_->GetFileSize(path, &size).ok());
+    return static_cast<size_t>(size);
+  }
+
+  std::string NewestFileOfType(FileType want) {
+    std::vector<std::string> children;
+    EXPECT_TRUE(env_->GetChildren("/db", &children).ok());
+    uint64_t best = 0;
+    std::string best_name;
+    for (const auto& c : children) {
+      uint64_t number;
+      FileType type;
+      if (ParseFileName(c, &number, &type) && type == want &&
+          number >= best) {
+        best = number;
+        best_name = c;
+      }
+    }
+    return "/db/" + best_name;
+  }
+
   std::unique_ptr<MemEnv> env_;
   Options options_;
   std::unique_ptr<DB> db_;
@@ -78,6 +116,62 @@ TEST_F(DbRecoveryTest, TornWalTailLosesOnlyLastWrite) {
   Open();
   EXPECT_EQ("1", Get("a"));
   EXPECT_EQ("NOT_FOUND", Get("b"));
+}
+
+TEST_F(DbRecoveryTest, CorruptedFinalWalRecordIsTornTail) {
+  // A torn write that garbles the *last* record of the WAL is what a
+  // power cut looks like: recovery must treat it as a clean EOF and
+  // lose only the torn write, not refuse to open.
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  std::string wal = NewestWal();
+  Close();
+  FlipByte(wal, SizeOf(wal) - 1);
+  Open();
+  EXPECT_EQ("1", Get("a"));
+  EXPECT_EQ("NOT_FOUND", Get("b"));
+}
+
+TEST_F(DbRecoveryTest, MidWalCorruptionStillFailsOpen) {
+  // Corruption in the *middle* of the log — valid records follow the bad
+  // one — is bit rot, not a torn tail. Silently skipping it would drop
+  // an acknowledged write while keeping later ones, so Open must fail.
+  ASSERT_TRUE(db_->Put({}, "a", "1").ok());
+  ASSERT_TRUE(db_->Put({}, "b", "2").ok());
+  std::string wal = NewestWal();
+  Close();
+  FlipByte(wal, 8);  // inside the first record's payload
+  std::unique_ptr<DB> db2;
+  Status s = DB::Open(options_, "/db", &db2);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(DbRecoveryTest, ManifestTornTailTolerated) {
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  Close();
+  std::string manifest = NewestFileOfType(FileType::kDescriptorFile);
+  // Append a half-written record: garbage CRC, len=3, kFullType header
+  // plus its 3 payload bytes, exactly reaching EOF.
+  AppendBytes(manifest,
+              std::string("\xde\xad\xbe\xef\x03\x00\x01", 7) + "xyz");
+  Open();
+  EXPECT_EQ("v", Get("k"));
+}
+
+TEST_F(DbRecoveryTest, ManifestMidCorruptionFailsOpen) {
+  ASSERT_TRUE(db_->Put({}, "k", "v").ok());
+  // The flush appends a version edit, so the MANIFEST holds at least two
+  // records and the flipped byte below cannot read as a torn tail.
+  ASSERT_TRUE(db_->FlushMemTable().ok());
+  ASSERT_TRUE(db_->WaitForBackgroundWork().ok());
+  Close();
+  std::string manifest = NewestFileOfType(FileType::kDescriptorFile);
+  FlipByte(manifest, 8);
+  std::unique_ptr<DB> db2;
+  Status s = DB::Open(options_, "/db", &db2);
+  EXPECT_FALSE(s.ok()) << s.ToString();
 }
 
 TEST_F(DbRecoveryTest, RepeatedReopenCyclesStable) {

@@ -1,0 +1,335 @@
+// FaultInjectionEnv + kill-point registry: unsynced-region tracking
+// across rename/reuse/remove, crash drop modes, filesystem power gating,
+// seeded error injection, equal-seed schedule determinism, and a
+// whole-DB crash at the CURRENT swap.
+#include "fault/fault_injection_env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "env/mem_env.h"
+#include "fault/kill_point.h"
+#include "lsm/db.h"
+#include "util/random.h"
+
+namespace elmo {
+namespace {
+
+class FaultInjectionEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_unique<MemEnv>();
+    fault_ = std::make_unique<FaultInjectionEnv>(base_.get(), 42);
+    ASSERT_TRUE(fault_->CreateDirIfMissing("/d").ok());
+  }
+
+  void TearDown() override { KillPointRegistry::Instance().Disarm(); }
+
+  // Appends `data` through the fault env; returns the open file.
+  std::unique_ptr<WritableFile> Create(const std::string& path,
+                                       const std::string& data) {
+    std::unique_ptr<WritableFile> f;
+    EXPECT_TRUE(fault_->NewWritableFile(path, &f).ok());
+    EXPECT_TRUE(f->Append(data).ok());
+    return f;
+  }
+
+  std::string Contents(const std::string& path) {
+    std::string data;
+    EXPECT_TRUE(fault_->ReadFileToString(path, &data).ok());
+    return data;
+  }
+
+  std::unique_ptr<MemEnv> base_;
+  std::unique_ptr<FaultInjectionEnv> fault_;
+};
+
+TEST_F(FaultInjectionEnvTest, SyncAdvancesDurablePrefix) {
+  auto f = Create("/d/f", "0123456789");
+  EXPECT_EQ(10u, fault_->TrackedSize("/d/f"));
+  EXPECT_EQ(0u, fault_->SyncedBytes("/d/f"));
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_EQ(10u, fault_->SyncedBytes("/d/f"));
+  ASSERT_TRUE(f->Append("abcde").ok());
+  EXPECT_EQ(15u, fault_->TrackedSize("/d/f"));
+  EXPECT_EQ(10u, fault_->SyncedBytes("/d/f"));  // tail not durable yet
+  ASSERT_TRUE(f->Close().ok());
+
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kDropAll).ok());
+  EXPECT_EQ("0123456789", Contents("/d/f"));
+  EXPECT_EQ(fault_->counters().files_dropped, 1u);
+  EXPECT_EQ(fault_->counters().bytes_dropped, 5u);
+}
+
+TEST_F(FaultInjectionEnvTest, RangeSyncAdvancesPartially) {
+  auto f = Create("/d/f", "0123456789");
+  ASSERT_TRUE(f->RangeSync(4).ok());
+  // MemEnv's WritableFile inherits the default RangeSync (= full Sync),
+  // but the tracker must still record only what the caller asked for.
+  EXPECT_EQ(4u, fault_->SyncedBytes("/d/f"));
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kDropAll).ok());
+  EXPECT_EQ("0123", Contents("/d/f"));
+}
+
+TEST_F(FaultInjectionEnvTest, RenameMovesTrackingState) {
+  auto f = Create("/d/old", "0123456789");
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("tail").ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault_->RenameFile("/d/old", "/d/new").ok());
+  EXPECT_FALSE(fault_->IsTracked("/d/old"));
+  ASSERT_TRUE(fault_->IsTracked("/d/new"));
+  EXPECT_EQ(10u, fault_->SyncedBytes("/d/new"));
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kDropAll).ok());
+  EXPECT_EQ("0123456789", Contents("/d/new"));
+}
+
+TEST_F(FaultInjectionEnvTest, ReusingPathResetsState) {
+  auto f = Create("/d/f", "old-old-old");
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+  // Re-creating the file truncates: the old synced watermark must not
+  // leak into the new incarnation.
+  auto g = Create("/d/f", "new");
+  EXPECT_EQ(3u, fault_->TrackedSize("/d/f"));
+  EXPECT_EQ(0u, fault_->SyncedBytes("/d/f"));
+  ASSERT_TRUE(g->Close().ok());
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kDropAll).ok());
+  EXPECT_EQ("", Contents("/d/f"));
+}
+
+TEST_F(FaultInjectionEnvTest, RemoveFileUntracks) {
+  auto f = Create("/d/f", "data");
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault_->RemoveFile("/d/f").ok());
+  EXPECT_FALSE(fault_->IsTracked("/d/f"));
+}
+
+TEST_F(FaultInjectionEnvTest, TornTailKeepsPrefixBetweenSyncedAndSize) {
+  auto f = Create("/d/f", std::string(1000, 'a'));
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append(std::string(9000, 'b')).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kTornTail).ok());
+  const std::string after = Contents("/d/f");
+  EXPECT_GE(after.size(), 1000u);
+  EXPECT_LE(after.size(), 10000u);
+  EXPECT_EQ(std::string(1000, 'a'), after.substr(0, 1000));
+}
+
+TEST_F(FaultInjectionEnvTest, PartialPageCutsAtPageBoundary) {
+  auto f = Create("/d/f", std::string(1000, 'a'));
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append(std::string(19480, 'b')).ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kPartialPage).ok());
+  const size_t after = Contents("/d/f").size();
+  // Cut at a 4 KiB boundary unless that would drop synced bytes.
+  EXPECT_TRUE(after % 4096 == 0 || after == 1000u) << after;
+  EXPECT_GE(after, 1000u);
+}
+
+TEST_F(FaultInjectionEnvTest, InactiveFilesystemRefusesMutations) {
+  auto f = Create("/d/f", "synced");
+  ASSERT_TRUE(f->Sync().ok());
+  fault_->SetFilesystemActive(false);
+  EXPECT_TRUE(f->Append("x").IsIOError());
+  EXPECT_TRUE(f->Sync().IsIOError());
+  EXPECT_TRUE(f->Close().ok());  // closing a dead handle must not fail
+
+  std::unique_ptr<WritableFile> g;
+  EXPECT_TRUE(fault_->NewWritableFile("/d/g", &g).IsIOError());
+  EXPECT_TRUE(fault_->RemoveFile("/d/f").IsIOError());
+  EXPECT_TRUE(fault_->RenameFile("/d/f", "/d/h").IsIOError());
+
+  // Reads survive the power cut (the data is on the platter).
+  EXPECT_EQ("synced", Contents("/d/f"));
+
+  fault_->SetFilesystemActive(true);
+  auto h = Create("/d/g", "after reboot");
+  EXPECT_TRUE(h->Close().ok());
+}
+
+TEST_F(FaultInjectionEnvTest, SeededReadErrorsFireAtConfiguredRate) {
+  auto f = Create("/d/000005.ldb", std::string(4096, 'x'));
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  FaultInjectionConfig cfg;
+  cfg.read_error = 1.0;
+  fault_->SetErrorInjection(cfg);
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(fault_->NewRandomAccessFile("/d/000005.ldb", &r).ok());
+  char scratch[64];
+  Slice result;
+  EXPECT_TRUE(r->Read(0, 64, &result, scratch).IsIOError());
+  EXPECT_GE(fault_->counters().read_errors, 1u);
+
+  fault_->ClearErrorInjection();
+  EXPECT_TRUE(r->Read(0, 64, &result, scratch).ok());
+  EXPECT_EQ(64u, result.size());
+}
+
+TEST_F(FaultInjectionEnvTest, ShortReadsAndBitFlips) {
+  auto f = Create("/d/000007.ldb", std::string(4096, 'x'));
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  FaultInjectionConfig cfg;
+  cfg.short_read = 1.0;
+  fault_->SetErrorInjection(cfg);
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(fault_->NewRandomAccessFile("/d/000007.ldb", &r).ok());
+  char scratch[128];
+  Slice result;
+  ASSERT_TRUE(r->Read(0, 128, &result, scratch).ok());
+  EXPECT_LT(result.size(), 128u);
+  EXPECT_GE(fault_->counters().short_reads, 1u);
+
+  cfg.short_read = 0;
+  cfg.read_corruption = 1.0;
+  fault_->SetErrorInjection(cfg);
+  ASSERT_TRUE(r->Read(0, 128, &result, scratch).ok());
+  ASSERT_EQ(128u, result.size());
+  EXPECT_NE(std::string(128, 'x'), result.ToString());
+  EXPECT_GE(fault_->counters().read_corruptions, 1u);
+  // Exactly one bit differs.
+  int bits = 0;
+  for (size_t i = 0; i < 128; i++) {
+    unsigned char diff =
+        static_cast<unsigned char>(result[i]) ^ 'x';
+    while (diff) {
+      bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(1, bits);
+}
+
+TEST_F(FaultInjectionEnvTest, KindFilterLimitsInjection) {
+  auto f = Create("/d/000009.log", std::string(512, 'w'));
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Close().ok());
+
+  FaultInjectionConfig cfg;
+  cfg.read_error = 1.0;
+  cfg.kinds = {IOFileKind::kSstData};  // SSTs only; the WAL is exempt
+  fault_->SetErrorInjection(cfg);
+  std::unique_ptr<SequentialFile> r;
+  ASSERT_TRUE(fault_->NewSequentialFile("/d/000009.log", &r).ok());
+  char scratch[64];
+  Slice result;
+  EXPECT_TRUE(r->Read(64, &result, scratch).ok());
+  EXPECT_EQ(0u, fault_->counters().read_errors);
+}
+
+TEST_F(FaultInjectionEnvTest, EqualSeedsGiveIdenticalFaultSchedules) {
+  auto run = [](uint64_t seed) {
+    MemEnv base;
+    FaultInjectionEnv fault(&base, seed);
+    EXPECT_TRUE(fault.CreateDirIfMissing("/d").ok());
+    std::unique_ptr<WritableFile> f;
+    EXPECT_TRUE(fault.NewWritableFile("/d/000011.ldb", &f).ok());
+    EXPECT_TRUE(f->Append(std::string(8192, 'q')).ok());
+    EXPECT_TRUE(f->Sync().ok());
+    EXPECT_TRUE(f->Close().ok());
+
+    FaultInjectionConfig cfg;
+    cfg.read_error = 0.3;
+    cfg.short_read = 0.2;
+    fault.SetErrorInjection(cfg);
+    std::unique_ptr<RandomAccessFile> r;
+    EXPECT_TRUE(fault.NewRandomAccessFile("/d/000011.ldb", &r).ok());
+    std::string pattern;
+    char scratch[256];
+    for (int i = 0; i < 200; i++) {
+      Slice result;
+      Status s = r->Read((i * 37) % 8000, 128, &result, scratch);
+      pattern += s.ok() ? (result.size() == 128 ? 'o' : 's') : 'e';
+    }
+    return pattern;
+  };
+  const std::string a = run(1234);
+  const std::string b = run(1234);
+  const std::string c = run(99);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 200 draws
+  EXPECT_NE(std::string::npos, a.find('e'));
+  EXPECT_NE(std::string::npos, a.find('o'));
+}
+
+TEST(KillPointRegistryTest, ArmSkipFireDisarm) {
+  auto& reg = KillPointRegistry::Instance();
+  int fires = 0;
+  reg.Arm("test:point", [&fires] { fires++; }, /*skip=*/2);
+  EXPECT_TRUE(reg.armed());
+  ELMO_KILL_POINT("test:other");  // wrong name: no effect
+  ELMO_KILL_POINT("test:point");  // skip 1
+  ELMO_KILL_POINT("test:point");  // skip 2
+  EXPECT_EQ(0, fires);
+  EXPECT_FALSE(reg.fired());
+  ELMO_KILL_POINT("test:point");  // fires and disarms
+  EXPECT_EQ(1, fires);
+  EXPECT_TRUE(reg.fired());
+  EXPECT_EQ("test:point", reg.fired_point());
+  EXPECT_FALSE(reg.armed());
+  ELMO_KILL_POINT("test:point");  // disarmed: no effect
+  EXPECT_EQ(1, fires);
+  reg.Disarm();
+}
+
+TEST(KillPointRegistryTest, TrackingRecordsSeenPoints) {
+  auto& reg = KillPointRegistry::Instance();
+  reg.SetTracking(true);
+  ELMO_KILL_POINT("track:a");
+  ELMO_KILL_POINT("track:b");
+  ELMO_KILL_POINT("track:a");
+  auto seen = reg.SeenPoints();
+  reg.SetTracking(false);
+  int a = 0, b = 0;
+  for (const auto& p : seen) {
+    if (p == "track:a") a++;
+    if (p == "track:b") b++;
+  }
+  EXPECT_EQ(1, a);  // deduplicated
+  EXPECT_EQ(1, b);
+}
+
+TEST_F(FaultInjectionEnvTest, CrashAtCurrentSwapIsRecoverable) {
+  // End-to-end: kill the machine in the middle of the CURRENT swap that
+  // recovery performs, then verify the DB reopens from the old MANIFEST
+  // with every synced write intact.
+  lsm::Options opts;
+  opts.env = fault_.get();
+  opts.create_if_missing = true;
+  std::unique_ptr<lsm::DB> db;
+  ASSERT_TRUE(lsm::DB::Open(opts, "/cdb", &db).ok());
+  lsm::WriteOptions sync_write;
+  sync_write.sync = true;
+  ASSERT_TRUE(db->Put(sync_write, "k", "v").ok());
+  db.reset();
+
+  // Reopen replays the WAL into L0 and installs a new MANIFEST; cut the
+  // power right before the CURRENT rename.
+  auto& reg = KillPointRegistry::Instance();
+  reg.Arm("current:before_rename",
+          [env = fault_.get()] { env->CrashNow(); });
+  Status s = lsm::DB::Open(opts, "/cdb", &db);
+  EXPECT_FALSE(s.ok()) << "open should fail once power is cut";
+  EXPECT_TRUE(reg.fired());
+  reg.Disarm();
+  db.reset();
+
+  ASSERT_TRUE(fault_->DropUnsyncedData(DropMode::kDropAll).ok());
+  fault_->SetFilesystemActive(true);
+  ASSERT_TRUE(lsm::DB::Open(opts, "/cdb", &db).ok());
+  std::string value;
+  ASSERT_TRUE(db->Get({}, "k", &value).ok());
+  EXPECT_EQ("v", value);
+}
+
+}  // namespace
+}  // namespace elmo

@@ -31,10 +31,11 @@ class LogTest : public ::testing::Test {
   };
 
   // Read back every record.
-  std::vector<std::string> ReadAll() {
+  std::vector<std::string> ReadAll(bool tolerate_torn_tail = false) {
     std::unique_ptr<SequentialFile> src;
     EXPECT_TRUE(env_.NewSequentialFile("/log", &src).ok());
-    Reader reader(src.get(), &reporter_, /*checksum=*/true);
+    Reader reader(src.get(), &reporter_, /*checksum=*/true,
+                  tolerate_torn_tail);
     std::vector<std::string> records;
     Slice record;
     std::string scratch;
@@ -180,6 +181,31 @@ TEST_F(LogTest, UnknownRecordTypeReported) {
   CorruptByte(6, 50);
   auto records = ReadAll();
   EXPECT_TRUE(records.empty());
+  EXPECT_GE(reporter_.corruptions, 1);
+}
+
+TEST_F(LogTest, TornTailToleranceIsOptIn) {
+  // Recovery mode: a CRC mismatch in the final record, extending
+  // exactly to EOF, is read as a clean end of log (a power cut tore the
+  // last write). Strict mode (the default, exercised by the tests
+  // above) keeps reporting the same bytes as corruption.
+  Write("kept");
+  Write("torn");
+  CorruptByte(FileSize() - 1, 1);
+  auto records = ReadAll(/*tolerate_torn_tail=*/true);
+  ASSERT_EQ(1u, records.size());
+  EXPECT_EQ("kept", records[0]);
+  EXPECT_EQ(0, reporter_.corruptions);
+}
+
+TEST_F(LogTest, ToleranceStillReportsMidLogCorruption) {
+  // Even in recovery mode, a bad record with valid records *after* it
+  // is bit rot, not a torn tail.
+  Write("one");
+  Write("two");
+  CorruptByte(kHeaderSize + 1, 1);  // payload of the first record
+  auto records = ReadAll(/*tolerate_torn_tail=*/true);
+  EXPECT_TRUE(records.empty());  // corruption poisons the block
   EXPECT_GE(reporter_.corruptions, 1);
 }
 

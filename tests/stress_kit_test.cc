@@ -1,0 +1,236 @@
+// Stress-kit coverage: expected-state oracle semantics (cut
+// verification, durability floors, value self-identification), clean
+// deterministic stress campaigns under SimEnv, equal-seed
+// reproducibility, kill-point reachability, and the planted-violation
+// run that must end in a detected divergence.
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/kill_point.h"
+#include "stress_kit/expected_state.h"
+#include "stress_kit/stress_driver.h"
+
+namespace elmo::stress {
+namespace {
+
+TEST(StressValueTest, SelfIdentifyingRoundTrip) {
+  const std::string v = StressValueFor(17, 12345, 64);
+  EXPECT_EQ(64u, v.size());
+  uint32_t key = 0;
+  uint64_t op = 0;
+  ASSERT_TRUE(DecodeStressValue(v, &key, &op));
+  EXPECT_EQ(17u, key);
+  EXPECT_EQ(12345u, op);
+
+  // Any tampering breaks decode: the filler is re-derived and compared.
+  std::string bad = v;
+  bad.back() ^= 1;
+  EXPECT_FALSE(DecodeStressValue(bad, &key, &op));
+}
+
+TEST(StressKeyTest, LexicographicEqualsNumericOrder) {
+  EXPECT_LT(StressKeyName(9), StressKeyName(10));
+  EXPECT_LT(StressKeyName(99), StressKeyName(100));
+  uint32_t k = 0;
+  ASSERT_TRUE(ParseStressKey(StressKeyName(42), &k));
+  EXPECT_EQ(42u, k);
+  EXPECT_FALSE(ParseStressKey("stranger", &k));
+}
+
+class ExpectedStateTest : public ::testing::Test {
+ protected:
+  ExpectedStateTest() : st_(8, /*shards=*/4) {}
+
+  std::vector<ExpectedState::Observed> Observe(
+      std::initializer_list<std::pair<uint32_t, uint64_t>> found) {
+    std::vector<ExpectedState::Observed> obs(st_.num_keys());
+    for (const auto& [key, op] : found) {
+      obs[key].found = true;
+      obs[key].op_index = op;
+    }
+    return obs;
+  }
+
+  ExpectedState st_;
+};
+
+TEST_F(ExpectedStateTest, LatestTracksNewestPut) {
+  st_.RecordWrite(3, 10, /*is_delete=*/false, /*acked=*/true);
+  st_.RecordWrite(3, 20, /*is_delete=*/false, /*acked=*/true);
+  auto e = st_.Latest(3);
+  EXPECT_TRUE(e.exists);
+  EXPECT_EQ(20u, e.op_index);
+  st_.RecordWrite(3, 30, /*is_delete=*/true, /*acked=*/true);
+  EXPECT_FALSE(st_.Latest(3).exists);
+  EXPECT_EQ(0u, st_.LiveKeyCount());
+}
+
+TEST_F(ExpectedStateTest, CutAcceptsAnyConsistentPrefix) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordWrite(2, 20, false, true);
+  st_.RecordWrite(1, 30, false, true);
+  // Recovery kept ops <= 20: key1@10, key2@20.
+  uint64_t cut = 0;
+  std::string divergence;
+  ASSERT_TRUE(st_.VerifyCrashCut(Observe({{1, 10}, {2, 20}}), 30, &cut,
+                                 &divergence))
+      << divergence;
+  EXPECT_GE(cut, 20u);
+  EXPECT_LT(cut, 30u);
+  // The cut is now durable and the history truncated: key1's op 30 is
+  // gone, so its latest is op 10 again.
+  EXPECT_EQ(10u, st_.Latest(1).op_index);
+  EXPECT_GE(st_.last_sync(), 20u);
+}
+
+TEST_F(ExpectedStateTest, CutRejectsLostSyncedWrite) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordSyncPoint(10);  // op 10 acknowledged durable
+  st_.RecordWrite(2, 20, false, true);
+  uint64_t cut = 0;
+  std::string divergence;
+  // Recovery lost key1 entirely: no cut >= 10 allows that.
+  EXPECT_FALSE(st_.VerifyCrashCut(Observe({{2, 20}}), 20, &cut,
+                                  &divergence));
+  EXPECT_NE(std::string::npos, divergence.find("key"));
+}
+
+TEST_F(ExpectedStateTest, CutRejectsTornPrefix) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordWrite(2, 20, false, true);
+  st_.RecordWrite(1, 30, false, true);
+  uint64_t cut = 0;
+  std::string divergence;
+  // key1@30 present but key2@20 missing: ops 20 and 30 are on the same
+  // WAL prefix, so no single cut explains this state.
+  EXPECT_FALSE(st_.VerifyCrashCut(Observe({{1, 30}}), 30, &cut,
+                                  &divergence));
+  EXPECT_FALSE(divergence.empty());
+}
+
+TEST_F(ExpectedStateTest, CutRejectsResurrectedDelete) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordWrite(1, 20, true, true);  // delete
+  st_.RecordWrite(2, 30, false, true);
+  uint64_t cut = 0;
+  std::string divergence;
+  // key2@30 implies cut >= 30, but then key1 must be deleted — seeing
+  // the old value back is resurrection.
+  EXPECT_FALSE(st_.VerifyCrashCut(Observe({{1, 10}, {2, 30}}), 30, &cut,
+                                  &divergence));
+  EXPECT_FALSE(divergence.empty());
+}
+
+TEST_F(ExpectedStateTest, UnackedWriteMaySurfaceOrNot) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordWrite(2, 20, false, /*acked=*/false);  // error returned
+  uint64_t cut = 0;
+  std::string divergence;
+  // Both worlds are legal: the unacked write reached the WAL...
+  ASSERT_TRUE(st_.VerifyCrashCut(Observe({{1, 10}, {2, 20}}), 20, &cut,
+                                 &divergence))
+      << divergence;
+  // (state now truncated to that cut — rebuild for the other world)
+  ExpectedState st2(8, 4);
+  st2.RecordWrite(1, 10, false, true);
+  st2.RecordWrite(2, 20, false, false);
+  ASSERT_TRUE(st2.VerifyCrashCut(Observe({{1, 10}}), 20, &cut,
+                                 &divergence))
+      << divergence;
+}
+
+TEST_F(ExpectedStateTest, RelaxedChecksPerKeyFloors) {
+  st_.RecordWrite(1, 10, false, true);
+  st_.RecordKeySync(1, 10);
+  st_.RecordWrite(2, 20, false, true);  // never synced
+  std::string divergence;
+  // key2 missing is fine (no floor); key1 missing is not.
+  EXPECT_TRUE(st_.VerifyCrashRelaxed(Observe({{1, 10}}), &divergence))
+      << divergence;
+  ExpectedState st2(8, 4);
+  st2.RecordWrite(1, 10, false, true);
+  st2.RecordKeySync(1, 10);
+  EXPECT_FALSE(st2.VerifyCrashRelaxed(Observe({}), &divergence));
+  EXPECT_FALSE(divergence.empty());
+}
+
+TEST(StressRunTest, CleanRunPassesAndIsDeterministic) {
+  StressConfig cfg;
+  cfg.seed = 7;
+  cfg.ops = 3000;
+  cfg.crash_cycles = 4;
+  cfg.num_keys = 128;
+  cfg.db_path = "/stress_clean";
+  const StressReport a = RunStress(cfg);
+  EXPECT_TRUE(a.ok) << a.first_divergence;
+  EXPECT_GE(a.crash_cycles_done, 4);  // truncated segments add cycles
+  EXPECT_EQ(cfg.ops, a.ops_executed);
+
+  const StressReport b = RunStress(cfg);
+  EXPECT_TRUE(b.ok) << b.first_divergence;
+  // Same seed, SimEnv, one thread: byte-identical campaign.
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+
+  cfg.seed = 8;
+  const StressReport c = RunStress(cfg);
+  EXPECT_TRUE(c.ok) << c.first_divergence;
+  EXPECT_NE(a.schedule_hash, c.schedule_hash);
+}
+
+TEST(StressRunTest, KillPointsAreReachable) {
+  // Track which points the engine executes during a plain campaign: the
+  // driver's arming list must not contain stale names.
+  auto& reg = KillPointRegistry::Instance();
+  reg.SetTracking(true);
+  StressConfig cfg;
+  cfg.seed = 11;
+  cfg.ops = 4000;
+  cfg.crash_cycles = 2;
+  cfg.num_keys = 128;
+  cfg.flush_every = 63;  // flush often so compaction happens too
+  cfg.use_kill_points = false;  // pure tracking run
+  cfg.db_path = "/stress_track";
+  const StressReport r = RunStress(cfg);
+  const auto seen_list = reg.SeenPoints();
+  reg.SetTracking(false);
+  EXPECT_TRUE(r.ok) << r.first_divergence;
+  const std::set<std::string> seen(seen_list.begin(), seen_list.end());
+  for (const auto& p : StressKillPoints()) {
+    EXPECT_TRUE(seen.count(p) > 0) << "kill point never executed: " << p;
+  }
+}
+
+TEST(StressRunTest, PlantedWalSyncViolationIsDetected) {
+  StressConfig cfg;
+  cfg.seed = 3;
+  cfg.ops = 600;
+  cfg.crash_cycles = 1;
+  cfg.num_keys = 64;
+  cfg.sync_every = 5;   // plenty of acked-synced writes to lose
+  cfg.flush_every = 0;  // WAL is the only durability path
+  cfg.drop_mode = 0;    // kDropAll: the lie always destroys data
+  cfg.read_faults = false;
+  cfg.write_faults = false;
+  cfg.use_kill_points = false;
+  cfg.plant_wal_sync_violation = true;
+  cfg.db_path = "/stress_planted";
+  const StressReport r = RunStress(cfg);
+  EXPECT_FALSE(r.ok) << "a lying WAL sync must not pass certification";
+  EXPECT_FALSE(r.first_divergence.empty());
+  EXPECT_GT(r.fault_counters.wal_sync_lies, 0u);
+}
+
+TEST(StressSeedTest, NumericAndStringSeeds) {
+  EXPECT_EQ(123u, StressSeedFromString("123"));
+  EXPECT_EQ(StressSeedFromString("ci"), StressSeedFromString("ci"));
+  EXPECT_NE(StressSeedFromString("ci"), StressSeedFromString("ci2"));
+}
+
+}  // namespace
+}  // namespace elmo::stress

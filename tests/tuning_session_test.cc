@@ -60,6 +60,27 @@ TEST(TuningSession, GoodSuggestionKeptAndFinalFileUpdated) {
   }
 }
 
+TEST(TuningSession, CertifyGateRunsOnKeptCandidates) {
+  bench::BenchRunner runner(TestHw());
+  llm::ScriptedLlm llm({
+      "```ini\n"
+      "max_background_jobs = 4\n"
+      "wal_bytes_per_sync = 1048576\n"
+      "```\n",
+  });
+  TuningConfig cfg;
+  cfg.max_iterations = 1;
+  cfg.certify_ops = 800;  // crash-certify anything the flagger keeps
+  cfg.certify_crash_cycles = 2;
+  TuningSession session(&runner, &llm, SmallFill(), cfg);
+  auto out = session.Run();
+  ASSERT_EQ(1u, out.iterations.size());
+  if (out.iterations[0].kept) {
+    // A kept candidate must have passed through certification.
+    EXPECT_EQ("certified: ok", out.iterations[0].certify_summary);
+  }
+}
+
 TEST(TuningSession, BadConfigRevertedAndReportedToLlm) {
   bench::BenchRunner runner(TestHw());
   // Iteration 1: a pathological config; iteration 2 inspects the

@@ -1,0 +1,162 @@
+// elmo_stress: crash-recovery stress harness CLI (see
+// src/stress_kit/stress_driver.h). Runs randomized DB traffic under
+// FaultInjectionEnv with repeated crash → drop-unsynced → reopen
+// cycles and an expected-state oracle; exits non-zero on the first
+// oracle violation with a precise divergence report.
+//
+//   elmo_stress --ops=20000 --crash_cycles=10 --seed=ci
+//   elmo_stress --options_file=proposal.ini --seed=7   # certify a config
+//   elmo_stress --plant_violation --seed=1             # must FAIL
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "env/env.h"
+#include "lsm/options_file.h"
+#include "stress_kit/stress_driver.h"
+
+namespace {
+
+void Usage() {
+  fprintf(stderr,
+          "usage: elmo_stress [flags]\n"
+          "  --seed=<n|string>     rng seed (strings are hashed; default 42)\n"
+          "  --ops=<n>             total operations (default 20000)\n"
+          "  --crash_cycles=<n>    crash/reopen cycles (default 10)\n"
+          "  --threads=<n>         worker threads (default 1; >1 relaxes\n"
+          "                        the oracle to per-key checks)\n"
+          "  --keys=<n>            key-space size (default 512)\n"
+          "  --value_len=<n>       value size in bytes (default 64)\n"
+          "  --env=sim|mem|posix   environment (default sim, deterministic)\n"
+          "  --db=<path>           db path (default /stress_db)\n"
+          "  --options_file=<ini>  load engine options (e.g. an LLM tuning\n"
+          "                        proposal) before stressing\n"
+          "  --drop_mode=<-1..2>   -1 random, 0 drop-all, 1 torn-tail,\n"
+          "                        2 partial-page (default -1)\n"
+          "  --no_kill_points      never arm engine kill points\n"
+          "  --no_read_faults      disable read-error/corruption segments\n"
+          "  --no_write_faults     disable write-error segments\n"
+          "  --plant_violation     lie about WAL syncs (run must fail)\n"
+          "  --report=<path>       write the JSON report here too\n");
+}
+
+bool ParseUint64Flag(const std::string& arg, const char* name,
+                     uint64_t* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+  return true;
+}
+
+bool ParseStringFlag(const std::string& arg, const char* name,
+                     std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  elmo::stress::StressConfig cfg;
+  std::string options_file;
+  std::string report_path;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    uint64_t u = 0;
+    std::string s;
+    if (ParseStringFlag(arg, "seed", &s)) {
+      cfg.seed = elmo::stress::StressSeedFromString(s);
+    } else if (ParseUint64Flag(arg, "ops", &u)) {
+      cfg.ops = u;
+    } else if (ParseUint64Flag(arg, "crash_cycles", &u)) {
+      cfg.crash_cycles = static_cast<int>(u);
+    } else if (ParseUint64Flag(arg, "threads", &u)) {
+      cfg.threads = static_cast<int>(u);
+    } else if (ParseUint64Flag(arg, "keys", &u)) {
+      cfg.num_keys = static_cast<uint32_t>(u);
+    } else if (ParseUint64Flag(arg, "value_len", &u)) {
+      cfg.value_len = static_cast<size_t>(u);
+    } else if (ParseStringFlag(arg, "env", &s)) {
+      cfg.env_kind = s;
+    } else if (ParseStringFlag(arg, "db", &s)) {
+      cfg.db_path = s;
+    } else if (ParseStringFlag(arg, "options_file", &s)) {
+      options_file = s;
+    } else if (ParseStringFlag(arg, "drop_mode", &s)) {
+      cfg.drop_mode = atoi(s.c_str());
+    } else if (arg == "--no_kill_points") {
+      cfg.use_kill_points = false;
+    } else if (arg == "--no_read_faults") {
+      cfg.read_faults = false;
+    } else if (arg == "--no_write_faults") {
+      cfg.write_faults = false;
+    } else if (arg == "--plant_violation") {
+      cfg.plant_wal_sync_violation = true;
+      // Make detection deterministic: never flush (the WAL must be the
+      // only durability path) and always drop the full unsynced tail.
+      cfg.flush_every = 0;
+      cfg.drop_mode = 0;
+      cfg.write_faults = false;
+      cfg.read_faults = false;
+    } else if (ParseStringFlag(arg, "report", &s)) {
+      report_path = s;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      fprintf(stderr, "elmo_stress: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+
+  if (!options_file.empty()) {
+    // The proposal file lives on the host filesystem regardless of
+    // which env the stress run uses.
+    std::vector<std::string> unknown, invalid;
+    elmo::Status s = elmo::lsm::LoadOptionsFile(
+        elmo::Env::Posix(), options_file, &cfg.base_options, &unknown,
+        &invalid);
+    if (!s.ok()) {
+      fprintf(stderr, "elmo_stress: cannot load %s: %s\n",
+              options_file.c_str(), s.ToString().c_str());
+      return 2;
+    }
+    for (const auto& k : unknown) {
+      fprintf(stderr, "elmo_stress: ignoring unknown option %s\n", k.c_str());
+    }
+    for (const auto& k : invalid) {
+      fprintf(stderr, "elmo_stress: ignoring invalid option %s\n", k.c_str());
+    }
+  }
+
+  const elmo::stress::StressReport report = elmo::stress::RunStress(cfg);
+  const std::string json = report.ToJson();
+  printf("%s\n", json.c_str());
+  if (!report_path.empty()) {
+    FILE* f = fopen(report_path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "elmo_stress: cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    fwrite(json.data(), 1, json.size(), f);
+    fputc('\n', f);
+    fclose(f);
+  }
+  if (!report.ok) {
+    fprintf(stderr, "elmo_stress: ORACLE VIOLATION: %s\n",
+            report.first_divergence.c_str());
+    return 1;
+  }
+  fprintf(stderr,
+          "elmo_stress: ok (%llu ops, %d crash cycles, %llu kill-point "
+          "fires, %llu live keys)\n",
+          static_cast<unsigned long long>(report.ops_executed),
+          report.crash_cycles_done,
+          static_cast<unsigned long long>(report.kill_point_fires),
+          static_cast<unsigned long long>(report.final_live_keys));
+  return 0;
+}
