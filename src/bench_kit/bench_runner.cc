@@ -82,12 +82,16 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   const bool cache_tracing =
       db->StartBlockCacheTrace(cache_trace_path).ok();
 
-  Random64 op_rng(spec.seed ^ 0x5ca1ab1e);
-  ValueGenerator value_gen(spec.seed + 1);
+  // Fold the runner's seed into the workload streams: distinct harness
+  // seeds must measure distinct (still reproducible) runs even at
+  // scales where the simulated page cache never consults its RNG.
+  const uint64_t run_seed = spec.seed * 0x9e3779b97f4a7c15ull + seed_;
+  Random64 op_rng(run_seed ^ 0x5ca1ab1e);
+  ValueGenerator value_gen(run_seed + 1);
   ZipfianGenerator zipf(std::max<uint64_t>(spec.num_keys, 2),
-                        spec.zipf_theta, spec.seed + 2);
+                        spec.zipf_theta, run_seed + 2);
   ParetoValueSize pareto(spec.pareto_k, spec.pareto_sigma,
-                         /*loc=*/spec.value_size / 4.0, spec.seed + 3);
+                         /*loc=*/spec.value_size / 4.0, run_seed + 3);
 
   // ---- preload phase (not timed), like db_bench's pre-filled DB ----
   if (spec.preload_keys > 0) {
@@ -114,17 +118,32 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   std::string read_value;
   for (uint64_t i = 0; i < op_limit; i++) {
     bool is_write = false;
+    bool is_scan = false;
     switch (spec.type) {
       case WorkloadType::kFillRandom: is_write = true; break;
       case WorkloadType::kReadRandom: is_write = false; break;
+      case WorkloadType::kSeekRandom: is_scan = true; break;
       case WorkloadType::kReadRandomWriteRandom:
       case WorkloadType::kMixgraph:
+      case WorkloadType::kReadWhileWriting:
         is_write = op_rng.NextDouble() < spec.write_fraction;
         break;
     }
 
     const uint64_t op_start = env->NowMicros();
-    if (is_write) {
+    if (is_scan) {
+      // Scan-heavy op: fresh iterator, random Seek, scan_length Next()s
+      // (db_bench seekrandom with --seek_nexts).
+      uint64_t key_index = op_rng.Uniform(spec.num_keys);
+      auto iter = db->NewIterator(ReadOptions());
+      iter->Seek(MakeKey(key_index));
+      for (uint32_t n = 0; n < spec.scan_length && iter->Valid(); n++) {
+        bytes_processed += iter->key().size() + iter->value().size();
+        iter->Next();
+      }
+      result.read_micros.Add(
+          static_cast<double>(env->NowMicros() - op_start));
+    } else if (is_write) {
       uint64_t key_index;
       uint32_t vsize;
       if (spec.type == WorkloadType::kMixgraph) {
@@ -166,6 +185,11 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   result.mb_per_sec = bytes_processed / 1048576.0 / wall_seconds;
 
   const auto& st = db->stats();
+  result.sim_seed = seed_;
+  result.user_bytes_written = st.Get(Ticker::kBytesWritten);
+  result.wal_bytes = st.Get(Ticker::kWalBytes);
+  result.flush_bytes = st.Get(Ticker::kFlushBytes);
+  result.compaction_bytes_written = st.Get(Ticker::kCompactionBytesWritten);
   result.write_stall_micros = st.Get(Ticker::kWriteStallMicros);
   result.write_slowdowns = st.Get(Ticker::kWriteSlowdownCount);
   result.write_stops = st.Get(Ticker::kWriteStopCount);

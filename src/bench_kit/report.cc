@@ -9,6 +9,12 @@
 
 namespace elmo::bench {
 
+#ifndef ELMO_GIT_SHA
+#define ELMO_GIT_SHA "unknown"
+#endif
+
+const char* BuildGitSha() { return ELMO_GIT_SHA; }
+
 std::string TimeSeriesTable(const std::vector<lsm::IntervalSample>& samples,
                             size_t max_rows) {
   if (samples.empty()) return "";
@@ -103,6 +109,12 @@ std::string BenchResult::ToReport() const {
 
 std::string BenchResult::ToJson() const {
   json::Object doc;
+  // Self-description first: every BENCH artifact carries the schema
+  // version, the build's git revision and the SimEnv seed, so files
+  // from different PRs are comparable (or provably not).
+  doc["schema_version"] = kBenchSchemaVersion;
+  doc["git_sha"] = BuildGitSha();
+  doc["sim_seed"] = static_cast<int64_t>(sim_seed);
   doc["workload"] = workload;
   doc["ops"] = static_cast<int64_t>(ops);
   doc["elapsed_seconds"] = elapsed_seconds;
@@ -117,6 +129,14 @@ std::string BenchResult::ToJson() const {
   doc["compactions"] = static_cast<int64_t>(compactions);
   doc["block_cache_hit_rate"] = block_cache_hit_rate;
   doc["level_summary"] = level_summary;
+  doc["p999_write_us"] = p999_write_us();
+  doc["p999_read_us"] = p999_read_us();
+  doc["user_bytes_written"] = static_cast<int64_t>(user_bytes_written);
+  doc["wal_bytes"] = static_cast<int64_t>(wal_bytes);
+  doc["flush_bytes"] = static_cast<int64_t>(flush_bytes);
+  doc["compaction_bytes_written"] =
+      static_cast<int64_t>(compaction_bytes_written);
+  doc["write_amplification"] = WriteAmplification();
   // Embed the engine's own time-series JSON as a sub-document so the
   // artifact round-trips through the same parser as the property.
   json::Value series;

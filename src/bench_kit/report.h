@@ -15,6 +15,17 @@
 
 namespace elmo::bench {
 
+// Version of the JSON layout emitted by BenchResult::ToJson and the
+// BENCH_*.json trajectory files (bench_kit/regression.h). Bump whenever
+// a field is renamed/removed or its semantics change; comparisons across
+// different schema versions are refused, not guessed at.
+inline constexpr int kBenchSchemaVersion = 2;
+
+// Git revision the binary was built from (CMake-injected at configure
+// time; "unknown" outside a git checkout). Metadata only — never part
+// of metric comparisons.
+const char* BuildGitSha();
+
 struct BenchResult {
   std::string workload;
   uint64_t ops = 0;
@@ -34,6 +45,16 @@ struct BenchResult {
   uint64_t writeback_stalls = 0;
   double block_cache_hit_rate = 0;
   std::string level_summary;
+
+  // Write-amplification inputs (cumulative tickers at end of run):
+  // user bytes acknowledged vs. everything the engine wrote for them.
+  uint64_t user_bytes_written = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t flush_bytes = 0;
+  uint64_t compaction_bytes_written = 0;
+
+  // SimEnv seed the run used; 0 when unknown (non-simulated envs).
+  uint64_t sim_seed = 0;
 
   // Full "elmo.stats" dump (tickers, stall reasons, latency/size
   // histograms, per-level table) captured at the end of the run.
@@ -63,6 +84,21 @@ struct BenchResult {
   }
   double p99_read_us() const {
     return read_micros.Count() ? read_micros.Percentile(99.0) : 0;
+  }
+  double p999_write_us() const {
+    return write_micros.Count() ? write_micros.Percentile(99.9) : 0;
+  }
+  double p999_read_us() const {
+    return read_micros.Count() ? read_micros.Percentile(99.9) : 0;
+  }
+
+  // (WAL + flush + compaction bytes) / user bytes; 0 when no user
+  // writes happened (pure-read runs).
+  double WriteAmplification() const {
+    if (user_bytes_written == 0) return 0;
+    return static_cast<double>(wal_bytes + flush_bytes +
+                               compaction_bytes_written) /
+           static_cast<double>(user_bytes_written);
   }
 
   std::string ToReport() const;

@@ -10,6 +10,8 @@ const char* WorkloadTypeName(WorkloadType type) {
     case WorkloadType::kReadRandom: return "readrandom";
     case WorkloadType::kReadRandomWriteRandom: return "readrandomwriterandom";
     case WorkloadType::kMixgraph: return "mixgraph";
+    case WorkloadType::kReadWhileWriting: return "readwhilewriting";
+    case WorkloadType::kSeekRandom: return "seekrandom";
   }
   return "unknown";
 }
@@ -54,19 +56,49 @@ WorkloadSpec WorkloadSpec::Mixgraph(uint64_t ops) {
   return w;
 }
 
+WorkloadSpec WorkloadSpec::ReadWhileWriting(uint64_t ops, uint64_t preload) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kReadWhileWriting;
+  w.num_ops = ops;
+  w.num_keys = preload;
+  w.preload_keys = preload;
+  w.threads = 4;  // db_bench default: N readers + 1 writer
+  // One unthrottled writer among the reader threads.
+  w.write_fraction = 1.0 / w.threads;
+  return w;
+}
+
+WorkloadSpec WorkloadSpec::SeekRandom(uint64_t ops, uint64_t preload,
+                                      uint32_t scan_length) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kSeekRandom;
+  w.num_ops = ops;
+  w.num_keys = preload;
+  w.preload_keys = preload;
+  w.scan_length = scan_length;
+  return w;
+}
+
 std::string WorkloadSpec::Describe() const {
+  double write_pct = write_fraction * 100;
+  if (type == WorkloadType::kFillRandom) write_pct = 100.0;
+  if (type == WorkloadType::kReadRandom ||
+      type == WorkloadType::kSeekRandom) {
+    write_pct = 0.0;
+  }
   char buf[256];
   snprintf(buf, sizeof(buf),
            "%s: %llu ops over %llu keys (%llu preloaded), value ~%u B, "
            "%d thread(s), %.0f%% writes",
            WorkloadTypeName(type), (unsigned long long)num_ops,
            (unsigned long long)num_keys, (unsigned long long)preload_keys,
-           value_size, threads,
-           (type == WorkloadType::kFillRandom
-                ? 100.0
-                : (type == WorkloadType::kReadRandom ? 0.0
-                                                     : write_fraction * 100)));
-  return buf;
+           value_size, threads, write_pct);
+  std::string out = buf;
+  if (type == WorkloadType::kSeekRandom) {
+    snprintf(buf, sizeof(buf), ", %u-entry scans", scan_length);
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace elmo::bench

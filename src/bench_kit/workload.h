@@ -15,6 +15,12 @@ enum class WorkloadType {
   kReadRandom,
   kReadRandomWriteRandom,
   kMixgraph,
+  // db_bench readwhilewriting: reader threads against a steady
+  // background-writer stream (write_fraction models the writer share).
+  kReadWhileWriting,
+  // db_bench seekrandom: scan-heavy — random Seek + `scan_length`
+  // Next() calls per operation.
+  kSeekRandom,
 };
 
 const char* WorkloadTypeName(WorkloadType type);
@@ -34,6 +40,8 @@ struct WorkloadSpec {
   double zipf_theta = 0.85;
   double pareto_k = 0.2615;
   double pareto_sigma = 25.45;
+  // Entries iterated per Seek for scan workloads.
+  uint32_t scan_length = 50;
   uint64_t seed = 42;
 
   // The paper's four workloads, at reproduction scale (paper-scale op
@@ -43,6 +51,13 @@ struct WorkloadSpec {
                                  uint64_t preload = 500000);  // paper: 25M
   static WorkloadSpec ReadRandomWriteRandom(uint64_t ops = 300000);  // 25M
   static WorkloadSpec Mixgraph(uint64_t ops = 300000);              // 25M
+
+  // Regression-matrix extras (not in the paper's §5.1 set).
+  static WorkloadSpec ReadWhileWriting(uint64_t ops = 100000,
+                                       uint64_t preload = 200000);
+  static WorkloadSpec SeekRandom(uint64_t ops = 20000,
+                                 uint64_t preload = 200000,
+                                 uint32_t scan_length = 50);
 
   std::string Describe() const;  // one-line summary for prompts/logs
 };

@@ -4,6 +4,7 @@
 // reader holds it even if it is evicted concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -40,6 +41,16 @@ class Cache {
   std::shared_ptr<T> LookupAs(const Slice& key) {
     return std::static_pointer_cast<T>(Lookup(key));
   }
+
+  // Unique id for cache-key prefixes (one per open table). Per-cache,
+  // not process-global: keys only need to be unique within this cache,
+  // and a fresh cache must reproduce the same key stream regardless of
+  // what ran earlier in the process — otherwise same-seed benchmark
+  // runs diverge through shard/eviction placement.
+  uint64_t NewId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> next_id_{1};
 };
 
 // num_shard_bits = 4 gives 16 shards, the RocksDB default.

@@ -1,6 +1,5 @@
 #include "table/table.h"
 
-#include <atomic>
 
 #include "env/io_trace.h"
 #include "table/block.h"
@@ -10,12 +9,6 @@
 namespace elmo {
 
 namespace {
-
-// Unique id per open table, prefixing block-cache keys.
-uint64_t NextCacheId() {
-  static std::atomic<uint64_t> next{1};
-  return next.fetch_add(1);
-}
 
 // The returned iterator keeps the block alive via the shared_ptr.
 class OwningIter : public Iterator {
@@ -98,7 +91,7 @@ Status Table::Open(const TableReadOptions& options,
   auto rep = std::make_unique<Rep>();
   rep->options = options;
   rep->file = std::move(file);
-  rep->cache_id = options.block_cache ? NextCacheId() : 0;
+  rep->cache_id = options.block_cache ? options.block_cache->NewId() : 0;
   rep->index_handle = footer.index_handle();
   rep->cache_metadata =
       options.cache_index_and_filter_blocks && options.block_cache != nullptr;
