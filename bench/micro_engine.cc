@@ -257,8 +257,14 @@ static int WriteDumpableDb(const std::string& dir) {
             s.ToString().c_str());
     return 1;
   }
+  // Capture everything, so the slow-op log has both the tail and a
+  // sampled baseline for elmo_dump span-analyze to attribute.
+  elmo::lsm::SpanTraceOptions span_opts;
+  span_opts.slow_op_threshold_us = 0;
+  span_opts.sample_every = 1;
   if (!db->StartIOTrace(dir + "/io.trace").ok() ||
-      !db->StartBlockCacheTrace(dir + "/cache.trace").ok()) {
+      !db->StartBlockCacheTrace(dir + "/cache.trace").ok() ||
+      !db->StartSpanTrace(dir + "/span.trace", span_opts).ok()) {
     fprintf(stderr, "micro_engine: trace start failed\n");
     return 1;
   }
@@ -277,7 +283,8 @@ static int WriteDumpableDb(const std::string& dir) {
     db->Get({}, key, &out);
   }
 
-  if (!db->EndIOTrace().ok() || !db->EndBlockCacheTrace().ok()) {
+  if (!db->EndIOTrace().ok() || !db->EndBlockCacheTrace().ok() ||
+      !db->EndSpanTrace().ok()) {
     fprintf(stderr, "micro_engine: trace end failed\n");
     return 1;
   }

@@ -5,6 +5,7 @@
 #include "bench_kit/cache_sim.h"
 #include "bench_kit/generators.h"
 #include "bench_kit/io_analyzer.h"
+#include "bench_kit/span_analyzer.h"
 #include "env/sim_env.h"
 #include "lsm/db.h"
 #include "util/json.h"
@@ -81,6 +82,15 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   const bool io_tracing = db->StartIOTrace(io_trace_path).ok();
   const bool cache_tracing =
       db->StartBlockCacheTrace(cache_trace_path).ok();
+
+  // Span-trace every run: slow ops above 5ms plus 1-in-32 sampling of
+  // normal ops gives the analyzer both the tail and a baseline.
+  const std::string span_trace_path = "/bench/span.trace";
+  lsm::SpanTraceOptions span_opts;
+  span_opts.slow_op_threshold_us = 5000;
+  span_opts.sample_every = 32;
+  const bool span_tracing =
+      db->StartSpanTrace(span_trace_path, span_opts).ok();
 
   // Fold the runner's seed into the workload streams: distinct harness
   // seeds must measure distinct (still reproducible) runs even at
@@ -233,6 +243,22 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
       result.cache_sim_summary = sim.ToPromptText(opts.block_cache_size);
       result.cache_sim_json = json::Value(sim.ToJson()).Dump();
     }
+  }
+  if (span_tracing && db->EndSpanTrace().ok()) {
+    SpanAttribution attr;
+    if (AnalyzeSpanTrace(env.get(), span_trace_path, &attr).ok() &&
+        attr.trees > 0) {
+      result.span_attribution_summary = attr.ToPromptText();
+      result.span_attribution_text = attr.ToText();
+      result.span_attribution_json = json::Value(attr.ToJson()).Dump();
+    }
+    std::string perfetto;
+    if (ExportChromeTrace(env.get(), span_trace_path, &perfetto).ok()) {
+      result.perfetto_json = std::move(perfetto);
+    }
+    // Keep the raw trace bytes: the SimEnv (and its filesystem) dies
+    // with this function, but callers may want to persist the artifact.
+    env->ReadFileToString(span_trace_path, &result.span_trace);
   }
   return result;
 }

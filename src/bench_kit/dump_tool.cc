@@ -8,7 +8,9 @@
 
 #include "bench_kit/cache_sim.h"
 #include "bench_kit/io_analyzer.h"
+#include "bench_kit/span_analyzer.h"
 #include "env/io_trace.h"
+#include "lsm/span.h"
 #include "lsm/dbformat.h"
 #include "lsm/filename.h"
 #include "lsm/log_reader.h"
@@ -315,6 +317,52 @@ Status DumpBlockCacheTrace(Env* env, const std::string& path, bool verbose,
                       : 0.0);
   Appendf(text, "  total charge touched: %llu bytes\n",
           (unsigned long long)charge_sum);
+  return Status::OK();
+}
+
+Status DumpSpanTrace(Env* env, const std::string& path, bool verbose,
+                     std::string* text) {
+  if (verbose) {
+    lsm::SpanTraceReader reader(env);
+    Status s = reader.Open(path);
+    if (!s.ok()) return s;
+    Appendf(text, "span trace %s: base_ts=%llu us\n", path.c_str(),
+            (unsigned long long)reader.base_ts_us());
+    lsm::SpanTree tree;
+    bool eof = false;
+    uint64_t n = 0;
+    while (true) {
+      s = reader.Next(&tree, &eof);
+      if (!s.ok()) return s;
+      if (eof) break;
+      Appendf(text, "--- tree %llu: thread %u%s%s ---\n",
+              (unsigned long long)n, tree.thread_id,
+              (tree.flags & lsm::kSpanTreeSlow) ? " slow" : "",
+              (tree.flags & lsm::kSpanTreeSampled) ? " sampled" : "");
+      // Depth by parent-chain walk: spans are appended in open order so
+      // every parent precedes its children.
+      std::vector<int> depth(tree.spans.size(), 0);
+      for (size_t i = 0; i < tree.spans.size(); i++) {
+        const lsm::SpanNode& node = tree.spans[i];
+        if (i > 0) depth[i] = depth[static_cast<size_t>(node.parent)] + 1;
+        for (int d = 0; d < depth[i]; d++) *text += "  ";
+        Appendf(text, "%s start=%llu dur=%llu",
+                lsm::SpanKindName(node.kind),
+                (unsigned long long)node.start_us,
+                (unsigned long long)node.duration_us);
+        for (const auto& [tag, value] : node.annotations) {
+          Appendf(text, " %s=%llu", lsm::SpanTagName(tag),
+                  (unsigned long long)value);
+        }
+        *text += "\n";
+      }
+      n++;
+    }
+  }
+  SpanAttribution attr;
+  Status s = AnalyzeSpanTrace(env, path, &attr);
+  if (!s.ok()) return s;
+  *text += attr.ToText();
   return Status::OK();
 }
 

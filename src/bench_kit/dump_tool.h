@@ -60,6 +60,13 @@ Status DumpIOTrace(Env* env, const std::string& path, bool verbose,
 Status DumpBlockCacheTrace(Env* env, const std::string& path, bool verbose,
                            std::string* text);
 
+// Decode a span trace (lsm/span.h, DB::StartSpanTrace) tree-by-tree.
+// With `verbose` every span of every tree is listed (indented by
+// depth, with annotations); the latency-attribution summary from
+// bench_kit/span_analyzer.h is always appended.
+Status DumpSpanTrace(Env* env, const std::string& path, bool verbose,
+                     std::string* text);
+
 // Walk a DB directory and dump every recognized file (CURRENT,
 // MANIFEST, LOG, SSTs with scan on). Unknown files are listed by name.
 Status DumpDbDir(Env* env, const std::string& dbname, std::string* text);

@@ -63,6 +63,57 @@ MetricMap MetricsFromResult(const BenchResult& r) {
   m["cache_hit_rate"] = RoundMetric(r.block_cache_hit_rate);
   m["flushes"] = static_cast<double>(r.flushes);
   m["compactions"] = static_cast<double>(r.compactions);
+
+  // p99 tail-attribution shares from the run's span trace. The names
+  // are FIXED and always emitted (0.0 when the trace captured no tail
+  // for that op) so CompareMatrix never flags them as dropped metrics.
+  static const struct {
+    const char* metric;
+    const char* op;
+    const char* component;
+  } kAttrMetrics[] = {
+      {"attr_p99_write_wal_sync", "write", "wal_sync"},
+      {"attr_p99_write_wal_append", "write", "wal_append"},
+      {"attr_p99_write_memtable", "write", "memtable_insert"},
+      {"attr_p99_write_stall", "write", "stall_wait"},
+      {"attr_p99_write_self", "write", "self"},
+      {"attr_p99_get_memtable", "get", "memtable_probe"},
+      {"attr_p99_get_sst", "get", "sst_probe"},
+      {"attr_p99_get_self", "get", "self"},
+  };
+  for (const auto& am : kAttrMetrics) m[am.metric] = 0.0;
+  json::Value attr;
+  if (!r.span_attribution_json.empty() &&
+      json::Parse(r.span_attribution_json, &attr).ok() &&
+      attr.is_object()) {
+    if (const json::Value* ops = attr.Find("ops");
+        ops != nullptr && ops->is_array()) {
+      for (const json::Value& op : ops->as_array()) {
+        if (!op.is_object()) continue;
+        const json::Value* name = op.Find("op");
+        const json::Value* comps = op.Find("tail_components");
+        if (name == nullptr || !name->is_string() || comps == nullptr ||
+            !comps->is_array()) {
+          continue;
+        }
+        for (const json::Value& c : comps->as_array()) {
+          if (!c.is_object()) continue;
+          const json::Value* cname = c.Find("name");
+          const json::Value* share = c.Find("share");
+          if (cname == nullptr || !cname->is_string() || share == nullptr ||
+              !share->is_number()) {
+            continue;
+          }
+          for (const auto& am : kAttrMetrics) {
+            if (name->as_string() == am.op &&
+                cname->as_string() == am.component) {
+              m[am.metric] = RoundMetric(share->as_double());
+            }
+          }
+        }
+      }
+    }
+  }
   return m;
 }
 
@@ -152,8 +203,9 @@ std::string MatrixReport::MetricsFingerprint() const {
 MatrixReport RunMatrix(
     const std::vector<MatrixCell>& cells, uint64_t seed,
     const std::string& mode,
-    const std::function<void(const MatrixCell&, const MetricMap&)>&
-        on_cell) {
+    const std::function<void(const MatrixCell&, const MetricMap&)>& on_cell,
+    const std::function<void(const MatrixCell&, const BenchResult&)>&
+        on_result) {
   MatrixReport report;
   report.git_sha = BuildGitSha();
   report.seed = seed;
@@ -165,6 +217,7 @@ MatrixReport RunMatrix(
     BenchResult result = runner.Run(cell.spec, lsm::Options());
     MetricMap metrics = MetricsFromResult(result);
     if (on_cell) on_cell(cell, metrics);
+    if (on_result) on_result(cell, result);
     report.cells.emplace_back(cell.name, std::move(metrics));
   }
   return report;

@@ -60,12 +60,17 @@ struct MatrixReport {
 
 // Runs every cell on a fresh seeded BenchRunner under the engine's
 // default options (the trajectory tracks the *engine*, not a tuner).
-// `on_cell` (optional) observes progress.
+// `on_cell` (optional) observes progress; `on_result` (optional) sees
+// the full BenchResult per cell — how the CLI exports span-trace /
+// Perfetto / attribution artifacts without RunMatrix knowing about
+// filesystems.
 MatrixReport RunMatrix(
     const std::vector<MatrixCell>& cells, uint64_t seed,
     const std::string& mode,
     const std::function<void(const MatrixCell&, const MetricMap&)>& on_cell =
-        {});
+        {},
+    const std::function<void(const MatrixCell&, const BenchResult&)>&
+        on_result = {});
 
 struct RegressionThresholds {
   // Throughput may drop at most this much before the gate trips.

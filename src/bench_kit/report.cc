@@ -49,6 +49,10 @@ std::string BenchResult::IoCacheEvidence() const {
   return out;
 }
 
+std::string BenchResult::LatencyAttributionEvidence() const {
+  return span_attribution_summary;
+}
+
 std::string BenchResult::ToReport() const {
   std::string out;
   char buf[512];
@@ -104,6 +108,11 @@ std::string BenchResult::ToReport() const {
     out += evidence;
     if (evidence.back() != '\n') out += '\n';
   }
+  if (!span_attribution_text.empty()) {
+    out += "Latency attribution:\n";
+    out += span_attribution_text;
+    if (span_attribution_text.back() != '\n') out += '\n';
+  }
   return out;
 }
 
@@ -156,6 +165,11 @@ std::string BenchResult::ToJson() const {
   if (!cache_sim_json.empty() &&
       json::Parse(cache_sim_json, &cache_sim).ok()) {
     doc["cache_sim"] = std::move(cache_sim);
+  }
+  json::Value span_attr;
+  if (!span_attribution_json.empty() &&
+      json::Parse(span_attribution_json, &span_attr).ok()) {
+    doc["span_attribution"] = std::move(span_attr);
   }
   return json::Value(std::move(doc)).Dump(2);
 }

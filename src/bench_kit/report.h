@@ -74,9 +74,24 @@ struct BenchResult {
   std::string io_analysis_json;   // IOAnalysis::ToJson() dump
   std::string cache_sim_json;     // CacheSimResult::ToJson() dump
 
+  // Latency-attribution output from the run's span trace
+  // (bench_kit/span_analyzer.h): per-op p99 decomposition as prompt
+  // text, text tables, and the full JSON document embedded in ToJson().
+  // Plus the Chrome trace-event export and the raw trace bytes so
+  // callers can persist artifacts after the run env is gone.
+  std::string span_attribution_summary;  // SpanAttribution::ToPromptText()
+  std::string span_attribution_text;     // SpanAttribution::ToText()
+  std::string span_attribution_json;     // SpanAttribution::ToJson() dump
+  std::string perfetto_json;             // ExportChromeTrace output
+  std::string span_trace;                // raw ELMOSPN1 trace bytes
+
   // The "IO & Cache Evidence" prompt section body; empty when the run
   // captured no traces.
   std::string IoCacheEvidence() const;
+
+  // The "Latency Attribution Evidence" prompt section body; empty when
+  // the run captured no span trace.
+  std::string LatencyAttributionEvidence() const;
 
   // Convenience accessors used by tables/figures.
   double p99_write_us() const {

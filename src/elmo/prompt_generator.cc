@@ -63,6 +63,15 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += "```\n\n";
   }
 
+  if (!in.latency_attribution.empty()) {
+    p += "## Latency Attribution Evidence\n";
+    p += "Per-op latency percentiles from the span trace, with the p99 "
+         "tail decomposed into engine-phase self-time shares:\n";
+    p += "```\n" + in.latency_attribution;
+    if (in.latency_attribution.back() != '\n') p += "\n";
+    p += "```\n\n";
+  }
+
   if (!in.deterioration_note.empty()) {
     p += "## Feedback\n";
     p += in.deterioration_note + "\n\n";

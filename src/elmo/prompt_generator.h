@@ -34,6 +34,11 @@ struct PromptInputs {
   // the LLM can argue about block_cache_size/bloom settings from
   // measured device traffic instead of guessing.
   std::string io_cache_evidence;
+  // Per-op p99 latency decomposition from the best run's span trace
+  // (BenchResult::LatencyAttributionEvidence()): which engine phase —
+  // WAL sync, memtable, stalls, SST probes — owns the tail, so the LLM
+  // targets the component that actually hurts instead of guessing.
+  std::string latency_attribution;
   // Set when the previous iteration was reverted (the paper's
   // "intermediate prompt with the information about deterioration").
   std::string deterioration_note;

@@ -401,6 +401,8 @@ class LlmTuner : public Tuner {
     inputs.engine_telemetry = best_obs.result.engine_stats;
     inputs.timeseries = best_obs.result.timeseries;
     inputs.io_cache_evidence = best_obs.result.IoCacheEvidence();
+    inputs.latency_attribution =
+        best_obs.result.LatencyAttributionEvidence();
     for (size_t i = 0; i < history.size(); i++) {
       char line[128];
       snprintf(line, sizeof(line), "Iteration %zu: %.0f ops/sec%s", i,

@@ -66,6 +66,7 @@ TuningOutcome TuningSession::Run(const Options& initial) {
     inputs.engine_telemetry = best_result.engine_stats;
     inputs.timeseries = best_result.timeseries;
     inputs.io_cache_evidence = best_result.IoCacheEvidence();
+    inputs.latency_attribution = best_result.LatencyAttributionEvidence();
     inputs.deterioration_note = deterioration_note;
     inputs.history = history;
     for (const auto& name : safeguard.blacklist()) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "lsm/options.h"
+#include "lsm/span.h"
 #include "lsm/stats.h"
 #include "lsm/write_batch.h"
 #include "table/iterator.h"
@@ -72,6 +73,10 @@ class DB {
   //   "elmo.block-cache-usage"
   //   "elmo.block-cache-hit-rate"
   //   "elmo.options"                     active options file text
+  //   "elmo.perf"                        process-aggregated span
+  //                                      breakdown: per-op and per-phase
+  //                                      count/total/avg/max micros (see
+  //                                      lsm/span.h SpanAggregate)
   //   "elmo.timeseries"                  JSON time series recorded by the
   //                                      StatsSampler (enabled via
   //                                      options.stats_sample_interval_ms):
@@ -119,6 +124,19 @@ class DB {
   // Returns Busy if a block-cache trace is already active.
   virtual Status StartBlockCacheTrace(const std::string& path) = 0;
   virtual Status EndBlockCacheTrace() = 0;
+
+  // Start the slow-op log: completed operation span trees whose root
+  // exceeds options.slow_op_threshold_us — plus every
+  // options.sample_every-th op of each kind — are serialized to a
+  // CRC-framed span trace at `path` (see lsm/span.h for the format and
+  // bench_kit/span_analyzer.h for the latency-attribution analyzer and
+  // the Chrome trace-event exporter). Returns Busy if a span trace is
+  // already active.
+  virtual Status StartSpanTrace(const std::string& path,
+                                const SpanTraceOptions& options = {}) = 0;
+  // Stop and finalize the span trace. Returns InvalidArgument if no
+  // span trace is active.
+  virtual Status EndSpanTrace() = 0;
 
   virtual const DbStats& stats() const = 0;
   virtual const Options& options() const = 0;

@@ -138,6 +138,11 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       block_cache_tracer_(std::make_shared<BlockCacheTracer>(raw_env_)),
       internal_comparator_(BytewiseComparator()),
       slowdown_limiter_(options_.delayed_write_rate) {
+  // Span-trace output bypasses the IO-tracing wrapper, like the other
+  // observability sinks, so observing the engine never perturbs the
+  // evidence it produces.
+  span_tracer_ = std::make_unique<SpanTracer>(raw_env_);
+  span_baseline_ = GlobalSpanAggregate()->GetSnapshot();
   // Everything that takes an Env from the options (TableCache,
   // VersionSet, OPTIONS persistence, ...) must go through the tracing
   // wrapper, so repoint the sanitized copy at it.
@@ -190,6 +195,9 @@ DBImpl::~DBImpl() {
   }
   if (block_cache_tracer_->active()) {
     EndBlockCacheTrace();
+  }
+  if (span_tracer_->active()) {
+    EndSpanTrace();
   }
   {
     // Fold the final cache counters into the tickers so post-close stats
@@ -500,6 +508,7 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   IOContextScope io_ctx(IOContextTag::kUserWrite);
   const uint64_t t_start = env_->NowMicros();
   PerfContext* perf = GetPerfContext();
+  SpanScope span(env_, SpanKind::kWrite, span_tracer_.get());
 
   std::unique_lock<std::mutex> l(mu_);
   Status s = MakeRoomForWrite(l);
@@ -512,13 +521,18 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
 
   // WAL first (durability before visibility).
   if (!opts.disable_wal && !options_.disable_wal) {
-    s = log_->AddRecord(updates->Contents());
+    {
+      SpanScope wal_span(env_, SpanKind::kWalAppend);
+      wal_span.Annotate(SpanTag::kBytes, batch_bytes);
+      s = log_->AddRecord(updates->Contents());
+    }
     stats_.Add(Ticker::kWalBytes, batch_bytes);
     perf->write_wal_bytes += batch_bytes;
     wal_live_bytes_ += batch_bytes;
     if (s.ok()) ELMO_KILL_POINT("wal:after_append");
     if (s.ok()) {
       if (opts.sync) {
+        SpanScope sync_span(env_, SpanKind::kWalSync);
         const uint64_t t_sync = env_->NowMicros();
         s = logfile_->Sync();
         if (s.ok()) ELMO_KILL_POINT("wal:after_sync");
@@ -529,6 +543,7 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
       } else if (options_.wal_bytes_per_sync > 0) {
         wal_bytes_since_sync_ += batch_bytes;
         if (wal_bytes_since_sync_ >= options_.wal_bytes_per_sync) {
+          SpanScope sync_span(env_, SpanKind::kWalSync);
           const uint64_t t_sync = env_->NowMicros();
           s = logfile_->RangeSync(options_.strict_bytes_per_sync
                                       ? options_.wal_bytes_per_sync
@@ -544,6 +559,8 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   }
 
   if (s.ok()) {
+    SpanScope mem_span(env_, SpanKind::kMemtableInsert);
+    mem_span.Annotate(SpanTag::kEntries, static_cast<uint64_t>(count));
     s = updates->InsertInto(mem_.get());
   }
   if (s.ok()) {
@@ -552,6 +569,8 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
 
   stats_.Add(Ticker::kWriteCount, count);
   stats_.Add(Ticker::kBytesWritten, batch_bytes);
+  span.Annotate(SpanTag::kBytes, batch_bytes);
+  span.Annotate(SpanTag::kEntries, static_cast<uint64_t>(count));
   ChargeWriteCpu(batch_bytes, count);
 
   const uint64_t elapsed = env_->NowMicros() - t_start;
@@ -627,12 +646,18 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
       GetPerfContext()->write_stall_micros += wait;
       UpdateStallCondition(StallCondition::kDelayed,
                            StallReason::kL0FileCount, wait);
-      if (sim_ != nullptr) {
-        sim_->AdvanceTo(now + wait);
-      } else {
-        l.unlock();
-        env_->SleepForMicroseconds(wait);
-        l.lock();
+      {
+        SpanScope stall_span(env_, SpanKind::kStallWait);
+        stall_span.Annotate(
+            SpanTag::kStallReason,
+            static_cast<uint64_t>(StallReason::kL0FileCount));
+        if (sim_ != nullptr) {
+          sim_->AdvanceTo(now + wait);
+        } else {
+          l.unlock();
+          env_->SleepForMicroseconds(wait);
+          l.lock();
+        }
       }
       allow_delay = false;
       continue;
@@ -652,6 +677,10 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
       UpdateStallCondition(StallCondition::kStopped,
                            StallReason::kMemtableLimit, 0);
       uint64_t waited = 0;
+      SpanScope stall_span(env_, SpanKind::kStallWait);
+      stall_span.Annotate(
+          SpanTag::kStallReason,
+          static_cast<uint64_t>(StallReason::kMemtableLimit));
       if (sim_ != nullptr) {
         uint64_t now = sim_->NowMicros();
         uint64_t next = vstall_.NextEventAfter(now);
@@ -667,6 +696,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
         bg_work_finished_.wait(l);
         waited = env_->NowMicros() - t0;
       }
+      stall_span.Close();
       stats_.Add(Ticker::kWriteStallMicros, waited);
       stats_.Measure(HistogramType::kStallMicros, waited);
       GetPerfContext()->write_stall_micros += waited;
@@ -680,6 +710,10 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
       UpdateStallCondition(StallCondition::kStopped,
                            StallReason::kL0FileCount, 0);
       uint64_t waited = 0;
+      SpanScope stall_span(env_, SpanKind::kStallWait);
+      stall_span.Annotate(
+          SpanTag::kStallReason,
+          static_cast<uint64_t>(StallReason::kL0FileCount));
       if (sim_ != nullptr) {
         uint64_t now = sim_->NowMicros();
         uint64_t next = vstall_.NextEventAfter(now);
@@ -694,6 +728,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
         bg_work_finished_.wait(l);
         waited = env_->NowMicros() - t0;
       }
+      stall_span.Close();
       stats_.Add(Ticker::kWriteStallMicros, waited);
       stats_.Measure(HistogramType::kStallMicros, waited);
       GetPerfContext()->write_stall_micros += waited;
@@ -913,6 +948,10 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
   *info = FlushJobInfo{};
   if (imm_.empty()) return Status::OK();
 
+  // Background-job root: under SimEnv this nests inside the foreground
+  // write that scheduled it; the collector extracts it as its own tree.
+  SpanScope span(env_, SpanKind::kFlush, span_tracer_.get());
+
   // Capture the memtables to flush (all currently queued).
   std::vector<std::shared_ptr<MemTable>> mems;
   const size_t n_taken = imm_.size();
@@ -927,7 +966,12 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
 
   VersionEdit edit;
   FileMetaData meta;
-  Status s = WriteLevel0Table(mems, &edit, &meta);
+  Status s;
+  {
+    SpanScope build_span(env_, SpanKind::kTableBuild);
+    s = WriteLevel0Table(mems, &edit, &meta);
+    build_span.Annotate(SpanTag::kBytes, meta.file_size);
+  }
 
   if (s.ok() && shutting_down_.load()) {
     s = Status::Aborted("shutting down during flush");
@@ -943,6 +987,7 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
                                    : logfile_number_;
     edit.SetLogNumber(log_floor);
     ELMO_KILL_POINT("flush:before_manifest_apply");
+    SpanScope manifest_span(env_, SpanKind::kManifestApply);
     s = versions_->LogAndApply(&edit);
   }
 
@@ -951,6 +996,8 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
     info->imms_merged = static_cast<int>(n_taken);
     info->file_number = meta.file_size > 0 ? meta.number : 0;
     info->output_bytes = meta.file_size;
+    span.Annotate(SpanTag::kEntries, static_cast<uint64_t>(n_taken));
+    span.Annotate(SpanTag::kBytes, meta.file_size);
     stats_.Add(Ticker::kFlushCount, 1);
     stats_.Add(Ticker::kFlushBytes, meta.file_size);
     stats_.Measure(HistogramType::kFlushOutputBytes, meta.file_size);
@@ -1078,6 +1125,9 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                               CompactionJobInfo* info) {
   // REQUIRES: mu_ held. info->reason is preset by the caller.
   IOContextScope io_ctx(IOContextTag::kCompaction);
+  SpanScope span(env_, SpanKind::kCompaction, span_tracer_.get());
+  span.Annotate(SpanTag::kLevel, static_cast<uint64_t>(c->level()));
+  span.Annotate(SpanTag::kInputBytes, c->TotalInputBytes());
   *l0_consumed = 0;
   *l0_produced = 0;
 
@@ -1095,7 +1145,11 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
     c->edit()->RemoveFile(c->level(), f->number);
     c->edit()->AddFile(c->output_level(), f->number, f->file_size,
                        f->smallest, f->largest);
-    Status s = versions_->LogAndApply(c->edit());
+    Status s;
+    {
+      SpanScope manifest_span(env_, SpanKind::kManifestApply);
+      s = versions_->LogAndApply(c->edit());
+    }
     stats_.Add(Ticker::kTrivialMoveCount, 1);
     // The file changed levels without a rewrite: bytes arrive at the
     // output level for free (no write amplification charged).
@@ -1245,9 +1299,14 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
       output_numbers->push_back(out.number);
       output_bytes += out.file_size;
     }
-    s = versions_->LogAndApply(c->edit());
+    {
+      SpanScope manifest_span(env_, SpanKind::kManifestApply);
+      s = versions_->LogAndApply(c->edit());
+    }
     if (s.ok()) ELMO_KILL_POINT("compaction:after_apply");
     if (s.ok()) {
+      span.Annotate(SpanTag::kBytes, output_bytes);
+      span.Annotate(SpanTag::kEntries, entries);
       stats_.Add(Ticker::kCompactionCount, 1);
       stats_.Add(Ticker::kCompactionBytesRead, input_bytes);
       stats_.Add(Ticker::kCompactionBytesWritten, output_bytes);
@@ -1336,6 +1395,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   IOContextScope io_ctx(IOContextTag::kUserGet);
   const uint64_t t_start = env_->NowMicros();
   PerfContext* perf = GetPerfContext();
+  SpanScope span(env_, SpanKind::kGet, span_tracer_.get());
   std::shared_ptr<MemTable> mem;
   std::vector<std::shared_ptr<MemTable>> imms;
   std::shared_ptr<Version> version;
@@ -1362,29 +1422,51 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   int files_probed = 0;
   bool done = false;
 
-  if (mem->Get(lkey, value, &s)) {
-    done = true;
-    if (s.ok()) perf->get_memtable_hit++;
-  }
-  if (!done) {
-    for (const auto& m : imms) {
-      if (m->Get(lkey, value, &s)) {
-        done = true;
-        if (s.ok()) perf->get_imm_hit++;
-        break;
+  {
+    SpanScope mem_span(env_, SpanKind::kMemtableProbe);
+    if (mem->Get(lkey, value, &s)) {
+      done = true;
+      if (s.ok()) perf->get_memtable_hit++;
+    }
+    if (!done) {
+      for (const auto& m : imms) {
+        if (m->Get(lkey, value, &s)) {
+          done = true;
+          if (s.ok()) perf->get_imm_hit++;
+          break;
+        }
       }
     }
+    mem_span.Annotate(SpanTag::kHit, done ? 1 : 0);
   }
   if (!done) {
+    SpanScope sst_span(env_, SpanKind::kSstProbe);
+    const auto cache_before = block_cache_->GetStats();
     Version::GetStats vstats;
     s = version->Get(options, lkey, value, &vstats);
     files_probed = vstats.files_probed;
     if (s.ok()) perf->get_sst_hit++;
+    const auto cache_after = block_cache_->GetStats();
+    sst_span.Annotate(SpanTag::kFilesProbed,
+                      static_cast<uint64_t>(files_probed));
+    if (vstats.hit_level >= 0) {
+      sst_span.Annotate(SpanTag::kLevel,
+                        static_cast<uint64_t>(vstats.hit_level));
+    }
+    sst_span.Annotate(SpanTag::kCacheHit,
+                      cache_after.hits - cache_before.hits);
+    sst_span.Annotate(SpanTag::kCacheMiss,
+                      cache_after.misses - cache_before.misses);
+    sst_span.Annotate(SpanTag::kHit, s.ok() ? 1 : 0);
   }
 
   ChargeGetCpu(files_probed);
   stats_.Add(s.ok() ? Ticker::kGetHit : Ticker::kGetMiss, 1);
-  if (s.ok()) stats_.Add(Ticker::kBytesRead, value->size());
+  span.Annotate(SpanTag::kHit, s.ok() ? 1 : 0);
+  if (s.ok()) {
+    stats_.Add(Ticker::kBytesRead, value->size());
+    span.Annotate(SpanTag::kBytes, value->size());
+  }
 
   const uint64_t elapsed = env_->NowMicros() - t_start;
   stats_.Measure(HistogramType::kGetMicros, elapsed);
@@ -1444,7 +1526,7 @@ std::unique_ptr<Iterator> DBImpl::NewIterator(const ReadOptions& options) {
           : latest;
   stats_.Add(Ticker::kSeekCount, 1);
   return NewDBIterator(internal_comparator_.user_comparator(),
-                       std::move(internal), seq);
+                       std::move(internal), seq, env_, span_tracer_.get());
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1585,6 +1667,16 @@ void DBImpl::MaybeSampleLocked() {
   if (g.num_levels > 0) g.level_files[0] = L0CountForStall();
   g.block_cache_usage = block_cache_->TotalCharge();
 
+  const SpanAggregate::Snapshot spans = GlobalSpanAggregate()->GetSnapshot();
+  auto since_open = [this, &spans](SpanKind k) {
+    return spans.Get(k).total_us - span_baseline_.Get(k).total_us;
+  };
+  g.span_stall_us = since_open(SpanKind::kStallWait);
+  g.span_wal_sync_us = since_open(SpanKind::kWalSync);
+  g.span_sst_probe_us = since_open(SpanKind::kSstProbe);
+  g.span_memtable_us = since_open(SpanKind::kMemtableInsert) +
+                       since_open(SpanKind::kMemtableProbe);
+
   if (sampler_->Tick(now, g) && info_event_log_ != nullptr) {
     const IntervalSample s = sampler_->Latest();
     json::Object fields;
@@ -1721,6 +1813,31 @@ Status DBImpl::EndBlockCacheTrace() {
   return s;
 }
 
+Status DBImpl::StartSpanTrace(const std::string& path,
+                              const SpanTraceOptions& options) {
+  Status s = span_tracer_->Start(path, options, env_->NowMicros());
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["path"] = path;
+    fields["slow_op_threshold_us"] =
+        static_cast<int64_t>(options.slow_op_threshold_us);
+    fields["sample_every"] = static_cast<int64_t>(options.sample_every);
+    info_event_log_->LogEvent("span_trace_start", std::move(fields));
+  }
+  return s;
+}
+
+Status DBImpl::EndSpanTrace() {
+  uint64_t trees = 0;
+  Status s = span_tracer_->Stop(&trees);
+  if (s.ok() && info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["records"] = static_cast<int64_t>(trees);
+    info_event_log_->LogEvent("span_trace_end", std::move(fields));
+  }
+  return s;
+}
+
 void DBImpl::TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us) {
   std::shared_ptr<TraceWriter> writer;
   {
@@ -1818,6 +1935,12 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   }
   if (prop == "elmo.options") {
     *value = OptionsSchema::Instance().ToIniText(options_);
+    return true;
+  }
+  if (prop == "elmo.perf") {
+    *value = GetPerfContext()->ToString();
+    if (!value->empty()) *value += '\n';
+    *value += GlobalSpanAggregate()->ToString();
     return true;
   }
   if (prop == "elmo.timeseries") {

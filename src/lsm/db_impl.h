@@ -26,6 +26,7 @@
 #include "lsm/info_logger.h"
 #include "lsm/log_writer.h"
 #include "lsm/memtable.h"
+#include "lsm/span.h"
 #include "lsm/stats_sampler.h"
 #include "lsm/trace.h"
 #include "lsm/version_set.h"
@@ -66,6 +67,9 @@ class DBImpl : public DB {
   Status EndIOTrace() override;
   Status StartBlockCacheTrace(const std::string& path) override;
   Status EndBlockCacheTrace() override;
+  Status StartSpanTrace(const std::string& path,
+                        const SpanTraceOptions& options) override;
+  Status EndSpanTrace() override;
   const DbStats& stats() const override { return stats_; }
   const Options& options() const override { return options_; }
 
@@ -226,6 +230,16 @@ class DBImpl : public DB {
   std::atomic<bool> tracing_{false};
   std::mutex trace_mu_;
   std::shared_ptr<TraceWriter> trace_;
+
+  // Slow-op span trace. Always constructed (iterators hold a stable
+  // SpanSink* into it); writes go to raw_env_ so the trace's own IO
+  // never shows up in the IO trace. Initialized in the constructor
+  // after raw_env_ is known.
+  std::unique_ptr<SpanTracer> span_tracer_;
+  // Global-aggregate totals at DB open; sampler gauges report the
+  // difference so span columns are per-run even when several DBs share
+  // the process.
+  SpanAggregate::Snapshot span_baseline_;
 };
 
 }  // namespace elmo::lsm

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <string>
 
+#include "lsm/perf_context.h"
+
 namespace elmo::lsm {
 
 namespace {
@@ -10,10 +12,13 @@ namespace {
 class DBIter : public Iterator {
  public:
   DBIter(const Comparator* user_comparator,
-         std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence)
+         std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence,
+         Env* env, SpanSink* span_sink)
       : user_comparator_(user_comparator),
         iter_(std::move(internal_iter)),
         sequence_(sequence),
+        env_(env),
+        span_sink_(span_sink),
         direction_(kForward),
         valid_(false) {}
 
@@ -44,6 +49,48 @@ class DBIter : public Iterator {
  private:
   enum Direction { kForward, kReverse };
 
+  // Per-call accounting around each public Seek/Next/Prev: opens a
+  // kIterSeek/kIterNext root span when an Env was supplied and charges
+  // the PerfContext iterator fields (counts always; micros only with a
+  // clock) on the way out.
+  class OpScope {
+   public:
+    OpScope(DBIter* it, SpanKind kind, uint64_t* count_field)
+        : it_(it),
+          start_us_(it->env_ != nullptr ? it->env_->NowMicros() : 0),
+          skipped_before_(it->skipped_),
+          handle_(it->env_ != nullptr
+                      ? GetSpanCollector()->OpenRoot(kind, start_us_,
+                                                     it->span_sink_)
+                      : SpanCollector::kNoSpan) {
+      (*count_field)++;
+    }
+    ~OpScope() {
+      PerfContext* perf = GetPerfContext();
+      const uint64_t skipped = it_->skipped_ - skipped_before_;
+      perf->iter_keys_skipped += skipped;
+      uint64_t bytes = 0;
+      if (it_->valid_) {
+        bytes = it_->key().size() + it_->value().size();
+        perf->iter_read_bytes += bytes;
+      }
+      if (handle_ == SpanCollector::kNoSpan) return;
+      SpanCollector* c = GetSpanCollector();
+      if (skipped > 0) c->Annotate(handle_, SpanTag::kKeysSkipped, skipped);
+      if (bytes > 0) c->Annotate(handle_, SpanTag::kBytes, bytes);
+      c->Annotate(handle_, SpanTag::kHit, it_->valid_ ? 1 : 0);
+      const uint64_t now = it_->env_->NowMicros();
+      perf->iter_micros += now - start_us_;
+      c->Close(handle_, now);
+    }
+
+   private:
+    DBIter* const it_;
+    const uint64_t start_us_;
+    const uint64_t skipped_before_;
+    const size_t handle_;
+  };
+
   void FindNextUserEntry(bool skipping, std::string* skip);
   void FindPrevUserEntry();
   bool ParseKey(ParsedInternalKey* key);
@@ -60,6 +107,9 @@ class DBIter : public Iterator {
   const Comparator* const user_comparator_;
   std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
+  Env* const env_;            // null: no spans, no micros
+  SpanSink* const span_sink_;
+  uint64_t skipped_ = 0;  // tombstones + shadowed versions stepped over
 
   Status status_;
   std::string saved_key_;    // current key when direction_ == kReverse
@@ -78,6 +128,7 @@ bool DBIter::ParseKey(ParsedInternalKey* ikey) {
 
 void DBIter::Next() {
   assert(valid_);
+  OpScope op(this, SpanKind::kIterNext, &GetPerfContext()->iter_next_count);
 
   if (direction_ == kReverse) {
     direction_ = kForward;
@@ -119,11 +170,13 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
           // Hide all later (older) versions of this key.
           SaveKey(ikey.user_key, skip);
           skipping = true;
+          skipped_++;
           break;
         case kTypeValue:
           if (skipping &&
               user_comparator_->Compare(ikey.user_key, Slice(*skip)) <= 0) {
             // Shadowed by a newer version or a deletion.
+            skipped_++;
           } else {
             valid_ = true;
             saved_key_.clear();
@@ -140,6 +193,7 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
 
 void DBIter::Prev() {
   assert(valid_);
+  OpScope op(this, SpanKind::kIterNext, &GetPerfContext()->iter_next_count);
 
   if (direction_ == kForward) {
     // iter_ points at the current entry. Back up until before all
@@ -180,6 +234,7 @@ void DBIter::FindPrevUserEntry() {
         }
         value_type = ikey.type;
         if (value_type == kTypeDeletion) {
+          skipped_++;
           saved_key_.clear();
           ClearSavedValue();
         } else {
@@ -204,6 +259,7 @@ void DBIter::FindPrevUserEntry() {
 }
 
 void DBIter::Seek(const Slice& target) {
+  OpScope op(this, SpanKind::kIterSeek, &GetPerfContext()->iter_seek_count);
   direction_ = kForward;
   ClearSavedValue();
   saved_key_.clear();
@@ -218,6 +274,7 @@ void DBIter::Seek(const Slice& target) {
 }
 
 void DBIter::SeekToFirst() {
+  OpScope op(this, SpanKind::kIterSeek, &GetPerfContext()->iter_seek_count);
   direction_ = kForward;
   ClearSavedValue();
   iter_->SeekToFirst();
@@ -229,6 +286,7 @@ void DBIter::SeekToFirst() {
 }
 
 void DBIter::SeekToLast() {
+  OpScope op(this, SpanKind::kIterSeek, &GetPerfContext()->iter_seek_count);
   direction_ = kReverse;
   ClearSavedValue();
   iter_->SeekToLast();
@@ -239,9 +297,10 @@ void DBIter::SeekToLast() {
 
 std::unique_ptr<Iterator> NewDBIterator(
     const Comparator* user_comparator,
-    std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence) {
+    std::unique_ptr<Iterator> internal_iter, SequenceNumber sequence,
+    Env* env, SpanSink* span_sink) {
   return std::make_unique<DBIter>(user_comparator, std::move(internal_iter),
-                                  sequence);
+                                  sequence, env, span_sink);
 }
 
 }  // namespace elmo::lsm

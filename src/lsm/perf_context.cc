@@ -31,6 +31,11 @@ std::string PerfContext::ToString() const {
   emit("write_wal_syncs", write_wal_syncs);
   emit("write_stall_micros", write_stall_micros);
   emit("write_micros", write_micros);
+  emit("iter_seek_count", iter_seek_count);
+  emit("iter_next_count", iter_next_count);
+  emit("iter_keys_skipped", iter_keys_skipped);
+  emit("iter_read_bytes", iter_read_bytes);
+  emit("iter_micros", iter_micros);
   return r;
 }
 

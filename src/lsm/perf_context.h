@@ -32,6 +32,13 @@ struct PerfContext {
   uint64_t write_stall_micros = 0; // time this thread spent stalled
   uint64_t write_micros = 0;       // engine-clock time inside Write
 
+  // --- iterator breakdown ---
+  uint64_t iter_seek_count = 0;    // Seek/SeekToFirst/SeekToLast calls
+  uint64_t iter_next_count = 0;    // Next/Prev steps
+  uint64_t iter_keys_skipped = 0;  // tombstones + shadowed versions
+  uint64_t iter_read_bytes = 0;    // key+value bytes surfaced to the user
+  uint64_t iter_micros = 0;        // engine-clock time inside seek/step
+
   void Reset() { *this = PerfContext{}; }
 
   // Single-line "name=value name=value ..." rendering of the non-zero

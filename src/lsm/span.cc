@@ -1,0 +1,485 @@
+#include "lsm/span.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace elmo::lsm {
+
+namespace {
+
+constexpr char kSpanMagic[8] = {'E', 'L', 'M', 'O', 'S', 'P', 'N', '1'};
+constexpr uint32_t kSpanVersion = 1;
+constexpr size_t kHeaderSize = sizeof(kSpanMagic) + 4 + 8;
+// fixed64 root start + fixed32 thread + flags byte; spans are variable.
+constexpr size_t kPayloadFixed = 8 + 4 + 1;
+
+}  // namespace
+
+bool IsSpanKind(uint8_t v) {
+  return (v >= static_cast<uint8_t>(SpanKind::kWrite) &&
+          v <= static_cast<uint8_t>(SpanKind::kCompaction)) ||
+         (v >= static_cast<uint8_t>(SpanKind::kWalAppend) &&
+          v < kMaxSpanKind);
+}
+
+const char* SpanKindName(SpanKind k) {
+  switch (k) {
+    case SpanKind::kWrite: return "write";
+    case SpanKind::kGet: return "get";
+    case SpanKind::kIterSeek: return "iter_seek";
+    case SpanKind::kIterNext: return "iter_next";
+    case SpanKind::kFlush: return "flush";
+    case SpanKind::kCompaction: return "compaction";
+    case SpanKind::kWalAppend: return "wal_append";
+    case SpanKind::kWalSync: return "wal_sync";
+    case SpanKind::kMemtableInsert: return "memtable_insert";
+    case SpanKind::kMemtableProbe: return "memtable_probe";
+    case SpanKind::kSstProbe: return "sst_probe";
+    case SpanKind::kStallWait: return "stall_wait";
+    case SpanKind::kTableBuild: return "table_build";
+    case SpanKind::kManifestApply: return "manifest_apply";
+  }
+  return "unknown";
+}
+
+bool IsSpanTag(uint8_t v) {
+  return v >= static_cast<uint8_t>(SpanTag::kBytes) && v < kMaxSpanTag;
+}
+
+const char* SpanTagName(SpanTag t) {
+  switch (t) {
+    case SpanTag::kBytes: return "bytes";
+    case SpanTag::kEntries: return "entries";
+    case SpanTag::kFilesProbed: return "files_probed";
+    case SpanTag::kLevel: return "level";
+    case SpanTag::kStallReason: return "stall_reason";
+    case SpanTag::kKeysSkipped: return "keys_skipped";
+    case SpanTag::kCacheHit: return "cache_hit";
+    case SpanTag::kCacheMiss: return "cache_miss";
+    case SpanTag::kHit: return "hit";
+    case SpanTag::kInputBytes: return "input_bytes";
+  }
+  return "unknown";
+}
+
+uint64_t SpanTree::ChildrenDuration(size_t i) const {
+  uint64_t total = 0;
+  for (const SpanNode& n : spans) {
+    if (n.parent == static_cast<int32_t>(i)) total += n.duration_us;
+  }
+  return total;
+}
+
+uint64_t SpanTree::SelfDuration(size_t i) const {
+  const uint64_t children = ChildrenDuration(i);
+  const uint64_t dur = spans[i].duration_us;
+  return dur > children ? dur - children : 0;
+}
+
+// ---------------------------------------------------------------------
+// Aggregate
+
+void SpanAggregate::Fold(const SpanTree& tree) {
+  for (const SpanNode& n : tree.spans) {
+    Cell& c = cells_[static_cast<uint8_t>(n.kind)];
+    c.count.fetch_add(1, std::memory_order_relaxed);
+    c.total_us.fetch_add(n.duration_us, std::memory_order_relaxed);
+    uint64_t prev = c.max_us.load(std::memory_order_relaxed);
+    while (prev < n.duration_us &&
+           !c.max_us.compare_exchange_weak(prev, n.duration_us,
+                                           std::memory_order_relaxed)) {
+    }
+    for (const auto& [tag, value] : n.annotations) {
+      if (tag == SpanTag::kBytes) {
+        c.bytes.fetch_add(value, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+SpanAggregate::Snapshot SpanAggregate::GetSnapshot() const {
+  Snapshot snap;
+  for (uint8_t k = 0; k < kMaxSpanKind; k++) {
+    snap.kinds[k].count = cells_[k].count.load(std::memory_order_relaxed);
+    snap.kinds[k].total_us =
+        cells_[k].total_us.load(std::memory_order_relaxed);
+    snap.kinds[k].max_us = cells_[k].max_us.load(std::memory_order_relaxed);
+    snap.kinds[k].bytes = cells_[k].bytes.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void SpanAggregate::Reset() {
+  for (uint8_t k = 0; k < kMaxSpanKind; k++) {
+    cells_[k].count.store(0, std::memory_order_relaxed);
+    cells_[k].total_us.store(0, std::memory_order_relaxed);
+    cells_[k].max_us.store(0, std::memory_order_relaxed);
+    cells_[k].bytes.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string SpanAggregate::ToString() const {
+  const Snapshot snap = GetSnapshot();
+  std::string out;
+  auto emit = [&out, &snap](uint8_t k, const char* prefix) {
+    const KindTotals& t = snap.kinds[k];
+    if (t.count == 0) return;
+    char buf[192];
+    snprintf(buf, sizeof(buf),
+             "%s%s: count=%llu total_us=%llu avg_us=%llu max_us=%llu",
+             prefix, SpanKindName(static_cast<SpanKind>(k)),
+             (unsigned long long)t.count, (unsigned long long)t.total_us,
+             (unsigned long long)(t.total_us / t.count),
+             (unsigned long long)t.max_us);
+    out += buf;
+    if (t.bytes > 0) {
+      snprintf(buf, sizeof(buf), " bytes=%llu", (unsigned long long)t.bytes);
+      out += buf;
+    }
+    out += '\n';
+  };
+  for (uint8_t k = static_cast<uint8_t>(SpanKind::kWrite);
+       k <= static_cast<uint8_t>(SpanKind::kCompaction); k++) {
+    emit(k, "span op ");
+  }
+  for (uint8_t k = static_cast<uint8_t>(SpanKind::kWalAppend);
+       k < kMaxSpanKind; k++) {
+    emit(k, "span phase ");
+  }
+  return out;
+}
+
+SpanAggregate* GlobalSpanAggregate() {
+  static SpanAggregate aggregate;
+  return &aggregate;
+}
+
+uint32_t SpanThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+// ---------------------------------------------------------------------
+// Collector
+
+size_t SpanCollector::OpenRoot(SpanKind kind, uint64_t now_us,
+                               SpanSink* sink) {
+  const size_t idx = spans_.size();
+  Rec rec;
+  rec.kind = kind;
+  rec.parent = -1;
+  rec.sink = sink;
+  rec.node.kind = kind;
+  rec.node.parent = -1;
+  rec.node.start_us = now_us;
+  spans_.push_back(std::move(rec));
+  stack_.push_back(idx);
+  return idx;
+}
+
+size_t SpanCollector::OpenChild(SpanKind kind, uint64_t now_us) {
+  if (stack_.empty()) return kNoSpan;  // orphan (recovery etc.): no-op
+  const size_t idx = spans_.size();
+  Rec rec;
+  rec.kind = kind;
+  rec.parent = static_cast<int32_t>(stack_.back());
+  rec.sink = nullptr;
+  rec.node.kind = kind;
+  rec.node.start_us = now_us;
+  spans_.push_back(std::move(rec));
+  stack_.push_back(idx);
+  return idx;
+}
+
+void SpanCollector::Annotate(size_t handle, SpanTag tag, uint64_t value) {
+  if (handle == kNoSpan || handle >= spans_.size()) return;
+  spans_[handle].node.annotations.emplace_back(tag, value);
+}
+
+void SpanCollector::Close(size_t handle, uint64_t now_us) {
+  if (handle == kNoSpan || handle >= spans_.size()) return;
+  // Unwind to the handle: anything still open above it (a child whose
+  // scope was escaped by an early return) closes at the same instant.
+  while (!stack_.empty() && stack_.back() != handle) {
+    Rec& r = spans_[stack_.back()];
+    r.node.duration_us = now_us >= r.node.start_us
+                             ? now_us - r.node.start_us
+                             : 0;
+    stack_.pop_back();
+  }
+  if (stack_.empty()) return;  // handle was not open; drop silently
+  stack_.pop_back();
+
+  Rec& rec = spans_[handle];
+  rec.node.duration_us =
+      now_us >= rec.node.start_us ? now_us - rec.node.start_us : 0;
+  if (rec.parent != -1) return;  // child: stays buffered until root close
+
+  // Root close. Every span at index >= handle belongs to this tree: the
+  // thread is single-streamed, so a suspended outer tree cannot have
+  // interleaved spans after this root opened.
+  SpanTree tree;
+  tree.thread_id = SpanThreadId();
+  tree.spans.reserve(spans_.size() - handle);
+  for (size_t i = handle; i < spans_.size(); i++) {
+    SpanNode node = std::move(spans_[i].node);
+    node.parent = spans_[i].parent == -1
+                      ? -1
+                      : static_cast<int32_t>(spans_[i].parent - handle);
+    tree.spans.push_back(std::move(node));
+  }
+  SpanSink* sink = rec.sink;
+  spans_.resize(handle);
+
+  GlobalSpanAggregate()->Fold(tree);
+  if (sink != nullptr) sink->Consume(tree);
+}
+
+SpanCollector* GetSpanCollector() {
+  thread_local SpanCollector collector;
+  return &collector;
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+
+SpanTracer::SpanTracer(Env* env) : env_(env) {}
+
+SpanTracer::~SpanTracer() { Stop(nullptr); }
+
+Status SpanTracer::Start(const std::string& path,
+                         const SpanTraceOptions& options,
+                         uint64_t base_ts_us) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ != nullptr) return Status::Busy("a span trace is already active");
+  Status s = env_->NewWritableFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header(kSpanMagic, sizeof(kSpanMagic));
+  PutFixed32(&header, kSpanVersion);
+  PutFixed64(&header, base_ts_us);
+  s = file_->Append(Slice(header));
+  if (!s.ok()) {
+    file_.reset();
+    return s;
+  }
+  options_ = options;
+  std::memset(seen_, 0, sizeof(seen_));
+  trees_written_ = 0;
+  slow_trees_ = 0;
+  sampled_trees_ = 0;
+  active_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status SpanTracer::Stop(uint64_t* trees_written) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("no span trace active");
+  }
+  active_.store(false, std::memory_order_release);
+  Status s = file_->Flush();
+  if (s.ok()) s = file_->Sync();
+  Status c = file_->Close();
+  if (s.ok()) s = c;
+  file_.reset();
+  if (trees_written != nullptr) *trees_written = trees_written_;
+  return s;
+}
+
+void SpanTracer::Consume(const SpanTree& tree) {
+  if (!active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> l(mu_);
+  if (file_ == nullptr) return;
+
+  const uint8_t kind = static_cast<uint8_t>(tree.root().kind);
+  seen_[kind]++;
+  uint8_t flags = 0;
+  if (tree.root().duration_us >= options_.slow_op_threshold_us) {
+    flags |= kSpanTreeSlow;
+  }
+  if (options_.sample_every > 0 &&
+      (seen_[kind] % options_.sample_every) == 1 % options_.sample_every) {
+    flags |= kSpanTreeSampled;
+  }
+  if (flags == 0) return;
+
+  std::string payload;
+  payload.reserve(kPayloadFixed + tree.spans.size() * 16);
+  PutFixed64(&payload, tree.root().start_us);
+  PutFixed32(&payload, tree.thread_id);
+  payload.push_back(static_cast<char>(flags));
+  PutVarint32(&payload, static_cast<uint32_t>(tree.spans.size()));
+  const uint64_t root_start = tree.root().start_us;
+  for (const SpanNode& n : tree.spans) {
+    payload.push_back(static_cast<char>(n.kind));
+    PutVarint32(&payload, static_cast<uint32_t>(n.parent + 1));
+    PutVarint64(&payload, n.start_us - root_start);
+    PutVarint64(&payload, n.duration_us);
+    PutVarint32(&payload, static_cast<uint32_t>(n.annotations.size()));
+    for (const auto& [tag, value] : n.annotations) {
+      payload.push_back(static_cast<char>(tag));
+      PutVarint64(&payload, value);
+    }
+  }
+
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  if (file_->Append(Slice(frame)).ok()) {
+    trees_written_++;
+    if (flags & kSpanTreeSlow) slow_trees_++;
+    if (flags & kSpanTreeSampled) sampled_trees_++;
+  }
+}
+
+uint64_t SpanTracer::trees_written() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return trees_written_;
+}
+
+uint64_t SpanTracer::slow_trees() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return slow_trees_;
+}
+
+uint64_t SpanTracer::sampled_trees() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return sampled_trees_;
+}
+
+// ---------------------------------------------------------------------
+// Reader
+
+SpanTraceReader::SpanTraceReader(Env* env) : env_(env) {}
+
+Status SpanTraceReader::Open(const std::string& path) {
+  Status s = env_->NewSequentialFile(path, &file_);
+  if (!s.ok()) return s;
+  std::string header;
+  bool eof = false;
+  s = ReadFully(kHeaderSize, &header, &eof);
+  if (!s.ok()) return s;
+  if (eof || memcmp(header.data(), kSpanMagic, sizeof(kSpanMagic)) != 0) {
+    return Status::Corruption("not an elmo span trace file");
+  }
+  const uint32_t version =
+      DecodeFixed32(header.data() + sizeof(kSpanMagic));
+  if (version != kSpanVersion) {
+    return Status::Corruption("unsupported span trace version");
+  }
+  base_ts_us_ = DecodeFixed64(header.data() + sizeof(kSpanMagic) + 4);
+  return Status::OK();
+}
+
+Status SpanTraceReader::ReadFully(size_t n, std::string* out,
+                                  bool* clean_eof) {
+  out->clear();
+  *clean_eof = false;
+  std::string scratch(n, '\0');
+  size_t got = 0;
+  while (got < n) {
+    Slice chunk;
+    Status s = file_->Read(n - got, &chunk, &scratch[0] + got);
+    if (!s.ok()) return s;
+    if (chunk.empty()) {
+      if (got == 0) {
+        *clean_eof = true;
+        return Status::OK();
+      }
+      return Status::Corruption("truncated span trace record");
+    }
+    if (chunk.data() != scratch.data() + got) {
+      memcpy(&scratch[0] + got, chunk.data(), chunk.size());
+    }
+    got += chunk.size();
+  }
+  *out = std::move(scratch);
+  return Status::OK();
+}
+
+Status SpanTraceReader::Next(SpanTree* tree, bool* eof) {
+  *eof = false;
+  if (file_ == nullptr) {
+    return Status::IOError("span trace reader not open");
+  }
+
+  std::string frame_header;
+  Status s = ReadFully(8, &frame_header, eof);
+  if (!s.ok() || *eof) return s;
+  const uint32_t expected_crc =
+      crc32c::Unmask(DecodeFixed32(frame_header.data()));
+  const uint32_t len = DecodeFixed32(frame_header.data() + 4);
+  if (len < kPayloadFixed + 2 || len > (1u << 26)) {
+    return Status::Corruption("bad span trace record length");
+  }
+
+  std::string payload;
+  bool payload_eof = false;
+  s = ReadFully(len, &payload, &payload_eof);
+  if (!s.ok()) return s;
+  if (payload_eof) return Status::Corruption("truncated span trace record");
+  if (crc32c::Value(payload.data(), payload.size()) != expected_crc) {
+    return Status::Corruption("span trace record checksum mismatch");
+  }
+
+  tree->spans.clear();
+  const uint64_t root_start = DecodeFixed64(payload.data());
+  tree->thread_id = DecodeFixed32(payload.data() + 8);
+  tree->flags = static_cast<uint8_t>(payload[12]);
+  Slice rest(payload.data() + kPayloadFixed,
+             payload.size() - kPayloadFixed);
+  uint32_t count = 0;
+  if (!GetVarint32(&rest, &count) || count == 0 || count > (1u << 22)) {
+    return Status::Corruption("bad span count");
+  }
+  tree->spans.reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (rest.empty()) return Status::Corruption("truncated span");
+    const uint8_t kind = static_cast<uint8_t>(rest[0]);
+    rest.remove_prefix(1);
+    if (!IsSpanKind(kind)) return Status::Corruption("bad span kind");
+    SpanNode node;
+    node.kind = static_cast<SpanKind>(kind);
+    uint32_t parent_plus_1 = 0;
+    uint64_t start_delta = 0;
+    uint32_t nannot = 0;
+    if (!GetVarint32(&rest, &parent_plus_1) ||
+        !GetVarint64(&rest, &start_delta) ||
+        !GetVarint64(&rest, &node.duration_us) ||
+        !GetVarint32(&rest, &nannot) || nannot > 256) {
+      return Status::Corruption("bad span fields");
+    }
+    if (parent_plus_1 > i) {
+      // Parents always precede children; 0 (the root) only at index 0.
+      return Status::Corruption("bad span parent");
+    }
+    node.parent = static_cast<int32_t>(parent_plus_1) - 1;
+    node.start_us = root_start + start_delta;
+    node.annotations.reserve(nannot);
+    for (uint32_t a = 0; a < nannot; a++) {
+      if (rest.empty()) return Status::Corruption("truncated annotation");
+      const uint8_t tag = static_cast<uint8_t>(rest[0]);
+      rest.remove_prefix(1);
+      uint64_t value = 0;
+      if (!IsSpanTag(tag) || !GetVarint64(&rest, &value)) {
+        return Status::Corruption("bad span annotation");
+      }
+      node.annotations.emplace_back(static_cast<SpanTag>(tag), value);
+    }
+    tree->spans.push_back(std::move(node));
+  }
+  if (!rest.empty()) return Status::Corruption("trailing span bytes");
+  if (tree->spans[0].parent != -1) {
+    return Status::Corruption("first span is not a root");
+  }
+  return Status::OK();
+}
+
+}  // namespace elmo::lsm

@@ -1,0 +1,308 @@
+// Request-scoped span tracing: every foreground op (Get/Write/iterator
+// Seek/Next) and background job (flush, compaction) opens a root span;
+// the engine opens child spans around its interesting phases (WAL
+// append/sync, memtable insert/probe, SST probe, stall waits, table
+// build, manifest apply) and attaches typed annotations (bytes, files
+// probed, cache hit/miss deltas, stall reason, keys skipped).
+//
+// Collection is always on and feeds a process-wide SpanAggregate (the
+// "elmo.perf" property and the StatsSampler span columns). When a span
+// trace is active (DB::StartSpanTrace), completed root trees that are
+// slow (root duration >= slow_op_threshold_us) or deterministically
+// sampled (every sample_every-th op of a kind) are additionally
+// serialized to a CRC-framed binary file — the slow-op log that
+// bench_kit/span_analyzer decomposes into p50/p99/p999 component shares
+// and exports as Chrome trace-event / Perfetto JSON.
+//
+// File layout (same framing convention as lsm/trace.h):
+//   header:  "ELMOSPN1" | fixed32 version (=1) | fixed64 base_ts_us
+//   record:  fixed32 masked_crc(payload) | fixed32 payload_len | payload
+//   payload: fixed64 root_start_us | fixed32 thread_id | flags (1 byte)
+//            | varint32 span_count | span_count * span
+//   span:    kind (1 byte) | varint32 parent_plus_1
+//            | varint64 start_delta_us | varint64 duration_us
+//            | varint32 n_annotations | n * (tag byte | varint64 value)
+//
+// Threading: the span stack is thread-local (one op per thread at a
+// time). Under SimEnv, background jobs run inline inside the foreground
+// write — a new root opening while another tree is suspended starts an
+// independent tree; on root close, exactly the spans opened since that
+// root are extracted (the outer tree cannot interleave on the same
+// thread), so the flush/compaction tree is delivered separately and the
+// foreground tree keeps only its own spans.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+enum class SpanKind : uint8_t {
+  // Root kinds (one per op / background job).
+  kWrite = 1,
+  kGet = 2,
+  kIterSeek = 3,
+  kIterNext = 4,
+  kFlush = 5,
+  kCompaction = 6,
+  // Child kinds (phases inside a root).
+  kWalAppend = 32,
+  kWalSync = 33,
+  kMemtableInsert = 34,
+  kMemtableProbe = 35,
+  kSstProbe = 36,
+  kStallWait = 37,
+  kTableBuild = 38,
+  kManifestApply = 39,
+};
+
+inline constexpr uint8_t kMaxSpanKind = 40;  // one past the last kind
+
+bool IsSpanKind(uint8_t v);
+inline bool IsRootSpanKind(SpanKind k) {
+  return static_cast<uint8_t>(k) < static_cast<uint8_t>(SpanKind::kWalAppend);
+}
+const char* SpanKindName(SpanKind k);
+
+enum class SpanTag : uint8_t {
+  kBytes = 1,        // payload bytes the span moved/returned
+  kEntries = 2,      // batch entries / table entries
+  kFilesProbed = 3,  // SST files consulted
+  kLevel = 4,        // LSM level (compaction input, SST hit level)
+  kStallReason = 5,  // StallReason enum value
+  kKeysSkipped = 6,  // tombstones/shadowed versions stepped over
+  kCacheHit = 7,     // block-cache hit delta during the span
+  kCacheMiss = 8,    // block-cache miss delta during the span
+  kHit = 9,          // 1 when the lookup found a value
+  kInputBytes = 10,  // compaction input bytes
+};
+
+inline constexpr uint8_t kMaxSpanTag = 11;  // one past the last tag
+
+bool IsSpanTag(uint8_t v);
+const char* SpanTagName(SpanTag t);
+
+// One span of a completed tree. `parent` is an index into the tree's
+// span vector; -1 for the root (always index 0).
+struct SpanNode {
+  SpanKind kind = SpanKind::kWrite;
+  int32_t parent = -1;
+  uint64_t start_us = 0;  // absolute engine-clock micros
+  uint64_t duration_us = 0;
+  std::vector<std::pair<SpanTag, uint64_t>> annotations;
+};
+
+// Flags on a serialized tree.
+inline constexpr uint8_t kSpanTreeSlow = 1;     // root >= slow threshold
+inline constexpr uint8_t kSpanTreeSampled = 2;  // deterministic 1-in-N
+
+struct SpanTree {
+  uint32_t thread_id = 0;
+  uint8_t flags = 0;
+  std::vector<SpanNode> spans;  // spans[0] is the root
+
+  const SpanNode& root() const { return spans[0]; }
+  // Sum of the direct children's durations of span `i`.
+  uint64_t ChildrenDuration(size_t i) const;
+  // duration - sum(direct children): the time span `i` spent itself.
+  uint64_t SelfDuration(size_t i) const;
+};
+
+// Receives completed root trees (flags not yet set). Implemented by
+// SpanTracer; tests plug in their own sink.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void Consume(const SpanTree& tree) = 0;
+};
+
+// Process-wide per-kind totals, folded on every root close (tracer
+// active or not). Powers GetProperty("elmo.perf") and the sampler's
+// span columns. All counters are cumulative since process start.
+class SpanAggregate {
+ public:
+  struct KindTotals {
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+    uint64_t max_us = 0;
+    uint64_t bytes = 0;  // sum of kBytes annotations
+  };
+  struct Snapshot {
+    KindTotals kinds[kMaxSpanKind] = {};
+    const KindTotals& Get(SpanKind k) const {
+      return kinds[static_cast<uint8_t>(k)];
+    }
+  };
+
+  void Fold(const SpanTree& tree);
+  Snapshot GetSnapshot() const;
+
+  // Zero every cell. Harnesses that fingerprint their output (e.g. the
+  // stress driver's deterministic report) call this at campaign start;
+  // any live DB's sampler baseline becomes stale, so reset only when no
+  // other DB is open in the process.
+  void Reset();
+
+  // Multi-line "span <name>: count=N total_us=N avg_us=N max_us=N
+  // [bytes=N]" rendering; roots first, then child phases. Zero-count
+  // kinds are omitted.
+  std::string ToString() const;
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> total_us{0};
+    std::atomic<uint64_t> max_us{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+  Cell cells_[kMaxSpanKind];
+};
+
+// The process-wide aggregate every collector folds into. Never null.
+SpanAggregate* GlobalSpanAggregate();
+
+// Small stable per-thread ordinal (1, 2, ...) used as the trace/track
+// thread id — deterministic under single-threaded SimEnv runs, unlike
+// std::hash of std::thread::id.
+uint32_t SpanThreadId();
+
+// Thread-local stack of open spans. Handles are indices into an
+// internal vector; kNoSpan marks a no-op handle (orphan child with no
+// open root). Roots may nest (inline background work): the inner tree
+// is extracted and delivered on its own close.
+class SpanCollector {
+ public:
+  static constexpr size_t kNoSpan = static_cast<size_t>(-1);
+
+  // Opens a root span. `sink` (may be null) receives the completed tree
+  // on close, after the fold into the global aggregate.
+  size_t OpenRoot(SpanKind kind, uint64_t now_us, SpanSink* sink);
+  // Opens a child of the innermost open span; kNoSpan when none is open.
+  size_t OpenChild(SpanKind kind, uint64_t now_us);
+  void Annotate(size_t handle, SpanTag tag, uint64_t value);
+  void Close(size_t handle, uint64_t now_us);
+
+  size_t open_depth() const { return stack_.size(); }
+
+ private:
+  struct Rec {
+    SpanKind kind;
+    int32_t parent;  // absolute index into spans_; -1 for roots
+    SpanSink* sink;  // roots only
+    SpanNode node;
+  };
+  std::vector<Rec> spans_;
+  std::vector<size_t> stack_;
+};
+
+// The calling thread's collector. Never null.
+SpanCollector* GetSpanCollector();
+
+// RAII wrapper: opens on construction, closes (and timestamps) on
+// destruction. Non-copyable, stack-scoped.
+class SpanScope {
+ public:
+  // Root span; `sink` may be null (aggregate-only collection).
+  SpanScope(Env* env, SpanKind kind, SpanSink* sink)
+      : env_(env),
+        handle_(GetSpanCollector()->OpenRoot(kind, env->NowMicros(), sink)) {}
+  // Child span; no-op when no root is open on this thread.
+  SpanScope(Env* env, SpanKind kind)
+      : env_(env),
+        handle_(GetSpanCollector()->OpenChild(kind, env->NowMicros())) {}
+  ~SpanScope() { Close(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void Annotate(SpanTag tag, uint64_t value) {
+    GetSpanCollector()->Annotate(handle_, tag, value);
+  }
+  void Close() {
+    if (handle_ == SpanCollector::kNoSpan) return;
+    GetSpanCollector()->Close(handle_, env_->NowMicros());
+    handle_ = SpanCollector::kNoSpan;
+  }
+
+ private:
+  Env* const env_;
+  size_t handle_;
+};
+
+struct SpanTraceOptions {
+  // Root trees with duration >= this are serialized ("slow"); 0 captures
+  // every op.
+  uint64_t slow_op_threshold_us = 10000;
+  // Additionally serialize every Nth tree of each root kind (the
+  // deterministic stand-in for reservoir sampling: same seed => same
+  // capture set, byte-identical under SimEnv). 0 disables sampling.
+  uint64_t sample_every = 256;
+};
+
+// Serializes selected trees to the CRC-framed span trace. One per DB;
+// Start/Stop toggle it, Consume is called from the collector on every
+// root close and filters by the options above.
+class SpanTracer : public SpanSink {
+ public:
+  explicit SpanTracer(Env* env);
+  ~SpanTracer() override;
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  Status Start(const std::string& path, const SpanTraceOptions& options,
+               uint64_t base_ts_us);
+  // Flush+sync+close. `trees_written` (optional) receives the record
+  // count. InvalidArgument when no trace is active.
+  Status Stop(uint64_t* trees_written);
+
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  void Consume(const SpanTree& tree) override;
+
+  uint64_t trees_written() const;
+  uint64_t slow_trees() const;
+  uint64_t sampled_trees() const;
+
+ private:
+  Env* const env_;
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  std::unique_ptr<WritableFile> file_;
+  SpanTraceOptions options_;
+  uint64_t seen_[kMaxSpanKind] = {};  // per-root-kind ops observed
+  uint64_t trees_written_ = 0;
+  uint64_t slow_trees_ = 0;
+  uint64_t sampled_trees_ = 0;
+};
+
+// Reads a span trace back tree by tree.
+class SpanTraceReader {
+ public:
+  explicit SpanTraceReader(Env* env);
+
+  SpanTraceReader(const SpanTraceReader&) = delete;
+  SpanTraceReader& operator=(const SpanTraceReader&) = delete;
+
+  Status Open(const std::string& path);
+  // Sets *eof=true (with OK status) at a clean end of file; returns
+  // Corruption on a bad CRC, truncated record, or malformed payload.
+  Status Next(SpanTree* tree, bool* eof);
+
+  uint64_t base_ts_us() const { return base_ts_us_; }
+
+ private:
+  Status ReadFully(size_t n, std::string* out, bool* clean_eof);
+
+  Env* const env_;
+  std::unique_ptr<SequentialFile> file_;
+  uint64_t base_ts_us_ = 0;
+};
+
+}  // namespace elmo::lsm

@@ -40,6 +40,10 @@ json::Object SampleToJson(const IntervalSample& s) {
   o["pending_compaction_bytes"] =
       static_cast<int64_t>(s.pending_compaction_bytes);
   o["l0_files"] = s.l0_files;
+  o["span_stall_us"] = static_cast<int64_t>(s.span_stall_us);
+  o["span_wal_sync_us"] = static_cast<int64_t>(s.span_wal_sync_us);
+  o["span_sst_probe_us"] = static_cast<int64_t>(s.span_sst_probe_us);
+  o["span_memtable_us"] = static_cast<int64_t>(s.span_memtable_us);
   json::Array levels;
   for (int l = 0; l < s.num_levels && l < DbStats::kMaxLevels; l++) {
     levels.emplace_back(s.level_files[l]);
@@ -82,6 +86,10 @@ IntervalSample SampleFromJson(const json::Value& obj) {
   s.imm_count = static_cast<int>(GetU64(obj, "imm_count"));
   s.pending_compaction_bytes = GetU64(obj, "pending_compaction_bytes");
   s.l0_files = static_cast<int>(GetU64(obj, "l0_files"));
+  s.span_stall_us = GetU64(obj, "span_stall_us");
+  s.span_wal_sync_us = GetU64(obj, "span_wal_sync_us");
+  s.span_sst_probe_us = GetU64(obj, "span_sst_probe_us");
+  s.span_memtable_us = GetU64(obj, "span_memtable_us");
   const json::Value* levels = obj.Find("level_files");
   if (levels != nullptr && levels->is_array()) {
     const json::Array& a = levels->as_array();
@@ -187,6 +195,19 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
     s.level_files[l] = gauges.level_files[l];
   }
   s.l0_files = s.num_levels > 0 ? s.level_files[0] : 0;
+
+  auto span_delta = [](uint64_t cur_v, uint64_t& prev_v) {
+    const uint64_t d = cur_v >= prev_v ? cur_v - prev_v : 0;
+    prev_v = cur_v;
+    return d;
+  };
+  s.span_stall_us = span_delta(gauges.span_stall_us, prev_span_stall_us_);
+  s.span_wal_sync_us =
+      span_delta(gauges.span_wal_sync_us, prev_span_wal_sync_us_);
+  s.span_sst_probe_us =
+      span_delta(gauges.span_sst_probe_us, prev_span_sst_probe_us_);
+  s.span_memtable_us =
+      span_delta(gauges.span_memtable_us, prev_span_memtable_us_);
 
   ring_.push_back(s);
   while (ring_.size() > capacity_) {

@@ -34,6 +34,15 @@ struct EngineGauges {
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
   uint64_t block_cache_usage = 0;  // bytes charged to the block cache
+
+  // Cumulative span-phase totals since this DB opened (DBImpl reports
+  // the global aggregate minus its open-time baseline, so values are
+  // per-run even though the aggregate is process-wide). The sampler
+  // turns them into interval deltas.
+  uint64_t span_stall_us = 0;     // kStallWait
+  uint64_t span_wal_sync_us = 0;  // kWalSync
+  uint64_t span_sst_probe_us = 0; // kSstProbe
+  uint64_t span_memtable_us = 0;  // kMemtableInsert + kMemtableProbe
 };
 
 // One recorded interval. Counts are deltas over [ts_us - interval_us,
@@ -67,6 +76,13 @@ struct IntervalSample {
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
   uint64_t block_cache_usage = 0;
+
+  // Interval span-phase micros (deltas of the EngineGauges span fields):
+  // where engine time went during this interval.
+  uint64_t span_stall_us = 0;
+  uint64_t span_wal_sync_us = 0;
+  uint64_t span_sst_probe_us = 0;
+  uint64_t span_memtable_us = 0;
 };
 
 // Render a sample list as the "elmo.timeseries" JSON document:
@@ -116,6 +132,11 @@ class StatsSampler {
   mutable std::mutex mu_;
   StatsSnapshot prev_;
   uint64_t prev_ts_us_;
+  // Last tick's cumulative span gauges (per-DB baselined, so 0 at open).
+  uint64_t prev_span_stall_us_ = 0;
+  uint64_t prev_span_wal_sync_us_ = 0;
+  uint64_t prev_span_sst_probe_us_ = 0;
+  uint64_t prev_span_memtable_us_ = 0;
   std::deque<IntervalSample> ring_;
   uint64_t dropped_ = 0;
 };

@@ -129,6 +129,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
                                          handler, /*level=*/0);
     if (!s.ok()) return s;
     if (!status.ok()) return status;
+    if (found || deleted) stats->hit_level = 0;
     if (found) return Status::OK();
     if (deleted) return Status::NotFound(Slice());
   }
@@ -147,6 +148,7 @@ Status Version::Get(const ReadOptions& options, const LookupKey& k,
                                          handler, level);
     if (!s.ok()) return s;
     if (!status.ok()) return status;
+    if (found || deleted) stats->hit_level = level;
     if (found) return Status::OK();
     if (deleted) return Status::NotFound(Slice());
   }

@@ -45,6 +45,7 @@ class Version {
 
   struct GetStats {
     int files_probed = 0;
+    int hit_level = -1;  // level that resolved the lookup; -1 = none
   };
 
   Status Get(const ReadOptions& options, const LookupKey& key,

@@ -16,6 +16,7 @@
 #include "env/sim_env.h"
 #include "fault/kill_point.h"
 #include "lsm/db.h"
+#include "lsm/perf_context.h"
 #include "stress_kit/expected_state.h"
 #include "util/random.h"
 
@@ -51,15 +52,19 @@ uint64_t StressSeedFromString(const std::string& s) {
 }
 
 std::string StressReport::ToJson() const {
-  std::string escaped;
-  for (const char c : first_divergence) {
-    if (c == '"' || c == '\\') escaped.push_back('\\');
-    if (c == '\n') {
-      escaped += "\\n";
-    } else {
-      escaped.push_back(c);
+  const auto escape = [](const std::string& in) {
+    std::string out;
+    for (const char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
     }
-  }
+    return out;
+  };
+  const std::string escaped = escape(first_divergence);
   char buf[1536];
   snprintf(
       buf, sizeof(buf),
@@ -74,7 +79,7 @@ std::string StressReport::ToJson() const {
       "{\"read_errors\": %" PRIu64 ", \"write_errors\": %" PRIu64
       ", \"sync_errors\": %" PRIu64 ", \"short_reads\": %" PRIu64
       ", \"read_corruptions\": %" PRIu64 ", \"wal_sync_lies\": %" PRIu64
-      ", \"files_dropped\": %" PRIu64 ", \"bytes_dropped\": %" PRIu64 "}}",
+      ", \"files_dropped\": %" PRIu64 ", \"bytes_dropped\": %" PRIu64 "}",
       ok ? "true" : "false", escaped.c_str(), ops_executed, puts, deletes,
       gets, iterator_ops, batches, sync_writes, flushes, property_checks,
       crash_cycles_done, kill_point_fires, write_failures,
@@ -83,7 +88,9 @@ std::string StressReport::ToJson() const {
       fault_counters.sync_errors, fault_counters.short_reads,
       fault_counters.read_corruptions, fault_counters.wal_sync_lies,
       fault_counters.files_dropped, fault_counters.bytes_dropped);
-  return buf;
+  std::string out = buf;
+  out += ", \"perf_breakdown\": \"" + escape(perf_breakdown) + "\"}";
+  return out;
 }
 
 namespace {
@@ -166,6 +173,12 @@ class StressDriver {
   }
 
   Status Setup() {
+    // The report embeds "elmo.perf" (thread-local PerfContext plus the
+    // process-wide span aggregate). Zero both so same-seed campaigns in
+    // one process produce byte-identical reports. Safe here: no other
+    // DB is open while a stress campaign runs.
+    lsm::GetPerfContext()->Reset();
+    lsm::GlobalSpanAggregate()->Reset();
     if (cfg_.env_kind == "sim") {
       sim_env_ = std::make_unique<SimEnv>(
           HardwareProfile::Make(4, 4, DeviceModel::NvmeSsd()), cfg_.seed);
@@ -200,7 +213,13 @@ class StressDriver {
       o.paranoid_checks = true;
     }
     db_.reset();
-    return lsm::DB::Open(o, cfg_.db_path, &db_);
+    Status s = lsm::DB::Open(o, cfg_.db_path, &db_);
+    if (s.ok() && !cfg_.span_trace_path.empty()) {
+      // Best-effort per-cycle span trace; the file holds the last
+      // cycle's capture. A crash may drop its unsynced tail.
+      db_->StartSpanTrace(cfg_.span_trace_path);
+    }
+    return s;
   }
 
   // Error injection that outlives segment plans (the planted WAL-sync
@@ -683,6 +702,7 @@ class StressDriver {
     r.final_live_keys = oracle_.LiveKeyCount();
     if (fault_ != nullptr) r.fault_counters = fault_->counters();
     r.schedule_hash = hash_;
+    if (db_ != nullptr) db_->GetProperty("elmo.perf", &r.perf_breakdown);
     db_.reset();
     return r;
   }

@@ -54,6 +54,10 @@ struct StressConfig {
   // Plant a real consistency bug (FaultInjectionEnv lies about WAL
   // sync): the run MUST end with ok=false and a first_divergence.
   bool plant_wal_sync_violation = false;
+  // When non-empty, every DB open (re)starts a span trace at this path
+  // (lsm/span.h); the file holds the last cycle's trace. Best-effort:
+  // a crash can drop the unsynced tail with everything else.
+  std::string span_trace_path;
 };
 
 struct StressReport {
@@ -76,6 +80,9 @@ struct StressReport {
   uint64_t schedule_hash = 0;  // op/fault/verdict fingerprint (stable
                                // for equal seeds when threads==1 + sim)
   FaultCounters fault_counters;
+  // Final "elmo.perf" property dump: process-aggregated PerfContext
+  // counters plus the per-op-kind span aggregate.
+  std::string perf_breakdown;
   std::string ToJson() const;
 };
 

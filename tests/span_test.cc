@@ -1,0 +1,382 @@
+// Span tracing: collector tree assembly (including nested roots from
+// inline background jobs), tracer slow/sampled filtering, trace
+// round-trip + corruption detection, the "elmo.perf" property, and the
+// headline determinism guarantee — two same-seed SimEnv runs produce a
+// byte-identical span trace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "env/mem_env.h"
+#include "env/sim_env.h"
+#include "lsm/db.h"
+#include "lsm/perf_context.h"
+#include "lsm/span.h"
+
+namespace elmo::lsm {
+namespace {
+
+// Buffers every consumed tree.
+class CapturingSink : public SpanSink {
+ public:
+  void Consume(const SpanTree& tree) override { trees.push_back(tree); }
+  std::vector<SpanTree> trees;
+};
+
+TEST(SpanCollectorTest, BuildsTreeWithChildrenAndAnnotations) {
+  SpanCollector* c = GetSpanCollector();
+  ASSERT_EQ(c->open_depth(), 0u);
+  CapturingSink sink;
+
+  const size_t root = c->OpenRoot(SpanKind::kWrite, 100, &sink);
+  const size_t wal = c->OpenChild(SpanKind::kWalAppend, 110);
+  c->Annotate(wal, SpanTag::kBytes, 512);
+  c->Close(wal, 130);
+  const size_t mem = c->OpenChild(SpanKind::kMemtableInsert, 140);
+  c->Close(mem, 170);
+  c->Annotate(root, SpanTag::kEntries, 3);
+  c->Close(root, 200);
+
+  ASSERT_EQ(sink.trees.size(), 1u);
+  const SpanTree& t = sink.trees[0];
+  ASSERT_EQ(t.spans.size(), 3u);
+  EXPECT_EQ(t.root().kind, SpanKind::kWrite);
+  EXPECT_EQ(t.root().start_us, 100u);
+  EXPECT_EQ(t.root().duration_us, 100u);
+  EXPECT_EQ(t.spans[1].kind, SpanKind::kWalAppend);
+  EXPECT_EQ(t.spans[1].parent, 0);
+  EXPECT_EQ(t.spans[1].duration_us, 20u);
+  ASSERT_EQ(t.spans[1].annotations.size(), 1u);
+  EXPECT_EQ(t.spans[1].annotations[0].first, SpanTag::kBytes);
+  EXPECT_EQ(t.spans[1].annotations[0].second, 512u);
+  EXPECT_EQ(t.spans[2].kind, SpanKind::kMemtableInsert);
+  // Root self time = 100 - (20 + 30).
+  EXPECT_EQ(t.ChildrenDuration(0), 50u);
+  EXPECT_EQ(t.SelfDuration(0), 50u);
+  EXPECT_EQ(c->open_depth(), 0u);
+}
+
+TEST(SpanCollectorTest, NestedRootIsExtractedAsItsOwnTree) {
+  // A flush root opening inside a foreground write (SimEnv inline
+  // background work) must be delivered separately, and the outer tree
+  // must keep only its own spans.
+  SpanCollector* c = GetSpanCollector();
+  CapturingSink sink;
+
+  const size_t write = c->OpenRoot(SpanKind::kWrite, 1000, &sink);
+  const size_t wal = c->OpenChild(SpanKind::kWalAppend, 1010);
+  c->Close(wal, 1020);
+
+  const size_t flush = c->OpenRoot(SpanKind::kFlush, 1030, &sink);
+  const size_t build = c->OpenChild(SpanKind::kTableBuild, 1040);
+  c->Close(build, 1090);
+  c->Close(flush, 1100);
+
+  const size_t mem = c->OpenChild(SpanKind::kMemtableInsert, 1110);
+  c->Close(mem, 1120);
+  c->Close(write, 1150);
+
+  ASSERT_EQ(sink.trees.size(), 2u);
+  // Inner tree first (closed first), parents remapped to tree-local.
+  const SpanTree& inner = sink.trees[0];
+  ASSERT_EQ(inner.spans.size(), 2u);
+  EXPECT_EQ(inner.root().kind, SpanKind::kFlush);
+  EXPECT_EQ(inner.spans[1].kind, SpanKind::kTableBuild);
+  EXPECT_EQ(inner.spans[1].parent, 0);
+
+  const SpanTree& outer = sink.trees[1];
+  ASSERT_EQ(outer.spans.size(), 3u);
+  EXPECT_EQ(outer.root().kind, SpanKind::kWrite);
+  EXPECT_EQ(outer.spans[1].kind, SpanKind::kWalAppend);
+  EXPECT_EQ(outer.spans[2].kind, SpanKind::kMemtableInsert);
+  EXPECT_EQ(c->open_depth(), 0u);
+}
+
+TEST(SpanCollectorTest, OrphanChildAndEscapedScopesAreSafe) {
+  SpanCollector* c = GetSpanCollector();
+  // No root open: children are no-ops.
+  EXPECT_EQ(c->OpenChild(SpanKind::kWalSync, 10), SpanCollector::kNoSpan);
+  c->Annotate(SpanCollector::kNoSpan, SpanTag::kBytes, 1);
+  c->Close(SpanCollector::kNoSpan, 20);
+
+  // A child left open when the root closes gets closed at that instant.
+  CapturingSink sink;
+  const size_t root = c->OpenRoot(SpanKind::kGet, 100, &sink);
+  c->OpenChild(SpanKind::kSstProbe, 120);
+  c->Close(root, 180);
+  ASSERT_EQ(sink.trees.size(), 1u);
+  ASSERT_EQ(sink.trees[0].spans.size(), 2u);
+  EXPECT_EQ(sink.trees[0].spans[1].duration_us, 60u);
+  EXPECT_EQ(c->open_depth(), 0u);
+}
+
+TEST(SpanTracerTest, SlowThresholdAndDeterministicSampling) {
+  MemEnv env;
+  SpanTracer tracer(&env);
+  SpanTraceOptions opts;
+  opts.slow_op_threshold_us = 1000;
+  opts.sample_every = 4;
+  ASSERT_TRUE(tracer.Start("/span", opts, /*base_ts_us=*/0).ok());
+
+  SpanCollector* c = GetSpanCollector();
+  uint64_t now = 10000;
+  // 10 fast writes (100us): sampling keeps ops 1, 5, 9.
+  for (int i = 0; i < 10; i++) {
+    const size_t h = c->OpenRoot(SpanKind::kWrite, now, &tracer);
+    c->Close(h, now + 100);
+    now += 1000;
+  }
+  // 2 slow writes (2000us): ops 11 and 12, not on the sample grid.
+  for (int i = 0; i < 2; i++) {
+    const size_t h = c->OpenRoot(SpanKind::kWrite, now, &tracer);
+    c->Close(h, now + 2000);
+    now += 3000;
+  }
+  EXPECT_EQ(tracer.trees_written(), 5u);
+  EXPECT_EQ(tracer.slow_trees(), 2u);
+  EXPECT_EQ(tracer.sampled_trees(), 3u);
+  uint64_t written = 0;
+  ASSERT_TRUE(tracer.Stop(&written).ok());
+  EXPECT_EQ(written, 5u);
+  EXPECT_TRUE(tracer.Stop(nullptr).IsInvalidArgument());
+
+  SpanTraceReader reader(&env);
+  ASSERT_TRUE(reader.Open("/span").ok());
+  int slow = 0, sampled = 0, trees = 0;
+  SpanTree t;
+  bool eof = false;
+  while (true) {
+    ASSERT_TRUE(reader.Next(&t, &eof).ok());
+    if (eof) break;
+    trees++;
+    if (t.flags & kSpanTreeSlow) {
+      slow++;
+      EXPECT_EQ(t.root().duration_us, 2000u);
+    }
+    if (t.flags & kSpanTreeSampled) sampled++;
+  }
+  EXPECT_EQ(trees, 5);
+  EXPECT_EQ(slow, 2);
+  EXPECT_EQ(sampled, 3);
+}
+
+TEST(SpanTracerTest, ZeroThresholdCapturesEverything) {
+  MemEnv env;
+  SpanTracer tracer(&env);
+  SpanTraceOptions opts;
+  opts.slow_op_threshold_us = 0;
+  opts.sample_every = 0;
+  ASSERT_TRUE(tracer.Start("/span", opts, 0).ok());
+  EXPECT_TRUE(tracer.Start("/other", opts, 0).IsBusy());
+
+  SpanCollector* c = GetSpanCollector();
+  for (int i = 0; i < 7; i++) {
+    const size_t h = c->OpenRoot(SpanKind::kGet, 100 * i, &tracer);
+    c->Close(h, 100 * i + 1);
+  }
+  EXPECT_EQ(tracer.trees_written(), 7u);
+  ASSERT_TRUE(tracer.Stop(nullptr).ok());
+}
+
+TEST(SpanTracerTest, CorruptionDetected) {
+  MemEnv env;
+  SpanTracer tracer(&env);
+  ASSERT_TRUE(tracer.Start("/span", {0, 0}, 0).ok());
+  SpanCollector* c = GetSpanCollector();
+  const size_t h = c->OpenRoot(SpanKind::kWrite, 500, &tracer);
+  const size_t child = c->OpenChild(SpanKind::kWalSync, 510);
+  c->Annotate(child, SpanTag::kBytes, 4096);
+  c->Close(child, 550);
+  c->Close(h, 600);
+  ASSERT_TRUE(tracer.Stop(nullptr).ok());
+
+  std::string contents;
+  ASSERT_TRUE(env.ReadFileToString("/span", &contents).ok());
+  contents[contents.size() - 2] ^= 0x20;
+  ASSERT_TRUE(env.WriteStringToFile(Slice(contents), "/span", false).ok());
+
+  SpanTraceReader reader(&env);
+  ASSERT_TRUE(reader.Open("/span").ok());
+  SpanTree t;
+  bool eof = false;
+  EXPECT_TRUE(reader.Next(&t, &eof).IsCorruption());
+
+  // A non-trace file is rejected at Open.
+  ASSERT_TRUE(env.WriteStringToFile(Slice("not a span trace at all"),
+                                    "/junk", false)
+                  .ok());
+  SpanTraceReader reader2(&env);
+  EXPECT_TRUE(reader2.Open("/junk").IsCorruption());
+}
+
+// One fixed workload against a DB on the given SimEnv; returns the raw
+// span trace bytes.
+std::string RunTracedWorkload(uint64_t seed, uint64_t* trees_out) {
+  auto hw = HardwareProfile::Make(2, 2, DeviceModel::NvmeSsd());
+  auto env = std::make_unique<SimEnv>(hw, seed);
+  Options o;
+  o.env = env.get();
+  o.create_if_missing = true;
+  o.write_buffer_size = 64 << 10;  // force flushes (background roots)
+  std::unique_ptr<DB> db;
+  EXPECT_TRUE(DB::Open(o, "/db", &db).ok());
+
+  SpanTraceOptions opts;
+  opts.slow_op_threshold_us = 0;  // capture every op
+  opts.sample_every = 0;
+  EXPECT_TRUE(db->StartSpanTrace("/span.trace", opts).ok());
+  EXPECT_TRUE(db->StartSpanTrace("/other.trace", opts).IsBusy());
+
+  const std::string value(512, 'v');
+  std::string out;
+  for (int i = 0; i < 800; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "%08d", i * 131 % 500);
+    EXPECT_TRUE(db->Put({}, key, value).ok());
+    if (i % 10 == 0) db->Get({}, key, &out);
+  }
+  auto it = db->NewIterator({});
+  int scanned = 0;
+  for (it->SeekToFirst(); it->Valid() && scanned < 50; it->Next()) scanned++;
+  it.reset();
+  EXPECT_TRUE(db->EndSpanTrace().ok());
+  EXPECT_TRUE(db->EndSpanTrace().IsInvalidArgument());
+  if (trees_out != nullptr) {
+    // Count trees by replaying the trace.
+    SpanTraceReader reader(env.get());
+    EXPECT_TRUE(reader.Open("/span.trace").ok());
+    SpanTree t;
+    bool eof = false;
+    uint64_t n = 0;
+    while (reader.Next(&t, &eof).ok() && !eof) n++;
+    *trees_out = n;
+  }
+  std::string bytes;
+  EXPECT_TRUE(env->ReadFileToString("/span.trace", &bytes).ok());
+  db.reset();
+  return bytes;
+}
+
+TEST(SpanDbTest, SameSeedRunsProduceByteIdenticalTraces) {
+  uint64_t trees_a = 0;
+  const std::string a = RunTracedWorkload(77, &trees_a);
+  const std::string b = RunTracedWorkload(77, nullptr);
+  ASSERT_FALSE(a.empty());
+  EXPECT_GT(trees_a, 800u);  // every op plus background jobs
+  EXPECT_EQ(a, b);
+}
+
+TEST(SpanDbTest, TraceContainsExpectedTreeShapes) {
+  auto hw = HardwareProfile::Make(2, 2, DeviceModel::NvmeSsd());
+  auto env = std::make_unique<SimEnv>(hw, 5);
+  Options o;
+  o.env = env.get();
+  o.create_if_missing = true;
+  o.write_buffer_size = 64 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(o, "/db", &db).ok());
+  ASSERT_TRUE(db->StartSpanTrace("/span.trace", {0, 0}).ok());
+
+  const std::string value(512, 'v');
+  std::string out;
+  for (int i = 0; i < 500; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "%08d", i);
+    ASSERT_TRUE(db->Put({}, key, value).ok());
+  }
+  db->FlushMemTable();
+  for (int i = 0; i < 20; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "%08d", i);
+    db->Get({}, key, &out);
+  }
+  ASSERT_TRUE(db->EndSpanTrace().ok());
+
+  SpanTraceReader reader(env.get());
+  ASSERT_TRUE(reader.Open("/span.trace").ok());
+  bool saw_write_with_wal = false, saw_get_with_probe = false;
+  bool saw_flush_with_build = false;
+  SpanTree t;
+  bool eof = false;
+  while (true) {
+    ASSERT_TRUE(reader.Next(&t, &eof).ok());
+    if (eof) break;
+    ASSERT_FALSE(t.spans.empty());
+    EXPECT_TRUE(IsRootSpanKind(t.root().kind));
+    for (size_t i = 1; i < t.spans.size(); i++) {
+      // Parents precede children and stay inside the tree.
+      ASSERT_GE(t.spans[i].parent, 0);
+      ASSERT_LT(static_cast<size_t>(t.spans[i].parent), i);
+    }
+    if (t.root().kind == SpanKind::kWrite) {
+      for (size_t i = 1; i < t.spans.size(); i++) {
+        if (t.spans[i].kind == SpanKind::kWalAppend) {
+          saw_write_with_wal = true;
+        }
+      }
+    }
+    if (t.root().kind == SpanKind::kGet) {
+      for (size_t i = 1; i < t.spans.size(); i++) {
+        if (t.spans[i].kind == SpanKind::kMemtableProbe ||
+            t.spans[i].kind == SpanKind::kSstProbe) {
+          saw_get_with_probe = true;
+        }
+      }
+    }
+    if (t.root().kind == SpanKind::kFlush) {
+      for (size_t i = 1; i < t.spans.size(); i++) {
+        if (t.spans[i].kind == SpanKind::kTableBuild) {
+          saw_flush_with_build = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_write_with_wal);
+  EXPECT_TRUE(saw_get_with_probe);
+  EXPECT_TRUE(saw_flush_with_build);
+  db.reset();
+}
+
+TEST(SpanDbTest, PerfPropertyReportsSpansAndIteratorCounters) {
+  auto hw = HardwareProfile::Make(2, 2, DeviceModel::NvmeSsd());
+  auto env = std::make_unique<SimEnv>(hw, 9);
+  Options o;
+  o.env = env.get();
+  o.create_if_missing = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(o, "/db", &db).ok());
+
+  GetPerfContext()->Reset();
+  const std::string value(64, 'v');
+  for (int i = 0; i < 100; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "%08d", i);
+    ASSERT_TRUE(db->Put({}, key, value).ok());
+  }
+  auto it = db->NewIterator({});
+  it->Seek("00000050");
+  int steps = 0;
+  while (it->Valid() && steps < 10) {
+    it->Next();
+    steps++;
+  }
+  it.reset();
+
+  const PerfContext* perf = GetPerfContext();
+  EXPECT_EQ(perf->iter_seek_count, 1u);
+  EXPECT_EQ(perf->iter_next_count, 10u);
+  EXPECT_GT(perf->iter_read_bytes, 0u);
+
+  std::string prop;
+  ASSERT_TRUE(db->GetProperty("elmo.perf", &prop));
+  EXPECT_NE(prop.find("iter_seek_count=1"), std::string::npos) << prop;
+  EXPECT_NE(prop.find("span op write:"), std::string::npos) << prop;
+  EXPECT_NE(prop.find("span op iter_next:"), std::string::npos) << prop;
+  EXPECT_NE(prop.find("span phase memtable_insert:"), std::string::npos)
+      << prop;
+  db.reset();
+}
+
+}  // namespace
+}  // namespace elmo::lsm

@@ -186,6 +186,11 @@ TEST(TuningSession, PromptCarriesAllSections) {
   EXPECT_NE(prompt.find("## Last Benchmark Report"), std::string::npos);
   EXPECT_NE(prompt.find("ops/sec"), std::string::npos);
   EXPECT_NE(prompt.find("Do not modify: disable_wal"), std::string::npos);
+  // The span trace captured during the benchmark surfaces as a p99
+  // decomposition the model can act on.
+  EXPECT_NE(prompt.find("## Latency Attribution Evidence"),
+            std::string::npos);
+  EXPECT_NE(prompt.find("p99 tail breakdown"), std::string::npos);
 }
 
 TEST(PromptGenerator, TimeseriesRendersTelemetrySection) {
@@ -230,6 +235,24 @@ TEST(PromptGenerator, IoCacheEvidenceSectionRendersWhenPresent) {
   in.io_cache_evidence.clear();
   p = PromptGenerator::Generate(in);
   EXPECT_EQ(p.find("## IO & Cache Evidence"), std::string::npos);
+}
+
+TEST(PromptGenerator, LatencyAttributionSectionRendersWhenPresent) {
+  PromptInputs in;
+  in.iteration = 2;
+  in.workload_description = "fillrandom";
+  in.current_options_ini = "k = v\n";
+  in.latency_attribution =
+      "write: p50=9us p99=120us p999=400us | p99 tail breakdown: "
+      "wal_sync 62.0% stall_wait 21.0% self 17.0%\n";
+  std::string p = PromptGenerator::Generate(in);
+  EXPECT_NE(p.find("## Latency Attribution Evidence"), std::string::npos);
+  EXPECT_NE(p.find("wal_sync 62.0%"), std::string::npos);
+
+  // Without attribution the section is omitted entirely.
+  in.latency_attribution.clear();
+  p = PromptGenerator::Generate(in);
+  EXPECT_EQ(p.find("## Latency Attribution Evidence"), std::string::npos);
 }
 
 TEST(PromptGenerator, DeteriorationNoteIncludedWhenSet) {

@@ -40,6 +40,9 @@ void Usage() {
           "  --max_tput_drop=<pct> throughput-drop gate (default 15)\n"
           "  --max_p99_rise=<pct>  p99-rise gate (default 25)\n"
           "  --max_p999_rise=<pct> p999-rise gate (default 40)\n"
+          "  --span_dir=<dir>      export per-cell span artifacts there:\n"
+          "                        <cell>.span.trace, <cell>.perfetto.json,\n"
+          "                        <cell>.attribution.json (dir must exist)\n"
           "  --tournament          run the tuner tournament instead\n"
           "  --budget=<n>          trials per tuner (default 8)\n"
           "  --contenders=<a,b>    subset of llm,cost_model,grid,random\n"
@@ -75,6 +78,16 @@ bool WriteFile(const std::string& path, const std::string& text) {
   if (f == nullptr) return false;
   fwrite(text.data(), 1, text.size(), f);
   fputc('\n', f);
+  fclose(f);
+  return true;
+}
+
+// No trailing newline: span traces are CRC-framed binary and the
+// reader treats stray tail bytes as corruption.
+bool WriteFileBinary(const std::string& path, const std::string& bytes) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  fwrite(bytes.data(), 1, bytes.size(), f);
   fclose(f);
   return true;
 }
@@ -137,6 +150,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   std::string diff_out;
   std::string contenders;
+  std::string span_dir;
   elmo::bench::RegressionThresholds thresholds;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
@@ -165,6 +179,8 @@ int main(int argc, char** argv) {
       diff_out = s;
     } else if (ParseStringFlag(arg, "contenders", &s)) {
       contenders = s;
+    } else if (ParseStringFlag(arg, "span_dir", &s)) {
+      span_dir = s;
     } else if (ParseDoubleFlag(arg, "max_tput_drop", &d)) {
       thresholds.max_throughput_drop_pct = d;
     } else if (ParseDoubleFlag(arg, "max_p99_rise", &d)) {
@@ -217,6 +233,27 @@ int main(int argc, char** argv) {
           auto it = m.find("ops_per_sec");
           fprintf(stderr, "  %-32s %12.0f ops/sec\n", cell.name.c_str(),
                   it == m.end() ? 0.0 : it->second);
+        },
+        [&span_dir](const elmo::bench::MatrixCell& cell,
+                    const elmo::bench::BenchResult& result) {
+          if (span_dir.empty()) return;
+          // Cell names contain '/' ("nvme_4c4g/fillrandom"); flatten so
+          // each artifact is one file in span_dir.
+          std::string stem = cell.name;
+          for (char& c : stem) {
+            if (c == '/') c = '_';
+          }
+          stem = span_dir + "/" + stem;
+          if (!result.span_trace.empty()) {
+            WriteFileBinary(stem + ".span.trace", result.span_trace);
+          }
+          if (!result.perfetto_json.empty()) {
+            WriteFile(stem + ".perfetto.json", result.perfetto_json);
+          }
+          if (!result.span_attribution_json.empty()) {
+            WriteFile(stem + ".attribution.json",
+                      result.span_attribution_json);
+          }
         });
     if (!WriteFile(out_path, current.ToJson())) {
       fprintf(stderr, "elmo_bench_matrix: cannot write %s\n",

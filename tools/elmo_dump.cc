@@ -9,6 +9,9 @@
 //   elmo_dump cachetrace <file> [--verbose]
 //   elmo_dump io-analyze <file> [--json]
 //   elmo_dump cache-sim <file> --capacity=<bytes> [--json]
+//   elmo_dump spantrace <file> [--verbose]
+//   elmo_dump span-analyze <file> [--json]
+//   elmo_dump span-export <file>
 //   elmo_dump db <dir>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +22,7 @@
 #include "bench_kit/cache_sim.h"
 #include "bench_kit/dump_tool.h"
 #include "bench_kit/io_analyzer.h"
+#include "bench_kit/span_analyzer.h"
 #include "env/env.h"
 #include "util/json.h"
 
@@ -39,6 +43,11 @@ void Usage() {
           "  cache-sim <file> --capacity=N [--json]\n"
           "                                      miss-ratio curve from a"
           " cache trace\n"
+          "  spantrace <file> [--verbose]        decode a span trace\n"
+          "  span-analyze <file> [--json]        p99 latency attribution"
+          " from a span trace\n"
+          "  span-export <file>                  span trace -> Chrome"
+          " trace-event JSON (Perfetto)\n"
           "  db <dir>                            dump a whole DB directory\n");
 }
 
@@ -112,6 +121,20 @@ int main(int argc, char** argv) {
                  ? elmo::json::Value(result.ToJson()).Dump(2) + "\n"
                  : result.ToText();
     }
+  } else if (command == "spantrace") {
+    s = elmo::bench::DumpSpanTrace(env, path, HasFlag(flags, "--verbose"),
+                                   &text);
+  } else if (command == "span-analyze") {
+    elmo::bench::SpanAttribution attr;
+    s = elmo::bench::AnalyzeSpanTrace(env, path, &attr);
+    if (s.ok()) {
+      text = HasFlag(flags, "--json")
+                 ? elmo::json::Value(attr.ToJson()).Dump(2) + "\n"
+                 : attr.ToText();
+    }
+  } else if (command == "span-export") {
+    s = elmo::bench::ExportChromeTrace(env, path, &text);
+    if (s.ok()) text += "\n";
   } else if (command == "db") {
     s = elmo::bench::DumpDbDir(env, path, &text);
   } else {

@@ -38,6 +38,8 @@ void Usage() {
           "  --no_read_faults      disable read-error/corruption segments\n"
           "  --no_write_faults     disable write-error segments\n"
           "  --plant_violation     lie about WAL syncs (run must fail)\n"
+          "  --span_trace=<path>   capture a span trace (lsm/span.h) on\n"
+          "                        each DB open; holds the last cycle\n"
           "  --report=<path>       write the JSON report here too\n");
 }
 
@@ -101,6 +103,8 @@ int main(int argc, char** argv) {
       cfg.drop_mode = 0;
       cfg.write_faults = false;
       cfg.read_faults = false;
+    } else if (ParseStringFlag(arg, "span_trace", &s)) {
+      cfg.span_trace_path = s;
     } else if (ParseStringFlag(arg, "report", &s)) {
       report_path = s;
     } else if (arg == "--help" || arg == "-h") {
