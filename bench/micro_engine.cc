@@ -249,6 +249,11 @@ static int WriteDumpableDb(const std::string& dir) {
   opts.write_buffer_size = 64 << 10;  // several flush-sized SSTs
   opts.block_cache_size = 256 << 10;
   opts.bloom_filter_bits_per_key = 10;
+  // Sample fast and export metrics so the dump carries live-monitor
+  // artifacts too: full sampler_tick events in the LOG (elmo_dump
+  // health / elmo_top replay them) and a Prometheus snapshot on close.
+  opts.stats_sample_interval_ms = 5;
+  opts.metrics_export_path = dir + "/metrics.prom";
 
   std::unique_ptr<DB> db;
   Status s = DB::Open(opts, dir, &db);
@@ -269,18 +274,24 @@ static int WriteDumpableDb(const std::string& dir) {
     return 1;
   }
 
+  // Pause between phases: the real-env sampler thread runs on wall
+  // time, and each pause spans a few 5ms intervals, so the LOG records
+  // sampler ticks for the write, flush and read phases.
   const std::string value(256, 'v');
   for (int i = 0; i < 3000; i++) {
     char key[32];
     snprintf(key, sizeof(key), "key%06d", i * 7919 % 1000);
     if (!db->Put({}, key, value).ok()) return 1;
+    if (i % 1000 == 999) opts.env->SleepForMicroseconds(12000);
   }
   db->FlushMemTable();
+  opts.env->SleepForMicroseconds(12000);
   std::string out;
   for (int i = 0; i < 1000; i++) {
     char key[32];
     snprintf(key, sizeof(key), "key%06d", i);
     db->Get({}, key, &out);
+    if (i % 500 == 499) opts.env->SleepForMicroseconds(12000);
   }
 
   if (!db->EndIOTrace().ok() || !db->EndBlockCacheTrace().ok() ||

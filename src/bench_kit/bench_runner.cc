@@ -8,6 +8,7 @@
 #include "bench_kit/span_analyzer.h"
 #include "env/sim_env.h"
 #include "lsm/db.h"
+#include "monitor/health_monitor.h"
 #include "util/json.h"
 
 namespace elmo::bench {
@@ -219,6 +220,13 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   if (db->GetProperty("elmo.timeseries", &prop)) {
     lsm::TimeSeriesFromJson(prop, &result.timeseries,
                             &result.sample_interval_us);
+  }
+  if (db->GetProperty("elmo.health", &prop) && !prop.empty()) {
+    monitor::HealthReport health;
+    if (monitor::HealthReport::FromJson(prop, &health).ok()) {
+      result.health_json = prop;
+      result.health_text = health.ToText();
+    }
   }
 
   // Close out the traces and distill them offline: per-kind/context IO

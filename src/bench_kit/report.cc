@@ -53,6 +53,8 @@ std::string BenchResult::LatencyAttributionEvidence() const {
   return span_attribution_summary;
 }
 
+std::string BenchResult::HealthEvidence() const { return health_text; }
+
 std::string BenchResult::ToReport() const {
   std::string out;
   char buf[512];
@@ -113,6 +115,11 @@ std::string BenchResult::ToReport() const {
     out += span_attribution_text;
     if (span_attribution_text.back() != '\n') out += '\n';
   }
+  if (!health_text.empty()) {
+    out += "Health & diagnosis:\n";
+    out += health_text;
+    if (health_text.back() != '\n') out += '\n';
+  }
   return out;
 }
 
@@ -170,6 +177,10 @@ std::string BenchResult::ToJson() const {
   if (!span_attribution_json.empty() &&
       json::Parse(span_attribution_json, &span_attr).ok()) {
     doc["span_attribution"] = std::move(span_attr);
+  }
+  json::Value health;
+  if (!health_json.empty() && json::Parse(health_json, &health).ok()) {
+    doc["health"] = std::move(health);
   }
   return json::Value(std::move(doc)).Dump(2);
 }

@@ -85,6 +85,12 @@ struct BenchResult {
   std::string perfetto_json;             // ExportChromeTrace output
   std::string span_trace;                // raw ELMOSPN1 trace bytes
 
+  // Live-monitor verdict captured at the end of the run:
+  // GetProperty("elmo.health") JSON and its text rendering
+  // (monitor::HealthReport::ToText).
+  std::string health_json;
+  std::string health_text;
+
   // The "IO & Cache Evidence" prompt section body; empty when the run
   // captured no traces.
   std::string IoCacheEvidence() const;
@@ -92,6 +98,10 @@ struct BenchResult {
   // The "Latency Attribution Evidence" prompt section body; empty when
   // the run captured no span trace.
   std::string LatencyAttributionEvidence() const;
+
+  // The "Health & Diagnosis Evidence" prompt section body; empty when
+  // the run recorded no health verdict.
+  std::string HealthEvidence() const;
 
   // Convenience accessors used by tables/figures.
   double p99_write_us() const {

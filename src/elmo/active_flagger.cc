@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "monitor/detector.h"
+
 namespace elmo::tune {
 
 double ActiveFlagger::WorstP99(const bench::BenchResult& r) {
@@ -49,9 +51,75 @@ FlaggerDecision ActiveFlagger::Judge(
 
 bool ActiveFlagger::ShouldAbortEarly(const bench::BenchResult& best,
                                      const bench::BenchResult& probe) const {
-  if (best.ops_per_sec <= 0) return false;
-  return probe.ops_per_sec <
-         best.ops_per_sec * cfg_.early_abort_fraction;
+  return JudgeProbe(best, probe).abort;
+}
+
+ProbeVerdict ActiveFlagger::JudgeProbe(
+    const bench::BenchResult& best, const bench::BenchResult& probe) const {
+  ProbeVerdict v;
+  if (best.ops_per_sec <= 0) return v;
+  char buf[256];
+
+  const double floor = best.ops_per_sec * cfg_.early_abort_fraction;
+  if (probe.ops_per_sec < floor) {
+    v.abort = true;
+    snprintf(buf, sizeof(buf),
+             "probe throughput %.0f ops/sec below %.0f%% of best (%.0f)",
+             probe.ops_per_sec, cfg_.early_abort_fraction * 100,
+             best.ops_per_sec);
+    v.reason = buf;
+    return v;
+  }
+
+  // Average looked fine — but a probe that started strong and collapsed
+  // mid-run hides the collapse in its average. Replay the probe's own
+  // time series through the changepoint detector and abort on a
+  // confirmed downward throughput shift whose post-shift regime sits
+  // below the same floor. A workload phase shift near the collapse
+  // exonerates the configuration: mixed-phase workloads legitimately
+  // drop throughput when the phase turns.
+  if (!cfg_.detect_mid_probe_collapse || probe.timeseries.size() < 6) {
+    return v;
+  }
+  const auto events =
+      monitor::DetectSeries(probe.timeseries, monitor::DetectorConfig{});
+  const monitor::AnomalyEvent* collapse = nullptr;
+  for (const auto& e : events) {
+    if (e.metric == monitor::Metric::kOpsPerSec &&
+        e.kind == monitor::AnomalyKind::kLevelShift && e.direction < 0) {
+      collapse = &e;
+    }
+  }
+  if (collapse == nullptr) return v;
+  for (const auto& e : events) {
+    if (e.phase_shift &&
+        (e.ts_us >= collapse->ts_us
+             ? e.ts_us - collapse->ts_us
+             : collapse->ts_us - e.ts_us) <=
+            2 * std::max<uint64_t>(probe.sample_interval_us, 1)) {
+      return v;  // collapse explained by a workload phase change
+    }
+  }
+  double tail_sum = 0;
+  size_t tail_n = 0;
+  for (const auto& s : probe.timeseries) {
+    if (s.ts_us >= collapse->ts_us) {
+      tail_sum += s.ops_per_sec;
+      tail_n++;
+    }
+  }
+  if (tail_n == 0) return v;
+  const double tail_mean = tail_sum / static_cast<double>(tail_n);
+  if (tail_mean < floor) {
+    v.abort = true;
+    snprintf(buf, sizeof(buf),
+             "mid-probe throughput collapse at t=%.1fs: post-shift mean "
+             "%.0f ops/sec below %.0f%% of best (%.0f)",
+             collapse->ts_us / 1e6, tail_mean,
+             cfg_.early_abort_fraction * 100, best.ops_per_sec);
+    v.reason = buf;
+  }
+  return v;
 }
 
 }  // namespace elmo::tune

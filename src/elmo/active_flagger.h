@@ -16,10 +16,23 @@ struct FlaggerConfig {
   double tolerance = 0.01;
   // A probe below this fraction of best throughput aborts + redoes.
   double early_abort_fraction = 0.5;
+  // Probe time series are additionally screened by the monitor's
+  // changepoint detector: a confirmed downward throughput shift whose
+  // post-shift mean falls below `early_abort_fraction` of best aborts
+  // the run even when the probe's *average* still looks acceptable —
+  // unless the collapse coincides with a workload phase shift (the
+  // drop is then the workload's doing, not the configuration's).
+  bool detect_mid_probe_collapse = true;
 };
 
 struct FlaggerDecision {
   bool keep = false;
+  std::string reason;
+};
+
+// Outcome of the probe screen: whether to abort, and why.
+struct ProbeVerdict {
+  bool abort = false;
   std::string reason;
 };
 
@@ -33,6 +46,11 @@ class ActiveFlagger {
 
   bool ShouldAbortEarly(const bench::BenchResult& best,
                         const bench::BenchResult& probe) const;
+
+  // Full probe screen: the whole-probe throughput check plus the
+  // phase-shift-aware mid-probe collapse detector (see FlaggerConfig).
+  ProbeVerdict JudgeProbe(const bench::BenchResult& best,
+                          const bench::BenchResult& probe) const;
 
  private:
   static double WorstP99(const bench::BenchResult& r);

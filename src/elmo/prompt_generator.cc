@@ -72,6 +72,16 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += "```\n\n";
   }
 
+  if (!in.health_evidence.empty()) {
+    p += "## Health & Diagnosis Evidence\n";
+    p += "The engine's live monitor ran during the benchmark. Its "
+         "anomaly events and ranked root-cause diagnoses (each with "
+         "suggested options to revisit):\n";
+    p += "```\n" + in.health_evidence;
+    if (in.health_evidence.back() != '\n') p += "\n";
+    p += "```\n\n";
+  }
+
   if (!in.deterioration_note.empty()) {
     p += "## Feedback\n";
     p += in.deterioration_note + "\n\n";

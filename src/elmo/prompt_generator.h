@@ -39,6 +39,11 @@ struct PromptInputs {
   // WAL sync, memtable, stalls, SST probes — owns the tail, so the LLM
   // targets the component that actually hurts instead of guessing.
   std::string latency_attribution;
+  // Live-monitor verdict from the best run
+  // (BenchResult::HealthEvidence()): health status, detected anomalies
+  // and the ranked root-cause diagnoses with their suggested options —
+  // the monitor's opinion of *why* the run behaved the way it did.
+  std::string health_evidence;
   // Set when the previous iteration was reverted (the paper's
   // "intermediate prompt with the information about deterioration").
   std::string deterioration_note;

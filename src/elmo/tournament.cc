@@ -403,6 +403,7 @@ class LlmTuner : public Tuner {
     inputs.io_cache_evidence = best_obs.result.IoCacheEvidence();
     inputs.latency_attribution =
         best_obs.result.LatencyAttributionEvidence();
+    inputs.health_evidence = best_obs.result.HealthEvidence();
     for (size_t i = 0; i < history.size(); i++) {
       char line[128];
       snprintf(line, sizeof(line), "Iteration %zu: %.0f ops/sec%s", i,

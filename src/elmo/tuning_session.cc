@@ -67,6 +67,7 @@ TuningOutcome TuningSession::Run(const Options& initial) {
     inputs.timeseries = best_result.timeseries;
     inputs.io_cache_evidence = best_result.IoCacheEvidence();
     inputs.latency_attribution = best_result.LatencyAttributionEvidence();
+    inputs.health_evidence = best_result.HealthEvidence();
     inputs.deterioration_note = deterioration_note;
     inputs.history = history;
     for (const auto& name : safeguard.blacklist()) {

@@ -82,6 +82,14 @@ class DB {
   //                                      options.stats_sample_interval_ms):
   //                                      {"interval_us":N,"dropped":N,
   //                                       "samples":[{...}, ...]}
+  //   "elmo.health"                      JSON health verdict from the
+  //                                      live monitor (status, anomalies,
+  //                                      ranked diagnoses); {"status":
+  //                                      "disabled"} when the sampler or
+  //                                      monitor is off
+  //   "elmo.prometheus"                  Prometheus text exposition of
+  //                                      tickers/gauges/quantiles (same
+  //                                      content as metrics_export_path)
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // Compact the key range [*begin, *end]; null means open-ended.

@@ -17,6 +17,7 @@
 #include "lsm/options_file.h"
 #include "lsm/options_schema.h"
 #include "lsm/perf_context.h"
+#include "monitor/prometheus.h"
 #include "table/table_builder.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -168,6 +169,11 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     sampler_ = std::make_unique<StatsSampler>(
         &stats_, options_.stats_sample_interval_ms * 1000,
         static_cast<size_t>(options_.stats_history_size), env_->NowMicros());
+    if (options_.enable_health_monitor) {
+      monitor::MonitorConfig mc;
+      mc.engine = monitor::EngineInfo::FromOptions(options_);
+      health_ = std::make_unique<monitor::HealthMonitor>(mc);
+    }
   }
 }
 
@@ -200,10 +206,13 @@ DBImpl::~DBImpl() {
     EndSpanTrace();
   }
   {
-    // Fold the final cache counters into the tickers so post-close stats
-    // snapshots are complete.
+    // Fold the final cache + logger-loss counters into the tickers so
+    // post-close stats snapshots are complete, and leave a final metrics
+    // exposition behind for scrapers that outlive the process.
     std::lock_guard<std::mutex> l(mu_);
     SyncCacheStatsLocked();
+    SyncLogStatsLocked();
+    ExportMetricsLocked();
   }
   if (info_event_log_ != nullptr) {
     json::Object fields;
@@ -1494,6 +1503,9 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
 std::unique_ptr<Iterator> DBImpl::NewInternalIterator(
     const ReadOptions& options, SequenceNumber* latest_seq) {
   std::lock_guard<std::mutex> l(mu_);
+  // Scan-heavy phases must tick the sampler too: under SimEnv no thread
+  // can observe virtual time, so every frequent call site piggybacks.
+  MaybeSampleLocked();
   *latest_seq = versions_->LastSequence();
 
   std::vector<std::unique_ptr<Iterator>> children;
@@ -1641,15 +1653,73 @@ void DBImpl::SyncCacheStatsLocked() {
   last_cache_stats_ = cur;
 }
 
-void DBImpl::MaybeSampleLocked() {
+void DBImpl::SyncLogStatsLocked() {
+  // REQUIRES: mu_ held. Same delta-fold pattern as the cache stats:
+  // the loggers count internally, the registry gets the increments.
+  uint64_t dropped = 0;
+  if (auto* buffered = dynamic_cast<BufferLogger*>(options_.info_log.get())) {
+    dropped = buffered->dropped_lines();
+  }
+  const uint64_t failures =
+      info_event_log_ != nullptr ? info_event_log_->write_failures() : 0;
+  if (dropped > last_info_log_dropped_) {
+    stats_.Add(Ticker::kInfoLogDroppedLines, dropped - last_info_log_dropped_);
+    last_info_log_dropped_ = dropped;
+  }
+  if (failures > last_info_log_failures_) {
+    stats_.Add(Ticker::kInfoLogWriteFailures,
+               failures - last_info_log_failures_);
+    last_info_log_failures_ = failures;
+  }
+}
+
+std::string DBImpl::RenderPrometheusLocked() {
   // REQUIRES: mu_ held.
-  if (sampler_ == nullptr) return;
-  const uint64_t now = env_->NowMicros();
-  if (!sampler_->Due(now)) return;
-
-  // Tickers must be current before the sampler computes its delta.
   SyncCacheStatsLocked();
+  SyncLogStatsLocked();
+  monitor::PrometheusInputs in;
+  in.stats = stats_.GetSnapshot();
+  const EngineGauges g = GatherGaugesLocked();
+  in.num_levels = std::min(g.num_levels, DbStats::kMaxLevels);
+  for (int l = 0; l < DbStats::kMaxLevels && l < in.num_levels; l++) {
+    in.level_files[l] = g.level_files[l];
+    in.level_read_bytes[l] = stats_.LevelReadBytes(l);
+    in.level_write_bytes[l] = stats_.LevelWriteBytes(l);
+    in.level_compactions[l] = stats_.LevelCompactions(l);
+  }
+  in.memtable_bytes = g.memtable_bytes;
+  in.imm_count = g.imm_count;
+  in.pending_compaction_bytes = g.pending_compaction_bytes;
+  in.block_cache_usage = g.block_cache_usage;
+  in.block_cache_capacity = block_cache_->Capacity();
+  if (sampler_ != nullptr) {
+    in.sampler_samples = sampler_->NumSamples();
+    in.sampler_ring_dropped = sampler_->DroppedSamples();
+    in.sampler_late_ticks = sampler_->LateTicks();
+    in.sampler_interval_us = sampler_->interval_us();
+  }
+  if (health_ != nullptr) {
+    const monitor::HealthReport r = health_->Report();
+    in.health_status = static_cast<int>(r.status);
+    if (!r.diagnoses.empty()) {
+      in.health_top_rule = r.diagnoses.front().rule;
+      in.health_top_severity = r.diagnoses.front().severity;
+    }
+  }
+  in.ts_us = env_->NowMicros();
+  return monitor::RenderPrometheus(in);
+}
 
+void DBImpl::ExportMetricsLocked() {
+  // REQUIRES: mu_ held.
+  if (options_.metrics_export_path.empty()) return;
+  const std::string text = RenderPrometheusLocked();
+  raw_env_->WriteStringToFile(Slice(text), options_.metrics_export_path,
+                              /*sync=*/false);
+}
+
+EngineGauges DBImpl::GatherGaugesLocked() {
+  // REQUIRES: mu_ held.
   EngineGauges g;
   g.memtable_bytes = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
   for (const auto& e : imm_) {
@@ -1676,19 +1746,56 @@ void DBImpl::MaybeSampleLocked() {
   g.span_sst_probe_us = since_open(SpanKind::kSstProbe);
   g.span_memtable_us = since_open(SpanKind::kMemtableInsert) +
                        since_open(SpanKind::kMemtableProbe);
+  return g;
+}
 
-  if (sampler_->Tick(now, g) && info_event_log_ != nullptr) {
-    const IntervalSample s = sampler_->Latest();
-    json::Object fields;
-    fields["ops"] = static_cast<int64_t>(s.ops);
-    fields["ops_per_sec"] = s.ops_per_sec;
-    fields["p99_write_us"] = s.p99_write_us;
-    fields["stall_fraction"] = s.stall_fraction;
-    fields["l0_files"] = s.l0_files;
-    fields["pending_compaction_bytes"] =
-        static_cast<int64_t>(s.pending_compaction_bytes);
+void DBImpl::MaybeSampleLocked() {
+  // REQUIRES: mu_ held.
+  if (sampler_ == nullptr) return;
+  const uint64_t now = env_->NowMicros();
+  if (!sampler_->Due(now)) return;
+
+  // Tickers must be current before the sampler computes its delta.
+  SyncCacheStatsLocked();
+  SyncLogStatsLocked();
+
+  if (!sampler_->Tick(now, GatherGaugesLocked())) return;
+  const IntervalSample s = sampler_->Latest();
+
+  if (info_event_log_ != nullptr) {
+    // The full sample goes to the LOG so offline replay (elmo_dump
+    // health, elmo_top) sees exactly what the live monitor saw. The
+    // sample's own timestamp is stripped: LogEvent stamps the line with
+    // the same engine clock.
+    json::Object fields = SampleToJsonObject(s);
+    fields.erase("ts_us");
     info_event_log_->LogEvent("sampler_tick", std::move(fields));
   }
+
+  if (health_ != nullptr) {
+    const std::vector<monitor::AnomalyEvent> events = health_->Observe(s);
+    if (info_event_log_ != nullptr) {
+      for (const monitor::AnomalyEvent& e : events) {
+        json::Object fields = e.ToJson();
+        fields.erase("ts_us");
+        info_event_log_->LogEvent("anomaly", std::move(fields));
+      }
+      const monitor::HealthReport r = health_->Report();
+      if (r.status != last_health_status_) {
+        json::Object fields;
+        fields["from"] = monitor::HealthStatusName(last_health_status_);
+        fields["to"] = monitor::HealthStatusName(r.status);
+        if (!r.diagnoses.empty()) {
+          fields["top_rule"] = r.diagnoses.front().rule;
+          fields["top_severity"] = r.diagnoses.front().severity;
+        }
+        info_event_log_->LogEvent("health", std::move(fields));
+        last_health_status_ = r.status;
+      }
+    }
+  }
+
+  ExportMetricsLocked();
 }
 
 void DBImpl::SamplerThreadLoop() {
@@ -1869,6 +1976,7 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
 
   if (prop == "elmo.stats") {
     SyncCacheStatsLocked();  // tickers current as of this dump
+    SyncLogStatsLocked();
     *value = stats_.ToString();
     *value += versions_->LevelSummary() + "\n";
     *value += LevelStatsString();
@@ -1880,6 +1988,14 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
              (unsigned long long)cache_stats.hits,
              (unsigned long long)cache_stats.misses);
     *value += buf;
+    if (sampler_ != nullptr) {
+      snprintf(buf, sizeof(buf),
+               "sampler: samples %zu, ring dropped %llu, late ticks %llu\n",
+               sampler_->NumSamples(),
+               (unsigned long long)sampler_->DroppedSamples(),
+               (unsigned long long)sampler_->LateTicks());
+      *value += buf;
+    }
     return true;
   }
   if (prop == "elmo.levelstats") {
@@ -1950,6 +2066,22 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     MaybeSampleLocked();
     *value = sampler_ != nullptr ? sampler_->ToJson()
                                  : TimeSeriesToJson(0, 0, {});
+    return true;
+  }
+  if (prop == "elmo.health") {
+    // Same tick-opportunity logic as elmo.timeseries: the verdict
+    // reflects the engine state up to this very read.
+    MaybeSampleLocked();
+    if (health_ == nullptr) {
+      *value = "{\"status\": \"disabled\"}";
+    } else {
+      *value = health_->Report().ToJson();
+    }
+    return true;
+  }
+  if (prop == "elmo.prometheus") {
+    MaybeSampleLocked();
+    *value = RenderPrometheusLocked();
     return true;
   }
   return false;

@@ -31,6 +31,7 @@
 #include "lsm/trace.h"
 #include "lsm/version_set.h"
 #include "lsm/virtual_stall.h"
+#include "monitor/health_monitor.h"
 #include "util/rate_limiter.h"
 
 namespace elmo::lsm {
@@ -155,9 +156,22 @@ class DBImpl : public DB {
   // write/read/background call sites, since no real thread can observe
   // virtual time. REQUIRES: mu_.
   void MaybeSampleLocked();
+  // Instantaneous engine state for the sampler / metrics exposition.
+  // REQUIRES: mu_.
+  EngineGauges GatherGaugesLocked();
   // Fold the block cache's since-last-sync hit/miss deltas into the
   // stats registry tickers. REQUIRES: mu_.
   void SyncCacheStatsLocked();
+  // Fold the BufferLogger dropped-line count and the info LOG's write
+  // failures into the registry tickers. REQUIRES: mu_.
+  void SyncLogStatsLocked();
+  // Render the Prometheus exposition for the current state. REQUIRES:
+  // mu_.
+  std::string RenderPrometheusLocked();
+  // Rewrite options_.metrics_export_path (no-op when unset); goes
+  // through raw_env_ so exporting never shows up in IO traces.
+  // REQUIRES: mu_.
+  void ExportMetricsLocked();
   // Real-env sampler thread body (SimEnv never starts the thread).
   void SamplerThreadLoop();
   void TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us);
@@ -213,10 +227,18 @@ class DBImpl : public DB {
   DbStats stats_;
   // Cache counters already folded into the tickers; guarded by mu_.
   Cache::Stats last_cache_stats_;
+  // Logger-loss counters already folded into the tickers; guarded by mu_.
+  uint64_t last_info_log_dropped_ = 0;
+  uint64_t last_info_log_failures_ = 0;
 
   // --- observability: time series, structured LOG, trace ---
   std::unique_ptr<StatsSampler> sampler_;  // null unless sampling enabled
   std::shared_ptr<DbInfoLogger> info_event_log_;
+  // Live health pipeline (null unless the sampler is on and
+  // enable_health_monitor is set); fed from MaybeSampleLocked, read by
+  // GetProperty("elmo.health"). Guarded by mu_.
+  std::unique_ptr<monitor::HealthMonitor> health_;
+  monitor::HealthStatus last_health_status_ = monitor::HealthStatus::kOk;
 
   // Real-env sampler thread; joined in the destructor before the info
   // LOG closes so no tick outlives the DB.

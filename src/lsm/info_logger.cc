@@ -26,6 +26,8 @@ void DbInfoLogger::LogEvent(const std::string& event, json::Object fields) {
   if (file_->Append(Slice(line)).ok()) {
     file_->Flush();
     lines_++;
+  } else {
+    write_failures_++;
   }
   if (tee_ != nullptr) {
     line.pop_back();
@@ -44,6 +46,11 @@ void DbInfoLogger::Close() {
 uint64_t DbInfoLogger::lines_written() const {
   std::lock_guard<std::mutex> l(mu_);
   return lines_;
+}
+
+uint64_t DbInfoLogger::write_failures() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return write_failures_;
 }
 
 json::Object DbInfoLogger::FlushFields(const FlushJobInfo& info) const {

@@ -50,6 +50,9 @@ class DbInfoLogger : public EventListener {
   void Close();
 
   uint64_t lines_written() const;
+  // Appends that failed (file error); the line was lost. Folded into
+  // Ticker::kInfoLogWriteFailures by the DB.
+  uint64_t write_failures() const;
 
   // EventListener: lifecycle events become LOG lines.
   void OnFlushBegin(const FlushJobInfo& info) override;
@@ -70,6 +73,7 @@ class DbInfoLogger : public EventListener {
   mutable std::mutex mu_;
   std::unique_ptr<WritableFile> file_;
   uint64_t lines_ = 0;
+  uint64_t write_failures_ = 0;
 };
 
 }  // namespace elmo::lsm

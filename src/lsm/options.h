@@ -112,6 +112,16 @@ struct Options {
   // ----- non-tunable wiring (not part of the options file) -----
   Env* env = nullptr;  // defaults to Env::Posix() at Open
   std::shared_ptr<Logger> info_log;
+  // Feed each IntervalSample through the health monitor (anomaly /
+  // phase-shift detection + root-cause diagnosis, see src/monitor/).
+  // Only active when the sampler itself is on. Results surface via
+  // GetProperty("elmo.health") and "health" LOG events.
+  bool enable_health_monitor = true;
+  // When non-empty, rewrite this file with a Prometheus text-exposition
+  // snapshot of tickers/gauges/histogram quantiles on every sampler tick
+  // (and once at close). Written through the raw Env, so it never
+  // pollutes IO traces.
+  std::string metrics_export_path;
   bool create_if_missing = true;
   bool error_if_exists = false;
   // Observers of flush/compaction/stall events (see event_listener.h).

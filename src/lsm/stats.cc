@@ -131,7 +131,8 @@ std::string DbStats::ToString() const {
       "  trivial moves: %llu\n"
       "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n"
       "stall reasons: l0-slowdown %llu, l0-stop %llu, memtable-stop %llu\n"
-      "block cache: hits %llu, misses %llu\n",
+      "block cache: hits %llu, misses %llu\n"
+      "info log: dropped lines %llu, write failures %llu\n",
       (unsigned long long)Get(Ticker::kWriteCount),
       (unsigned long long)Get(Ticker::kDeleteCount),
       (unsigned long long)Get(Ticker::kGetHit),
@@ -154,7 +155,9 @@ std::string DbStats::ToString() const {
       (unsigned long long)Get(Ticker::kStallL0StopCount),
       (unsigned long long)Get(Ticker::kStallMemtableStopCount),
       (unsigned long long)Get(Ticker::kBlockCacheHit),
-      (unsigned long long)Get(Ticker::kBlockCacheMiss));
+      (unsigned long long)Get(Ticker::kBlockCacheMiss),
+      (unsigned long long)Get(Ticker::kInfoLogDroppedLines),
+      (unsigned long long)Get(Ticker::kInfoLogWriteFailures));
   std::string out = buf;
 
   out += "histograms (count / p50 / p99 / max):\n";

@@ -40,6 +40,13 @@ enum class Ticker : int {
   // Block cache lookups, folded in from Cache::GetStats by the DB.
   kBlockCacheHit,
   kBlockCacheMiss,
+  // Observability-of-the-observability: lines the BufferLogger evicted
+  // to honor its cap, and JSONL info-LOG appends that failed. Folded in
+  // from the loggers by the DB (SyncLogStatsLocked) so telemetry loss
+  // is visible in `elmo.stats` and the Prometheus exposition instead of
+  // only inside the logger objects.
+  kInfoLogDroppedLines,
+  kInfoLogWriteFailures,
   kTickerMax,
 };
 

@@ -15,13 +15,16 @@ double Round1(double v) {
   return static_cast<double>(static_cast<int64_t>(shifted)) / 10.0;
 }
 
-json::Object SampleToJson(const IntervalSample& s) {
+}  // namespace
+
+json::Object SampleToJsonObject(const IntervalSample& s) {
   json::Object o;
   o["ts_us"] = static_cast<int64_t>(s.ts_us);
   o["interval_us"] = static_cast<int64_t>(s.interval_us);
   o["ops"] = static_cast<int64_t>(s.ops);
   o["writes"] = static_cast<int64_t>(s.writes);
   o["gets"] = static_cast<int64_t>(s.gets);
+  o["seeks"] = static_cast<int64_t>(s.seeks);
   o["ops_per_sec"] = Round1(s.ops_per_sec);
   o["p50_write_us"] = Round1(s.p50_write_us);
   o["p99_write_us"] = Round1(s.p99_write_us);
@@ -52,6 +55,8 @@ json::Object SampleToJson(const IntervalSample& s) {
   return o;
 }
 
+namespace {
+
 uint64_t GetU64(const json::Value& obj, const char* key) {
   const json::Value* v = obj.Find(key);
   return (v != nullptr && v->is_number()) ? static_cast<uint64_t>(v->as_int())
@@ -63,13 +68,16 @@ double GetDouble(const json::Value& obj, const char* key) {
   return (v != nullptr && v->is_number()) ? v->as_double() : 0.0;
 }
 
-IntervalSample SampleFromJson(const json::Value& obj) {
+}  // namespace
+
+IntervalSample SampleFromJsonValue(const json::Value& obj) {
   IntervalSample s;
   s.ts_us = GetU64(obj, "ts_us");
   s.interval_us = GetU64(obj, "interval_us");
   s.ops = GetU64(obj, "ops");
   s.writes = GetU64(obj, "writes");
   s.gets = GetU64(obj, "gets");
+  s.seeks = GetU64(obj, "seeks");
   s.ops_per_sec = GetDouble(obj, "ops_per_sec");
   s.p50_write_us = GetDouble(obj, "p50_write_us");
   s.p99_write_us = GetDouble(obj, "p99_write_us");
@@ -102,8 +110,6 @@ IntervalSample SampleFromJson(const json::Value& obj) {
   return s;
 }
 
-}  // namespace
-
 std::string TimeSeriesToJson(uint64_t interval_us, uint64_t dropped,
                              const std::vector<IntervalSample>& samples) {
   json::Object doc;
@@ -111,7 +117,9 @@ std::string TimeSeriesToJson(uint64_t interval_us, uint64_t dropped,
   doc["dropped"] = static_cast<int64_t>(dropped);
   json::Array arr;
   arr.reserve(samples.size());
-  for (const IntervalSample& s : samples) arr.emplace_back(SampleToJson(s));
+  for (const IntervalSample& s : samples) {
+    arr.emplace_back(SampleToJsonObject(s));
+  }
   doc["samples"] = std::move(arr);
   return json::Value(std::move(doc)).Dump();
 }
@@ -138,7 +146,7 @@ Status TimeSeriesFromJson(const std::string& text,
     if (!v.is_object()) {
       return Status::Corruption("timeseries: sample is not an object");
     }
-    samples->push_back(SampleFromJson(v));
+    samples->push_back(SampleFromJsonValue(v));
   }
   return Status::OK();
 }
@@ -166,11 +174,17 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   StatsSnapshot delta = cur.Delta(prev_);
   const uint64_t interval = now_us - prev_ts_us_;
 
+  // A tick that lands a whole extra interval after it was due means the
+  // sampling cadence slipped (busy sampler thread, or sparse piggyback
+  // call sites under SimEnv). Surfaced via LateTicks().
+  if (interval >= 2 * interval_us_) late_ticks_++;
+
   IntervalSample s;
   s.ts_us = now_us;
   s.interval_us = interval;
   s.writes = delta.Get(Ticker::kWriteCount) + delta.Get(Ticker::kDeleteCount);
   s.gets = delta.Get(Ticker::kGetHit) + delta.Get(Ticker::kGetMiss);
+  s.seeks = delta.Get(Ticker::kSeekCount);
   s.ops = s.writes + s.gets;
   s.ops_per_sec = static_cast<double>(s.ops) * 1e6 / interval;
   const Histogram& wh = delta.GetHistogram(HistogramType::kWriteMicros);
@@ -238,6 +252,11 @@ size_t StatsSampler::NumSamples() const {
 uint64_t StatsSampler::DroppedSamples() const {
   std::lock_guard<std::mutex> l(mu_);
   return dropped_;
+}
+
+uint64_t StatsSampler::LateTicks() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return late_ticks_;
 }
 
 std::string StatsSampler::ToJson() const {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lsm/stats.h"
+#include "util/json.h"
 #include "util/status.h"
 
 namespace elmo::lsm {
@@ -56,6 +57,7 @@ struct IntervalSample {
   uint64_t ops = 0;     // writes + gets
   uint64_t writes = 0;  // user write ops
   uint64_t gets = 0;    // hits + misses
+  uint64_t seeks = 0;   // iterator Seek ops (not folded into `ops`)
   double ops_per_sec = 0;
   double p50_write_us = 0;  // interval percentiles, not cumulative
   double p99_write_us = 0;
@@ -84,6 +86,11 @@ struct IntervalSample {
   uint64_t span_sst_probe_us = 0;
   uint64_t span_memtable_us = 0;
 };
+
+// Per-sample JSON codec, shared by TimeSeriesToJson, the full
+// `sampler_tick` LOG events and the monitor's offline replayers.
+json::Object SampleToJsonObject(const IntervalSample& s);
+IntervalSample SampleFromJsonValue(const json::Value& obj);
 
 // Render a sample list as the "elmo.timeseries" JSON document:
 //   {"interval_us": N, "dropped": N, "samples": [{...}, ...]}
@@ -118,6 +125,10 @@ class StatsSampler {
   size_t NumSamples() const;
   // Samples evicted from the ring so far (drop-oldest).
   uint64_t DroppedSamples() const;
+  // Ticks that arrived at least one full interval late — the sampler
+  // thread (or the SimEnv piggyback sites) fell behind the configured
+  // cadence. A monitor health signal, not an error.
+  uint64_t LateTicks() const;
   uint64_t interval_us() const { return interval_us_; }
 
   std::string ToJson() const;
@@ -139,6 +150,7 @@ class StatsSampler {
   uint64_t prev_span_memtable_us_ = 0;
   std::deque<IntervalSample> ring_;
   uint64_t dropped_ = 0;
+  uint64_t late_ticks_ = 0;
 };
 
 }  // namespace elmo::lsm

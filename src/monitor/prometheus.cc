@@ -1,0 +1,199 @@
+#include "monitor/prometheus.h"
+
+#include <cstdio>
+
+namespace elmo::monitor {
+
+const char* TickerPromName(lsm::Ticker t) {
+  using lsm::Ticker;
+  switch (t) {
+    case Ticker::kBytesWritten: return "bytes_written";
+    case Ticker::kBytesRead: return "bytes_read";
+    case Ticker::kWalBytes: return "wal_bytes";
+    case Ticker::kFlushCount: return "flushes";
+    case Ticker::kFlushBytes: return "flush_bytes";
+    case Ticker::kCompactionCount: return "compactions";
+    case Ticker::kCompactionBytesRead: return "compaction_bytes_read";
+    case Ticker::kCompactionBytesWritten: return "compaction_bytes_written";
+    case Ticker::kTrivialMoveCount: return "trivial_moves";
+    case Ticker::kWriteStallMicros: return "write_stall_micros";
+    case Ticker::kWriteSlowdownCount: return "write_slowdowns";
+    case Ticker::kWriteStopCount: return "write_stops";
+    case Ticker::kGetHit: return "get_hits";
+    case Ticker::kGetMiss: return "get_misses";
+    case Ticker::kSeekCount: return "seeks";
+    case Ticker::kWriteCount: return "writes";
+    case Ticker::kDeleteCount: return "deletes";
+    case Ticker::kWalSyncs: return "wal_syncs";
+    case Ticker::kStallL0SlowdownCount: return "stall_l0_slowdowns";
+    case Ticker::kStallL0StopCount: return "stall_l0_stops";
+    case Ticker::kStallMemtableStopCount: return "stall_memtable_stops";
+    case Ticker::kBlockCacheHit: return "block_cache_hits";
+    case Ticker::kBlockCacheMiss: return "block_cache_misses";
+    case Ticker::kInfoLogDroppedLines: return "info_log_dropped_lines";
+    case Ticker::kInfoLogWriteFailures: return "info_log_write_failures";
+    case Ticker::kTickerMax: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Snake-case stem for a histogram ("get micros" -> "get_micros").
+std::string HistogramPromName(lsm::HistogramType h) {
+  std::string name = lsm::HistogramTypeName(h);
+  for (char& c : name) {
+    if (c == ' ') c = '_';
+  }
+  return name;
+}
+
+void AppendCounter(std::string* out, const std::string& name,
+                   const char* help, uint64_t value) {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "# HELP elmo_%s_total %s\n"
+           "# TYPE elmo_%s_total counter\n"
+           "elmo_%s_total %llu\n",
+           name.c_str(), help, name.c_str(), name.c_str(),
+           (unsigned long long)value);
+  *out += buf;
+}
+
+void AppendGaugeHeader(std::string* out, const std::string& name,
+                       const char* help) {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "# HELP elmo_%s %s\n"
+           "# TYPE elmo_%s gauge\n",
+           name.c_str(), help, name.c_str());
+  *out += buf;
+}
+
+void AppendGauge(std::string* out, const std::string& name, const char* help,
+                 uint64_t value) {
+  AppendGaugeHeader(out, name, help);
+  char buf[128];
+  snprintf(buf, sizeof(buf), "elmo_%s %llu\n", name.c_str(),
+           (unsigned long long)value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const PrometheusInputs& in) {
+  std::string out;
+  out.reserve(8192);
+
+  // --- tickers: monotone counters.
+  for (int i = 0; i < static_cast<int>(lsm::Ticker::kTickerMax); i++) {
+    const auto t = static_cast<lsm::Ticker>(i);
+    AppendCounter(&out, TickerPromName(t), "engine ticker", in.stats.Get(t));
+  }
+
+  // --- per-level state, labelled by level.
+  char buf[256];
+  AppendGaugeHeader(&out, "level_files", "SST files at each level");
+  for (int l = 0; l < in.num_levels; l++) {
+    snprintf(buf, sizeof(buf), "elmo_level_files{level=\"%d\"} %d\n", l,
+             in.level_files[l]);
+    out += buf;
+  }
+  out +=
+      "# HELP elmo_level_read_bytes_total compaction input bytes read "
+      "from each level\n"
+      "# TYPE elmo_level_read_bytes_total counter\n";
+  for (int l = 0; l < in.num_levels; l++) {
+    snprintf(buf, sizeof(buf),
+             "elmo_level_read_bytes_total{level=\"%d\"} %llu\n", l,
+             (unsigned long long)in.level_read_bytes[l]);
+    out += buf;
+  }
+  out +=
+      "# HELP elmo_level_write_bytes_total bytes written into each level\n"
+      "# TYPE elmo_level_write_bytes_total counter\n";
+  for (int l = 0; l < in.num_levels; l++) {
+    snprintf(buf, sizeof(buf),
+             "elmo_level_write_bytes_total{level=\"%d\"} %llu\n", l,
+             (unsigned long long)in.level_write_bytes[l]);
+    out += buf;
+  }
+  out +=
+      "# HELP elmo_level_compactions_total compactions whose output "
+      "landed at each level\n"
+      "# TYPE elmo_level_compactions_total counter\n";
+  for (int l = 0; l < in.num_levels; l++) {
+    snprintf(buf, sizeof(buf),
+             "elmo_level_compactions_total{level=\"%d\"} %llu\n", l,
+             (unsigned long long)in.level_compactions[l]);
+    out += buf;
+  }
+
+  // --- gauges.
+  AppendGauge(&out, "memtable_bytes", "active + immutable memtable bytes",
+              in.memtable_bytes);
+  AppendGauge(&out, "immutable_memtables", "immutable memtables queued",
+              static_cast<uint64_t>(in.imm_count < 0 ? 0 : in.imm_count));
+  AppendGauge(&out, "pending_compaction_bytes",
+              "estimated compaction debt bytes", in.pending_compaction_bytes);
+  AppendGauge(&out, "block_cache_usage_bytes", "bytes charged to block cache",
+              in.block_cache_usage);
+  AppendGauge(&out, "block_cache_capacity_bytes", "block cache capacity",
+              in.block_cache_capacity);
+
+  // --- sampler self-observability.
+  AppendGauge(&out, "sampler_samples", "interval samples currently retained",
+              in.sampler_samples);
+  AppendCounter(&out, "sampler_ring_dropped",
+                "samples evicted from the history ring",
+                in.sampler_ring_dropped);
+  AppendCounter(&out, "sampler_late_ticks",
+                "sampler ticks at least one interval late",
+                in.sampler_late_ticks);
+  AppendGauge(&out, "sampler_interval_us", "configured sampling interval",
+              in.sampler_interval_us);
+
+  // --- histogram quantiles as summaries.
+  for (int i = 0; i < static_cast<int>(lsm::HistogramType::kHistogramMax);
+       i++) {
+    const auto t = static_cast<lsm::HistogramType>(i);
+    const auto& h = in.stats.GetHistogram(t);
+    const std::string name = HistogramPromName(t);
+    snprintf(buf, sizeof(buf),
+             "# HELP elmo_%s engine histogram\n"
+             "# TYPE elmo_%s summary\n",
+             name.c_str(), name.c_str());
+    out += buf;
+    snprintf(buf, sizeof(buf), "elmo_%s{quantile=\"0.5\"} %.1f\n",
+             name.c_str(), h.Median());
+    out += buf;
+    snprintf(buf, sizeof(buf), "elmo_%s{quantile=\"0.99\"} %.1f\n",
+             name.c_str(), h.Percentile(99.0));
+    out += buf;
+    snprintf(buf, sizeof(buf), "elmo_%s{quantile=\"0.999\"} %.1f\n",
+             name.c_str(), h.Percentile(99.9));
+    out += buf;
+    snprintf(buf, sizeof(buf), "elmo_%s_sum %.1f\n", name.c_str(),
+             h.Average() * static_cast<double>(h.Count()));
+    out += buf;
+    snprintf(buf, sizeof(buf), "elmo_%s_count %llu\n", name.c_str(),
+             (unsigned long long)h.Count());
+    out += buf;
+  }
+
+  // --- health verdict.
+  AppendGauge(&out, "health_status",
+              "health verdict: 0 ok, 1 warn, 2 critical",
+              static_cast<uint64_t>(in.health_status));
+  AppendGaugeHeader(&out, "health_top_severity",
+                    "severity of the top-ranked diagnosis");
+  snprintf(buf, sizeof(buf), "elmo_health_top_severity{rule=\"%s\"} %.3f\n",
+           in.health_top_rule.c_str(), in.health_top_severity);
+  out += buf;
+
+  AppendGauge(&out, "engine_clock_us", "engine clock at render time",
+              in.ts_us);
+  return out;
+}
+
+}  // namespace elmo::monitor

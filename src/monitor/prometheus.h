@@ -1,0 +1,53 @@
+// Prometheus text-exposition renderer (text/plain; version 0.0.4) for
+// the engine's telemetry: every ticker as a counter, engine gauges,
+// per-level file counts and compaction byte flows with level labels,
+// histogram p50/p99/p999 as summaries, and the health verdict as an
+// enum-style gauge. Pure string rendering over a snapshot struct, so
+// the same inputs always produce the same bytes; DBImpl writes it to
+// Options::metrics_export_path on every sampler tick, and elmo_top can
+// render a static frame from a scraped file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lsm/stats.h"
+#include "lsm/stats_sampler.h"
+#include "monitor/health_monitor.h"
+
+namespace elmo::monitor {
+
+struct PrometheusInputs {
+  lsm::StatsSnapshot stats;
+  // Per-level state; entries [0, num_levels).
+  int num_levels = 0;
+  int level_files[lsm::DbStats::kMaxLevels] = {};
+  uint64_t level_read_bytes[lsm::DbStats::kMaxLevels] = {};
+  uint64_t level_write_bytes[lsm::DbStats::kMaxLevels] = {};
+  uint64_t level_compactions[lsm::DbStats::kMaxLevels] = {};
+  // Instantaneous gauges.
+  uint64_t memtable_bytes = 0;
+  int imm_count = 0;
+  uint64_t pending_compaction_bytes = 0;
+  uint64_t block_cache_usage = 0;
+  uint64_t block_cache_capacity = 0;
+  // Sampler self-observability.
+  uint64_t sampler_samples = 0;
+  uint64_t sampler_ring_dropped = 0;
+  uint64_t sampler_late_ticks = 0;
+  uint64_t sampler_interval_us = 0;
+  // Health summary (0 = ok, 1 = warn, 2 = critical).
+  int health_status = 0;
+  double health_top_severity = 0;
+  std::string health_top_rule;  // empty when no diagnosis active
+  // Engine clock at render time.
+  uint64_t ts_us = 0;
+};
+
+// Stable snake_case metric stem for a ticker, without the "elmo_"
+// prefix or "_total" suffix (e.g. kBytesWritten -> "bytes_written").
+const char* TickerPromName(lsm::Ticker t);
+
+std::string RenderPrometheus(const PrometheusInputs& in);
+
+}  // namespace elmo::monitor

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "lsm/stats_sampler.h"
+
 namespace elmo::tune {
 namespace {
 
@@ -67,6 +69,59 @@ TEST(ActiveFlagger, EarlyAbortOnCollapse) {
   EXPECT_TRUE(flagger.ShouldAbortEarly(Result(100000), Result(30000)));
   EXPECT_FALSE(flagger.ShouldAbortEarly(Result(100000), Result(70000)));
   EXPECT_FALSE(flagger.ShouldAbortEarly(Result(0), Result(1)));
+}
+
+// Fabricate a probe whose time series runs at `head_rate` ops/s for
+// `head` samples, then `tail_rate` for `tail` samples. `scan_tail`
+// moves the tail's ops into iterator seeks, which flips the detector's
+// scan-share phase metric at the boundary.
+bench::BenchResult ProbeWithSeries(double overall, double head_rate,
+                                   int head, double tail_rate, int tail,
+                                   bool scan_tail = false) {
+  bench::BenchResult r = Result(overall);
+  uint64_t ts = 0;
+  for (int i = 0; i < head + tail; i++) {
+    lsm::IntervalSample s;
+    s.ts_us = ts += 1'000'000;
+    s.interval_us = 1'000'000;
+    const double rate = i < head ? head_rate : tail_rate;
+    if (i >= head && scan_tail) {
+      s.seeks = static_cast<uint64_t>(rate);
+    } else {
+      s.writes = static_cast<uint64_t>(rate);
+      s.ops = s.writes;
+    }
+    s.ops_per_sec = rate;
+    r.timeseries.push_back(s);
+  }
+  r.sample_interval_us = 1'000'000;
+  return r;
+}
+
+TEST(ActiveFlagger, MidProbeCollapseAbortsDespiteHealthyAverage) {
+  ActiveFlagger flagger;
+  // Averages to 70% of best — above the 50% floor — but the run
+  // collapsed to 20% partway through and stayed there.
+  auto probe = ProbeWithSeries(/*overall=*/70000, /*head_rate=*/100000,
+                               /*head=*/8, /*tail_rate=*/20000, /*tail=*/6);
+  auto v = flagger.JudgeProbe(Result(100000), probe);
+  EXPECT_TRUE(v.abort);
+  EXPECT_NE(v.reason.find("collapse"), std::string::npos);
+}
+
+TEST(ActiveFlagger, StableProbeDoesNotAbort) {
+  ActiveFlagger flagger;
+  auto probe = ProbeWithSeries(70000, 70000, 8, 70000, 6);
+  EXPECT_FALSE(flagger.JudgeProbe(Result(100000), probe).abort);
+}
+
+TEST(ActiveFlagger, PhaseShiftExplainsCollapseNoAbort) {
+  ActiveFlagger flagger;
+  // Same throughput collapse, but the tail is a scan phase: the
+  // workload changed shape, so the configuration is not condemned.
+  auto probe = ProbeWithSeries(70000, 100000, 8, 20000, 6,
+                               /*scan_tail=*/true);
+  EXPECT_FALSE(flagger.JudgeProbe(Result(100000), probe).abort);
 }
 
 TEST(ActiveFlagger, ConfigurableThresholds) {

@@ -12,6 +12,7 @@
 //   elmo_dump spantrace <file> [--verbose]
 //   elmo_dump span-analyze <file> [--json]
 //   elmo_dump span-export <file>
+//   elmo_dump health <file> [--json]
 //   elmo_dump db <dir>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +25,7 @@
 #include "bench_kit/io_analyzer.h"
 #include "bench_kit/span_analyzer.h"
 #include "env/env.h"
+#include "monitor/offline.h"
 #include "util/json.h"
 
 namespace {
@@ -48,6 +50,10 @@ void Usage() {
           " from a span trace\n"
           "  span-export <file>                  span trace -> Chrome"
           " trace-event JSON (Perfetto)\n"
+          "  health <file> [--json]              replay a JSONL LOG or"
+          " timeseries JSON\n"
+          "                                      through the health monitor:"
+          " verdict timeline\n"
           "  db <dir>                            dump a whole DB directory\n");
 }
 
@@ -131,6 +137,15 @@ int main(int argc, char** argv) {
       text = HasFlag(flags, "--json")
                  ? elmo::json::Value(attr.ToJson()).Dump(2) + "\n"
                  : attr.ToText();
+    }
+  } else if (command == "health") {
+    elmo::monitor::HealthTimeline timeline;
+    s = elmo::monitor::RunHealthOffline(env, path,
+                                        elmo::monitor::MonitorConfig{},
+                                        &timeline);
+    if (s.ok()) {
+      text = HasFlag(flags, "--json") ? timeline.ToJson() + "\n"
+                                      : timeline.ToText();
     }
   } else if (command == "span-export") {
     s = elmo::bench::ExportChromeTrace(env, path, &text);
