@@ -9,10 +9,13 @@
 #include <string>
 
 #include "bench_kit/bench_runner.h"
+#include "elmo/online_tuner.h"
+#include "llm/expert_llm.h"
 #include "stress_kit/stress_driver.h"
 #include "env/device_model.h"
 #include "env/hardware_profile.h"
 #include "env/mem_env.h"
+#include "env/sim_env.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
 #include "lsm/memtable.h"
@@ -286,6 +289,15 @@ static int WriteDumpableDb(const std::string& dir) {
   }
   db->FlushMemTable();
   opts.env->SleepForMicroseconds(12000);
+  // A live SetOptions batch between the write and read phases, so the
+  // LOG carries an options_change event for elmo_top's pane and the
+  // OPTIONS file records the post-change state.
+  if (!db->SetOptions({{"write_buffer_size", "131072"},
+                       {"max_background_jobs", "3"}})
+           .ok()) {
+    fprintf(stderr, "micro_engine: SetOptions failed\n");
+    return 1;
+  }
   std::string out;
   for (int i = 0; i < 1000; i++) {
     char key[32];
@@ -329,25 +341,90 @@ static int RunFaultSmoke(uint64_t seed) {
   return 0;
 }
 
+// Run the phased SimEnv workload with a live OnlineTuner on the bench
+// hook (simulated LLM, fixed seed) and write the tuning timeline JSON
+// to `path`. Fails unless the session applied at least one delta and
+// never re-proposed a rolled-back one — the rollback-loop oscillation
+// smell CI guards against.
+static int RunOnlineTuningSmoke(const std::string& path) {
+  const auto hw =
+      elmo::HardwareProfile::Make(4, 4, elmo::DeviceModel::NvmeSsd());
+  elmo::bench::BenchRunner runner(hw, /*seed=*/42);
+
+  elmo::llm::ExpertConfig ecfg;
+  ecfg.seed = 42;
+  elmo::llm::SimulatedExpertLlm expert(ecfg);
+
+  elmo::tune::OnlineTunerConfig cfg;
+  cfg.memory_budget_bytes =
+      (hw.memory_bytes - elmo::SimEnv::kOsBaselineBytes) /
+      elmo::bench::kCapacityScale;
+
+  std::unique_ptr<elmo::tune::OnlineTuner> tuner;
+  elmo::lsm::DB* tuner_db = nullptr;
+  auto hook = [&](elmo::lsm::DB* db, uint64_t) {
+    if (db != tuner_db) {
+      tuner_db = db;
+      tuner = std::make_unique<elmo::tune::OnlineTuner>(db, &expert, cfg);
+    }
+    tuner->Poll();
+  };
+  const elmo::bench::BenchResult result = runner.RunWithHook(
+      elmo::bench::WorkloadSpec::Phased(), elmo::lsm::Options(), hook);
+
+  if (tuner == nullptr) {
+    fprintf(stderr, "micro_engine: tuning smoke never saw the DB\n");
+    return 1;
+  }
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "micro_engine: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  const std::string json = tuner->TimelineJson();
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  fprintf(stderr,
+          "micro_engine: tuning smoke %.0f ops/s, %d delta(s) applied, "
+          "%d rollback(s), %d oscillation(s) -> %s\n",
+          result.ops_per_sec, tuner->applied_deltas(), tuner->rollbacks(),
+          tuner->oscillations(), path.c_str());
+  if (tuner->applied_deltas() < 1) {
+    fprintf(stderr, "micro_engine: tuning smoke FAILED: no delta applied\n");
+    return 1;
+  }
+  if (tuner->oscillations() != 0) {
+    fprintf(stderr,
+            "micro_engine: tuning smoke FAILED: rollback-loop oscillation\n");
+    return 1;
+  }
+  return 0;
+}
+
 // BENCHMARK_MAIN plus --elmo_smoke_json=<path> / --elmo_dump_db=<dir> /
-// --fault_seed=<n> flags (consumed before google-benchmark sees the
-// argument list).
+// --fault_seed=<n> / --elmo_online_tuning_json=<path> flags (consumed
+// before google-benchmark sees the argument list).
 int main(int argc, char** argv) {
   std::string smoke_path;
   std::string dump_db_dir;
   std::string fault_seed;
+  std::string tuning_path;
   int out_argc = 1;
   for (int i = 1; i < argc; i++) {
     const std::string arg = argv[i];
     const std::string smoke_prefix = "--elmo_smoke_json=";
     const std::string dump_prefix = "--elmo_dump_db=";
     const std::string fault_prefix = "--fault_seed=";
+    const std::string tuning_prefix = "--elmo_online_tuning_json=";
     if (arg.rfind(smoke_prefix, 0) == 0) {
       smoke_path = arg.substr(smoke_prefix.size());
     } else if (arg.rfind(dump_prefix, 0) == 0) {
       dump_db_dir = arg.substr(dump_prefix.size());
     } else if (arg.rfind(fault_prefix, 0) == 0) {
       fault_seed = arg.substr(fault_prefix.size());
+    } else if (arg.rfind(tuning_prefix, 0) == 0) {
+      tuning_path = arg.substr(tuning_prefix.size());
     } else {
       argv[out_argc++] = argv[i];
     }
@@ -365,6 +442,10 @@ int main(int argc, char** argv) {
   }
   if (!dump_db_dir.empty()) {
     int rc = WriteDumpableDb(dump_db_dir);
+    if (rc != 0) return rc;
+  }
+  if (!tuning_path.empty()) {
+    int rc = RunOnlineTuningSmoke(tuning_path);
     if (rc != 0) return rc;
   }
   if (!smoke_path.empty()) return WriteSmokeReport(smoke_path);

@@ -52,13 +52,28 @@ BenchResult BenchRunner::RunProbe(const WorkloadSpec& spec,
   return RunInternal(spec, tuning_opts, std::min(probe_ops, spec.num_ops));
 }
 
+BenchResult BenchRunner::RunWithHook(const WorkloadSpec& spec,
+                                     const lsm::Options& tuning_opts,
+                                     const LiveHook& hook,
+                                     uint64_t hook_every) {
+  return RunInternal(spec, tuning_opts, spec.num_ops, hook,
+                     std::max<uint64_t>(hook_every, 1));
+}
+
 BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
                                      const lsm::Options& tuning_opts,
-                                     uint64_t op_limit) {
+                                     uint64_t op_limit,
+                                     const LiveHook& hook,
+                                     uint64_t hook_every) {
   BenchResult result;
   result.workload = WorkloadTypeName(spec.type);
 
   auto env = std::make_unique<SimEnv>(hw_, seed_);
+  // Capacities run at 1/kCapacityScale of their configured size; the
+  // memory model must debit the footprint at full size or a config
+  // that hoards memory (huge cache AND huge memtables) pays nothing
+  // for it and the cache/memtable budget trade-off disappears.
+  env->SetFootprintScale(kCapacityScale);
   Options opts = ScaleCapacities(tuning_opts);
   opts.env = env.get();
   opts.create_if_missing = true;
@@ -127,13 +142,20 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
   uint64_t bytes_processed = 0;
 
   std::string read_value;
+  const uint64_t phase_len = std::max<uint64_t>(op_limit / 3, 1);
   for (uint64_t i = 0; i < op_limit; i++) {
+    if (hook && i % hook_every == 0) hook(db.get(), i);
     bool is_write = false;
     bool is_scan = false;
     switch (spec.type) {
       case WorkloadType::kFillRandom: is_write = true; break;
       case WorkloadType::kReadRandom: is_write = false; break;
       case WorkloadType::kSeekRandom: is_scan = true; break;
+      case WorkloadType::kPhased:
+        // Hard phase boundaries at thirds: load -> point reads -> scans.
+        is_write = i < phase_len;
+        is_scan = !is_write && i >= 2 * phase_len;
+        break;
       case WorkloadType::kReadRandomWriteRandom:
       case WorkloadType::kMixgraph:
       case WorkloadType::kReadWhileWriting:
@@ -181,6 +203,8 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
     }
   }
 
+  if (hook) hook(db.get(), op_limit);  // final observation
+
   uint64_t elapsed_us = env->NowMicros() - t_start;
   if (elapsed_us == 0) elapsed_us = 1;
 
@@ -227,6 +251,9 @@ BenchResult BenchRunner::RunInternal(const WorkloadSpec& spec,
       result.health_json = prop;
       result.health_text = health.ToText();
     }
+  }
+  if (db->GetProperty("elmo.options_changes", &prop)) {
+    result.options_changes_json = prop;
   }
 
   // Close out the traces and distill them offline: per-kind/context IO

@@ -5,11 +5,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "bench_kit/report.h"
 #include "bench_kit/workload.h"
 #include "env/hardware_profile.h"
+#include "lsm/db.h"
 #include "lsm/options.h"
 
 namespace elmo::bench {
@@ -38,12 +40,23 @@ class BenchRunner {
   BenchResult RunProbe(const WorkloadSpec& spec,
                        const lsm::Options& tuning_opts, uint64_t probe_ops);
 
+  // Mid-run observation point: called with the live DB every
+  // `hook_every` ops during the timed phase (and once after the last
+  // op). The online tuner hangs off this to watch the sampler ring and
+  // apply SetOptions() deltas while the workload runs.
+  using LiveHook = std::function<void(lsm::DB*, uint64_t op_index)>;
+  BenchResult RunWithHook(const WorkloadSpec& spec,
+                          const lsm::Options& tuning_opts,
+                          const LiveHook& hook, uint64_t hook_every = 512);
+
   const HardwareProfile& hardware() const { return hw_; }
 
  private:
   BenchResult RunInternal(const WorkloadSpec& spec,
                           const lsm::Options& tuning_opts,
-                          uint64_t op_limit);
+                          uint64_t op_limit,
+                          const LiveHook& hook = nullptr,
+                          uint64_t hook_every = 512);
 
   HardwareProfile hw_;
   uint64_t seed_;

@@ -91,6 +91,12 @@ struct BenchResult {
   std::string health_json;
   std::string health_text;
 
+  // Dynamic-option ledger captured at the end of the run
+  // (GetProperty("elmo.options_changes")): every SetOptions() delta the
+  // run applied. Kept out of ToJson() — the online-tuning harness
+  // persists its own timeline artifact.
+  std::string options_changes_json;
+
   // The "IO & Cache Evidence" prompt section body; empty when the run
   // captured no traces.
   std::string IoCacheEvidence() const;

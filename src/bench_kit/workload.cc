@@ -12,6 +12,7 @@ const char* WorkloadTypeName(WorkloadType type) {
     case WorkloadType::kMixgraph: return "mixgraph";
     case WorkloadType::kReadWhileWriting: return "readwhilewriting";
     case WorkloadType::kSeekRandom: return "seekrandom";
+    case WorkloadType::kPhased: return "phased";
   }
   return "unknown";
 }
@@ -79,6 +80,21 @@ WorkloadSpec WorkloadSpec::SeekRandom(uint64_t ops, uint64_t preload,
   return w;
 }
 
+WorkloadSpec WorkloadSpec::Phased(uint64_t ops, uint64_t preload,
+                                  uint32_t scan_length) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kPhased;
+  w.num_ops = ops;
+  w.num_keys = preload;
+  w.preload_keys = preload;
+  w.scan_length = scan_length;
+  // Heavier values than the microbenchmarks: the write phase must move
+  // real data for memtable sizing to matter, and the dataset must
+  // outgrow any affordable cache so the phases compete for memory.
+  w.value_size = 400;
+  return w;
+}
+
 std::string WorkloadSpec::Describe() const {
   double write_pct = write_fraction * 100;
   if (type == WorkloadType::kFillRandom) write_pct = 100.0;
@@ -96,6 +112,12 @@ std::string WorkloadSpec::Describe() const {
   std::string out = buf;
   if (type == WorkloadType::kSeekRandom) {
     snprintf(buf, sizeof(buf), ", %u-entry scans", scan_length);
+    out += buf;
+  }
+  if (type == WorkloadType::kPhased) {
+    snprintf(buf, sizeof(buf),
+             "; three equal phases: write -> read -> %u-entry scans",
+             scan_length);
     out += buf;
   }
   return out;

@@ -21,6 +21,12 @@ enum class WorkloadType {
   // db_bench seekrandom: scan-heavy — random Seek + `scan_length`
   // Next() calls per operation.
   kSeekRandom,
+  // Time-varying workload for online-tuning evaluation: the op stream
+  // switches phase at fixed op-count boundaries — first third pure
+  // writes (load), second third point reads, final third scans. No
+  // single static configuration is right for all three phases, which
+  // is exactly what DB::SetOptions() + the online tuner exploit.
+  kPhased,
 };
 
 const char* WorkloadTypeName(WorkloadType type);
@@ -58,6 +64,11 @@ struct WorkloadSpec {
   static WorkloadSpec SeekRandom(uint64_t ops = 20000,
                                  uint64_t preload = 200000,
                                  uint32_t scan_length = 50);
+  // Three equal phases (write -> read -> scan) over `ops`; preloaded so
+  // the read phase has data beyond the phase-1 writes.
+  static WorkloadSpec Phased(uint64_t ops = 120000,
+                             uint64_t preload = 200000,
+                             uint32_t scan_length = 20);
 
   std::string Describe() const;  // one-line summary for prompts/logs
 };

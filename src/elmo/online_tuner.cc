@@ -1,0 +1,574 @@
+#include "elmo/online_tuner.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "elmo/option_evaluator.h"
+#include "elmo/prompt_generator.h"
+#include "elmo/safeguard.h"
+#include "lsm/options_schema.h"
+#include "stress_kit/stress_driver.h"
+
+namespace elmo::tune {
+
+namespace {
+
+// Growth caps for the heuristic: the tuner moves the memory budget
+// between memtables and cache per phase; caps keep a flapping workload
+// from ratcheting either side without bound.
+constexpr uint64_t kMinByteSize = 64ull << 10;
+constexpr uint64_t kMaxWriteBufferSize = 64ull << 20;
+constexpr uint64_t kMaxBlockCacheSize = 256ull << 20;
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+OnlineTuner::OnlineTuner(lsm::DB* db, llm::LlmClient* llm,
+                         const OnlineTunerConfig& config)
+    : db_(db), llm_(llm), cfg_(config),
+      sample_interval_us_(
+          db->options().stats_sample_interval_ms * 1000) {}
+
+double OnlineTuner::SampleRate(const lsm::IntervalSample& s) {
+  if (s.interval_us == 0) return 0;
+  return (s.ops + s.seeks) / (s.interval_us / 1e6);
+}
+
+std::string OnlineTuner::DeltaSignature(
+    const std::map<std::string, std::string>& delta) {
+  std::string sig;
+  for (const auto& [k, v] : delta) sig += k + "=" + v + ";";
+  return sig;
+}
+
+void OnlineTuner::AddStep(uint64_t ts_us, const std::string& kind,
+                          json::Object detail) {
+  TimelineStep step;
+  step.ts_us = ts_us;
+  step.kind = kind;
+  step.detail = std::move(detail);
+  timeline_.push_back(std::move(step));
+}
+
+bool OnlineTuner::ReadHealth(monitor::HealthReport* report) const {
+  std::string prop;
+  if (!db_->GetProperty("elmo.health", &prop) || prop.empty()) {
+    return false;
+  }
+  return monitor::HealthReport::FromJson(prop, report).ok();
+}
+
+bool OnlineTuner::PhaseShiftNear(uint64_t ts_us) const {
+  monitor::HealthReport report;
+  if (!ReadHealth(&report)) return false;
+  const uint64_t slack = 2 * std::max<uint64_t>(sample_interval_us_, 1);
+  for (const auto& e : report.anomalies) {
+    if (!e.phase_shift) continue;
+    const uint64_t d = e.ts_us > ts_us ? e.ts_us - ts_us : ts_us - e.ts_us;
+    if (d <= slack) return true;
+  }
+  return false;
+}
+
+void OnlineTuner::Poll() {
+  std::string prop;
+  if (!db_->GetProperty("elmo.timeseries", &prop)) return;
+  std::vector<lsm::IntervalSample> samples;
+  uint64_t interval_us = 0;
+  if (!lsm::TimeSeriesFromJson(prop, &samples, &interval_us).ok()) return;
+  if (interval_us > 0) sample_interval_us_ = interval_us;
+
+  // The ring is bounded drop-oldest; everything past the last consumed
+  // timestamp is new.
+  size_t first_new = samples.size();
+  while (first_new > 0 && samples[first_new - 1].ts_us > last_sample_ts_) {
+    first_new--;
+  }
+  if (!attached_) {
+    // First look at the ring: whatever it holds predates this session
+    // (a bulk load, another tuner's era). Take it as context for the
+    // prompt but do not act on it — acting starts with the first
+    // interval observed live, so baselines measure this era's traffic.
+    attached_ = true;
+    for (size_t i = first_new; i < samples.size(); i++) {
+      last_sample_ts_ = samples[i].ts_us;
+      recent_.push_back(samples[i]);
+      while (recent_.size() > 16) recent_.pop_front();
+    }
+    return;
+  }
+  for (size_t i = first_new; i < samples.size(); i++) {
+    last_sample_ts_ = samples[i].ts_us;
+    recent_.push_back(samples[i]);
+    while (recent_.size() > 16) recent_.pop_front();
+    StepOnSample(samples[i]);
+  }
+}
+
+void OnlineTuner::StepOnSample(const lsm::IntervalSample& s) {
+  if (verifying_) {
+    VerifySample(s);
+    return;
+  }
+  if (cooldown_left_ > 0) {
+    cooldown_left_--;
+    return;
+  }
+  CheckTrigger(s);
+}
+
+void OnlineTuner::CheckTrigger(const lsm::IntervalSample& s) {
+  monitor::HealthReport report;
+  if (!ReadHealth(&report)) return;
+
+  // Primary trigger: a workload phase shift the detector confirmed
+  // since the last handled trigger.
+  const monitor::AnomalyEvent* shift = nullptr;
+  for (const auto& e : report.anomalies) {
+    if (e.phase_shift && e.ts_us > last_trigger_ts_) shift = &e;
+  }
+
+  std::string trigger;
+  if (shift != nullptr) {
+    trigger = "phase shift: " + shift->ToString();
+    last_trigger_ts_ = shift->ts_us;
+  } else if (!kicked_off_ && s.ops + s.seeks + s.writes > 0) {
+    // Cold start: the session begins on whatever configuration the DB
+    // was opened with; fit the first delta to the observed mix rather
+    // than waiting for the mix to change.
+    trigger = "session start: fitting the live mix";
+    last_trigger_ts_ = s.ts_us;
+  } else {
+    // Secondary trigger: a severe diagnosis (its suggested_options seed
+    // the heuristic). Rule-gated so the same standing verdict does not
+    // re-fire every interval.
+    if (report.diagnoses.empty()) return;
+    const monitor::Diagnosis& top = report.diagnoses.front();
+    if (top.severity < cfg_.diagnosis_severity_threshold ||
+        top.rule == last_diag_rule_) {
+      return;
+    }
+    char sev[32];
+    snprintf(sev, sizeof(sev), "%.2f", top.severity);
+    trigger = "diagnosis: " + top.rule + " (severity " + sev +
+              "): " + top.cause;
+    last_diag_rule_ = top.rule;
+    last_trigger_ts_ = s.ts_us;
+  }
+
+  kicked_off_ = true;
+  json::Object observe;
+  observe["trigger"] = trigger;
+  observe["rate_ops_per_sec"] = static_cast<int64_t>(SampleRate(s));
+  AddStep(s.ts_us, "observe", std::move(observe));
+
+  std::string origin;
+  std::map<std::string, std::string> delta =
+      ProposeDelta(s, trigger, report.diagnoses, &origin);
+  if (delta.empty()) return;
+
+  const std::string sig = DeltaSignature(delta);
+  if (rolled_back_.count(sig) > 0) {
+    // Proposing a delta that was already rolled back is the oscillation
+    // loop the verdict machinery exists to prevent; skip and cool down.
+    oscillations_++;
+    json::Object skip;
+    skip["signature"] = sig;
+    AddStep(s.ts_us, "oscillation_skip", std::move(skip));
+    cooldown_left_ = cfg_.cooldown_intervals;
+    return;
+  }
+
+  json::Object propose;
+  propose["origin"] = origin;
+  json::Object changes;
+  for (const auto& [k, v] : delta) changes[k] = v;
+  propose["changes"] = std::move(changes);
+  AddStep(s.ts_us, "propose", std::move(propose));
+
+  // Post-shift baseline: the triggering interval's own rate, so the
+  // verdict compares against the new phase's level, not the old one.
+  ApplyDelta(delta, origin, s.ts_us, SampleRate(s));
+}
+
+std::map<std::string, std::string> OnlineTuner::ProposeDelta(
+    const lsm::IntervalSample& s, const std::string& trigger,
+    const std::vector<monitor::Diagnosis>& diagnoses,
+    std::string* origin) {
+  const lsm::OptionsSchema& schema = lsm::OptionsSchema::Instance();
+  const lsm::Options& cur = db_->options();
+
+  if (llm_ != nullptr) {
+    LiveDeltaInputs in;
+    in.trigger_description = trigger;
+    in.memory_budget_bytes = cfg_.memory_budget_bytes;
+    in.mutable_options = schema.DescribeMutable(cur);
+    in.recent_samples.assign(recent_.begin(), recent_.end());
+    monitor::HealthReport report;
+    if (ReadHealth(&report)) in.health_evidence = report.ToText();
+    in.delta_history = delta_history_;
+
+    std::vector<llm::ChatMessage> messages;
+    messages.push_back({"system", PromptGenerator::SystemMessage()});
+    messages.push_back({"user", PromptGenerator::GenerateLiveDelta(in)});
+    std::string response;
+    if (llm_->Complete(messages, &response).ok()) {
+      // Same vetting pipeline as the offline loop, then restricted to
+      // the runtime-mutable subset — anything else SetOptions would
+      // reject, so it never reaches the engine.
+      SafeguardEnforcer safeguard(cfg_.extra_blacklist);
+      lsm::Options scratch = cur;
+      SafeguardReport vetted =
+          safeguard.Validate(cur, OptionEvaluator::Extract(response).pairs,
+                             &scratch);
+      std::map<std::string, std::string> delta;
+      for (const auto& [name, value] : vetted.applied) {
+        const lsm::OptionInfo* info = schema.Find(name);
+        if (info == nullptr || !info->runtime_mutable) continue;
+        delta[name] = value;
+      }
+      ClampToBudget(&delta);
+      for (auto it = delta.begin(); it != delta.end();) {
+        const lsm::OptionInfo* info = schema.Find(it->first);
+        it = info->get(cur) == it->second ? delta.erase(it) : ++it;
+      }
+      if (!delta.empty()) {
+        *origin = "llm";
+        return delta;
+      }
+    }
+  }
+
+  *origin = "heuristic";
+  std::map<std::string, std::string> delta = HeuristicDelta(s, diagnoses);
+  ClampToBudget(&delta);
+  for (auto it = delta.begin(); it != delta.end();) {
+    const lsm::OptionInfo* info = schema.Find(it->first);
+    it = info->get(cur) == it->second ? delta.erase(it) : ++it;
+  }
+  return delta;
+}
+
+void OnlineTuner::ClampToBudget(
+    std::map<std::string, std::string>* delta) const {
+  if (cfg_.memory_budget_bytes == 0 || delta->empty()) return;
+  const lsm::OptionsSchema& schema = lsm::OptionsSchema::Instance();
+  lsm::Options candidate = db_->options();
+  for (const auto& [name, value] : *delta) {
+    schema.Apply(&candidate, name, value);
+  }
+  const uint64_t footprint = candidate.ConfiguredMemoryFootprint();
+  if (footprint <= cfg_.memory_budget_bytes) return;
+  // Over budget: the delta must take the memory from somewhere, so pull
+  // the other byte-size knob into the delta at its current value (a
+  // proposal that only grows the cache pays out of the memtables, and
+  // vice versa), then shrink both proportionally. Floors can leave the
+  // result above budget; the verdict machinery covers that remainder.
+  const lsm::Options& cur = db_->options();
+  if (delta->count("block_cache_size") == 0) {
+    (*delta)["block_cache_size"] = U64(cur.block_cache_size);
+  }
+  if (delta->count("write_buffer_size") == 0) {
+    (*delta)["write_buffer_size"] = U64(cur.write_buffer_size);
+  }
+  const double ratio = static_cast<double>(cfg_.memory_budget_bytes) /
+                       static_cast<double>(footprint);
+  for (const char* key : {"write_buffer_size", "block_cache_size"}) {
+    auto& value = (*delta)[key];
+    const uint64_t v = strtoull(value.c_str(), nullptr, 10);
+    value = U64(std::max(
+        kMinByteSize, static_cast<uint64_t>(static_cast<double>(v) * ratio)));
+  }
+}
+
+std::map<std::string, std::string> OnlineTuner::HeuristicDelta(
+    const lsm::IntervalSample& s,
+    const std::vector<monitor::Diagnosis>& diagnoses) const {
+  const lsm::Options& cur = db_->options();
+  std::map<std::string, std::string> d;
+
+  // Diagnosis-directed fixes first: the monitor already named the
+  // bottleneck and the options to move.
+  if (!diagnoses.empty() &&
+      diagnoses.front().severity >= cfg_.diagnosis_severity_threshold) {
+    const std::string& rule = diagnoses.front().rule;
+    if (rule.find("backlog") != std::string::npos ||
+        rule.find("l0") != std::string::npos) {
+      d["max_background_jobs"] =
+          U64(std::min(cur.max_background_jobs * 2, 8));
+      d["level0_slowdown_writes_trigger"] =
+          U64(std::min(cur.level0_slowdown_writes_trigger * 3 / 2, 60));
+      d["level0_stop_writes_trigger"] =
+          U64(std::max(cur.level0_stop_writes_trigger,
+                       std::min(cur.level0_slowdown_writes_trigger * 3 / 2,
+                                60) + 16));
+      return d;
+    }
+    if (rule.find("memtable") != std::string::npos) {
+      d["max_write_buffer_number"] =
+          U64(std::min(cur.max_write_buffer_number + 2, 8));
+      d["write_buffer_size"] = U64(std::clamp(
+          cur.write_buffer_size * 2, kMinByteSize, kMaxWriteBufferSize));
+      return d;
+    }
+    if (rule.find("cache") != std::string::npos) {
+      d["block_cache_size"] = U64(std::clamp(
+          cur.block_cache_size * 4, kMinByteSize, kMaxBlockCacheSize));
+      return d;
+    }
+  }
+
+  // Mix-directed memory shifting: the configured footprint (cache +
+  // memtables) is what the environment debits from the page-cache
+  // budget, so moving bytes toward the side the phase exercises — and
+  // away from the side it does not — beats any static split. With a
+  // budget the split is absolute (reallocate the whole budget); without
+  // one, relative steps.
+  const double denom = static_cast<double>(s.ops + s.seeks);
+  const double write_share = denom > 0 ? s.writes / denom : 0;
+  const uint64_t budget = cfg_.memory_budget_bytes;
+  if (write_share > 0.5) {
+    if (budget > 0) {
+      // Half the budget to in-flight memtables; the cache idles.
+      d["write_buffer_size"] = U64(std::clamp(
+          budget / 8, kMinByteSize, kMaxWriteBufferSize));
+      d["max_write_buffer_number"] = "4";
+      d["block_cache_size"] = U64(std::max(kMinByteSize, budget / 16));
+    } else {
+      d["write_buffer_size"] = U64(std::clamp(
+          cur.write_buffer_size * 4, kMinByteSize, kMaxWriteBufferSize));
+      d["max_write_buffer_number"] =
+          U64(std::max(cur.max_write_buffer_number, 4));
+      d["block_cache_size"] = U64(std::clamp(
+          cur.block_cache_size / 4, kMinByteSize, kMaxBlockCacheSize));
+    }
+    d["max_background_jobs"] = U64(std::max(cur.max_background_jobs, 4));
+  } else {
+    // Read or scan phase: the memtable budget is dead weight — hand it
+    // to the block cache.
+    if (budget > 0) {
+      d["block_cache_size"] = U64(std::clamp(
+          budget * 3 / 4, kMinByteSize, kMaxBlockCacheSize));
+      d["write_buffer_size"] = U64(std::max(kMinByteSize, budget / 32));
+      d["max_write_buffer_number"] = "2";
+    } else {
+      d["block_cache_size"] = U64(std::clamp(
+          cur.block_cache_size * 4, kMinByteSize, kMaxBlockCacheSize));
+      d["write_buffer_size"] = U64(std::clamp(
+          cur.write_buffer_size / 4, kMinByteSize, kMaxWriteBufferSize));
+      d["max_write_buffer_number"] = "2";
+    }
+  }
+
+  // Drop no-ops so a repeated phase does not record empty applies.
+  const lsm::OptionsSchema& schema = lsm::OptionsSchema::Instance();
+  for (auto it = d.begin(); it != d.end();) {
+    const lsm::OptionInfo* info = schema.Find(it->first);
+    if (info != nullptr && info->get(cur) == it->second) {
+      it = d.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return d;
+}
+
+void OnlineTuner::ApplyDelta(
+    const std::map<std::string, std::string>& delta,
+    const std::string& origin, uint64_t ts_us, double baseline) {
+  const lsm::OptionsSchema& schema = lsm::OptionsSchema::Instance();
+  const lsm::Options& cur = db_->options();
+
+  // Crash-certification gate: a delta that loses acknowledged writes
+  // under crash/reopen cycles never reaches the live DB.
+  if (cfg_.certify_ops > 0) {
+    lsm::Options candidate = cur;
+    for (const auto& [name, value] : delta) {
+      schema.Apply(&candidate, name, value);
+    }
+    // Strip live-DB wiring: the stress harness builds its own env, log
+    // and listeners.
+    candidate.env = nullptr;
+    candidate.info_log = nullptr;
+    candidate.listeners.clear();
+    candidate.metrics_export_path.clear();
+    candidate.recover_persisted_options = false;
+    stress::StressConfig scfg;
+    scfg.base_options = candidate;
+    scfg.env_kind = "sim";
+    scfg.seed = cfg_.certify_seed;
+    scfg.ops = cfg_.certify_ops;
+    scfg.crash_cycles = cfg_.certify_crash_cycles;
+    const stress::StressReport sr = stress::RunStress(scfg);
+    if (!sr.ok) {
+      json::Object fail;
+      fail["origin"] = origin;
+      fail["result"] = "certify_failed";
+      fail["divergence"] = sr.first_divergence;
+      AddStep(ts_us, "verdict", std::move(fail));
+      cooldown_left_ = cfg_.cooldown_intervals;
+      return;
+    }
+  }
+
+  // Snapshot the revert values before the engine mutates them.
+  std::map<std::string, std::string> revert;
+  for (const auto& [name, value] : delta) {
+    const lsm::OptionInfo* info = schema.Find(name);
+    if (info != nullptr) revert[name] = info->get(cur);
+  }
+
+  Status s = db_->SetOptions(delta);
+  json::Object apply;
+  apply["origin"] = origin;
+  json::Object changes;
+  for (const auto& [k, v] : delta) changes[k] = v;
+  apply["changes"] = std::move(changes);
+  if (!s.ok()) {
+    apply["error"] = s.ToString();
+    AddStep(ts_us, "apply", std::move(apply));
+    cooldown_left_ = cfg_.cooldown_intervals;
+    return;
+  }
+  apply["baseline_ops_per_sec"] = static_cast<int64_t>(baseline);
+  AddStep(ts_us, "apply", std::move(apply));
+
+  std::string history_line = "applied {";
+  bool first = true;
+  for (const auto& [k, v] : delta) {
+    if (!first) history_line += ", ";
+    history_line += k + " = " + v;
+    first = false;
+  }
+  history_line += "} at t=" + U64(ts_us) + "us (" + origin + ")";
+  delta_history_.push_back(history_line);
+
+  applied_deltas_++;
+  verifying_ = true;
+  baseline_rate_ = baseline;
+  verify_seen_ = 0;
+  strikes_ = 0;
+  active_delta_ = delta;
+  revert_delta_ = std::move(revert);
+  active_origin_ = origin;
+}
+
+void OnlineTuner::VerifySample(const lsm::IntervalSample& s) {
+  // A confirmed phase shift mid-verification supersedes the verdict:
+  // the baseline belongs to the old phase, so neither "kept" nor
+  // "rolled back" would mean anything — re-trigger on the new phase.
+  {
+    monitor::HealthReport report;
+    if (ReadHealth(&report)) {
+      for (const auto& e : report.anomalies) {
+        if (e.phase_shift && e.ts_us > last_trigger_ts_) {
+          json::Object verdict;
+          verdict["origin"] = active_origin_;
+          verdict["result"] = "superseded_by_phase_shift";
+          AddStep(s.ts_us, "verdict", std::move(verdict));
+          verifying_ = false;
+          CheckTrigger(s);
+          return;
+        }
+      }
+    }
+  }
+  verify_seen_++;
+  const double rate = SampleRate(s);
+  if (baseline_rate_ > 0 &&
+      rate < cfg_.rollback_drop_fraction * baseline_rate_ &&
+      !PhaseShiftNear(s.ts_us)) {
+    // Collapse with nothing else to blame: the delta is the suspect.
+    strikes_++;
+  }
+  if (strikes_ >= cfg_.strikes_to_rollback) {
+    Rollback(s);
+    return;
+  }
+  if (verify_seen_ >= cfg_.verify_window) {
+    json::Object verdict;
+    verdict["origin"] = active_origin_;
+    verdict["result"] = "kept";
+    verdict["baseline_ops_per_sec"] =
+        static_cast<int64_t>(baseline_rate_);
+    verdict["final_ops_per_sec"] = static_cast<int64_t>(rate);
+    AddStep(s.ts_us, "verdict", std::move(verdict));
+    verifying_ = false;
+    cooldown_left_ = cfg_.cooldown_intervals;
+  }
+}
+
+void OnlineTuner::Rollback(const lsm::IntervalSample& s) {
+  const std::string sig = DeltaSignature(active_delta_);
+  Status rs = db_->SetOptions(revert_delta_);
+  json::Object rb;
+  rb["origin"] = active_origin_;
+  rb["signature"] = sig;
+  rb["baseline_ops_per_sec"] = static_cast<int64_t>(baseline_rate_);
+  rb["collapsed_ops_per_sec"] = static_cast<int64_t>(SampleRate(s));
+  if (!rs.ok()) rb["revert_error"] = rs.ToString();
+  AddStep(s.ts_us, "rollback", std::move(rb));
+  if (!delta_history_.empty()) {
+    delta_history_.back() += " -> rolled back";
+  }
+  rolled_back_.insert(sig);
+  rollbacks_++;
+  verifying_ = false;
+  cooldown_left_ = cfg_.cooldown_intervals;
+}
+
+Status OnlineTuner::InjectDelta(
+    const std::map<std::string, std::string>& delta,
+    const std::string& origin) {
+  if (delta.empty()) {
+    return Status::InvalidArgument("InjectDelta", "empty delta");
+  }
+  // Baseline from the recent window so the verdict machinery has a
+  // reference even though no anomaly triggered this apply.
+  double baseline = 0;
+  int n = 0;
+  for (auto it = recent_.rbegin(); it != recent_.rend() && n < 4; ++it) {
+    baseline += SampleRate(*it);
+    n++;
+  }
+  if (n > 0) baseline /= n;
+  const int applied_before = applied_deltas_;
+  ApplyDelta(delta, origin, last_sample_ts_, baseline);
+  if (applied_deltas_ == applied_before) {
+    // Rejected by the certify gate or by SetOptions validation; the
+    // timeline step carries the detail.
+    for (auto it = timeline_.rbegin(); it != timeline_.rend(); ++it) {
+      if (it->kind == "apply") {
+        auto err = it->detail.find("error");
+        if (err != it->detail.end() && err->second.is_string()) {
+          return Status::InvalidArgument("InjectDelta",
+                                         err->second.as_string());
+        }
+        break;
+      }
+      if (it->kind == "verdict") break;
+    }
+    return Status::InvalidArgument("InjectDelta", "delta not applied");
+  }
+  return Status::OK();
+}
+
+std::string OnlineTuner::TimelineJson() const {
+  json::Object doc;
+  doc["applied"] = static_cast<int64_t>(applied_deltas_);
+  doc["rollbacks"] = static_cast<int64_t>(rollbacks_);
+  doc["oscillations"] = static_cast<int64_t>(oscillations_);
+  json::Array steps;
+  for (const auto& step : timeline_) {
+    json::Object o;
+    o["ts_us"] = static_cast<int64_t>(step.ts_us);
+    o["kind"] = step.kind;
+    o["detail"] = step.detail;
+    steps.push_back(std::move(o));
+  }
+  doc["steps"] = std::move(steps);
+  return json::Value(std::move(doc)).Dump(2);
+}
+
+}  // namespace elmo::tune

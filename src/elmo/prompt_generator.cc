@@ -1,6 +1,7 @@
 #include "elmo/prompt_generator.h"
 
 #include "bench_kit/report.h"
+#include "util/string_util.h"
 
 namespace elmo::tune {
 
@@ -108,6 +109,72 @@ std::string PromptGenerator::Generate(const PromptInputs& in) {
     p += ".";
   }
   p += "\n";
+  return p;
+}
+
+std::string PromptGenerator::GenerateLiveDelta(const LiveDeltaInputs& in) {
+  std::string p;
+  p += "## Task\n";
+  p += "The key-value store below is SERVING LIVE TRAFFIC. Its workload "
+       "just changed and the current configuration no longer fits. "
+       "Propose a small delta — only the runtime-mutable options listed "
+       "below can change without a restart.\n\n";
+
+  p += "## Trigger\n";
+  p += in.trigger_description + "\n";
+  if (!in.recent_samples.empty()) {
+    // Name the live mix in db_bench vocabulary: the model's knowledge
+    // base is keyed to the standard microbenchmark names, not to raw
+    // share numbers.
+    const auto& last = in.recent_samples.back();
+    const double denom = static_cast<double>(last.ops + last.seeks);
+    const double write_share = denom > 0 ? last.writes / denom : 0;
+    const char* persona = write_share > 0.5        ? "fillrandom"
+                          : write_share > 0.2      ? "readrandomwriterandom"
+                                                   : "readrandom";
+    p += std::string("The live mix now resembles the ") + persona +
+         " microbenchmark.\n";
+  }
+  p += "\n";
+
+  if (in.memory_budget_bytes > 0) {
+    p += "## Memory Budget\n";
+    p += "Total memory: " + FormatBytesHuman(in.memory_budget_bytes) +
+         " available for memtables plus block cache combined. Proposals "
+         "must fit this budget; the runtime shrinks any that do not.\n\n";
+  }
+
+  p += "## Runtime-Mutable Options (current values)\n";
+  p += "```\n" + in.mutable_options;
+  if (!in.mutable_options.empty() && in.mutable_options.back() != '\n') {
+    p += "\n";
+  }
+  p += "```\n\n";
+
+  if (!in.recent_samples.empty()) {
+    p += "## Recent Telemetry\n";
+    p += "The engine's last sampled intervals (newest last):\n";
+    p += "```\n" + bench::TimeSeriesTable(in.recent_samples, 12) + "```\n\n";
+  }
+
+  if (!in.health_evidence.empty()) {
+    p += "## Health & Diagnosis Evidence\n";
+    p += "```\n" + in.health_evidence;
+    if (in.health_evidence.back() != '\n') p += "\n";
+    p += "```\n\n";
+  }
+
+  if (!in.delta_history.empty()) {
+    p += "## Applied Deltas So Far\n";
+    for (const auto& line : in.delta_history) p += line + "\n";
+    p += "\n";
+  }
+
+  p += "## Instructions\n";
+  p += "Propose 1 to 4 changes FROM THE MUTABLE LIST ONLY, each with a "
+       "one-line rationale, then output just the changed options in a "
+       "fenced ```ini block using key = value lines. Any other option "
+       "will be rejected by the runtime.\n";
   return p;
 }
 

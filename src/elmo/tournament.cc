@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <set>
 
+#include "elmo/online_tuner.h"
 #include "elmo/option_evaluator.h"
 #include "elmo/prompt_generator.h"
 #include "elmo/safeguard.h"
@@ -600,6 +601,161 @@ std::string TournamentReport::ToJson() const {
   }
   doc["runs"] = std::move(runs_arr);
   return json::Value(std::move(doc)).Dump(2);
+}
+
+OnlineVsOfflineReport RunOnlineVsOffline(const OnlineVsOfflineConfig& config) {
+  OnlineVsOfflineReport report;
+  report.schema_version = bench::kBenchSchemaVersion;
+  report.git_sha = bench::BuildGitSha();
+  report.seed = config.seed;
+  report.hardware = config.hw.Label();
+  report.workload = config.workload.Describe();
+
+  bench::BenchRunner runner(config.hw, config.seed);
+
+  // The static field: each contender commits its memory split (and
+  // parallelism) for the whole run — what an offline tuner must do.
+  // Values are full-size (the runner scales capacities to bench size
+  // and debits the footprint at full size, so memory stays scarce).
+  struct StaticCandidate {
+    const char* name;
+    const char* description;
+    Options options;
+  };
+  std::vector<StaticCandidate> candidates;
+  candidates.push_back({"defaults", "engine defaults", Options()});
+  {
+    Options o;  // the write phase's favorite
+    o.write_buffer_size = 256ull << 20;
+    o.max_write_buffer_number = 4;
+    o.max_background_jobs = 4;
+    candidates.push_back(
+        {"write_tuned", "big memtables, default cache", o});
+  }
+  {
+    Options o;  // the read/scan phases' favorite
+    o.block_cache_size = 2ull << 30;
+    o.write_buffer_size = 16ull << 20;
+    candidates.push_back(
+        {"read_tuned", "big block cache, small memtables", o});
+  }
+  {
+    Options o;  // the honest compromise: split memory, keep both small
+    o.block_cache_size = 1ull << 30;
+    o.write_buffer_size = 128ull << 20;
+    o.max_write_buffer_number = 4;
+    o.max_background_jobs = 4;
+    candidates.push_back(
+        {"balanced", "memory split between cache and memtables", o});
+  }
+  {
+    Options o;  // both maxed: the footprint exceeds RAM and pays for it
+    o.block_cache_size = 4ull << 30;
+    o.write_buffer_size = 256ull << 20;
+    o.max_write_buffer_number = 4;
+    o.max_background_jobs = 4;
+    candidates.push_back(
+        {"oversized", "big cache AND big memtables, exceeds RAM", o});
+  }
+
+  for (const auto& c : candidates) {
+    const bench::BenchResult r = runner.Run(config.workload, c.options);
+    report.static_runs.push_back(
+        {c.name, c.description, Round3(r.ops_per_sec)});
+    if (r.ops_per_sec > report.best_static_ops_per_sec) {
+      report.best_static_ops_per_sec = Round3(r.ops_per_sec);
+      report.best_static = c.name;
+    }
+  }
+
+  // The online run: defaults plus a live tuner on the bench hook.
+  std::unique_ptr<llm::SimulatedExpertLlm> expert;
+  if (config.use_llm) {
+    llm::ExpertConfig ec;
+    ec.seed = config.seed;
+    expert = std::make_unique<llm::SimulatedExpertLlm>(ec);
+  }
+  OnlineTunerConfig tuner_cfg;
+  // The live DB runs bench-scaled capacities, so the tuner's budget is
+  // the bench-scale share of what the box leaves after the OS baseline.
+  tuner_cfg.memory_budget_bytes =
+      (config.hw.memory_bytes - SimEnv::kOsBaselineBytes) /
+      bench::kCapacityScale;
+  std::unique_ptr<OnlineTuner> tuner;
+  lsm::DB* tuner_db = nullptr;
+  auto hook = [&](lsm::DB* db, uint64_t) {
+    if (db != tuner_db) {
+      tuner_db = db;
+      tuner = std::make_unique<OnlineTuner>(db, expert.get(), tuner_cfg);
+    }
+    tuner->Poll();
+  };
+  const bench::BenchResult online =
+      runner.RunWithHook(config.workload, Options(), hook);
+
+  report.online_ops_per_sec = Round3(online.ops_per_sec);
+  report.online_gain_vs_best_static =
+      report.best_static_ops_per_sec > 0
+          ? Round3(report.online_ops_per_sec /
+                   report.best_static_ops_per_sec)
+          : 0;
+  if (tuner != nullptr) {
+    report.applied_deltas = tuner->applied_deltas();
+    report.rollbacks = tuner->rollbacks();
+    report.oscillations = tuner->oscillations();
+    report.timeline_json = tuner->TimelineJson();
+  }
+  return report;
+}
+
+std::string OnlineVsOfflineReport::ToJson() const {
+  json::Object doc;
+  doc["kind"] = "bench_online_vs_offline";
+  doc["schema_version"] = schema_version;
+  doc["git_sha"] = git_sha;
+  doc["sim_seed"] = static_cast<int64_t>(seed);
+  doc["hardware"] = hardware;
+  doc["workload"] = workload;
+  json::Array statics;
+  for (const auto& s : static_runs) {
+    json::Object o;
+    o["name"] = s.name;
+    o["description"] = s.description;
+    o["ops_per_sec"] = s.ops_per_sec;
+    statics.push_back(std::move(o));
+  }
+  doc["static_runs"] = std::move(statics);
+  doc["best_static"] = best_static;
+  doc["best_static_ops_per_sec"] = best_static_ops_per_sec;
+  doc["online_ops_per_sec"] = online_ops_per_sec;
+  doc["online_gain_vs_best_static"] = online_gain_vs_best_static;
+  doc["applied_deltas"] = applied_deltas;
+  doc["rollbacks"] = rollbacks;
+  doc["oscillations"] = oscillations;
+  json::Value timeline;
+  if (json::Parse(timeline_json, &timeline).ok()) {
+    doc["timeline"] = std::move(timeline);
+  }
+  return json::Value(std::move(doc)).Dump(2);
+}
+
+std::string OnlineVsOfflineReport::SummaryTable() const {
+  std::string out;
+  char buf[256];
+  out += "| configuration | ops/sec | note |\n|---|---|---|\n";
+  for (const auto& s : static_runs) {
+    snprintf(buf, sizeof(buf), "| %s (static) | %.0f | %s%s |\n",
+             s.name.c_str(), s.ops_per_sec, s.description.c_str(),
+             s.name == best_static ? " — best static" : "");
+    out += buf;
+  }
+  snprintf(buf, sizeof(buf),
+           "| **online** | %.0f | %d delta(s) applied live, %d rolled "
+           "back — %.2fx vs best static |\n",
+           online_ops_per_sec, applied_deltas, rollbacks,
+           online_gain_vs_best_static);
+  out += buf;
+  return out;
 }
 
 std::string TournamentReport::SummaryTable() const {

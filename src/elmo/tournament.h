@@ -106,4 +106,52 @@ struct TournamentReport {
 
 TournamentReport RunTournament(const TournamentConfig& config);
 
+// Online-vs-offline comparison on a time-varying workload (default:
+// WorkloadSpec::Phased — load, then point reads, then scans). Each
+// static contender runs the whole workload with its configuration
+// fixed, the way offline tuning must; the online run starts from the
+// engine defaults and lets an OnlineTuner apply DB::SetOptions()
+// deltas as the health monitor detects the phase shifts. On a workload
+// whose phases want opposite memory splits, no static configuration
+// can match per-phase reconfiguration — which is the measurement.
+struct OnlineVsOfflineConfig {
+  HardwareProfile hw;
+  bench::WorkloadSpec workload = bench::WorkloadSpec::Phased();
+  uint64_t seed = 42;
+  // Route proposals through the SimulatedExpertLlm live-delta prompt
+  // first (heuristic fallback); false = heuristic only.
+  bool use_llm = true;
+};
+
+struct OnlineVsOfflineReport {
+  int schema_version = 0;
+  std::string git_sha;
+  uint64_t seed = 0;
+  std::string hardware;
+  std::string workload;
+  struct StaticRun {
+    std::string name;
+    std::string description;
+    double ops_per_sec = 0;
+  };
+  std::vector<StaticRun> static_runs;
+  std::string best_static;
+  double best_static_ops_per_sec = 0;
+  double online_ops_per_sec = 0;
+  // online / best static; > 1 means reconfiguring mid-run won.
+  double online_gain_vs_best_static = 0;
+  int applied_deltas = 0;
+  int rollbacks = 0;
+  int oscillations = 0;
+  // Full observe -> propose -> apply -> verdict timeline of the online
+  // run (OnlineTuner::TimelineJson()).
+  std::string timeline_json;
+
+  std::string ToJson() const;
+  // Markdown table for EXPERIMENTS.md.
+  std::string SummaryTable() const;
+};
+
+OnlineVsOfflineReport RunOnlineVsOffline(const OnlineVsOfflineConfig& config);
+
 }  // namespace elmo::tune

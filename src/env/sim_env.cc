@@ -278,6 +278,11 @@ void SimEnv::SetAppMemoryFootprint(uint64_t bytes) {
   app_footprint_ = bytes;
 }
 
+void SimEnv::SetFootprintScale(uint64_t scale) {
+  std::lock_guard<std::mutex> l(mu_);
+  footprint_scale_ = scale == 0 ? 1 : scale;
+}
+
 SimEnv::IoStats SimEnv::io_stats() const {
   std::lock_guard<std::mutex> l(mu_);
   return stats_;
@@ -294,7 +299,7 @@ void SimEnv::Charge(uint64_t micros) {
 
 double SimEnv::PagingPenalty() const {
   // Callers hold mu_.
-  uint64_t claimed = app_footprint_ + kOsBaselineBytes;
+  uint64_t claimed = app_footprint_ * footprint_scale_ + kOsBaselineBytes;
   if (claimed <= hw_.memory_bytes) return 1.0;
   double overshoot = static_cast<double>(claimed - hw_.memory_bytes) /
                      static_cast<double>(hw_.memory_bytes);
@@ -305,7 +310,7 @@ double SimEnv::PagingPenalty() const {
 bool SimEnv::PageCacheHit(uint64_t n) {
   (void)n;
   // Callers hold mu_. Page cache = memory left after OS + application.
-  uint64_t claimed = app_footprint_ + kOsBaselineBytes;
+  uint64_t claimed = app_footprint_ * footprint_scale_ + kOsBaselineBytes;
   if (claimed >= hw_.memory_bytes) return false;
   uint64_t pagecache = (hw_.memory_bytes - claimed) / kPageCacheScale;
   if (refresh_countdown_-- == 0) {

@@ -92,6 +92,19 @@ class SimEnv : public Env {
   // paging penalty.
   void SetAppMemoryFootprint(uint64_t bytes);
 
+  // Multiplier applied to the app footprint inside the memory model
+  // (default 1). Harnesses that scale option capacities down to keep
+  // runs CI-sized (bench_kit's /64) must scale the footprint back up
+  // here, or the debit vanishes against the full-size memory budget
+  // and hoarding memory becomes free.
+  void SetFootprintScale(uint64_t scale);
+
+  // Memory the "OS + process baseline" claims before page cache.
+  // Public so harnesses can compute the application's real budget:
+  // memory_bytes - kOsBaselineBytes is what the app and the page cache
+  // share.
+  static constexpr uint64_t kOsBaselineBytes = 768ull << 20;
+
   const HardwareProfile& hardware() const { return hw_; }
   MemFs* fs() { return &fs_; }
 
@@ -141,8 +154,6 @@ class SimEnv : public Env {
   // across all files, the OS forces a synchronous writeback on the next
   // writer (the vm.dirty_bytes stall, scaled to this repo's workloads).
   static constexpr uint64_t kOsDirtyLimit = 12ull << 20;
-  // Memory the "OS + process baseline" claims before page cache.
-  static constexpr uint64_t kOsBaselineBytes = 768ull << 20;
   // Dataset-scale compensation: experiments in this repo write ~100-200x
   // less data than the paper's 25-50M-key runs, so the page cache that
   // memory leaves over is shrunk by the same order of magnitude to keep
@@ -160,6 +171,7 @@ class SimEnv : public Env {
   uint64_t meter_us_ = 0;
   LaneScheduler lanes_;
   uint64_t app_footprint_ = 0;
+  uint64_t footprint_scale_ = 1;
   Random64 rng_;
   IoStats stats_;
   // Page-cache model bookkeeping: dataset size is sampled periodically

@@ -12,6 +12,7 @@
 //   s = db->Get({}, "key", &value);
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -58,6 +59,22 @@ class DB {
   virtual std::unique_ptr<Iterator> NewIterator(
       const ReadOptions& options) = 0;
 
+  // Change runtime-mutable options on the live DB. Every (name, value)
+  // pair is validated against the options schema first — unknown names,
+  // immutable-at-runtime options, ill-typed or out-of-range values all
+  // fail with InvalidArgument and NOTHING is applied (all-or-nothing).
+  // On success the new values take effect atomically under the DB
+  // mutex: the block cache is resized, stall thresholds re-armed, the
+  // slowdown rate limiter re-rated, background parallelism re-plumbed,
+  // the sampler cadence retimed, and waiting work woken. The call
+  // records an "options_change" event in the JSONL LOG, bumps the
+  // Ticker::kOptionsChanges counter, and rewrites the OPTIONS file so a
+  // reopen (with Options::recover_persisted_options) resumes from the
+  // last applied configuration. See OptionsSchema::MutableNames() for
+  // the mutable subset.
+  virtual Status SetOptions(
+      const std::map<std::string, std::string>& changes) = 0;
+
   virtual const Snapshot* GetSnapshot() = 0;
   virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
@@ -90,6 +107,11 @@ class DB {
   //   "elmo.prometheus"                  Prometheus text exposition of
   //                                      tickers/gauges/quantiles (same
   //                                      content as metrics_export_path)
+  //   "elmo.options_changes"             JSON ledger of applied dynamic
+  //                                      option changes: {"count":N,
+  //                                      "changes":[{"ts_us":..,
+  //                                      "source":..,"deltas":[{"name":
+  //                                      ..,"from":..,"to":..}]}]}
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // Compact the key range [*begin, *end]; null means open-ended.

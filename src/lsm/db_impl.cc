@@ -166,6 +166,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                JobPriority::kLow);
   }
   if (options_.stats_sample_interval_ms > 0) {
+    sampler_interval_ms_.store(options_.stats_sample_interval_ms,
+                               std::memory_order_relaxed);
     sampler_ = std::make_unique<StatsSampler>(
         &stats_, options_.stats_sample_interval_ms * 1000,
         static_cast<size_t>(options_.stats_history_size), env_->NowMicros());
@@ -378,6 +380,47 @@ Status DBImpl::Recover() {
   edit.SetLogNumber(logfile_number_);
   s = versions_->LogAndApply(&edit);
   if (!s.ok()) return s;
+
+  // Replay runtime-mutable options from the previous incarnation's
+  // OPTIONS file (opt-in): a DB retuned live via SetOptions() reopens
+  // with the last applied configuration instead of the caller's.
+  if (options_.recover_persisted_options) {
+    const std::string prev_options = FindLatestOptionsFile(env_, dbname_);
+    if (!prev_options.empty()) {
+      Options persisted = options_;
+      Status ls = LoadOptionsFile(env_, prev_options, &persisted);
+      if (ls.ok()) {
+        const OptionsSchema& schema = OptionsSchema::Instance();
+        std::map<std::string, std::string> replay;
+        for (const std::string& name : schema.MutableNames()) {
+          const OptionInfo* info = schema.Find(name);
+          const std::string saved = info->get(persisted);
+          if (info->get(options_) == saved) continue;
+          // The sampler can no more be started or stopped at reopen
+          // than at runtime; skip a cadence crossing zero instead of
+          // failing the whole replay.
+          if (name == "stats_sample_interval_ms" &&
+              ((options_.stats_sample_interval_ms == 0) !=
+               (persisted.stats_sample_interval_ms == 0))) {
+            continue;
+          }
+          replay[name] = saved;
+        }
+        if (!replay.empty()) {
+          Status as = ApplyDynamicOptionsLocked(replay, "recovery");
+          if (!as.ok()) {
+            ELMO_LOG_WARN(options_.info_log.get(),
+                          "failed to replay persisted options: %s",
+                          as.ToString().c_str());
+          }
+        }
+      } else {
+        ELMO_LOG_WARN(options_.info_log.get(),
+                      "failed to load persisted OPTIONS file: %s",
+                      ls.ToString().c_str());
+      }
+    }
+  }
 
   // Persist the active configuration (RocksDB-style OPTIONS file),
   // replacing any previous one.
@@ -1799,10 +1842,12 @@ void DBImpl::MaybeSampleLocked() {
 }
 
 void DBImpl::SamplerThreadLoop() {
-  const auto interval =
-      std::chrono::milliseconds(options_.stats_sample_interval_ms);
   std::unique_lock<std::mutex> sl(sampler_mu_);
   while (!sampler_stop_) {
+    // Cadence is re-read every pass so a live SetOptions() retime takes
+    // effect at the next wakeup (the retime also signals sampler_cv_).
+    const auto interval = std::chrono::milliseconds(
+        sampler_interval_ms_.load(std::memory_order_relaxed));
     sampler_cv_.wait_for(sl, interval, [this] { return sampler_stop_; });
     if (sampler_stop_) break;
     sl.unlock();
@@ -2084,7 +2129,191 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     *value = RenderPrometheusLocked();
     return true;
   }
+  if (prop == "elmo.options_changes") {
+    json::Object doc;
+    doc["count"] =
+        static_cast<int64_t>(stats_.Get(Ticker::kOptionsChanges));
+    json::Array changes;
+    for (const auto& rec : options_changes_) {
+      json::Object c;
+      c["ts_us"] = static_cast<int64_t>(rec.ts_us);
+      c["source"] = rec.source;
+      json::Array deltas;
+      for (const auto& d : rec.deltas) {
+        json::Object dj;
+        dj["name"] = d.name;
+        dj["from"] = d.from;
+        dj["to"] = d.to;
+        deltas.push_back(std::move(dj));
+      }
+      c["deltas"] = std::move(deltas);
+      changes.push_back(std::move(c));
+    }
+    doc["changes"] = std::move(changes);
+    *value = json::Value(std::move(doc)).Dump();
+    return true;
+  }
   return false;
+}
+
+Status DBImpl::SetOptions(
+    const std::map<std::string, std::string>& changes) {
+  if (changes.empty()) {
+    return Status::InvalidArgument("SetOptions", "no changes supplied");
+  }
+  std::lock_guard<std::mutex> l(mu_);
+  return ApplyDynamicOptionsLocked(changes, "set_options");
+}
+
+Status DBImpl::ApplyDynamicOptionsLocked(
+    const std::map<std::string, std::string>& changes,
+    const std::string& source) {
+  const OptionsSchema& schema = OptionsSchema::Instance();
+
+  // Phase 1: validate everything against a scratch copy. Nothing is
+  // applied unless every entry passes (all-or-nothing).
+  Options next = options_;
+  for (const auto& [name, value] : changes) {
+    const OptionInfo* info = schema.Find(name);
+    if (info == nullptr) {
+      if (const DeprecatedOption* dep = schema.FindDeprecated(name)) {
+        return Status::InvalidArgument(
+            name, "deprecated option (" + dep->note + ")");
+      }
+      return Status::InvalidArgument(name, "unknown option");
+    }
+    if (!info->runtime_mutable) {
+      return Status::InvalidArgument(
+          name, "immutable at runtime (open-time option)");
+    }
+    Status s = info->set(&next, value);
+    if (!s.ok()) return s;
+  }
+
+  // The sampler (and its thread) cannot be created or destroyed on a
+  // live DB: the cadence may change but not cross zero.
+  if ((options_.stats_sample_interval_ms == 0) !=
+      (next.stats_sample_interval_ms == 0)) {
+    return Status::InvalidArgument(
+        "stats_sample_interval_ms",
+        "cannot start or stop the sampler at runtime (0 <-> nonzero)");
+  }
+
+  // Re-impose the open-time invariants (SanitizeOptions) relating
+  // mutable options to each other, so a partial update cannot wedge the
+  // stall state machine (e.g. stop trigger below slowdown trigger).
+  next.max_write_buffer_number = std::max(2, next.max_write_buffer_number);
+  next.level0_slowdown_writes_trigger =
+      std::max(next.level0_slowdown_writes_trigger,
+               next.level0_file_num_compaction_trigger);
+  next.level0_stop_writes_trigger = std::max(
+      next.level0_stop_writes_trigger, next.level0_slowdown_writes_trigger);
+  next.write_buffer_size =
+      std::max<uint64_t>(next.write_buffer_size, 1 << 16);
+
+  // Phase 2: diff the *effective* (post-clamp) values. Entries the
+  // clamp reverted are dropped; an all-no-op call succeeds without
+  // recording anything.
+  OptionsChangeRecord rec;
+  rec.ts_us = env_->NowMicros();
+  rec.source = source;
+  for (const auto& [name, value] : changes) {
+    const OptionInfo* info = schema.Find(name);
+    const std::string from = info->get(options_);
+    const std::string to = info->get(next);
+    if (from == to) continue;
+    rec.deltas.push_back({name, from, to});
+  }
+  if (rec.deltas.empty()) return Status::OK();
+
+  const Options prev = options_;
+  options_ = next;
+
+  // Phase 3: re-plumb dependent state, each guarded on actual change.
+  // MakeRoomForWrite re-reads the stall triggers and buffer sizes from
+  // options_ on every loop pass, so those need no extra wiring beyond
+  // the wakeup below.
+  if (next.block_cache_size != prev.block_cache_size) {
+    block_cache_->SetCapacity(next.block_cache_size);
+  }
+  if (next.delayed_write_rate != prev.delayed_write_rate) {
+    slowdown_limiter_.SetRate(next.delayed_write_rate);
+  }
+  const bool lanes_changed =
+      next.ResolvedFlushSlots() != prev.ResolvedFlushSlots() ||
+      next.ResolvedCompactionSlots() != prev.ResolvedCompactionSlots();
+  if (sim_ != nullptr) {
+    if (lanes_changed) {
+      sim_->ConfigureLanes(next.ResolvedFlushSlots(),
+                           next.ResolvedCompactionSlots());
+    }
+    if (next.ConfiguredMemoryFootprint() !=
+        prev.ConfiguredMemoryFootprint()) {
+      sim_->SetAppMemoryFootprint(next.ConfiguredMemoryFootprint());
+    }
+  } else if (lanes_changed) {
+    env_->SetBackgroundThreads(next.ResolvedFlushSlots(),
+                               JobPriority::kHigh);
+    env_->SetBackgroundThreads(next.ResolvedCompactionSlots(),
+                               JobPriority::kLow);
+  }
+  if (sampler_ != nullptr &&
+      next.stats_sample_interval_ms != prev.stats_sample_interval_ms) {
+    sampler_->SetInterval(next.stats_sample_interval_ms * 1000,
+                          env_->NowMicros());
+    sampler_interval_ms_.store(next.stats_sample_interval_ms,
+                               std::memory_order_relaxed);
+    sampler_cv_.notify_all();
+  }
+  if (health_ != nullptr) {
+    // Diagnosis thresholds (triggers, capacities) track the live config.
+    health_->SetEngineInfo(monitor::EngineInfo::FromOptions(options_));
+  }
+
+  // Phase 4: record — LOG event, ticker, bounded ledger.
+  stats_.Add(Ticker::kOptionsChanges, 1);
+  if (info_event_log_ != nullptr) {
+    json::Object fields;
+    fields["source"] = source;
+    json::Array deltas;
+    for (const auto& d : rec.deltas) {
+      json::Object dj;
+      dj["name"] = d.name;
+      dj["from"] = d.from;
+      dj["to"] = d.to;
+      deltas.push_back(std::move(dj));
+    }
+    fields["deltas"] = std::move(deltas);
+    info_event_log_->LogEvent("options_change", std::move(fields));
+  }
+  options_changes_.push_back(std::move(rec));
+  while (options_changes_.size() > 64) options_changes_.pop_front();
+
+  // Phase 5: persist, so a reopen with recover_persisted_options
+  // resumes from here. Skipped during recovery replay — Recover()
+  // rewrites the OPTIONS file right after.
+  if (source != "recovery") {
+    std::string old_options = FindLatestOptionsFile(env_, dbname_);
+    std::string fname =
+        OptionsFileName(dbname_, versions_->NewFileNumber());
+    Status os = SaveOptionsFile(env_, fname, options_);
+    if (os.ok() && !old_options.empty() && old_options != fname) {
+      env_->RemoveFile(old_options);
+    }
+    if (!os.ok()) {
+      ELMO_LOG_WARN(options_.info_log.get(),
+                    "failed to persist OPTIONS file after SetOptions: %s",
+                    os.ToString().c_str());
+    }
+  }
+
+  // Phase 6: wake anything the new limits may unblock — stalled
+  // writers re-read options_ on their next loop pass, background
+  // scheduling re-evaluates under the new parallelism.
+  MaybeScheduleFlush();
+  MaybeScheduleCompaction();
+  bg_work_finished_.notify_all();
+  return Status::OK();
 }
 
 Status DBImpl::FlushMemTable() {

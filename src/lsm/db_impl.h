@@ -71,6 +71,8 @@ class DBImpl : public DB {
   Status StartSpanTrace(const std::string& path,
                         const SpanTraceOptions& options) override;
   Status EndSpanTrace() override;
+  Status SetOptions(
+      const std::map<std::string, std::string>& changes) override;
   const DbStats& stats() const override { return stats_; }
   const Options& options() const override { return options_; }
 
@@ -174,6 +176,15 @@ class DBImpl : public DB {
   void ExportMetricsLocked();
   // Real-env sampler thread body (SimEnv never starts the thread).
   void SamplerThreadLoop();
+  // The shared core of SetOptions(): validate `changes` against the
+  // schema's runtime-mutable subset, apply them to options_, and
+  // re-plumb dependent state (cache capacity, limiter rate, background
+  // lanes/threads, sampler cadence). `source` tags the LOG event and
+  // ledger entry ("set_options" for the public API, "recovery" when
+  // replaying the persisted OPTIONS file at open). REQUIRES: mu_.
+  Status ApplyDynamicOptionsLocked(
+      const std::map<std::string, std::string>& changes,
+      const std::string& source);
   void TraceWriteBatch(const WriteBatch& updates, uint64_t ts_us);
   void TraceGet(const Slice& key, uint64_t ts_us);
 
@@ -240,12 +251,28 @@ class DBImpl : public DB {
   std::unique_ptr<monitor::HealthMonitor> health_;
   monitor::HealthStatus last_health_status_ = monitor::HealthStatus::kOk;
 
+  // Ledger of applied dynamic option changes, newest last; backs
+  // GetProperty("elmo.options_changes"). Bounded drop-oldest. Guarded
+  // by mu_.
+  struct OptionsChangeRecord {
+    uint64_t ts_us = 0;
+    std::string source;
+    struct Delta {
+      std::string name, from, to;
+    };
+    std::vector<Delta> deltas;
+  };
+  std::deque<OptionsChangeRecord> options_changes_;
+
   // Real-env sampler thread; joined in the destructor before the info
   // LOG closes so no tick outlives the DB.
   std::thread sampler_thread_;
   std::mutex sampler_mu_;
   std::condition_variable sampler_cv_;
   bool sampler_stop_ = false;  // guarded by sampler_mu_
+  // Sampler cadence the thread sleeps on; atomic so a SetOptions retime
+  // is visible without the thread taking mu_ just to read it.
+  std::atomic<uint64_t> sampler_interval_ms_{0};
 
   // Trace capture. `tracing_` is the hot-path gate; `trace_` is swapped
   // under trace_mu_ (a leaf mutex, safe to take with mu_ held).

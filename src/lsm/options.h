@@ -112,6 +112,12 @@ struct Options {
   // ----- non-tunable wiring (not part of the options file) -----
   Env* env = nullptr;  // defaults to Env::Posix() at Open
   std::shared_ptr<Logger> info_log;
+  // At Open, replay the runtime-mutable options recorded in the DB's
+  // latest OPTIONS file over the supplied options — so a DB whose
+  // configuration was changed live via DB::SetOptions() reopens with
+  // the last applied values after a crash or restart. Off by default:
+  // explicitly supplied options win unless the caller opts in.
+  bool recover_persisted_options = false;
   // Feed each IntervalSample through the health monitor (anomaly /
   // phase-shift detection + root-cause diagnosis, see src/monitor/).
   // Only active when the sampler itself is on. Results surface via

@@ -385,6 +385,38 @@ OptionsSchema::OptionsSchema() {
       "Charge index/filter blocks to the block cache instead of pinning "
       "them outside it."));
 
+  // ----- runtime-mutable subset -----
+  // Options DB::SetOptions() may change on a live DB. Everything not
+  // listed here stays immutable-at-runtime (the OptionInfo default):
+  // values baked into on-disk formats or open-time wiring (num_levels,
+  // block_size, compaction_style, WAL switches, ...) cannot be
+  // re-plumbed without a reopen. The listed subset is exactly what
+  // db_impl.cc knows how to re-apply: memtable sizing, stall triggers
+  // and thresholds, background parallelism, rate limits, block-cache
+  // capacity, and sampler cadence.
+  {
+    const char* kMutable[] = {
+        "write_buffer_size",
+        "max_write_buffer_number",
+        "level0_slowdown_writes_trigger",
+        "level0_stop_writes_trigger",
+        "max_background_jobs",
+        "max_background_flushes",
+        "max_background_compactions",
+        "max_subcompactions",
+        "delayed_write_rate",
+        "soft_pending_compaction_bytes_limit",
+        "hard_pending_compaction_bytes_limit",
+        "block_cache_size",
+        "stats_sample_interval_ms",
+    };
+    for (const char* name : kMutable) {
+      for (auto& o : options_) {
+        if (o.name == name) o.runtime_mutable = true;
+      }
+    }
+  }
+
   // ----- deprecated names the engine refuses (LLMs love these) -----
   deprecated_ = {
       {"flush_job_count", "removed; use max_background_flushes"},
@@ -407,6 +439,19 @@ const OptionInfo* OptionsSchema::Find(const std::string& name) const {
     if (o.name == name) return &o;
   }
   return nullptr;
+}
+
+bool OptionsSchema::IsMutable(const std::string& name) const {
+  const OptionInfo* info = Find(name);
+  return info != nullptr && info->runtime_mutable;
+}
+
+std::vector<std::string> OptionsSchema::MutableNames() const {
+  std::vector<std::string> names;
+  for (const auto& o : options_) {
+    if (o.runtime_mutable) names.push_back(o.name);
+  }
+  return names;
 }
 
 const DeprecatedOption* OptionsSchema::FindDeprecated(
@@ -474,6 +519,23 @@ std::string OptionsSchema::DescribeAll(const Options& current) const {
     out += o.name + " = " + o.get(current);
     out += "   # " + o.description;
     if (o.blacklisted) out += " [LOCKED]";
+    if (o.runtime_mutable) out += " [DYNAMIC]";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string OptionsSchema::DescribeMutable(const Options& current) const {
+  std::string out;
+  for (const auto& o : options_) {
+    if (!o.runtime_mutable) continue;
+    out += o.name + " = " + o.get(current);
+    out += "   # " + o.description;
+    if (o.type == OptionType::kInt || o.type == OptionType::kUint ||
+        o.type == OptionType::kDouble) {
+      out += " [" + I64ToString(o.min_value) + ", " +
+             I64ToString(o.max_value) + "]";
+    }
     out += "\n";
   }
   return out;

@@ -32,6 +32,11 @@ struct OptionInfo {
   std::vector<std::string> enum_values;
   // The Safeguard Enforcer refuses changes to blacklisted options.
   bool blacklisted = false;
+  // True when DB::SetOptions() can change the option on a live DB; the
+  // constructor marks the mutable subset explicitly, everything else is
+  // immutable-at-runtime (open-time only). Every entry is one or the
+  // other by construction — tests enforce the partition.
+  bool runtime_mutable = false;
   std::string description;
 
   std::function<Status(Options*, const std::string&)> set;
@@ -58,6 +63,12 @@ class OptionsSchema {
   const OptionInfo* Find(const std::string& name) const;
   const DeprecatedOption* FindDeprecated(const std::string& name) const;
 
+  // True when `name` exists and can be changed on a live DB via
+  // DB::SetOptions().
+  bool IsMutable(const std::string& name) const;
+  // Names of every runtime-mutable option, in registration order.
+  std::vector<std::string> MutableNames() const;
+
   // Validate + apply one value. Errors: unknown option, type mismatch,
   // out of range.
   Status Apply(Options* opts, const std::string& name,
@@ -77,6 +88,10 @@ class OptionsSchema {
 
   // Render "name = value  # description [range]" lines for the prompt.
   std::string DescribeAll(const Options& current) const;
+
+  // Same rendering restricted to the runtime-mutable subset; feeds the
+  // online tuner's "live delta" prompt section.
+  std::string DescribeMutable(const Options& current) const;
 
  private:
   OptionsSchema();

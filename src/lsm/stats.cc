@@ -132,7 +132,8 @@ std::string DbStats::ToString() const {
       "write stalls: slowdown %llu, stop %llu, total stall micros %llu\n"
       "stall reasons: l0-slowdown %llu, l0-stop %llu, memtable-stop %llu\n"
       "block cache: hits %llu, misses %llu\n"
-      "info log: dropped lines %llu, write failures %llu\n",
+      "info log: dropped lines %llu, write failures %llu\n"
+      "options changes applied: %llu\n",
       (unsigned long long)Get(Ticker::kWriteCount),
       (unsigned long long)Get(Ticker::kDeleteCount),
       (unsigned long long)Get(Ticker::kGetHit),
@@ -157,7 +158,8 @@ std::string DbStats::ToString() const {
       (unsigned long long)Get(Ticker::kBlockCacheHit),
       (unsigned long long)Get(Ticker::kBlockCacheMiss),
       (unsigned long long)Get(Ticker::kInfoLogDroppedLines),
-      (unsigned long long)Get(Ticker::kInfoLogWriteFailures));
+      (unsigned long long)Get(Ticker::kInfoLogWriteFailures),
+      (unsigned long long)Get(Ticker::kOptionsChanges));
   std::string out = buf;
 
   out += "histograms (count / p50 / p99 / max):\n";

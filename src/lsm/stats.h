@@ -47,6 +47,10 @@ enum class Ticker : int {
   // only inside the logger objects.
   kInfoLogDroppedLines,
   kInfoLogWriteFailures,
+  // Successful DB::SetOptions() calls (each may carry several option
+  // deltas); also exposed as GetProperty("elmo.options_changes") and
+  // the elmo_options_changes_total Prometheus counter.
+  kOptionsChanges,
   kTickerMax,
 };
 

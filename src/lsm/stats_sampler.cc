@@ -156,9 +156,18 @@ StatsSampler::StatsSampler(const DbStats* stats, uint64_t interval_us,
     : stats_(stats),
       interval_us_(interval_us == 0 ? 1 : interval_us),
       capacity_(capacity == 0 ? 1 : capacity),
-      next_due_(start_ts_us + interval_us_),
+      next_due_(start_ts_us + (interval_us == 0 ? 1 : interval_us)),
       prev_(stats->GetSnapshot()),
       prev_ts_us_(start_ts_us) {}
+
+void StatsSampler::SetInterval(uint64_t interval_us, uint64_t now_us) {
+  std::lock_guard<std::mutex> l(mu_);
+  if (interval_us == 0) interval_us = 1;
+  interval_us_.store(interval_us, std::memory_order_relaxed);
+  const uint64_t due = prev_ts_us_ + interval_us;
+  next_due_.store(due > now_us ? due : now_us,
+                  std::memory_order_relaxed);
+}
 
 bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   if (!Due(now_us)) return false;
@@ -177,7 +186,9 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   // A tick that lands a whole extra interval after it was due means the
   // sampling cadence slipped (busy sampler thread, or sparse piggyback
   // call sites under SimEnv). Surfaced via LateTicks().
-  if (interval >= 2 * interval_us_) late_ticks_++;
+  const uint64_t interval_cfg =
+      interval_us_.load(std::memory_order_relaxed);
+  if (interval >= 2 * interval_cfg) late_ticks_++;
 
   IntervalSample s;
   s.ts_us = now_us;
@@ -230,7 +241,7 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   }
   prev_ = std::move(cur);
   prev_ts_us_ = now_us;
-  next_due_.store(now_us + interval_us_, std::memory_order_relaxed);
+  next_due_.store(now_us + interval_cfg, std::memory_order_relaxed);
   return true;
 }
 
@@ -262,7 +273,7 @@ uint64_t StatsSampler::LateTicks() const {
 std::string StatsSampler::ToJson() const {
   std::lock_guard<std::mutex> l(mu_);
   return TimeSeriesToJson(
-      interval_us_, dropped_,
+      interval_us_.load(std::memory_order_relaxed), dropped_,
       std::vector<IntervalSample>(ring_.begin(), ring_.end()));
 }
 

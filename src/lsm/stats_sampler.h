@@ -129,13 +129,21 @@ class StatsSampler {
   // thread (or the SimEnv piggyback sites) fell behind the configured
   // cadence. A monitor health signal, not an error.
   uint64_t LateTicks() const;
-  uint64_t interval_us() const { return interval_us_; }
+  uint64_t interval_us() const {
+    return interval_us_.load(std::memory_order_relaxed);
+  }
+
+  // Retime a live sampler (DB::SetOptions changing
+  // stats_sample_interval_ms). The ring and its history are preserved;
+  // the next sample falls due one new interval after the last tick (or
+  // immediately if that instant already passed). Thread-safe.
+  void SetInterval(uint64_t interval_us, uint64_t now_us);
 
   std::string ToJson() const;
 
  private:
   const DbStats* const stats_;
-  const uint64_t interval_us_;
+  std::atomic<uint64_t> interval_us_;
   const size_t capacity_;
 
   std::atomic<uint64_t> next_due_;

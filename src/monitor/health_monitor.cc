@@ -92,6 +92,10 @@ Status HealthReport::FromJson(const std::string& text, HealthReport* out) {
 HealthMonitor::HealthMonitor(const MonitorConfig& config)
     : config_(config), detector_(config.detector) {}
 
+void HealthMonitor::SetEngineInfo(const EngineInfo& engine) {
+  config_.engine = engine;
+}
+
 std::vector<AnomalyEvent> HealthMonitor::Observe(
     const lsm::IntervalSample& s) {
   std::vector<AnomalyEvent> events = detector_.Observe(s);

@@ -62,8 +62,14 @@ class HealthMonitor {
 
   const MonitorConfig& config() const { return config_; }
 
+  // Re-point the diagnosis rules at a changed engine configuration
+  // (DB::SetOptions retuned thresholds mid-run). Detector state and the
+  // anomaly history are preserved — only future diagnoses see the new
+  // triggers/capacities.
+  void SetEngineInfo(const EngineInfo& engine);
+
  private:
-  const MonitorConfig config_;
+  MonitorConfig config_;
   ChangepointDetector detector_;
   std::deque<lsm::IntervalSample> recent_;
   struct TimedAnomaly {

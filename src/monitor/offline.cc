@@ -8,6 +8,17 @@
 
 namespace elmo::monitor {
 
+std::string OptionsChangeEvent::ToString() const {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "[%llu us] %s:", (unsigned long long)ts_us,
+           source.c_str());
+  std::string out = buf;
+  for (const Delta& d : deltas) {
+    out += " " + d.name + " " + d.from + " -> " + d.to;
+  }
+  return out;
+}
+
 std::string HealthTimeline::ToText() const {
   std::string out;
   char buf[160];
@@ -86,8 +97,10 @@ HealthTimeline AnalyzeHealthSeries(
 
 Status SamplesFromInfoLog(const std::string& text,
                           std::vector<lsm::IntervalSample>* samples,
-                          EngineInfo* info) {
+                          EngineInfo* info,
+                          std::vector<OptionsChangeEvent>* changes) {
   samples->clear();
+  if (changes != nullptr) changes->clear();
   size_t pos = 0;
   size_t parsed_lines = 0;
   while (pos < text.size()) {
@@ -116,6 +129,29 @@ Status SamplesFromInfoLog(const std::string& text,
           }
         }
       }
+    } else if (event->as_string() == "options_change" && changes != nullptr) {
+      OptionsChangeEvent ch;
+      const json::Value* ts = obj.Find("ts_us");
+      if (ts != nullptr && ts->is_number()) {
+        ch.ts_us = static_cast<uint64_t>(ts->as_int());
+      }
+      const json::Value* src = obj.Find("source");
+      if (src != nullptr && src->is_string()) ch.source = src->as_string();
+      const json::Value* deltas = obj.Find("deltas");
+      if (deltas != nullptr && deltas->is_array()) {
+        for (const json::Value& dv : deltas->as_array()) {
+          if (!dv.is_object()) continue;
+          OptionsChangeEvent::Delta d;
+          const json::Value* name = dv.Find("name");
+          const json::Value* from = dv.Find("from");
+          const json::Value* to = dv.Find("to");
+          if (name != nullptr && name->is_string()) d.name = name->as_string();
+          if (from != nullptr && from->is_string()) d.from = from->as_string();
+          if (to != nullptr && to->is_string()) d.to = to->as_string();
+          ch.deltas.push_back(std::move(d));
+        }
+      }
+      changes->push_back(std::move(ch));
     }
   }
   if (parsed_lines == 0) {
@@ -149,8 +185,10 @@ Status SamplesFromJsonDoc(const std::string& text,
 
 Status LoadTelemetry(Env* env, const std::string& path,
                      std::vector<lsm::IntervalSample>* samples,
-                     EngineInfo* info) {
+                     EngineInfo* info,
+                     std::vector<OptionsChangeEvent>* changes) {
   samples->clear();
+  if (changes != nullptr) changes->clear();
   std::string text;
   Status s = env->ReadFileToString(path, &text);
   if (!s.ok()) return s;
@@ -170,7 +208,7 @@ Status LoadTelemetry(Env* env, const std::string& path,
     // document parse first and fall back to JSONL.
     if (SamplesFromJsonDoc(text, samples).ok()) return Status::OK();
   }
-  s = SamplesFromInfoLog(text, samples, info);
+  s = SamplesFromInfoLog(text, samples, info, changes);
   if (!s.ok()) {
     // Last resort: a (possibly pretty-printed) JSON document.
     Status doc_s = SamplesFromJsonDoc(text, samples);

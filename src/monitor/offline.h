@@ -16,6 +16,21 @@
 
 namespace elmo::monitor {
 
+// One applied SetOptions() batch replayed from the LOG's
+// `options_change` events: who applied it and each name's from -> to.
+struct OptionsChangeEvent {
+  struct Delta {
+    std::string name;
+    std::string from;
+    std::string to;
+  };
+  uint64_t ts_us = 0;
+  std::string source;  // "set_options", "online_tuner", "recovery", ...
+  std::vector<Delta> deltas;
+
+  std::string ToString() const;
+};
+
 struct HealthTimelineEntry {
   uint64_t ts_us = 0;
   std::vector<AnomalyEvent> events;  // confirmed at this tick
@@ -40,18 +55,24 @@ HealthTimeline AnalyzeHealthSeries(
 
 // Parse `sampler_tick` events out of a JSONL info LOG. When the LOG's
 // "options" event is present, *info is refined from its ini text so the
-// diagnosis rules use the recorded DB's actual triggers.
+// diagnosis rules use the recorded DB's actual triggers. When `changes`
+// is non-null it collects the LOG's `options_change` events (dynamic
+// SetOptions batches) in recording order.
 Status SamplesFromInfoLog(const std::string& text,
                           std::vector<lsm::IntervalSample>* samples,
-                          EngineInfo* info);
+                          EngineInfo* info,
+                          std::vector<OptionsChangeEvent>* changes = nullptr);
 
 // Load telemetry samples from `path` (sniffed: JSONL LOG, timeseries
 // JSON document, or BenchResult JSON with "timeseries"). Refines *info
 // from the LOG's "options" event when present; Prometheus exposition is
-// rejected (it carries no time series).
+// rejected (it carries no time series). `changes`, when non-null, is
+// filled from JSONL LOG sources (the other formats carry no
+// options_change events).
 Status LoadTelemetry(Env* env, const std::string& path,
                      std::vector<lsm::IntervalSample>* samples,
-                     EngineInfo* info);
+                     EngineInfo* info,
+                     std::vector<OptionsChangeEvent>* changes = nullptr);
 
 // LoadTelemetry + AnalyzeHealthSeries. `config.engine` is the fallback
 // when the source does not record options.

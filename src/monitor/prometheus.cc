@@ -32,6 +32,7 @@ const char* TickerPromName(lsm::Ticker t) {
     case Ticker::kBlockCacheMiss: return "block_cache_misses";
     case Ticker::kInfoLogDroppedLines: return "info_log_dropped_lines";
     case Ticker::kInfoLogWriteFailures: return "info_log_write_failures";
+    case Ticker::kOptionsChanges: return "options_changes";
     case Ticker::kTickerMax: break;
   }
   return "unknown";

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace elmo::lsm {
 namespace {
 
@@ -93,6 +95,56 @@ TEST(OptionsSchema, BlacklistFlagOnWalDisable) {
     if (o.blacklisted) blacklisted++;
   }
   EXPECT_EQ(1, blacklisted);
+}
+
+TEST(OptionsSchema, RuntimeMutablePartitionIsExplicit) {
+  // The dynamic subset DB::SetOptions() accepts, spelled out in full:
+  // adding an option to (or removing one from) the schema's mutable
+  // list must update this test too. Everything else in the registry is
+  // immutable-at-runtime.
+  const std::set<std::string> kMutable = {
+      "write_buffer_size",
+      "max_write_buffer_number",
+      "level0_slowdown_writes_trigger",
+      "level0_stop_writes_trigger",
+      "max_background_jobs",
+      "max_background_flushes",
+      "max_background_compactions",
+      "max_subcompactions",
+      "delayed_write_rate",
+      "soft_pending_compaction_bytes_limit",
+      "hard_pending_compaction_bytes_limit",
+      "block_cache_size",
+      "stats_sample_interval_ms",
+  };
+  for (const auto& info : S().all()) {
+    const bool expected = kMutable.count(info.name) > 0;
+    EXPECT_EQ(expected, info.runtime_mutable)
+        << info.name << ": expected "
+        << (expected ? "runtime-mutable" : "immutable-at-runtime");
+    EXPECT_EQ(expected, S().IsMutable(info.name)) << info.name;
+  }
+  // MutableNames() is exactly the partition, in registration order.
+  const std::vector<std::string> names = S().MutableNames();
+  EXPECT_EQ(kMutable.size(), names.size());
+  for (const std::string& n : names) {
+    EXPECT_EQ(1u, kMutable.count(n)) << n;
+  }
+  // Unknown names are never mutable; the WAL kill-switch stays locked.
+  EXPECT_FALSE(S().IsMutable("no_such_option"));
+  EXPECT_FALSE(S().IsMutable("disable_wal"));
+}
+
+TEST(OptionsSchema, DescribeMutableCoversExactlyTheDynamicSubset) {
+  Options defaults;
+  const std::string desc = S().DescribeMutable(defaults);
+  for (const auto& info : S().all()) {
+    // Each listed option renders one "name = value" line; matching on
+    // "name = " keeps prose mentions in descriptions from counting.
+    const bool listed =
+        desc.find(info.name + " = ") != std::string::npos;
+    EXPECT_EQ(info.runtime_mutable, listed) << info.name;
+  }
 }
 
 TEST(OptionsSchema, IniRoundTripPreservesEveryOption) {

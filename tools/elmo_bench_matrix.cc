@@ -10,6 +10,9 @@
 //                                             # diff two files, no run
 //   elmo_bench_matrix --tournament --budget=8
 //       --tournament_out=BENCH_tournament.json
+//   elmo_bench_matrix --online_vs_offline
+//       --online_out=BENCH_online_vs_offline.json
+//       --timeline_out=tuning_timeline.json
 //
 // Exit codes: 0 ok, 1 regression gate breach, 2 usage/IO error.
 #include <cstdio>
@@ -47,7 +50,16 @@ void Usage() {
           "  --budget=<n>          trials per tuner (default 8)\n"
           "  --contenders=<a,b>    subset of llm,cost_model,grid,random\n"
           "  --tournament_out=<p>  write the tournament JSON here\n"
-          "                        (default BENCH_tournament.json)\n");
+          "                        (default BENCH_tournament.json)\n"
+          "  --online_vs_offline   run the online-vs-offline comparison\n"
+          "                        on the phased workload instead\n"
+          "  --no_llm              heuristic-only online proposals\n"
+          "  --require_online_win  exit nonzero unless the online run\n"
+          "                        beats the best static config\n"
+          "  --online_out=<p>      write the comparison JSON here\n"
+          "                        (default BENCH_online_vs_offline.json)\n"
+          "  --timeline_out=<p>    also write the online run's tuning\n"
+          "                        timeline JSON here\n");
 }
 
 bool ParseUint64Flag(const std::string& arg, const char* name,
@@ -137,15 +149,58 @@ int RunTournamentMode(uint64_t seed, int budget,
   return 0;
 }
 
+int RunOnlineVsOfflineMode(uint64_t seed, bool use_llm, bool require_win,
+                           const std::string& out_path,
+                           const std::string& timeline_out) {
+  elmo::tune::OnlineVsOfflineConfig cfg;
+  cfg.hw = elmo::HardwareProfile::Make(4, 4, elmo::DeviceModel::NvmeSsd());
+  cfg.seed = seed;
+  cfg.use_llm = use_llm;
+
+  fprintf(stderr,
+          "elmo_bench_matrix: online-vs-offline on %s, %s (%s proposals)\n",
+          cfg.hw.Label().c_str(), cfg.workload.Describe().c_str(),
+          use_llm ? "llm" : "heuristic");
+  const elmo::tune::OnlineVsOfflineReport report =
+      elmo::tune::RunOnlineVsOffline(cfg);
+  fprintf(stderr, "%s", report.SummaryTable().c_str());
+  if (!WriteFile(out_path, report.ToJson())) {
+    fprintf(stderr, "elmo_bench_matrix: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  if (!timeline_out.empty() &&
+      !WriteFile(timeline_out, report.timeline_json)) {
+    fprintf(stderr, "elmo_bench_matrix: cannot write %s\n",
+            timeline_out.c_str());
+    return 2;
+  }
+  fprintf(stderr,
+          "elmo_bench_matrix: wrote %s (online %.2fx vs best static %s)\n",
+          out_path.c_str(), report.online_gain_vs_best_static,
+          report.best_static.c_str());
+  if (require_win && report.online_gain_vs_best_static <= 1.0) {
+    fprintf(stderr,
+            "elmo_bench_matrix: FAIL — online tuning no longer beats the "
+            "best static config\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = true;
   bool tournament = false;
+  bool online_vs_offline = false;
+  bool use_llm = true;
+  bool require_online_win = false;
   uint64_t seed = 42;
   uint64_t budget = 8;
   std::string out_path = "BENCH_matrix.json";
   std::string tournament_out = "BENCH_tournament.json";
+  std::string online_out = "BENCH_online_vs_offline.json";
+  std::string timeline_out;
   std::string baseline_path;
   std::string current_path;
   std::string diff_out;
@@ -163,6 +218,16 @@ int main(int argc, char** argv) {
       quick = false;
     } else if (arg == "--tournament") {
       tournament = true;
+    } else if (arg == "--online_vs_offline") {
+      online_vs_offline = true;
+    } else if (arg == "--no_llm") {
+      use_llm = false;
+    } else if (arg == "--require_online_win") {
+      require_online_win = true;
+    } else if (ParseStringFlag(arg, "online_out", &s)) {
+      online_out = s;
+    } else if (ParseStringFlag(arg, "timeline_out", &s)) {
+      timeline_out = s;
     } else if (ParseUint64Flag(arg, "seed", &u)) {
       seed = u;
     } else if (ParseUint64Flag(arg, "budget", &u)) {
@@ -197,6 +262,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (online_vs_offline) {
+    return RunOnlineVsOfflineMode(seed, use_llm, require_online_win,
+                                  online_out, timeline_out);
+  }
   if (tournament) {
     return RunTournamentMode(seed, static_cast<int>(budget), contenders,
                              tournament_out);

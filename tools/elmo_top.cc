@@ -35,6 +35,7 @@ using elmo::monitor::HealthStatusName;
 using elmo::monitor::HealthTimeline;
 using elmo::monitor::LoadTelemetry;
 using elmo::monitor::MonitorConfig;
+using elmo::monitor::OptionsChangeEvent;
 
 void Usage() {
   fprintf(stderr,
@@ -102,7 +103,8 @@ std::string Sparkline(const std::vector<double>& values, size_t width) {
 
 std::string RenderSeriesFrame(const std::string& source,
                               const std::vector<IntervalSample>& samples,
-                              const HealthTimeline& timeline) {
+                              const HealthTimeline& timeline,
+                              const std::vector<OptionsChangeEvent>& changes) {
   std::string out;
   char buf[256];
   const IntervalSample& last = samples.back();
@@ -161,6 +163,14 @@ std::string RenderSeriesFrame(const std::string& source,
     for (size_t i = hr.anomalies.size() - show; i < hr.anomalies.size();
          i++) {
       out += "  " + hr.anomalies[i].ToString() + "\n";
+    }
+  }
+  if (!changes.empty()) {
+    // Live SetOptions batches (manual or online-tuner), newest last.
+    out += "\nrecent option changes:\n";
+    const size_t show = std::min<size_t>(changes.size(), 6);
+    for (size_t i = changes.size() - show; i < changes.size(); i++) {
+      out += "  " + changes[i].ToString() + "\n";
     }
   }
   if (!hr.diagnoses.empty()) {
@@ -391,8 +401,9 @@ int main(int argc, char** argv) {
       prev_prom = std::move(cur);
     } else {
       std::vector<IntervalSample> samples;
+      std::vector<OptionsChangeEvent> changes;
       MonitorConfig config;
-      s = LoadTelemetry(env, path, &samples, &config.engine);
+      s = LoadTelemetry(env, path, &samples, &config.engine, &changes);
       if (!s.ok() || samples.empty()) {
         fprintf(stderr, "elmo_top: %s: %s\n", path.c_str(),
                 s.ok() ? "no sampler ticks found" : s.ToString().c_str());
@@ -400,7 +411,7 @@ int main(int argc, char** argv) {
       }
       const HealthTimeline timeline = AnalyzeHealthSeries(samples, config);
       out = as_json ? timeline.final_report.ToJson() + "\n"
-                    : RenderSeriesFrame(path, samples, timeline);
+                    : RenderSeriesFrame(path, samples, timeline, changes);
     }
 
     if (!once && !as_json && frame > 0) {
