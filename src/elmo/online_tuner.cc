@@ -107,6 +107,35 @@ void OnlineTuner::Poll() {
 }
 
 void OnlineTuner::StepOnSample(const lsm::IntervalSample& s) {
+  if (s.bg_error_severity > 0) {
+    // The engine is degraded by a background error: tuning now would
+    // chase error-shaped throughput, and a verdict would blame the
+    // active delta for the outage. Pause until the error clears (the
+    // engine's auto-resume, or an operator Resume()/reopen).
+    if (!degraded_) {
+      degraded_ = true;
+      json::Object o;
+      o["bg_error_severity"] = s.bg_error_severity;
+      AddStep(s.ts_us, "degraded_pause", std::move(o));
+    }
+    return;
+  }
+  if (degraded_) {
+    degraded_ = false;
+    json::Object o;
+    o["intervals_degraded"] = true;
+    AddStep(s.ts_us, "degraded_resume", std::move(o));
+    // The degraded intervals are not representative of any delta or
+    // phase; cool down so triggers and verdicts restart on clean data.
+    if (verifying_) {
+      json::Object verdict;
+      verdict["origin"] = active_origin_;
+      verdict["result"] = "superseded_by_background_error";
+      AddStep(s.ts_us, "verdict", std::move(verdict));
+      verifying_ = false;
+    }
+    cooldown_left_ = std::max(cooldown_left_, 1);
+  }
   if (verifying_) {
     VerifySample(s);
     return;

@@ -139,6 +139,7 @@ class OnlineTuner {
   uint64_t sample_interval_us_;
 
   bool attached_ = false;  // first Poll() seeded the ring as context
+  bool degraded_ = false;  // paused on an active background error
   uint64_t last_sample_ts_ = 0;
   uint64_t last_trigger_ts_ = 0;
   bool kicked_off_ = false;  // a first, mix-fitted delta went out

@@ -84,6 +84,16 @@ class Env {
   Status WriteStringToFile(const Slice& data, const std::string& fname,
                            bool sync = false);
 
+  // Free bytes on the device holding `path`. Envs without a capacity
+  // notion report effectively-infinite space; MemEnv/SimEnv honor a
+  // configured disk capacity so NoSpace handling is testable. The
+  // SpaceMonitor (SstFileManager-lite) polls this.
+  virtual Status GetFreeSpace(const std::string& path, uint64_t* bytes) {
+    (void)path;
+    *bytes = UINT64_MAX;
+    return Status::OK();
+  }
+
   virtual uint64_t NowMicros() = 0;
   virtual void SleepForMicroseconds(uint64_t micros) = 0;
 

@@ -53,6 +53,9 @@ class IOTracingEnv : public Env {
   Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src, const std::string& target) override;
+  Status GetFreeSpace(const std::string& path, uint64_t* bytes) override {
+    return base_->GetFreeSpace(path, bytes);
+  }
   uint64_t NowMicros() override;
   void SleepForMicroseconds(uint64_t micros) override;
   void Schedule(std::function<void()> job, JobPriority pri) override;

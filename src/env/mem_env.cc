@@ -59,9 +59,12 @@ class MemRandomAccessFile final : public RandomAccessFile {
 
 class MemWritableFile final : public WritableFile {
  public:
-  explicit MemWritableFile(MemFs::FileRef file) : file_(std::move(file)) {}
+  MemWritableFile(MemFs::FileRef file, MemFs* fs)
+      : file_(std::move(file)), fs_(fs) {}
 
   Status Append(const Slice& data) override {
+    Status s = fs_->ReserveAppend(data.size());
+    if (!s.ok()) return s;
     std::lock_guard<std::mutex> l(file_->mu);
     file_->data.append(data.data(), data.size());
     return Status::OK();
@@ -78,6 +81,7 @@ class MemWritableFile final : public WritableFile {
 
  private:
   MemFs::FileRef file_;
+  MemFs* fs_;
 };
 
 }  // namespace
@@ -104,7 +108,7 @@ Status MemEnv::NewRandomAccessFile(const std::string& fname,
 
 Status MemEnv::NewWritableFile(const std::string& fname,
                                std::unique_ptr<WritableFile>* result) {
-  *result = std::make_unique<MemWritableFile>(fs_.Create(fname));
+  *result = std::make_unique<MemWritableFile>(fs_.Create(fname), &fs_);
   return Status::OK();
 }
 

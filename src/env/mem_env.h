@@ -31,6 +31,11 @@ class MemEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;
+  Status GetFreeSpace(const std::string& path, uint64_t* bytes) override {
+    (void)path;
+    *bytes = fs_.FreeBytes();
+    return Status::OK();
+  }
 
   uint64_t NowMicros() override;
   void SleepForMicroseconds(uint64_t micros) override;

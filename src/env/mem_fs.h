@@ -4,6 +4,8 @@
 // and RemoveDir behave like POSIX.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -121,10 +123,40 @@ class MemFs {
     return total;
   }
 
+  // --- disk-capacity model (0 = unlimited, the default) ---
+  // When a capacity is set, appends that would push TotalBytes past it
+  // fail with Status::NoSpace; Env::GetFreeSpace reports the remainder.
+  // This is what makes the engine's NoSpace pause/resume path testable:
+  // shrink the capacity to force the pause, raise it (or delete files)
+  // to let the free-space monitor resume background work.
+  void SetCapacity(uint64_t bytes) {
+    capacity_.store(bytes, std::memory_order_relaxed);
+  }
+  uint64_t Capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+  uint64_t FreeBytes() {
+    const uint64_t cap = Capacity();
+    if (cap == 0) return UINT64_MAX;
+    const uint64_t used = TotalBytes();
+    return used >= cap ? 0 : cap - used;
+  }
+  // Admission check writers run before appending `n` bytes. Callers
+  // must not hold a file mutex (TotalBytes takes the fs mutex).
+  Status ReserveAppend(uint64_t n) {
+    const uint64_t cap = Capacity();
+    if (cap == 0) return Status::OK();
+    if (TotalBytes() + n > cap) {
+      return Status::NoSpace("mem filesystem capacity exceeded");
+    }
+    return Status::OK();
+  }
+
  private:
   std::mutex mu_;
   std::map<std::string, FileRef> files_;
   std::set<std::string> dirs_;
+  std::atomic<uint64_t> capacity_{0};
 };
 
 }  // namespace elmo

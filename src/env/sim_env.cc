@@ -107,6 +107,8 @@ class SimWritableFile final : public WritableFile {
   ~SimWritableFile() override = default;
 
   Status Append(const Slice& data) override {
+    Status s = env_->fs()->ReserveAppend(data.size());
+    if (!s.ok()) return s;
     {
       std::lock_guard<std::mutex> l(file_->mu);
       file_->data.append(data.data(), data.size());

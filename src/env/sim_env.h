@@ -56,6 +56,11 @@ class SimEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;
+  Status GetFreeSpace(const std::string& path, uint64_t* bytes) override {
+    (void)path;
+    *bytes = fs_.FreeBytes();
+    return Status::OK();
+  }
 
   // --- Env: time & scheduling ---
   uint64_t NowMicros() override;

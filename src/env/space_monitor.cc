@@ -1,0 +1,41 @@
+#include "env/space_monitor.h"
+
+#include <utility>
+
+namespace elmo {
+
+SpaceMonitor::SpaceMonitor(Env* env, std::string path,
+                           uint64_t reserved_bytes,
+                           uint64_t poll_interval_us)
+    : env_(env),
+      path_(std::move(path)),
+      reserved_bytes_(reserved_bytes),
+      poll_interval_us_(poll_interval_us) {}
+
+bool SpaceMonitor::HasHeadroom(uint64_t now_us) {
+  if (reserved_bytes_ == 0) return true;
+  if (polled_once_ && last_poll_us_ != 0 &&
+      now_us < last_poll_us_ + poll_interval_us_) {
+    return has_headroom_;
+  }
+  last_poll_us_ = now_us;
+  uint64_t free_bytes = 0;
+  Status s = env_->GetFreeSpace(path_, &free_bytes);
+  if (!s.ok()) {
+    // No capacity signal from this env: never hold the engine hostage
+    // to a guard it cannot evaluate.
+    polled_once_ = true;
+    has_headroom_ = true;
+    last_free_bytes_ = UINT64_MAX;
+    return true;
+  }
+  const bool headroom = free_bytes > reserved_bytes_;
+  if (polled_once_ && has_headroom_ && !headroom) low_space_events_++;
+  if (!polled_once_ && !headroom) low_space_events_++;
+  polled_once_ = true;
+  has_headroom_ = headroom;
+  last_free_bytes_ = free_bytes;
+  return has_headroom_;
+}
+
+}  // namespace elmo

@@ -1,0 +1,61 @@
+// SpaceMonitor: an SstFileManager-lite free-space guard. Polls
+// Env::GetFreeSpace for the device under the DB and answers one
+// question — is there enough headroom to run background writes
+// (flushes, compactions) safely? The DB pauses background work while
+// the answer is no (a soft NoSpace error state handled by the
+// ErrorHandler) and auto-resumes once space frees.
+//
+// `reserved_bytes` is the headroom the monitor keeps in reserve:
+// background work is paused while free space sits at or below it, so
+// the engine never writes the device completely full — the WAL and
+// MANIFEST keep a margin to land their own records in.
+//
+// Polling is rate-limited on the engine clock (deterministic under
+// SimEnv); a failed GetFreeSpace is treated as "unknown, assume fine"
+// so an env without capacity support never stalls the DB.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "env/env.h"
+
+namespace elmo {
+
+class SpaceMonitor {
+ public:
+  // `env` must outlive the monitor. `reserved_bytes` == 0 disables the
+  // guard entirely (HasHeadroom is then always true and never polls).
+  SpaceMonitor(Env* env, std::string path, uint64_t reserved_bytes,
+               uint64_t poll_interval_us = 100 * 1000);
+
+  // True when free space on the device exceeds the reservation.
+  // Re-polls the env at most once per poll interval; between polls the
+  // cached verdict is returned. `now_us` is the engine clock.
+  bool HasHeadroom(uint64_t now_us);
+
+  // Drop the cache and re-poll on the next HasHeadroom call — used by
+  // the resume path so recovery sees fresh truth, not a stale verdict.
+  void Invalidate() { last_poll_us_ = 0; }
+
+  uint64_t reserved_bytes() const { return reserved_bytes_; }
+  // Free bytes observed by the most recent poll (UINT64_MAX before the
+  // first poll or when the env reports no capacity bound).
+  uint64_t last_free_bytes() const { return last_free_bytes_; }
+  // Times HasHeadroom flipped from true to false (low-space pauses).
+  uint64_t low_space_events() const { return low_space_events_; }
+
+ private:
+  Env* const env_;
+  const std::string path_;
+  const uint64_t reserved_bytes_;
+  const uint64_t poll_interval_us_;
+
+  uint64_t last_poll_us_ = 0;
+  bool has_headroom_ = true;
+  bool polled_once_ = false;
+  uint64_t last_free_bytes_ = UINT64_MAX;
+  uint64_t low_space_events_ = 0;
+};
+
+}  // namespace elmo

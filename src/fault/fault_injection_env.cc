@@ -175,6 +175,7 @@ Status FaultInjectionEnv::DropUnsyncedData(DropMode mode) {
 void FaultInjectionEnv::SetErrorInjection(const FaultInjectionConfig& config) {
   std::lock_guard<std::mutex> l(mu_);
   cfg_ = config;
+  burst_ops_seen_ = 0;
   inject_ = cfg_.read_error > 0 || cfg_.write_error > 0 ||
             cfg_.sync_error > 0 || cfg_.short_read > 0 ||
             cfg_.read_corruption > 0 || cfg_.lie_on_wal_sync;
@@ -184,6 +185,33 @@ void FaultInjectionEnv::ClearErrorInjection() {
   std::lock_guard<std::mutex> l(mu_);
   cfg_ = FaultInjectionConfig();
   inject_ = false;
+}
+
+bool FaultInjectionEnv::InjectionArmed() const {
+  std::lock_guard<std::mutex> l(mu_);
+  if (!inject_) return false;
+  return cfg_.transient_ops == 0 || burst_ops_seen_ < cfg_.transient_ops;
+}
+
+bool FaultInjectionEnv::InjectionLiveLocked() {
+  if (!inject_) return false;
+  if (cfg_.transient_ops > 0) {
+    if (burst_ops_seen_ >= cfg_.transient_ops) {
+      // The burst ran its course: the device is healthy again.
+      cfg_ = FaultInjectionConfig();
+      inject_ = false;
+      counters_.transient_expiries++;
+      return false;
+    }
+    burst_ops_seen_++;
+  }
+  return true;
+}
+
+Status FaultInjectionEnv::InjectedError(const std::string& what,
+                                        const std::string& fname) const {
+  const std::string msg = "fault: injected " + what + " on " + fname;
+  return cfg_.retryable ? Status::RetryableIOError(msg) : Status::IOError(msg);
 }
 
 FaultCounters FaultInjectionEnv::counters() const {
@@ -355,12 +383,13 @@ bool FaultInjectionEnv::KindEligibleLocked(const std::string& fname) const {
 
 Status FaultInjectionEnv::MaybeInjectWriteError(const std::string& fname) {
   std::lock_guard<std::mutex> l(mu_);
-  if (!inject_ || cfg_.write_error <= 0 || !KindEligibleLocked(fname)) {
+  if (!InjectionLiveLocked() || cfg_.write_error <= 0 ||
+      !KindEligibleLocked(fname)) {
     return Status::OK();
   }
   if (rng_.NextDouble() < cfg_.write_error) {
     counters_.write_errors++;
-    return Status::IOError("fault: injected write error on " + fname);
+    return InjectedError("write error", fname);
   }
   return Status::OK();
 }
@@ -369,7 +398,7 @@ Status FaultInjectionEnv::MaybeInjectSyncError(const std::string& fname,
                                                bool* lied) {
   *lied = false;
   std::lock_guard<std::mutex> l(mu_);
-  if (!inject_) return Status::OK();
+  if (!InjectionLiveLocked()) return Status::OK();
   const IOFileKind kind = ClassifyIOFileKind(fname, false);
   if (cfg_.lie_on_wal_sync && kind == IOFileKind::kWal) {
     counters_.wal_sync_lies++;
@@ -379,7 +408,7 @@ Status FaultInjectionEnv::MaybeInjectSyncError(const std::string& fname,
   if (cfg_.sync_error <= 0 || !KindEligibleLocked(fname)) return Status::OK();
   if (rng_.NextDouble() < cfg_.sync_error) {
     counters_.sync_errors++;
-    return Status::IOError("fault: injected sync error on " + fname);
+    return InjectedError("sync error", fname);
   }
   return Status::OK();
 }
@@ -387,10 +416,12 @@ Status FaultInjectionEnv::MaybeInjectSyncError(const std::string& fname,
 Status FaultInjectionEnv::MaybeInjectReadFault(const std::string& fname,
                                                Slice* result) {
   std::lock_guard<std::mutex> l(mu_);
-  if (!inject_ || !KindEligibleLocked(fname)) return Status::OK();
+  if (!InjectionLiveLocked() || !KindEligibleLocked(fname)) {
+    return Status::OK();
+  }
   if (cfg_.read_error > 0 && rng_.NextDouble() < cfg_.read_error) {
     counters_.read_errors++;
-    return Status::IOError("fault: injected read error on " + fname);
+    return InjectedError("read error", fname);
   }
   if (cfg_.short_read > 0 && result->size() > 1 &&
       rng_.NextDouble() < cfg_.short_read) {

@@ -58,6 +58,16 @@ struct FaultInjectionConfig {
   // acknowledged as synced — exactly the violation the stress oracle
   // must catch. Never set outside violation-detection tests.
   bool lie_on_wal_sync = false;
+  // Transient-fault mode: injected read/write/sync errors are marked
+  // retryable (Status::IsRetryable), telling the DB's ErrorHandler the
+  // fault is expected to clear — the auto-resume path is exercised
+  // instead of permanent degradation.
+  bool retryable = false;
+  // Transient-fault burst length: injection disarms itself after this
+  // many operations have passed through the fault hooks (eligible or
+  // not), as if the device recovered. 0 = stay armed until
+  // ClearFaults()/ClearErrorInjection().
+  uint64_t transient_ops = 0;
 };
 
 struct FaultCounters {
@@ -69,6 +79,7 @@ struct FaultCounters {
   uint64_t wal_sync_lies = 0;
   uint64_t files_dropped = 0;   // files rewound by DropUnsyncedData
   uint64_t bytes_dropped = 0;   // unsynced bytes erased across all drops
+  uint64_t transient_expiries = 0;  // bursts that disarmed themselves
 };
 
 class FaultInjectionEnv : public Env {
@@ -95,6 +106,12 @@ class FaultInjectionEnv : public Env {
   // ---- error injection ----
   void SetErrorInjection(const FaultInjectionConfig& config);
   void ClearErrorInjection();
+  // Transient-fault vocabulary: the device "recovered" — same effect as
+  // a burst expiring via FaultInjectionConfig::transient_ops.
+  void ClearFaults() { ClearErrorInjection(); }
+  // True while error injection is armed (a transient burst that hit its
+  // transient_ops budget reports false).
+  bool InjectionArmed() const;
   FaultCounters counters() const;
 
   // Forget all per-file durability tracking (e.g. after DestroyDB).
@@ -122,6 +139,9 @@ class FaultInjectionEnv : public Env {
   Status RemoveDir(const std::string& dirname) override;
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src, const std::string& target) override;
+  Status GetFreeSpace(const std::string& path, uint64_t* bytes) override {
+    return base_->GetFreeSpace(path, bytes);
+  }
   uint64_t NowMicros() override;
   void SleepForMicroseconds(uint64_t micros) override;
   void Schedule(std::function<void()> job, JobPriority pri) override;
@@ -152,6 +172,11 @@ class FaultInjectionEnv : public Env {
   Status MaybeInjectReadFault(const std::string& fname, Slice* result);
 
   bool KindEligibleLocked(const std::string& fname) const;  // holds mu_
+  // Charge one operation against a transient burst and report whether
+  // injection is still live; disarms once transient_ops is exhausted.
+  bool InjectionLiveLocked();
+  Status InjectedError(const std::string& what,
+                       const std::string& fname) const;  // holds mu_
 
   Env* const base_;
   std::atomic<bool> active_{true};
@@ -159,6 +184,7 @@ class FaultInjectionEnv : public Env {
   std::map<std::string, FileState> files_;
   FaultInjectionConfig cfg_;
   bool inject_ = false;
+  uint64_t burst_ops_seen_ = 0;  // hook calls since SetErrorInjection
   Random64 rng_;
   FaultCounters counters_;
 };

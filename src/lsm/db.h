@@ -112,6 +112,13 @@ class DB {
   //                                      "changes":[{"ts_us":..,
   //                                      "source":..,"deltas":[{"name":
   //                                      ..,"from":..,"to":..}]}]}
+  //   "elmo.bg_error"                    JSON background-error state:
+  //                                      {"severity":"none|soft|hard|
+  //                                      fatal", and while degraded
+  //                                      "source","kind","cause",
+  //                                      "retry_count","auto_recoverable",
+  //                                      "next_retry_at_us"} plus lifetime
+  //                                      resume success/failure counts
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // Compact the key range [*begin, *end]; null means open-ended.
@@ -131,6 +138,15 @@ class DB {
 
   // Block until all scheduled background work has settled.
   virtual Status WaitForBackgroundWork() = 0;
+
+  // Manually recover from a background error state (see
+  // lsm/error_handler.h). Soft/hard errors are retried immediately —
+  // re-syncing the WAL/MANIFEST and re-scheduling paused flushes and
+  // compactions on success; while degraded, reads keep serving and
+  // writes fail fast with a self-describing Status. Returns OK when the
+  // DB is healthy (or was already), the blocking error otherwise; fatal
+  // errors always fail (reopen required). No-op on a healthy DB.
+  virtual Status Resume() = 0;
 
   // Start recording every user operation (puts, deletes, gets) to a
   // trace file at `path` (see lsm/trace.h for the format and

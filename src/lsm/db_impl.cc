@@ -138,6 +138,10 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       block_cache_(NewLruCache(options_.block_cache_size)),
       block_cache_tracer_(std::make_shared<BlockCacheTracer>(raw_env_)),
       internal_comparator_(BytewiseComparator()),
+      error_handler_(ErrorHandlerConfig{
+          options_.max_bgerror_resume_count,
+          options_.bgerror_resume_retry_interval_ms * 1000,
+          options_.bgerror_resume_max_backoff_ms * 1000}),
       slowdown_limiter_(options_.delayed_write_rate) {
   // Span-trace output bypasses the IO-tracing wrapper, like the other
   // observability sinks, so observing the engine never perturbs the
@@ -165,6 +169,11 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     env_->SetBackgroundThreads(options_.ResolvedCompactionSlots(),
                                JobPriority::kLow);
   }
+  if (options_.free_space_reserved_bytes > 0) {
+    space_monitor_ = std::make_unique<SpaceMonitor>(
+        env_, dbname_, options_.free_space_reserved_bytes,
+        options_.free_space_poll_interval_ms * 1000);
+  }
   if (options_.stats_sample_interval_ms > 0) {
     sampler_interval_ms_.store(options_.stats_sample_interval_ms,
                                std::memory_order_relaxed);
@@ -183,6 +192,16 @@ DBImpl::~DBImpl() {
   shutting_down_.store(true);
   if (sim_ == nullptr) {
     env_->WaitForBackgroundWork();
+  }
+  // Stop the auto-resume thread first: a recovery attempt must not race
+  // the teardown of the state it would repair.
+  if (recovery_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> rl(recovery_mu_);
+      recovery_stop_ = true;
+    }
+    recovery_cv_.notify_all();
+    recovery_thread_.join();
   }
   // Stop the sampler thread before touching any observability sink: a
   // tick must never race the LOG/trace teardown below or outlive the
@@ -581,6 +600,11 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
     stats_.Add(Ticker::kWalBytes, batch_bytes);
     perf->write_wal_bytes += batch_bytes;
     wal_live_bytes_ += batch_bytes;
+    if (!s.ok()) {
+      // The write is not acked; classify the failure so later writes
+      // stall or fail fast and auto-resume can switch to a fresh WAL.
+      RecordBackgroundError(BackgroundErrorSource::kWalAppend, s);
+    }
     if (s.ok()) ELMO_KILL_POINT("wal:after_append");
     if (s.ok()) {
       if (opts.sync) {
@@ -607,6 +631,9 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
           wal_bytes_since_sync_ = 0;
         }
       }
+      if (!s.ok()) {
+        RecordBackgroundError(BackgroundErrorSource::kWalSync, s);
+      }
     }
   }
 
@@ -617,6 +644,9 @@ Status DBImpl::Write(const WriteOptions& opts, WriteBatch* updates) {
   }
   if (s.ok()) {
     versions_->SetLastSequence(seq + count - 1);
+    // A fully-acked write proves the WAL healthy; forget any consumed
+    // auto-resume budget so the next episode starts fresh.
+    error_handler_.NoteBackgroundWorkSuccess();
   }
 
   stats_.Add(Ticker::kWriteCount, count);
@@ -678,9 +708,49 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
   int spin_guard = 0;
 
   while (true) {
-    if (!bg_error_.ok()) return bg_error_;
+    if (!error_handler_.ok()) {
+      // An auto-resume retry may be due right now (under SimEnv this
+      // writer is the only clock observer).
+      MaybeResumeLocked();
+    }
+    {
+      Status es = error_handler_.WriteStatus();
+      if (!es.ok()) return es;  // hard/fatal: fail fast, reads still serve
+    }
     if (++spin_guard > 10000) {
       return Status::Busy("write path failed to make progress");
+    }
+
+    if (!error_handler_.ok()) {
+      // Soft error: writes stall while auto-resume retries; escalation
+      // to hard (budget exhausted) flips the loop into fail-fast above.
+      stats_.Add(Ticker::kWriteStopCount, 1);
+      UpdateStallCondition(StallCondition::kStopped,
+                           StallReason::kBackgroundError, 0);
+      uint64_t waited = 0;
+      SpanScope stall_span(env_, SpanKind::kStallWait);
+      stall_span.Annotate(
+          SpanTag::kStallReason,
+          static_cast<uint64_t>(StallReason::kBackgroundError));
+      if (sim_ != nullptr) {
+        const uint64_t now = sim_->NowMicros();
+        const uint64_t next = error_handler_.next_retry_at_us();
+        if (next > now) {
+          waited = next - now;
+          sim_->AdvanceTo(next);
+        }
+        // next <= now: the retry is due; the loop attempts it above.
+      } else {
+        const uint64_t t0 = env_->NowMicros();
+        bg_work_finished_.wait(l);  // recovery thread signals transitions
+        waited = env_->NowMicros() - t0;
+      }
+      stall_span.Close();
+      stats_.Add(Ticker::kWriteStallMicros, waited);
+      stats_.Measure(HistogramType::kStallMicros, waited);
+      GetPerfContext()->write_stall_micros += waited;
+      NotifyWriteStop(StallReason::kBackgroundError, waited);
+      continue;
     }
 
     const int l0 = L0CountForStall();
@@ -804,13 +874,14 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& l) {
 // Background scheduling
 
 void DBImpl::MaybeScheduleFlush() {
-  if (shutting_down_.load() || !bg_error_.ok()) return;
+  if (shutting_down_.load() || !error_handler_.ok()) return;
   if (imm_.empty()) return;
   const int pending = static_cast<int>(imm_.size());
   if (pending < options_.min_write_buffer_number_to_merge &&
       pending < options_.max_write_buffer_number - 1) {
     return;  // accumulate more before merging
   }
+  if (SpaceLowLocked(BackgroundErrorSource::kFlush)) return;
   if (sim_ != nullptr) {
     RunFlushSim();
     return;
@@ -821,8 +892,12 @@ void DBImpl::MaybeScheduleFlush() {
 }
 
 void DBImpl::MaybeScheduleCompaction() {
-  if (shutting_down_.load() || !bg_error_.ok()) return;
+  if (shutting_down_.load() || !error_handler_.ok()) return;
   if (manual_compaction_active_) return;
+  if (versions_->NeedsCompaction() &&
+      SpaceLowLocked(BackgroundErrorSource::kCompaction)) {
+    return;
+  }
   if (sim_ != nullptr) {
     RunCompactionsSim();
     return;
@@ -835,16 +910,18 @@ void DBImpl::MaybeScheduleCompaction() {
 
 void DBImpl::BackgroundFlushCall() {
   std::unique_lock<std::mutex> l(mu_);
-  if (!shutting_down_.load() && bg_error_.ok()) {
+  if (!shutting_down_.load() && error_handler_.ok()) {
     FlushJobInfo info;
+    BackgroundErrorSource esrc = BackgroundErrorSource::kFlush;
     const uint64_t t0 = env_->NowMicros();
-    Status s = FlushWork(&info);
+    Status s = FlushWork(&info, &esrc);
     if (!s.ok()) {
-      RecordBackgroundError(s);
+      RecordBackgroundError(esrc, s);
     } else if (info.imms_merged > 0) {
       info.duration_micros = env_->NowMicros() - t0;
       stats_.Measure(HistogramType::kFlushMicros, info.duration_micros);
       NotifyFlushCompleted(info);
+      error_handler_.NoteBackgroundWorkSuccess();
     }
   }
   active_flushes_--;
@@ -856,7 +933,7 @@ void DBImpl::BackgroundFlushCall() {
 
 void DBImpl::BackgroundCompactionCall() {
   std::unique_lock<std::mutex> l(mu_);
-  if (!shutting_down_.load() && bg_error_.ok()) {
+  if (!shutting_down_.load() && error_handler_.ok()) {
     std::unique_ptr<Compaction> c = versions_->PickCompaction();
     if (c != nullptr) {
       int l0c = 0, l0p = 0;
@@ -866,15 +943,18 @@ void DBImpl::BackgroundCompactionCall() {
           options_.compaction_style == CompactionStyle::kUniversal
               ? CompactionReason::kUniversal
               : CompactionReason::kLevelScore;
+      BackgroundErrorSource esrc = BackgroundErrorSource::kCompaction;
       const uint64_t t0 = env_->NowMicros();
-      Status s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info);
+      Status s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info,
+                                &esrc);
       if (!s.ok()) {
-        RecordBackgroundError(s);
+        RecordBackgroundError(esrc, s);
       } else {
         info.duration_micros = env_->NowMicros() - t0;
         stats_.Measure(HistogramType::kCompactionMicros,
                        info.duration_micros);
         NotifyCompactionCompleted(info);
+        error_handler_.NoteBackgroundWorkSuccess();
       }
     }
   }
@@ -892,7 +972,8 @@ void DBImpl::RunFlushSim() {
   const uint64_t now = sim_->NowMicros();
   sim_->BeginJobMeter();
   FlushJobInfo info;
-  Status s = FlushWork(&info);
+  BackgroundErrorSource esrc = BackgroundErrorSource::kFlush;
+  Status s = FlushWork(&info, &esrc);
   const uint64_t duration = sim_->EndJobMeter();
 
   if (s.ok()) {
@@ -905,9 +986,10 @@ void DBImpl::RunFlushSim() {
       info.duration_micros = duration;
       stats_.Measure(HistogramType::kFlushMicros, duration);
       NotifyFlushCompleted(info);
+      error_handler_.NoteBackgroundWorkSuccess();
     }
   } else {
-    RecordBackgroundError(s);
+    RecordBackgroundError(esrc, s);
   }
   in_sim_background_ = false;
 
@@ -920,7 +1002,7 @@ void DBImpl::RunCompactionsSim() {
   if (in_sim_background_) return;
   in_sim_background_ = true;
 
-  while (bg_error_.ok() && !shutting_down_.load() &&
+  while (error_handler_.ok() && !shutting_down_.load() &&
          versions_->NeedsCompaction()) {
     std::unique_ptr<Compaction> c = versions_->PickCompaction();
     if (c == nullptr) break;
@@ -945,12 +1027,13 @@ void DBImpl::RunCompactionsSim() {
     info.reason = options_.compaction_style == CompactionStyle::kUniversal
                       ? CompactionReason::kUniversal
                       : CompactionReason::kLevelScore;
+    BackgroundErrorSource esrc = BackgroundErrorSource::kCompaction;
     Status s = CompactionWork(std::move(c), &l0_consumed, &l0_produced,
-                              &output_numbers, &info);
+                              &output_numbers, &info, &esrc);
     uint64_t duration = sim_->EndJobMeter();
 
     if (!s.ok()) {
-      RecordBackgroundError(s);
+      RecordBackgroundError(esrc, s);
       break;
     }
 
@@ -983,19 +1066,207 @@ void DBImpl::RunCompactionsSim() {
   MaybeSampleLocked();
 }
 
-void DBImpl::RecordBackgroundError(const Status& s) {
-  if (bg_error_.ok()) {
-    bg_error_ = s;
-    ELMO_LOG_ERROR(options_.info_log.get(), "background error: %s",
-                   s.ToString().c_str());
+// ---------------------------------------------------------------------
+// Background-error handling & self-healing
+
+void DBImpl::RecordBackgroundError(BackgroundErrorSource source,
+                                   const Status& s) {
+  // REQUIRES: mu_ held.
+  if (s.ok()) return;
+  // An orderly shutdown aborts in-flight jobs; that is not an error.
+  if (shutting_down_.load() && s.IsAborted()) return;
+  if (!error_handler_.SetBGError(source, s, env_->NowMicros())) return;
+
+  const ErrorHandler::State& st = error_handler_.state();
+  switch (st.severity) {
+    case ErrorSeverity::kSoft:
+      stats_.Add(Ticker::kBackgroundErrorsSoft, 1);
+      break;
+    case ErrorSeverity::kHard:
+      stats_.Add(Ticker::kBackgroundErrorsHard, 1);
+      break;
+    case ErrorSeverity::kFatal:
+      stats_.Add(Ticker::kBackgroundErrorsFatal, 1);
+      break;
+    case ErrorSeverity::kNone:
+      break;
   }
+  ELMO_LOG_ERROR(options_.info_log.get(),
+                 "background error (%s/%s, severity=%s): %s",
+                 BackgroundErrorSourceName(st.source),
+                 BackgroundErrorKindName(st.kind),
+                 ErrorSeverityName(st.severity), s.ToString().c_str());
+
+  BackgroundErrorInfo info;
+  info.source = st.source;
+  info.kind = st.kind;
+  info.severity = st.severity;
+  info.status = st.cause;
+  info.retry_count = st.retry_count;
+  NotifyBackgroundError(info);
+
+  // Wake writers immediately: soft stalls must re-check the retry
+  // schedule, hard/fatal waits must fail fast instead of blocking.
+  bg_work_finished_.notify_all();
+
+  if (sim_ == nullptr && st.auto_recoverable) {
+    StartRecoveryThreadLocked();
+  }
+}
+
+Status DBImpl::ResumeImpl(bool manual) {
+  // REQUIRES: mu_ held. `manual` resumes ignore the backoff schedule but
+  // still consume the same bounded retry budget.
+  (void)manual;
+  if (error_handler_.ok()) return Status::OK();
+  if (error_handler_.severity() == ErrorSeverity::kFatal) {
+    return error_handler_.WriteStatus();
+  }
+
+  const ErrorHandler::State st = error_handler_.state();
+  const bool first_attempt = !st.recovery_began;
+  const int attempt = error_handler_.OnResumeAttemptStart();
+  stats_.Add(Ticker::kAutoResumeAttempts, 1);
+
+  BackgroundErrorInfo info;
+  info.source = st.source;
+  info.kind = st.kind;
+  info.severity = st.severity;
+  info.status = st.cause;
+  info.retry_count = attempt;
+  if (first_attempt) NotifyErrorRecoveryBegin(info);
+
+  // Repair whatever the failing source left behind before declaring the
+  // episode over; flush/compaction inputs are immutable, so for those a
+  // clear-and-reschedule is the repair.
+  Status repair;
+  if (st.kind == BackgroundErrorKind::kNoSpace) {
+    if (space_monitor_ != nullptr) {
+      space_monitor_->Invalidate();
+      if (!space_monitor_->HasHeadroom(env_->NowMicros())) {
+        repair = Status::NoSpace("free space still below reserved headroom");
+      }
+    }
+  } else if (st.source == BackgroundErrorSource::kWalAppend ||
+             st.source == BackgroundErrorSource::kWalSync) {
+    // Every acked record is intact in the old WAL (replay tolerates a
+    // torn tail); roll to a fresh log so new writes land on a healthy
+    // file. The old WAL stays on disk until its memtable flushes.
+    repair = SwitchToNewLog();
+  } else if (st.source == BackgroundErrorSource::kManifest) {
+    // Force a fresh MANIFEST and eagerly write the full snapshot +
+    // CURRENT swap: a successful LogAndApply *is* the verification.
+    versions_->ForceNewManifest();
+    VersionEdit edit;
+    repair = versions_->LogAndApply(&edit);
+  }
+
+  if (repair.ok()) {
+    error_handler_.OnResumeSucceeded();
+    stats_.Add(Ticker::kAutoResumeSuccess, 1);
+    ELMO_LOG(options_.info_log.get(),
+             "background error recovered (%s/%s) after %d attempt(s)",
+             BackgroundErrorSourceName(st.source),
+             BackgroundErrorKindName(st.kind), attempt);
+    info.status = Status::OK();
+    info.retry_count = attempt;
+    NotifyErrorRecoveryCompleted(info);
+    MaybeScheduleFlush();
+    MaybeScheduleCompaction();
+    bg_work_finished_.notify_all();
+    return Status::OK();
+  }
+
+  const bool escalated =
+      error_handler_.OnResumeFailed(repair, env_->NowMicros());
+  stats_.Add(Ticker::kAutoResumeFailure, 1);
+  if (escalated) {
+    stats_.Add(Ticker::kBackgroundErrorsHard, 1);
+  }
+  const ErrorHandler::State& after = error_handler_.state();
+  ELMO_LOG_ERROR(options_.info_log.get(),
+                 "resume attempt %d failed (%s/%s): %s%s", attempt,
+                 BackgroundErrorSourceName(st.source),
+                 BackgroundErrorKindName(st.kind),
+                 repair.ToString().c_str(),
+                 after.auto_recoverable ? "" : "; giving up");
+  if (!after.auto_recoverable) {
+    // Episode over without recovery: report the terminal failure.
+    info.severity = after.severity;
+    info.status = repair;
+    info.retry_count = attempt;
+    NotifyErrorRecoveryCompleted(info);
+  }
+  if (escalated || !after.auto_recoverable) {
+    bg_work_finished_.notify_all();
+  }
+  return repair;
+}
+
+void DBImpl::MaybeResumeLocked() {
+  // REQUIRES: mu_ held.
+  if (shutting_down_.load()) return;
+  if (!error_handler_.ResumeDue(env_->NowMicros())) return;
+  ResumeImpl(false);
+}
+
+Status DBImpl::Resume() {
+  std::lock_guard<std::mutex> l(mu_);
+  if (error_handler_.ok()) return Status::OK();
+  return ResumeImpl(true);
+}
+
+bool DBImpl::SpaceLowLocked(BackgroundErrorSource source) {
+  // REQUIRES: mu_ held.
+  if (space_monitor_ == nullptr) return false;
+  if (space_monitor_->HasHeadroom(env_->NowMicros())) return false;
+  RecordBackgroundError(source,
+                        Status::NoSpace("free space below reserved headroom"));
+  return true;
+}
+
+void DBImpl::StartRecoveryThreadLocked() {
+  // REQUIRES: mu_ held. Lazily started on the first recoverable error in
+  // real-env mode; SimEnv drives recovery inline from foreground calls.
+  if (recovery_thread_started_) return;
+  recovery_thread_started_ = true;
+  recovery_thread_ = std::thread([this] { RecoveryThreadLoop(); });
+}
+
+void DBImpl::RecoveryThreadLoop() {
+  std::unique_lock<std::mutex> rl(recovery_mu_);
+  while (!recovery_stop_) {
+    recovery_cv_.wait_for(rl, std::chrono::milliseconds(10),
+                          [this] { return recovery_stop_; });
+    if (recovery_stop_) break;
+    rl.unlock();
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      MaybeResumeLocked();
+    }
+    rl.lock();
+  }
+}
+
+void DBImpl::NotifyBackgroundError(const BackgroundErrorInfo& info) {
+  for (const auto& l : options_.listeners) l->OnBackgroundError(info);
+}
+
+void DBImpl::NotifyErrorRecoveryBegin(const BackgroundErrorInfo& info) {
+  for (const auto& l : options_.listeners) l->OnErrorRecoveryBegin(info);
+}
+
+void DBImpl::NotifyErrorRecoveryCompleted(const BackgroundErrorInfo& info) {
+  for (const auto& l : options_.listeners) l->OnErrorRecoveryCompleted(info);
 }
 
 // ---------------------------------------------------------------------
 // Flush
 
-Status DBImpl::FlushWork(FlushJobInfo* info) {
-  // REQUIRES: mu_ held.
+Status DBImpl::FlushWork(FlushJobInfo* info, BackgroundErrorSource* esrc) {
+  // REQUIRES: mu_ held. On failure *esrc names the failing stage so the
+  // error handler can attribute (and repair) it correctly.
+  if (esrc != nullptr) *esrc = BackgroundErrorSource::kFlush;
   IOContextScope io_ctx(IOContextTag::kFlush);
   *info = FlushJobInfo{};
   if (imm_.empty()) return Status::OK();
@@ -1040,7 +1311,9 @@ Status DBImpl::FlushWork(FlushJobInfo* info) {
     edit.SetLogNumber(log_floor);
     ELMO_KILL_POINT("flush:before_manifest_apply");
     SpanScope manifest_span(env_, SpanKind::kManifestApply);
+    if (esrc != nullptr) *esrc = BackgroundErrorSource::kManifest;
     s = versions_->LogAndApply(&edit);
+    if (s.ok() && esrc != nullptr) *esrc = BackgroundErrorSource::kFlush;
   }
 
   if (s.ok()) {
@@ -1174,8 +1447,11 @@ Status DBImpl::OpenCompactionOutputFile(std::unique_ptr<WritableFile>* file,
 Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                               int* l0_produced,
                               std::vector<uint64_t>* output_numbers,
-                              CompactionJobInfo* info) {
-  // REQUIRES: mu_ held. info->reason is preset by the caller.
+                              CompactionJobInfo* info,
+                              BackgroundErrorSource* esrc) {
+  // REQUIRES: mu_ held. info->reason is preset by the caller. On failure
+  // *esrc names the failing stage (compaction proper vs manifest apply).
+  if (esrc != nullptr) *esrc = BackgroundErrorSource::kCompaction;
   IOContextScope io_ctx(IOContextTag::kCompaction);
   SpanScope span(env_, SpanKind::kCompaction, span_tracer_.get());
   span.Annotate(SpanTag::kLevel, static_cast<uint64_t>(c->level()));
@@ -1200,7 +1476,11 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
     Status s;
     {
       SpanScope manifest_span(env_, SpanKind::kManifestApply);
+      if (esrc != nullptr) *esrc = BackgroundErrorSource::kManifest;
       s = versions_->LogAndApply(c->edit());
+      if (s.ok() && esrc != nullptr) {
+        *esrc = BackgroundErrorSource::kCompaction;
+      }
     }
     stats_.Add(Ticker::kTrivialMoveCount, 1);
     // The file changed levels without a rewrite: bytes arrive at the
@@ -1353,7 +1633,11 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
     }
     {
       SpanScope manifest_span(env_, SpanKind::kManifestApply);
+      if (esrc != nullptr) *esrc = BackgroundErrorSource::kManifest;
       s = versions_->LogAndApply(c->edit());
+      if (s.ok() && esrc != nullptr) {
+        *esrc = BackgroundErrorSource::kCompaction;
+      }
     }
     if (s.ok()) ELMO_KILL_POINT("compaction:after_apply");
     if (s.ok()) {
@@ -1395,8 +1679,9 @@ Status DBImpl::CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
 }
 
 void DBImpl::RemoveObsoleteFiles() {
-  // REQUIRES: mu_ held.
-  if (!bg_error_.ok()) return;
+  // REQUIRES: mu_ held. Skipped while an error is active: the live-file
+  // view may be stale relative to a half-applied manifest edit.
+  if (!error_handler_.ok()) return;
 
   std::set<uint64_t> live = pending_outputs_;
   versions_->AddLiveFiles(&live);
@@ -1454,6 +1739,10 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   SequenceNumber snapshot;
   {
     std::lock_guard<std::mutex> l(mu_);
+    // Reads keep serving in every degraded state; they also piggyback a
+    // due auto-resume attempt (under SimEnv the foreground is the only
+    // clock observer).
+    if (!error_handler_.ok()) MaybeResumeLocked();
     if (options.snapshot != nullptr) {
       snapshot =
           static_cast<const SnapshotImpl*>(options.snapshot)->sequence;
@@ -1749,6 +2038,13 @@ std::string DBImpl::RenderPrometheusLocked() {
       in.health_top_severity = r.diagnoses.front().severity;
     }
   }
+  in.bg_error_severity = static_cast<int>(error_handler_.severity());
+  if (!error_handler_.ok()) {
+    const ErrorHandler::State& est = error_handler_.state();
+    in.bg_error_source = BackgroundErrorSourceName(est.source);
+    in.bg_error_kind = BackgroundErrorKindName(est.kind);
+    in.bg_error_retry_count = est.retry_count;
+  }
   in.ts_us = env_->NowMicros();
   return monitor::RenderPrometheus(in);
 }
@@ -1779,6 +2075,7 @@ EngineGauges DBImpl::GatherGaugesLocked() {
   // same number the stall logic sees.
   if (g.num_levels > 0) g.level_files[0] = L0CountForStall();
   g.block_cache_usage = block_cache_->TotalCharge();
+  g.bg_error_severity = static_cast<int>(error_handler_.severity());
 
   const SpanAggregate::Snapshot spans = GlobalSpanAggregate()->GetSnapshot();
   auto since_open = [this, &spans](SpanKind k) {
@@ -2153,6 +2450,25 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     *value = json::Value(std::move(doc)).Dump();
     return true;
   }
+  if (prop == "elmo.bg_error") {
+    const ErrorHandler::State& est = error_handler_.state();
+    json::Object doc;
+    doc["severity"] = ErrorSeverityName(est.severity);
+    if (!error_handler_.ok()) {
+      doc["source"] = BackgroundErrorSourceName(est.source);
+      doc["kind"] = BackgroundErrorKindName(est.kind);
+      doc["cause"] = est.cause.ToString();
+      doc["retry_count"] = static_cast<int64_t>(est.retry_count);
+      doc["auto_recoverable"] = est.auto_recoverable;
+      doc["next_retry_at_us"] = static_cast<int64_t>(est.next_retry_at_us);
+    }
+    doc["resume_successes"] =
+        static_cast<int64_t>(error_handler_.resume_successes());
+    doc["resume_failures"] =
+        static_cast<int64_t>(error_handler_.resume_failures());
+    *value = json::Value(std::move(doc)).Dump();
+    return true;
+  }
   return false;
 }
 
@@ -2329,36 +2645,62 @@ Status DBImpl::FlushMemTable() {
   }
   if (imm_.empty()) return Status::OK();
 
+  if (!error_handler_.ok()) MaybeResumeLocked();
+
+  // A forced flush must respect the free-space guard too: writing the
+  // SST on a nearly full disk risks a mid-file failure, so pause the
+  // episode instead and let Resume() retry once space is reclaimed.
+  if (error_handler_.ok() && SpaceLowLocked(BackgroundErrorSource::kFlush)) {
+    return error_handler_.BackgroundWorkStatus();
+  }
+
   if (sim_ != nullptr) {
     RunFlushSim();
-    return bg_error_;
+    return error_handler_.BackgroundWorkStatus();
   }
   // Real mode: force a flush even below the merge threshold, and keep
-  // re-arming until our memtables drain.
-  while (!imm_.empty() && bg_error_.ok() && !shutting_down_.load()) {
-    if (active_flushes_ < 1) {
+  // re-arming until our memtables drain. A recoverable error episode is
+  // ridden out here (the recovery thread re-schedules the flush); only
+  // a terminal error breaks the wait.
+  while (!imm_.empty() && !shutting_down_.load() &&
+         (error_handler_.ok() || error_handler_.state().auto_recoverable)) {
+    if (error_handler_.ok() && active_flushes_ < 1) {
       active_flushes_++;
       env_->Schedule([this] { BackgroundFlushCall(); }, JobPriority::kHigh);
     }
     bg_work_finished_.wait(l);
   }
-  return bg_error_;
+  return error_handler_.BackgroundWorkStatus();
+}
+
+void DBImpl::SettleVirtualClockLocked() {
+  // REQUIRES: mu_ held, sim mode. Everything ran inline; settle the
+  // virtual clock past the last scheduled completion so the stall
+  // counters drain.
+  while (vstall_.HasPendingEvents()) {
+    uint64_t now = sim_->NowMicros();
+    uint64_t next = vstall_.NextEventAfter(now);
+    if (next <= now) break;
+    sim_->AdvanceTo(next);
+    vstall_.ProcessUntil(next);
+  }
 }
 
 Status DBImpl::WaitForBackgroundWork() {
   if (sim_ != nullptr) {
     std::lock_guard<std::mutex> l(mu_);
-    // Everything ran inline; settle the virtual clock past the last
-    // scheduled completion so the stall counters drain.
-    while (vstall_.HasPendingEvents()) {
-      uint64_t now = sim_->NowMicros();
-      uint64_t next = vstall_.NextEventAfter(now);
-      if (next <= now) break;
-      sim_->AdvanceTo(next);
-      vstall_.ProcessUntil(next);
+    SettleVirtualClockLocked();
+    // Ride out a recoverable error episode: jump the clock to each
+    // scheduled retry and attempt it (bounded by the retry budget).
+    while (!error_handler_.ok() && error_handler_.state().auto_recoverable &&
+           !shutting_down_.load()) {
+      const uint64_t next = error_handler_.next_retry_at_us();
+      if (next > sim_->NowMicros()) sim_->AdvanceTo(next);
+      MaybeResumeLocked();
+      SettleVirtualClockLocked();
     }
     MaybeSampleLocked();
-    return bg_error_;
+    return error_handler_.BackgroundWorkStatus();
   }
   std::unique_lock<std::mutex> l(mu_);
   MaybeScheduleFlush();
@@ -2369,10 +2711,12 @@ Status DBImpl::WaitForBackgroundWork() {
              static_cast<int>(imm_.size()) <
                  options_.min_write_buffer_number_to_merge) &&
             !versions_->NeedsCompaction()) ||
-           !bg_error_.ok() || shutting_down_.load();
+           (!error_handler_.ok() &&
+            !error_handler_.state().auto_recoverable) ||
+           shutting_down_.load();
   });
   MaybeSampleLocked();
-  return bg_error_;
+  return error_handler_.BackgroundWorkStatus();
 }
 
 void DBImpl::GetApproximateSizes(const Range* ranges, int n,
@@ -2438,7 +2782,9 @@ Status DBImpl::CompactRange(const Slice* begin, const Slice* end) {
       CompactionJobInfo info;
       info.reason = CompactionReason::kManual;
       const uint64_t t0 = env_->NowMicros();
-      s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info);
+      BackgroundErrorSource esrc = BackgroundErrorSource::kCompaction;
+      s = CompactionWork(std::move(c), &l0c, &l0p, &outs, &info, &esrc);
+      if (!s.ok()) RecordBackgroundError(esrc, s);
       if (s.ok()) {
         info.duration_micros = env_->NowMicros() - t0;
         stats_.Measure(HistogramType::kCompactionMicros,

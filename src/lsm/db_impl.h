@@ -20,8 +20,10 @@
 
 #include "env/io_tracing_env.h"
 #include "env/sim_env.h"
+#include "env/space_monitor.h"
 #include "lsm/db.h"
 #include "lsm/dbformat.h"
+#include "lsm/error_handler.h"
 #include "lsm/event_listener.h"
 #include "lsm/info_logger.h"
 #include "lsm/log_writer.h"
@@ -62,6 +64,7 @@ class DBImpl : public DB {
                            uint64_t* sizes) override;
   Status FlushMemTable() override;
   Status WaitForBackgroundWork() override;
+  Status Resume() override;
   Status StartTrace(const std::string& path) override;
   Status EndTrace() override;
   Status StartIOTrace(const std::string& path) override;
@@ -111,14 +114,17 @@ class DBImpl : public DB {
   // Flush every queued immutable memtable into one L0 table. Fills
   // `info` (everything except duration_micros, which the caller owns)
   // and fires OnFlushBegin; the caller fires OnFlushCompleted once it
-  // knows the job duration.
-  Status FlushWork(FlushJobInfo* info);
+  // knows the job duration. On failure `err_source` says which layer
+  // failed (the table build vs the MANIFEST apply) so the error handler
+  // classifies it correctly.
+  Status FlushWork(FlushJobInfo* info, BackgroundErrorSource* err_source);
   // Same contract for compactions: the caller presets info->reason and
   // fires OnCompactionCompleted with the duration.
   Status CompactionWork(std::unique_ptr<Compaction> c, int* l0_consumed,
                         int* l0_produced,
                         std::vector<uint64_t>* output_numbers,
-                        CompactionJobInfo* info);
+                        CompactionJobInfo* info,
+                        BackgroundErrorSource* err_source);
   Status WriteLevel0Table(const std::vector<std::shared_ptr<MemTable>>& mems,
                           VersionEdit* edit, FileMetaData* meta);
   Status OpenCompactionOutputFile(std::unique_ptr<WritableFile>* file,
@@ -129,7 +135,36 @@ class DBImpl : public DB {
   void RunCompactionsSim();  // REQUIRES: mu_
 
   void RemoveObsoleteFiles();  // REQUIRES: mu_
-  void RecordBackgroundError(const Status& s);
+
+  // --- background-error handling & self-healing (see error_handler.h) ---
+  // Classify a background failure into the error state machine, bump the
+  // severity tickers, fire OnBackgroundError, and wake stalled writers.
+  // Aborted statuses during shutdown are ignored (orderly teardown, not
+  // an error). REQUIRES: mu_.
+  void RecordBackgroundError(BackgroundErrorSource source, const Status& s);
+  // One recovery attempt (auto-resume retry or manual DB::Resume()):
+  // repair per source/kind — recheck free space for NoSpace, switch to a
+  // fresh WAL for WAL errors, force a fresh MANIFEST for manifest
+  // errors — then clear the state and reschedule paused flushes and
+  // compactions. On failure, backs off or escalates. REQUIRES: mu_.
+  Status ResumeImpl(bool manual);
+  // Run ResumeImpl if an auto-resume retry is due on the engine clock.
+  // Piggybacked on foreground call sites (the only clock observer under
+  // SimEnv); the recovery thread drives it under real envs.
+  // REQUIRES: mu_.
+  void MaybeResumeLocked();
+  // True (and records a soft NoSpace pause) when the free-space monitor
+  // says the headroom reserve is violated. REQUIRES: mu_.
+  bool SpaceLowLocked(BackgroundErrorSource source);
+  // Lazily start the real-env recovery thread. REQUIRES: mu_.
+  void StartRecoveryThreadLocked();
+  void RecoveryThreadLoop();
+  // Advance the sim clock past every scheduled background completion so
+  // the virtual stall counters drain. REQUIRES: mu_; sim mode only.
+  void SettleVirtualClockLocked();
+  void NotifyBackgroundError(const BackgroundErrorInfo& info);
+  void NotifyErrorRecoveryBegin(const BackgroundErrorInfo& info);
+  void NotifyErrorRecoveryCompleted(const BackgroundErrorInfo& info);
 
   SequenceNumber SmallestSnapshot() const;  // REQUIRES: mu_
 
@@ -222,8 +257,14 @@ class DBImpl : public DB {
   int active_flushes_ = 0;
   int active_compactions_ = 0;
   bool manual_compaction_active_ = false;
-  Status bg_error_;
+  // Classified background-error state machine; replaces the old sticky
+  // bg_error_ Status. Guarded by mu_.
+  ErrorHandler error_handler_;
   std::atomic<bool> shutting_down_{false};
+
+  // Free-space headroom monitor (null unless
+  // options.free_space_reserved_bytes > 0). Guarded by mu_.
+  std::unique_ptr<SpaceMonitor> space_monitor_;
 
   // Write slowdown limiter (delayed_write_rate).
   RateLimiter slowdown_limiter_;
@@ -263,6 +304,16 @@ class DBImpl : public DB {
     std::vector<Delta> deltas;
   };
   std::deque<OptionsChangeRecord> options_changes_;
+
+  // Real-env auto-resume thread (SimEnv piggybacks on foreground call
+  // sites instead); started lazily on the first recoverable error,
+  // joined in the destructor. Polls MaybeResumeLocked on a short
+  // cadence — the backoff schedule itself lives in the error handler.
+  std::thread recovery_thread_;
+  std::mutex recovery_mu_;
+  std::condition_variable recovery_cv_;
+  bool recovery_stop_ = false;         // guarded by recovery_mu_
+  bool recovery_thread_started_ = false;  // guarded by mu_
 
   // Real-env sampler thread; joined in the destructor before the info
   // LOG closes so no tick outlives the DB.

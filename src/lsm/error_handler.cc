@@ -1,0 +1,185 @@
+#include "lsm/error_handler.h"
+
+#include <algorithm>
+
+namespace elmo::lsm {
+
+const char* BackgroundErrorSourceName(BackgroundErrorSource s) {
+  switch (s) {
+    case BackgroundErrorSource::kWalAppend:  return "wal_append";
+    case BackgroundErrorSource::kWalSync:    return "wal_sync";
+    case BackgroundErrorSource::kFlush:      return "flush";
+    case BackgroundErrorSource::kCompaction: return "compaction";
+    case BackgroundErrorSource::kManifest:   return "manifest";
+  }
+  return "unknown";
+}
+
+const char* BackgroundErrorKindName(BackgroundErrorKind k) {
+  switch (k) {
+    case BackgroundErrorKind::kRetryableIOError: return "retryable_io_error";
+    case BackgroundErrorKind::kNoSpace:          return "no_space";
+    case BackgroundErrorKind::kCorruption:       return "corruption";
+    case BackgroundErrorKind::kHardFailure:      return "hard_failure";
+  }
+  return "unknown";
+}
+
+const char* ErrorSeverityName(ErrorSeverity s) {
+  switch (s) {
+    case ErrorSeverity::kNone:  return "none";
+    case ErrorSeverity::kSoft:  return "soft";
+    case ErrorSeverity::kHard:  return "hard";
+    case ErrorSeverity::kFatal: return "fatal";
+  }
+  return "unknown";
+}
+
+BackgroundErrorKind ClassifyBackgroundErrorKind(const Status& s) {
+  if (s.IsCorruption()) return BackgroundErrorKind::kCorruption;
+  if (s.IsNoSpace()) return BackgroundErrorKind::kNoSpace;
+  if (s.IsIOError() && s.IsRetryable()) {
+    return BackgroundErrorKind::kRetryableIOError;
+  }
+  return BackgroundErrorKind::kHardFailure;
+}
+
+ErrorSeverity ClassifyBackgroundError(BackgroundErrorSource source,
+                                      BackgroundErrorKind kind) {
+  const bool journal = source == BackgroundErrorSource::kWalAppend ||
+                       source == BackgroundErrorSource::kWalSync ||
+                       source == BackgroundErrorSource::kManifest;
+  switch (kind) {
+    case BackgroundErrorKind::kCorruption:
+      return ErrorSeverity::kFatal;
+    case BackgroundErrorKind::kNoSpace:
+      return ErrorSeverity::kSoft;
+    case BackgroundErrorKind::kRetryableIOError:
+      // A journal hole is worse than a failed data file: acked writes
+      // may not be durable, so stop acking until the WAL/MANIFEST is
+      // re-synced. Flush/compaction inputs stay intact — just retry.
+      return journal ? ErrorSeverity::kHard : ErrorSeverity::kSoft;
+    case BackgroundErrorKind::kHardFailure:
+      return journal ? ErrorSeverity::kFatal : ErrorSeverity::kHard;
+  }
+  return ErrorSeverity::kFatal;
+}
+
+bool ErrorHandler::SetBGError(BackgroundErrorSource source, const Status& s,
+                              uint64_t now_us) {
+  if (s.ok()) return false;
+  const BackgroundErrorKind kind = ClassifyBackgroundErrorKind(s);
+  ErrorSeverity severity = ClassifyBackgroundError(source, kind);
+  const bool recoverable_kind =
+      kind == BackgroundErrorKind::kRetryableIOError ||
+      kind == BackgroundErrorKind::kNoSpace;
+  const bool can_retry = recoverable_kind &&
+                         severity != ErrorSeverity::kFatal &&
+                         config_.max_auto_resume_retries > 0 &&
+                         episode_retries_ < config_.max_auto_resume_retries;
+  // A soft error with no retries left must not stall writers with no one
+  // scheduled to unstall them: it enters as fail-fast hard instead.
+  if (severity == ErrorSeverity::kSoft && !can_retry) {
+    severity = ErrorSeverity::kHard;
+  }
+
+  // Only a strictly more severe error replaces an active one: the first
+  // failure of an episode keeps its identity across retries.
+  if (!ok() && severity <= state_.severity) {
+    // A repeated same-or-lesser failure still re-arms the next retry if
+    // the active error is auto-recoverable (the retried job failed
+    // again before OnResumeFailed saw it).
+    if (state_.auto_recoverable && state_.next_retry_at_us <= now_us) {
+      state_.next_retry_at_us = now_us + BackoffFor(episode_retries_);
+    }
+    return false;
+  }
+
+  const bool recovery_began = state_.recovery_began;
+  state_ = State{};
+  state_.severity = severity;
+  state_.source = source;
+  state_.kind = kind;
+  state_.cause = s;
+  state_.error_ts_us = now_us;
+  state_.retry_count = episode_retries_;
+  state_.recovery_began = recovery_began;
+  errors_seen_[static_cast<int>(severity)]++;
+
+  if (can_retry) {
+    state_.auto_recoverable = true;
+    state_.next_retry_at_us = now_us + BackoffFor(episode_retries_);
+  }
+  return true;
+}
+
+Status ErrorHandler::WriteStatus() const {
+  switch (state_.severity) {
+    case ErrorSeverity::kNone:
+    case ErrorSeverity::kSoft:
+      return Status::OK();
+    case ErrorSeverity::kHard:
+      return Status::IOError(
+          "background error (" +
+              std::string(BackgroundErrorSourceName(state_.source)) +
+              "): DB is in read-only degraded mode; call Resume()",
+          state_.cause.ToString());
+    case ErrorSeverity::kFatal:
+      return Status::IOError(
+          "fatal background error (" +
+              std::string(BackgroundErrorSourceName(state_.source)) +
+              "): reopen required",
+          state_.cause.ToString());
+  }
+  return Status::OK();
+}
+
+int ErrorHandler::OnResumeAttemptStart() {
+  episode_retries_++;
+  state_.retry_count = episode_retries_;
+  state_.recovery_began = true;
+  return episode_retries_;
+}
+
+void ErrorHandler::OnResumeSucceeded() {
+  resume_successes_++;
+  state_ = State{};
+  // episode_retries_ intentionally survives the clear: for flush and
+  // compaction errors, "resume" just reschedules the failed job, and if
+  // it fails again it must keep consuming the same bounded budget.
+  // NoteBackgroundWorkSuccess forgets the episode once real work
+  // actually completes.
+}
+
+bool ErrorHandler::OnResumeFailed(const Status& s, uint64_t now_us) {
+  (void)s;  // the caller logs the attempt's status
+  resume_failures_++;
+  state_.retry_count = episode_retries_;
+  if (config_.max_auto_resume_retries > 0 &&
+      episode_retries_ < config_.max_auto_resume_retries &&
+      state_.severity != ErrorSeverity::kFatal) {
+    state_.next_retry_at_us = now_us + BackoffFor(episode_retries_);
+    state_.auto_recoverable = true;
+    return false;
+  }
+  // Budget exhausted: stop retrying; a stalled soft error must not
+  // stall writers forever, so it escalates to fail-fast hard.
+  state_.auto_recoverable = false;
+  state_.next_retry_at_us = 0;
+  if (state_.severity == ErrorSeverity::kSoft) {
+    state_.severity = ErrorSeverity::kHard;
+    errors_seen_[static_cast<int>(ErrorSeverity::kHard)]++;
+    return true;
+  }
+  return false;
+}
+
+uint64_t ErrorHandler::BackoffFor(int retry) const {
+  uint64_t backoff = config_.base_backoff_us;
+  for (int i = 0; i < retry && backoff < config_.max_backoff_us; i++) {
+    backoff *= 2;
+  }
+  return std::min(backoff, config_.max_backoff_us);
+}
+
+}  // namespace elmo::lsm

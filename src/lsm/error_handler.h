@@ -1,0 +1,165 @@
+// ErrorHandler: classified, recoverable background-error states — the
+// replacement for the old sticky `bg_error_`. Every background failure
+// is classified by source (WAL append/sync, flush, compaction,
+// MANIFEST) and kind (retryable IOError, NoSpace, Corruption, hard
+// failure) into a severity:
+//
+//   * soft  — writes stall, reads keep serving; background work is
+//             paused and retried with capped exponential backoff.
+//   * hard  — read-only degraded mode: Get/iterators keep serving,
+//             writes fail fast with a clear Status instead of hanging.
+//             Recoverable kinds still auto-resume (re-sync WAL/MANIFEST
+//             first); others wait for a manual DB::Resume().
+//   * fatal — the on-disk state can no longer be trusted (Corruption,
+//             unrecoverable WAL/MANIFEST failure); reopen required.
+//
+// The class itself is a pure deterministic state machine: no clock
+// reads, no threads, no locks. DBImpl drives it under the DB mutex,
+// passing engine-clock timestamps in — so same-seed SimEnv runs replay
+// byte-identical recovery timelines. Listener callbacks, LOG events,
+// condition-variable wakeups and the actual resume work (WAL switch,
+// MANIFEST re-sync, flush/compaction rescheduling) stay in DBImpl.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace elmo::lsm {
+
+// Where the failed operation sat in the engine.
+enum class BackgroundErrorSource : int {
+  kWalAppend = 0,
+  kWalSync,
+  kFlush,
+  kCompaction,
+  kManifest,
+};
+
+// What failed, derived from the Status alone.
+enum class BackgroundErrorKind : int {
+  kRetryableIOError = 0,  // transient by contract: auto-resume
+  kNoSpace,               // clears when space frees: auto-resume
+  kCorruption,            // data cannot be trusted: fatal
+  kHardFailure,           // permanent media/logic failure: manual only
+};
+
+enum class ErrorSeverity : int {
+  kNone = 0,
+  kSoft,
+  kHard,
+  kFatal,
+};
+
+const char* BackgroundErrorSourceName(BackgroundErrorSource s);
+const char* BackgroundErrorKindName(BackgroundErrorKind k);
+const char* ErrorSeverityName(ErrorSeverity s);
+
+// The classification matrix (pure; the golden test pins every cell):
+//   Corruption                  -> fatal   (any source)
+//   NoSpace                     -> soft    (resume gated on free space)
+//   retryable IOError           -> soft    for flush/compaction
+//                                  hard    for WAL/MANIFEST
+//   hard failure                -> hard    for flush/compaction
+//                                  fatal   for WAL/MANIFEST
+BackgroundErrorKind ClassifyBackgroundErrorKind(const Status& s);
+ErrorSeverity ClassifyBackgroundError(BackgroundErrorSource source,
+                                      BackgroundErrorKind kind);
+
+struct ErrorHandlerConfig {
+  // Auto-resume attempts before a soft error escalates to hard (and a
+  // hard recoverable error stops retrying). 0 disables auto-resume.
+  int max_auto_resume_retries = 8;
+  // First retry fires this long after the failure; each failed attempt
+  // doubles the wait, capped at `max_backoff_us`.
+  uint64_t base_backoff_us = 20 * 1000;
+  uint64_t max_backoff_us = 5 * 1000 * 1000;
+};
+
+class ErrorHandler {
+ public:
+  explicit ErrorHandler(const ErrorHandlerConfig& config)
+      : config_(config) {}
+
+  // Everything below REQUIRES the DB mutex (DBImpl::mu_).
+
+  struct State {
+    ErrorSeverity severity = ErrorSeverity::kNone;
+    BackgroundErrorSource source = BackgroundErrorSource::kFlush;
+    BackgroundErrorKind kind = BackgroundErrorKind::kHardFailure;
+    Status cause;            // the original failure
+    int retry_count = 0;     // auto-resume attempts this episode
+    uint64_t error_ts_us = 0;
+    uint64_t next_retry_at_us = 0;  // 0 = no retry scheduled
+    bool auto_recoverable = false;  // a retry is (still) scheduled
+    bool recovery_began = false;    // OnErrorRecoveryBegin fired
+  };
+
+  // Record a classified failure at engine time `now_us`. An error
+  // arriving while one is already active only replaces it when strictly
+  // more severe; the retry budget spans the whole episode (it resets
+  // only on successful recovery), so a failing retry cannot re-arm
+  // itself forever. Returns true when the visible state changed (the
+  // caller then fires listeners / logs / wakes writers).
+  bool SetBGError(BackgroundErrorSource source, const Status& s,
+                  uint64_t now_us);
+
+  bool ok() const { return state_.severity == ErrorSeverity::kNone; }
+  ErrorSeverity severity() const { return state_.severity; }
+  const State& state() const { return state_; }
+
+  // Status a foreground writer sees. OK while healthy; soft errors
+  // return OK too — the write path stalls on them instead of failing.
+  // Hard/fatal return a fail-fast, self-describing error.
+  Status WriteStatus() const;
+  // Non-OK whenever any error state is active; gates background
+  // scheduling exactly like the old sticky bg_error_.
+  Status BackgroundWorkStatus() const { return state_.cause; }
+
+  // True when an auto-resume attempt is due at `now_us`.
+  bool ResumeDue(uint64_t now_us) const {
+    return state_.auto_recoverable && state_.next_retry_at_us != 0 &&
+           now_us >= state_.next_retry_at_us;
+  }
+  // Earliest engine time the next attempt may run (0 = none scheduled).
+  uint64_t next_retry_at_us() const { return state_.next_retry_at_us; }
+
+  // An attempt is starting (auto or manual). Charges one retry.
+  // Returns the attempt ordinal (1-based).
+  int OnResumeAttemptStart();
+  // The attempt repaired the engine: close the episode.
+  void OnResumeSucceeded();
+  // The attempt failed at `now_us`: double the backoff, or — budget
+  // exhausted — escalate soft -> hard and stop auto-retrying.
+  // Returns true when the visible state changed (escalation).
+  bool OnResumeFailed(const Status& s, uint64_t now_us);
+
+  // A later background success (flush/compaction completed) proves the
+  // engine healthy again; forgets the episode's retry history.
+  void NoteBackgroundWorkSuccess() {
+    if (ok()) episode_retries_ = 0;
+  }
+
+  // Lifetime counters (exported as Prometheus counters by the DB).
+  uint64_t errors_seen(ErrorSeverity s) const {
+    return errors_seen_[static_cast<int>(s)];
+  }
+  uint64_t resume_successes() const { return resume_successes_; }
+  uint64_t resume_failures() const { return resume_failures_; }
+
+ private:
+  uint64_t BackoffFor(int retry) const;
+
+  const ErrorHandlerConfig config_;
+  State state_;
+  // Retries consumed this episode; survives SetBGError re-entry so a
+  // retried job that fails again keeps consuming the same budget.
+  int episode_retries_ = 0;
+
+  uint64_t errors_seen_[4] = {};  // indexed by ErrorSeverity
+  uint64_t resume_successes_ = 0;
+  uint64_t resume_failures_ = 0;
+};
+
+}  // namespace elmo::lsm

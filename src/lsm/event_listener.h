@@ -11,6 +11,9 @@
 #include <cstdint>
 #include <string>
 
+#include "lsm/error_handler.h"
+#include "util/status.h"
+
 namespace elmo::lsm {
 
 // Write-path throttle state, mirroring RocksDB's WriteStallCondition.
@@ -22,8 +25,9 @@ enum class StallCondition {
 
 enum class StallReason {
   kNone = 0,
-  kL0FileCount = 1,     // L0 file count hit slowdown/stop trigger
-  kMemtableLimit = 2,   // all memtable slots full, waiting on flush
+  kL0FileCount = 1,       // L0 file count hit slowdown/stop trigger
+  kMemtableLimit = 2,     // all memtable slots full, waiting on flush
+  kBackgroundError = 3,   // soft background error: paused for auto-resume
 };
 
 enum class CompactionReason {
@@ -72,6 +76,16 @@ struct StallInfo {
   uint64_t wait_micros = 0;
 };
 
+// Fired through OnBackgroundError and the error-recovery callbacks;
+// mirrors the ErrorHandler state at the transition.
+struct BackgroundErrorInfo {
+  BackgroundErrorSource source = BackgroundErrorSource::kFlush;
+  BackgroundErrorKind kind = BackgroundErrorKind::kHardFailure;
+  ErrorSeverity severity = ErrorSeverity::kNone;
+  Status status;        // the triggering failure (or the attempt result)
+  int retry_count = 0;  // auto-resume attempts so far this episode
+};
+
 class EventListener {
  public:
   virtual ~EventListener() = default;
@@ -85,6 +99,17 @@ class EventListener {
   virtual void OnStallConditionChanged(const StallInfo& /*info*/) {}
   // Fired each time a writer blocks completely (condition kStopped).
   virtual void OnWriteStop(const StallInfo& /*info*/) {}
+
+  // Fired when a background failure enters (or escalates) an error
+  // state — the DB is now stalling or failing writes per `severity`.
+  virtual void OnBackgroundError(const BackgroundErrorInfo& /*info*/) {}
+  // Fired when the first resume attempt of an episode starts (auto or
+  // manual DB::Resume()).
+  virtual void OnErrorRecoveryBegin(const BackgroundErrorInfo& /*info*/) {}
+  // Fired when a recovery episode ends: info.status is OK on success,
+  // or the terminal failure when the retry budget was exhausted.
+  virtual void OnErrorRecoveryCompleted(const BackgroundErrorInfo& /*info*/) {
+  }
 };
 
 inline const char* StallConditionName(StallCondition c) {
@@ -101,6 +126,7 @@ inline const char* StallReasonName(StallReason r) {
     case StallReason::kNone: return "none";
     case StallReason::kL0FileCount: return "l0-file-count";
     case StallReason::kMemtableLimit: return "memtable-limit";
+    case StallReason::kBackgroundError: return "background-error";
   }
   return "unknown";
 }

@@ -111,4 +111,30 @@ void DbInfoLogger::OnWriteStop(const StallInfo& info) {
   LogEvent("write_stop", StallFields(info));
 }
 
+json::Object DbInfoLogger::ErrorFields(const BackgroundErrorInfo& info) const {
+  json::Object o;
+  o["source"] = BackgroundErrorSourceName(info.source);
+  o["kind"] = BackgroundErrorKindName(info.kind);
+  o["severity"] = ErrorSeverityName(info.severity);
+  o["status"] = info.status.ToString();
+  o["retry_count"] = info.retry_count;
+  return o;
+}
+
+void DbInfoLogger::OnBackgroundError(const BackgroundErrorInfo& info) {
+  LogEvent("background_error", ErrorFields(info));
+}
+
+void DbInfoLogger::OnErrorRecoveryBegin(const BackgroundErrorInfo& info) {
+  json::Object o = ErrorFields(info);
+  o["phase"] = "begin";
+  LogEvent("error_recovery", std::move(o));
+}
+
+void DbInfoLogger::OnErrorRecoveryCompleted(const BackgroundErrorInfo& info) {
+  json::Object o = ErrorFields(info);
+  o["phase"] = info.status.ok() ? "resumed" : "gave_up";
+  LogEvent("error_recovery", std::move(o));
+}
+
 }  // namespace elmo::lsm

@@ -61,11 +61,17 @@ class DbInfoLogger : public EventListener {
   void OnCompactionCompleted(const CompactionJobInfo& info) override;
   void OnStallConditionChanged(const StallInfo& info) override;
   void OnWriteStop(const StallInfo& info) override;
+  // Error-handling lifecycle: "background_error" on entry/escalation,
+  // "error_recovery" (phase begin/success/giveup) for resume attempts.
+  void OnBackgroundError(const BackgroundErrorInfo& info) override;
+  void OnErrorRecoveryBegin(const BackgroundErrorInfo& info) override;
+  void OnErrorRecoveryCompleted(const BackgroundErrorInfo& info) override;
 
  private:
   json::Object FlushFields(const FlushJobInfo& info) const;
   json::Object CompactionFields(const CompactionJobInfo& info) const;
   json::Object StallFields(const StallInfo& info) const;
+  json::Object ErrorFields(const BackgroundErrorInfo& info) const;
 
   Env* const env_;
   const std::shared_ptr<Logger> tee_;

@@ -109,6 +109,23 @@ struct Options {
   // exactly the failure mode the Safeguard Enforcer exists for).
   bool disable_wal = false;
 
+  // ----- error handling & self-healing (see error_handler.h) -----
+  // Auto-resume attempts per error episode before a soft error
+  // escalates to read-only degraded mode (0 = auto-resume off; only a
+  // manual DB::Resume() recovers).
+  int max_bgerror_resume_count = 8;
+  // Backoff before the first auto-resume attempt; doubles per failed
+  // attempt up to the max. Engine-clock time, so deterministic under
+  // SimEnv.
+  uint64_t bgerror_resume_retry_interval_ms = 20;
+  uint64_t bgerror_resume_max_backoff_ms = 5000;
+  // Free-space headroom (SstFileManager-lite): while the device's free
+  // space sits at or below this, flushes and compactions are paused (a
+  // soft NoSpace state) and resume when space frees. 0 = monitor off.
+  uint64_t free_space_reserved_bytes = 0;
+  // How often the free-space monitor re-polls Env::GetFreeSpace.
+  uint64_t free_space_poll_interval_ms = 100;
+
   // ----- non-tunable wiring (not part of the options file) -----
   Env* env = nullptr;  // defaults to Env::Posix() at Open
   std::shared_ptr<Logger> info_log;

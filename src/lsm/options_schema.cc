@@ -238,6 +238,30 @@ OptionsSchema::OptionsSchema() {
   options_.push_back(UintOpt(
       "stats_history_size", "DBOptions", &Options::stats_history_size, 512,
       16, 1 << 20, "Max time-series samples retained (drop-oldest ring)."));
+  options_.push_back(IntOpt(
+      "max_bgerror_resume_count", "DBOptions",
+      &Options::max_bgerror_resume_count, 8, 0, 1024,
+      "Auto-resume attempts per background-error episode before the DB "
+      "degrades to read-only and waits for a manual Resume() (0 = "
+      "auto-resume off)."));
+  options_.push_back(UintOpt(
+      "bgerror_resume_retry_interval_ms", "DBOptions",
+      &Options::bgerror_resume_retry_interval_ms, 20, 1, 3600000,
+      "Backoff before the first auto-resume attempt; doubles per failed "
+      "attempt up to bgerror_resume_max_backoff_ms."));
+  options_.push_back(UintOpt(
+      "bgerror_resume_max_backoff_ms", "DBOptions",
+      &Options::bgerror_resume_max_backoff_ms, 5000, 1, 3600000,
+      "Cap on the exponential auto-resume backoff."));
+  options_.push_back(UintOpt(
+      "free_space_reserved_bytes", "DBOptions",
+      &Options::free_space_reserved_bytes, 0, 0, kMaxBytes,
+      "Free-space headroom: pause flushes/compactions while device free "
+      "space is at or below this, resume when space frees (0 = off)."));
+  options_.push_back(UintOpt(
+      "free_space_poll_interval_ms", "DBOptions",
+      &Options::free_space_poll_interval_ms, 100, 1, 3600000,
+      "Re-poll cadence of the free-space monitor."));
   options_.push_back(BoolOpt(
       "use_direct_reads", "DBOptions", &Options::use_direct_reads, false,
       "Bypass the OS page cache for user reads."));

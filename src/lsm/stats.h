@@ -51,6 +51,15 @@ enum class Ticker : int {
   // deltas); also exposed as GetProperty("elmo.options_changes") and
   // the elmo_options_changes_total Prometheus counter.
   kOptionsChanges,
+  // Background-error handling (see error_handler.h). The per-severity
+  // counters render as elmo_background_errors_total{severity=...};
+  // attempts/success/failure count auto-resume + manual Resume() work.
+  kBackgroundErrorsSoft,
+  kBackgroundErrorsHard,
+  kBackgroundErrorsFatal,
+  kAutoResumeAttempts,
+  kAutoResumeSuccess,
+  kAutoResumeFailure,
   kTickerMax,
 };
 

@@ -38,6 +38,11 @@ json::Object SampleToJsonObject(const IntervalSample& s) {
   o["block_cache_hits"] = static_cast<int64_t>(s.block_cache_hits);
   o["block_cache_misses"] = static_cast<int64_t>(s.block_cache_misses);
   o["block_cache_usage"] = static_cast<int64_t>(s.block_cache_usage);
+  o["bg_errors"] = static_cast<int64_t>(s.bg_errors);
+  o["auto_resume_successes"] =
+      static_cast<int64_t>(s.auto_resume_successes);
+  o["auto_resume_failures"] = static_cast<int64_t>(s.auto_resume_failures);
+  o["bg_error_severity"] = s.bg_error_severity;
   o["memtable_bytes"] = static_cast<int64_t>(s.memtable_bytes);
   o["imm_count"] = s.imm_count;
   o["pending_compaction_bytes"] =
@@ -90,6 +95,10 @@ IntervalSample SampleFromJsonValue(const json::Value& obj) {
   s.block_cache_hits = GetU64(obj, "block_cache_hits");
   s.block_cache_misses = GetU64(obj, "block_cache_misses");
   s.block_cache_usage = GetU64(obj, "block_cache_usage");
+  s.bg_errors = GetU64(obj, "bg_errors");
+  s.auto_resume_successes = GetU64(obj, "auto_resume_successes");
+  s.auto_resume_failures = GetU64(obj, "auto_resume_failures");
+  s.bg_error_severity = static_cast<int>(GetU64(obj, "bg_error_severity"));
   s.memtable_bytes = GetU64(obj, "memtable_bytes");
   s.imm_count = static_cast<int>(GetU64(obj, "imm_count"));
   s.pending_compaction_bytes = GetU64(obj, "pending_compaction_bytes");
@@ -210,6 +219,11 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
   s.compaction_bytes_written = delta.Get(Ticker::kCompactionBytesWritten);
   s.block_cache_hits = delta.Get(Ticker::kBlockCacheHit);
   s.block_cache_misses = delta.Get(Ticker::kBlockCacheMiss);
+  s.bg_errors = delta.Get(Ticker::kBackgroundErrorsSoft) +
+                delta.Get(Ticker::kBackgroundErrorsHard) +
+                delta.Get(Ticker::kBackgroundErrorsFatal);
+  s.auto_resume_successes = delta.Get(Ticker::kAutoResumeSuccess);
+  s.auto_resume_failures = delta.Get(Ticker::kAutoResumeFailure);
 
   s.memtable_bytes = gauges.memtable_bytes;
   s.block_cache_usage = gauges.block_cache_usage;
@@ -220,6 +234,7 @@ bool StatsSampler::Tick(uint64_t now_us, const EngineGauges& gauges) {
     s.level_files[l] = gauges.level_files[l];
   }
   s.l0_files = s.num_levels > 0 ? s.level_files[0] : 0;
+  s.bg_error_severity = gauges.bg_error_severity;
 
   auto span_delta = [](uint64_t cur_v, uint64_t& prev_v) {
     const uint64_t d = cur_v >= prev_v ? cur_v - prev_v : 0;

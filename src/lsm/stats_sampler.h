@@ -35,6 +35,9 @@ struct EngineGauges {
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
   uint64_t block_cache_usage = 0;  // bytes charged to the block cache
+  // Active background-error severity (ErrorSeverity as int: 0 none,
+  // 1 soft, 2 hard, 3 fatal).
+  int bg_error_severity = 0;
 
   // Cumulative span-phase totals since this DB opened (DBImpl reports
   // the global aggregate minus its open-time baseline, so values are
@@ -69,6 +72,9 @@ struct IntervalSample {
   uint64_t compaction_bytes_written = 0;
   uint64_t block_cache_hits = 0;    // interval delta
   uint64_t block_cache_misses = 0;  // interval delta
+  uint64_t bg_errors = 0;              // interval delta, all severities
+  uint64_t auto_resume_successes = 0;  // interval delta
+  uint64_t auto_resume_failures = 0;   // interval delta
 
   // Gauges at the sample instant.
   uint64_t memtable_bytes = 0;
@@ -78,6 +84,7 @@ struct IntervalSample {
   int num_levels = 0;
   int level_files[DbStats::kMaxLevels] = {};
   uint64_t block_cache_usage = 0;
+  int bg_error_severity = 0;  // ErrorSeverity at the sample instant
 
   // Interval span-phase micros (deltas of the EngineGauges span fields):
   // where engine time went during this interval.

@@ -312,6 +312,12 @@ VersionSet::VersionSet(const std::string& dbname, const Options* options,
 
 VersionSet::~VersionSet() = default;
 
+void VersionSet::ForceNewManifest() {
+  descriptor_log_.reset();
+  descriptor_file_.reset();
+  manifest_file_number_ = NewFileNumber();
+}
+
 Status VersionSet::LogAndApply(VersionEdit* edit) {
   if (edit->has_log_number_) {
     assert(edit->log_number_ >= log_number_);

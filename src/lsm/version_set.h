@@ -111,6 +111,13 @@ class VersionSet {
   // Recover the last persisted state from CURRENT/MANIFEST.
   Status Recover();
 
+  // Abandon the open MANIFEST (after a descriptor write/sync failure):
+  // the next LogAndApply starts a fresh MANIFEST under a new file
+  // number, writes a full snapshot of the current state, and swaps
+  // CURRENT to it. Part of background-error recovery (DB::Resume).
+  // External synchronization (the DB mutex) required.
+  void ForceNewManifest();
+
   std::shared_ptr<Version> current() const { return current_; }
 
   uint64_t NewFileNumber() { return next_file_number_++; }

@@ -150,6 +150,53 @@ std::vector<Diagnosis> Diagnose(
   const double probe_share =
       MeanShare(recent, &lsm::IntervalSample::span_sst_probe_us);
 
+  // --- background_error: the engine is degraded; everything else is
+  // secondary until the error clears (or the DB is reopened).
+  if (s.bg_error_severity > 0) {
+    Diagnosis d;
+    d.rule = "background_error";
+    // soft=1 -> 0.8, hard=2 -> 0.9, fatal=3 -> 1.0.
+    d.severity = std::min(1.0, 0.7 + 0.1 * s.bg_error_severity);
+    d.symptom = s.bg_error_severity >= 3
+                    ? "fatal background error: reopen required"
+                    : (s.bg_error_severity == 2
+                           ? "read-only degraded: writes fail fast"
+                           : "writes stalled pending auto-resume");
+    d.cause = "a background failure (WAL/flush/compaction/manifest) put "
+              "the engine in an error state";
+    d.evidence.push_back(Fmt("bg_error_severity %d", s.bg_error_severity));
+    d.evidence.push_back(
+        Fmt("interval bg errors %llu, resume failures %llu",
+            (unsigned long long)s.bg_errors,
+            (unsigned long long)s.auto_resume_failures));
+    d.evidence.push_back(Fmt("stall fraction %.3f", Round3(stall)));
+    d.suggested_options = {};
+    out.push_back(std::move(d));
+  }
+
+  // --- auto_resume: recovery churn — the engine healed itself (possibly
+  // repeatedly), so throughput dips trace to error episodes, not tuning.
+  if (s.bg_error_severity == 0 &&
+      (s.auto_resume_successes > 0 || s.auto_resume_failures > 0)) {
+    Diagnosis d;
+    d.rule = "auto_resume";
+    d.severity =
+        std::min(0.6, 0.25 + 0.05 * static_cast<double>(
+                                        s.auto_resume_successes +
+                                        s.auto_resume_failures));
+    d.symptom = "transient background errors auto-recovered";
+    d.cause = "the env returned retryable failures; auto-resume re-synced "
+              "and rescheduled the affected work";
+    d.evidence.push_back(
+        Fmt("interval resume successes %llu, failures %llu",
+            (unsigned long long)s.auto_resume_successes,
+            (unsigned long long)s.auto_resume_failures));
+    d.evidence.push_back(Fmt("interval bg errors %llu",
+                             (unsigned long long)s.bg_errors));
+    d.suggested_options = {};
+    out.push_back(std::move(d));
+  }
+
   // --- l0_compaction_backlog: L0 file pileup throttling the write path.
   {
     const int l0 = s.l0_files;

@@ -33,6 +33,15 @@ const char* TickerPromName(lsm::Ticker t) {
     case Ticker::kInfoLogDroppedLines: return "info_log_dropped_lines";
     case Ticker::kInfoLogWriteFailures: return "info_log_write_failures";
     case Ticker::kOptionsChanges: return "options_changes";
+    // The per-severity error tickers render as one labelled counter
+    // (elmo_background_errors_total{severity=...}) instead of the
+    // auto-generated per-ticker stems; see RenderPrometheus.
+    case Ticker::kBackgroundErrorsSoft:
+    case Ticker::kBackgroundErrorsHard:
+    case Ticker::kBackgroundErrorsFatal: return nullptr;
+    case Ticker::kAutoResumeAttempts: return "auto_resume_attempts";
+    case Ticker::kAutoResumeSuccess: return "auto_resume_success";
+    case Ticker::kAutoResumeFailure: return "auto_resume_failure";
     case Ticker::kTickerMax: break;
   }
   return "unknown";
@@ -89,7 +98,32 @@ std::string RenderPrometheus(const PrometheusInputs& in) {
   // --- tickers: monotone counters.
   for (int i = 0; i < static_cast<int>(lsm::Ticker::kTickerMax); i++) {
     const auto t = static_cast<lsm::Ticker>(i);
-    AppendCounter(&out, TickerPromName(t), "engine ticker", in.stats.Get(t));
+    const char* name = TickerPromName(t);
+    if (name == nullptr) continue;  // rendered as a labelled series below
+    AppendCounter(&out, name, "engine ticker", in.stats.Get(t));
+  }
+
+  // --- background errors, labelled by severity.
+  {
+    char ebuf[192];
+    out +=
+        "# HELP elmo_background_errors_total background failures entering "
+        "an error state\n"
+        "# TYPE elmo_background_errors_total counter\n";
+    static const struct {
+      const char* label;
+      lsm::Ticker ticker;
+    } kSeverities[] = {
+        {"soft", lsm::Ticker::kBackgroundErrorsSoft},
+        {"hard", lsm::Ticker::kBackgroundErrorsHard},
+        {"fatal", lsm::Ticker::kBackgroundErrorsFatal},
+    };
+    for (const auto& sev : kSeverities) {
+      snprintf(ebuf, sizeof(ebuf),
+               "elmo_background_errors_total{severity=\"%s\"} %llu\n",
+               sev.label, (unsigned long long)in.stats.Get(sev.ticker));
+      out += ebuf;
+    }
   }
 
   // --- per-level state, labelled by level.
@@ -191,6 +225,20 @@ std::string RenderPrometheus(const PrometheusInputs& in) {
   snprintf(buf, sizeof(buf), "elmo_health_top_severity{rule=\"%s\"} %.3f\n",
            in.health_top_rule.c_str(), in.health_top_severity);
   out += buf;
+
+  // --- background-error state (degraded-mode banner source).
+  AppendGauge(&out, "background_error_severity",
+              "active background error: 0 none, 1 soft, 2 hard, 3 fatal",
+              static_cast<uint64_t>(in.bg_error_severity));
+  if (in.bg_error_severity > 0) {
+    AppendGaugeHeader(&out, "background_error_state",
+                      "active background-error classification");
+    snprintf(buf, sizeof(buf),
+             "elmo_background_error_state{source=\"%s\",kind=\"%s\"} %d\n",
+             in.bg_error_source.c_str(), in.bg_error_kind.c_str(),
+             in.bg_error_retry_count);
+    out += buf;
+  }
 
   AppendGauge(&out, "engine_clock_us", "engine clock at render time",
               in.ts_us);

@@ -40,6 +40,13 @@ struct PrometheusInputs {
   int health_status = 0;
   double health_top_severity = 0;
   std::string health_top_rule;  // empty when no diagnosis active
+  // Background-error state (0 = none, 1 = soft, 2 = hard, 3 = fatal);
+  // source/kind are empty while healthy. elmo_top renders a degraded-
+  // state banner from these.
+  int bg_error_severity = 0;
+  std::string bg_error_source;
+  std::string bg_error_kind;
+  int bg_error_retry_count = 0;
   // Engine clock at render time.
   uint64_t ts_us = 0;
 };

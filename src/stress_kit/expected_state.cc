@@ -114,6 +114,16 @@ ExpectedState::Expected ExpectedState::Latest(uint32_t key) const {
   return e;
 }
 
+void ExpectedState::PruneUnacked() {
+  for (uint32_t k = 0; k < num_keys_; k++) {
+    std::lock_guard<std::mutex> l(MuFor(k));
+    auto& h = history_[k];
+    h.erase(std::remove_if(h.begin(), h.end(),
+                           [](const Entry& e) { return !e.acked; }),
+            h.end());
+  }
+}
+
 uint64_t ExpectedState::LiveKeyCount() const {
   uint64_t n = 0;
   for (uint32_t k = 0; k < num_keys_; k++) {

@@ -67,6 +67,12 @@ class ExpectedState {
   Expected Latest(uint32_t key) const;
   uint64_t LiveKeyCount() const;
 
+  // Transient-fault campaigns (no crash, no reopen): a write the DB
+  // refused can never become visible — the memtable insert is gated on
+  // WAL success and only a reopen replays WAL bytes. Drop every unacked
+  // entry so Latest() states exactly what the open DB must serve.
+  void PruneUnacked();
+
   // What a post-recovery scan found for each key.
   struct Observed {
     bool found = false;

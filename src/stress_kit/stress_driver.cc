@@ -18,6 +18,7 @@
 #include "lsm/db.h"
 #include "lsm/perf_context.h"
 #include "stress_kit/expected_state.h"
+#include "util/json.h"
 #include "util/random.h"
 
 namespace elmo::stress {
@@ -65,7 +66,7 @@ std::string StressReport::ToJson() const {
     return out;
   };
   const std::string escaped = escape(first_divergence);
-  char buf[1536];
+  char buf[2048];
   snprintf(
       buf, sizeof(buf),
       "{\"ok\": %s, \"first_divergence\": \"%s\", \"ops_executed\": %" PRIu64
@@ -73,20 +74,25 @@ std::string StressReport::ToJson() const {
       ", \"iterator_ops\": %" PRIu64 ", \"batches\": %" PRIu64
       ", \"sync_writes\": %" PRIu64 ", \"flushes\": %" PRIu64
       ", \"property_checks\": %" PRIu64 ", \"crash_cycles_done\": %d"
+      ", \"transient_bursts_done\": %d, \"auto_resumes\": %" PRIu64
+      ", \"manual_resumes\": %" PRIu64
       ", \"kill_point_fires\": %" PRIu64 ", \"write_failures\": %" PRIu64
       ", \"read_faults_tolerated\": %" PRIu64 ", \"final_live_keys\": %" PRIu64
       ", \"schedule_hash\": \"%016" PRIx64 "\", \"fault_counters\": "
       "{\"read_errors\": %" PRIu64 ", \"write_errors\": %" PRIu64
       ", \"sync_errors\": %" PRIu64 ", \"short_reads\": %" PRIu64
       ", \"read_corruptions\": %" PRIu64 ", \"wal_sync_lies\": %" PRIu64
+      ", \"transient_expiries\": %" PRIu64
       ", \"files_dropped\": %" PRIu64 ", \"bytes_dropped\": %" PRIu64 "}",
       ok ? "true" : "false", escaped.c_str(), ops_executed, puts, deletes,
       gets, iterator_ops, batches, sync_writes, flushes, property_checks,
-      crash_cycles_done, kill_point_fires, write_failures,
+      crash_cycles_done, transient_bursts_done, auto_resumes, manual_resumes,
+      kill_point_fires, write_failures,
       read_faults_tolerated, final_live_keys, schedule_hash,
       fault_counters.read_errors, fault_counters.write_errors,
       fault_counters.sync_errors, fault_counters.short_reads,
       fault_counters.read_corruptions, fault_counters.wal_sync_lies,
+      fault_counters.transient_expiries,
       fault_counters.files_dropped, fault_counters.bytes_dropped);
   std::string out = buf;
   out += ", \"perf_breakdown\": \"" + escape(perf_breakdown) + "\"}";
@@ -107,6 +113,18 @@ StressConfig Sanitize(StressConfig cfg) {
   const uint32_t rem = cfg.num_keys % cfg.shards;
   if (rem != 0) cfg.num_keys += cfg.shards - rem;
   cfg.value_len = std::max<size_t>(cfg.value_len, 24);
+  if (cfg.transient_faults) {
+    // The transient campaign is a pure error-handling exercise: one op
+    // stream, the retryable burst as the only fault source, and no
+    // power cuts — the strict oracle check then demands every acked
+    // write stays exactly visible.
+    cfg.threads = 1;
+    cfg.use_kill_points = false;
+    cfg.read_faults = false;
+    cfg.write_faults = false;
+    cfg.plant_wal_sync_violation = false;
+    cfg.transient_burst_ops = std::max<uint64_t>(cfg.transient_burst_ops, 4);
+  }
   return cfg;
 }
 
@@ -122,6 +140,10 @@ class StressDriver {
     Status s = Setup();
     if (!s.ok()) {
       Violation("setup failed: " + s.ToString());
+      return Finish();
+    }
+    if (cfg_.transient_faults) {
+      RunTransientCampaign();
       return Finish();
     }
     // A fired kill point cuts its segment short, so undone ops roll
@@ -429,6 +451,191 @@ class StressDriver {
     FoldST(found);
   }
 
+  // ---- transient-fault campaign (no crash, no reopen) ----
+
+  // True while the engine reports an active background error.
+  bool DbDegraded() {
+    std::string text;
+    if (!db_->GetProperty("elmo.bg_error", &text)) return false;
+    json::Value doc;
+    if (!json::Parse(text, &doc).ok()) return false;
+    const json::Value* sev = doc.Find("severity");
+    return sev != nullptr && sev->as_string() != "none";
+  }
+
+  void RunTransientCampaign() {
+    // cfg_.crash_cycles counts burst/recover cycles here; the DB opened
+    // in Setup() stays open for the whole campaign.
+    int cycle = 0;
+    while (!violation_ &&
+           (cycle < cfg_.crash_cycles || ops_executed_ < cfg_.ops)) {
+      const uint64_t done = ops_executed_;
+      const uint64_t remaining = cfg_.ops > done ? cfg_.ops - done : 0;
+      const int cycles_left = std::max(1, cfg_.crash_cycles - cycle);
+      const uint64_t n = std::max<uint64_t>(
+          4, remaining / static_cast<uint64_t>(cycles_left));
+      RunTransientCycle(cycle, n);
+      cycle++;
+    }
+  }
+
+  void RunTransientCycle(int cycle, uint64_t n) {
+    // Clean traffic first, then a seeded retryable burst mid-stream
+    // while ops keep coming (failed writes land in the oracle as
+    // unacked), then recovery + the no-lost-acks check.
+    segment_stop_ = false;
+    Random64 rng(WorkerSeed(cycle, 0));
+    const uint64_t clean = n / 3 + 1;
+    for (uint64_t i = 0; i < clean && !violation_; i++) DoOneOp(rng);
+    if (violation_) return;
+
+    FaultInjectionConfig fc;
+    fc.retryable = true;
+    fc.transient_ops = cfg_.transient_burst_ops;
+    fc.write_error = 0.2;
+    fc.sync_error = 0.2;
+    fc.kinds = {IOFileKind::kWal, IOFileKind::kSstData,
+                IOFileKind::kManifest};
+    fault_->SetErrorInjection(fc);
+    faults_active_ = true;
+    Fold(0x7f417f41u ^ static_cast<uint64_t>(cycle));
+
+    for (uint64_t i = clean; i < n && !violation_; i++) {
+      DoOneOp(rng);
+      if (!fault_->InjectionArmed()) break;  // burst budget spent
+    }
+    ApplyBaseInjection();  // clears any remaining injection
+    if (violation_) return;
+    transient_bursts_done_++;
+
+    if (!AwaitRecovery(rng)) return;
+    VerifyNoLostAcks();
+  }
+
+  // Wait for the error state to clear — auto-resume first (under SimEnv
+  // WaitForBackgroundWork drives the retry schedule inline by advancing
+  // the virtual clock; on real envs the recovery thread polls), manual
+  // Resume() as a counted last resort — then prove writes ack again.
+  bool AwaitRecovery(Random64& rng) {
+    bool manual = false;
+    for (int i = 0; i < 64 && DbDegraded(); i++) {
+      db_->WaitForBackgroundWork();
+      if (!DbDegraded()) break;
+      if (i >= 8) {
+        manual = true;
+        db_->Resume();
+      } else {
+        base_env_->SleepForMicroseconds(10 * 1000);
+      }
+    }
+    if (DbDegraded()) {
+      std::string text;
+      db_->GetProperty("elmo.bg_error", &text);
+      Violation("DB still degraded after a transient fault burst: " + text);
+      return false;
+    }
+    if (manual) {
+      manual_resumes_++;
+    } else {
+      auto_resumes_++;
+    }
+    FoldST(manual ? 2 : 1);
+    // The probe write must ack — and a fully-acked write resets the
+    // error handler's episode retry budget before the next burst.
+    const uint32_t key = static_cast<uint32_t>(rng.Uniform(cfg_.num_keys));
+    const uint64_t op = next_op_.fetch_add(1);
+    lsm::WriteOptions wo;
+    wo.sync = true;
+    Status s = db_->Put(wo, StressKeyName(key),
+                        StressValueFor(key, op, cfg_.value_len));
+    oracle_.RecordWrite(key, op, /*is_delete=*/false, s.ok());
+    FoldST(0x600 | key);
+    if (!s.ok()) {
+      Violation("post-recovery probe write failed: " + s.ToString());
+      return false;
+    }
+    puts_++;
+    sync_writes_++;
+    NoteAck(op);
+    oracle_.RecordSyncPoint(op);
+    return true;
+  }
+
+  void VerifyNoLostAcks() {
+    // No crash happened and refused writes can never surface (the
+    // memtable insert is gated on WAL success), so after pruning the
+    // unacked entries the oracle's Latest() per key must be EXACTLY
+    // what the still-open DB serves: any acked write missing — or any
+    // refused write visible — is a divergence.
+    oracle_.PruneUnacked();
+    lsm::ReadOptions ro;
+    ro.verify_checksums = true;
+    std::vector<ExpectedState::Observed> obs(cfg_.num_keys);
+    {
+      auto it = db_->NewIterator(ro);
+      std::string prev;
+      for (it->SeekToFirst(); it->Valid(); it->Next()) {
+        uint32_t k = 0, vk = 0;
+        uint64_t op = 0;
+        const std::string cur = it->key().ToString();
+        if (!ParseStressKey(it->key(), &k) || k >= cfg_.num_keys) {
+          Violation("post-resume scan returned a foreign key: " + cur);
+          return;
+        }
+        if (!DecodeStressValue(it->value(), &vk, &op) || vk != k) {
+          Violation("post-resume value for " + cur +
+                    " is corrupt or mislabeled");
+          return;
+        }
+        if (!prev.empty() && prev >= cur) {
+          Violation("post-resume iterator order broken at " + cur);
+          return;
+        }
+        if (obs[k].found) {
+          Violation("post-resume scan returned " + cur + " twice");
+          return;
+        }
+        obs[k] = {true, op};
+        prev = cur;
+      }
+      if (!it->status().ok()) {
+        Violation("post-resume iterator failed: " + it->status().ToString());
+        return;
+      }
+    }
+    uint64_t found = 0;
+    for (uint32_t k = 0; k < cfg_.num_keys; k++) {
+      const auto expected = oracle_.Latest(k);
+      if (expected.exists != obs[k].found ||
+          (expected.exists && expected.op_index != obs[k].op_index)) {
+        char buf[192];
+        snprintf(buf, sizeof(buf),
+                 "acked write diverged after transient-fault recovery: %s "
+                 "expected %s op %" PRIu64 ", observed %s op %" PRIu64,
+                 StressKeyName(k).c_str(),
+                 expected.exists ? "value" : "nothing", expected.op_index,
+                 obs[k].found ? "value" : "nothing", obs[k].op_index);
+        Violation(buf);
+        return;
+      }
+      // Point reads must agree with the scan.
+      std::string v;
+      Status gs = db_->Get(ro, StressKeyName(k), &v);
+      if (!gs.ok() && !gs.IsNotFound()) {
+        Violation("post-resume Get(" + StressKeyName(k) +
+                  ") failed: " + gs.ToString());
+        return;
+      }
+      if (gs.ok() != obs[k].found) {
+        Violation("post-resume Get and iterator disagree on " +
+                  StressKeyName(k));
+        return;
+      }
+      if (gs.ok()) found++;
+    }
+    FoldST(found);
+  }
+
   // ---- ops ----
 
   std::unique_lock<std::mutex> MaybeOrderLock(uint32_t key) {
@@ -696,6 +903,9 @@ class StressDriver {
     r.flushes = flushes_;
     r.property_checks = property_checks_;
     r.crash_cycles_done = crash_cycles_done_;
+    r.transient_bursts_done = transient_bursts_done_;
+    r.auto_resumes = auto_resumes_;
+    r.manual_resumes = manual_resumes_;
     r.kill_point_fires = kill_point_fires_;
     r.write_failures = write_failures_;
     r.read_faults_tolerated = read_faults_tolerated_;
@@ -732,6 +942,9 @@ class StressDriver {
       property_checks_{0}, kill_point_fires_{0}, write_failures_{0},
       read_faults_tolerated_{0};
   int crash_cycles_done_ = 0;
+  int transient_bursts_done_ = 0;
+  uint64_t auto_resumes_ = 0;
+  uint64_t manual_resumes_ = 0;
 };
 
 }  // namespace

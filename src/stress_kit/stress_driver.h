@@ -54,6 +54,19 @@ struct StressConfig {
   // Plant a real consistency bug (FaultInjectionEnv lies about WAL
   // sync): the run MUST end with ok=false and a first_divergence.
   bool plant_wal_sync_violation = false;
+  // Transient-fault recovery campaign: instead of crash → drop → reopen
+  // cycles, each cycle arms a seeded *retryable* write/sync error burst
+  // (FaultInjectionConfig{retryable, transient_ops}) mid-traffic and the
+  // DB is NEVER reopened — it must ride the burst out via the
+  // ErrorHandler's auto-resume (writes stall or fail fast while
+  // degraded, reads keep serving). After each burst the driver waits for
+  // the error state to clear, proves writes ack again, and checks every
+  // key against the oracle: no acknowledged write may be lost. Disables
+  // kill points and crash cycles.
+  bool transient_faults = false;
+  // Hook-operation budget per transient burst (the burst disarms itself
+  // after this many fault-hook calls, as if the device recovered).
+  uint64_t transient_burst_ops = 40;
   // When non-empty, every DB open (re)starts a span trace at this path
   // (lsm/span.h); the file holds the last cycle's trace. Best-effort:
   // a crash can drop the unsynced tail with everything else.
@@ -73,6 +86,13 @@ struct StressReport {
   uint64_t flushes = 0;
   uint64_t property_checks = 0;
   int crash_cycles_done = 0;
+  // Transient-fault campaign: retryable bursts ridden out (no reopen),
+  // split by how the error state cleared — auto-resume alone vs a
+  // manual DB::Resume() fallback (the CI leg alerts when the fallback
+  // ever fires).
+  int transient_bursts_done = 0;
+  uint64_t auto_resumes = 0;
+  uint64_t manual_resumes = 0;
   uint64_t kill_point_fires = 0;
   uint64_t write_failures = 0;        // ops refused by faults/cut power
   uint64_t read_faults_tolerated = 0;  // reads failed under injection

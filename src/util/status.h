@@ -36,6 +36,18 @@ class Status {
   static Status Aborted(const Slice& msg, const Slice& msg2 = Slice()) {
     return Status(kAborted, msg, msg2);
   }
+  static Status NoSpace(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNoSpace, msg, msg2);
+  }
+  // An IOError the environment expects to clear on its own (transient
+  // fault, saturated device queue). The ErrorHandler auto-resumes from
+  // these; plain IOErrors are treated as permanent media failures.
+  static Status RetryableIOError(const Slice& msg,
+                                 const Slice& msg2 = Slice()) {
+    Status s(kIOError, msg, msg2);
+    s.rep_->retryable = true;
+    return s;
+  }
 
   bool ok() const { return rep_ == nullptr; }
   bool IsNotFound() const { return code() == kNotFound; }
@@ -45,6 +57,8 @@ class Status {
   bool IsIOError() const { return code() == kIOError; }
   bool IsBusy() const { return code() == kBusy; }
   bool IsAborted() const { return code() == kAborted; }
+  bool IsNoSpace() const { return code() == kNoSpace; }
+  bool IsRetryable() const { return rep_ != nullptr && rep_->retryable; }
 
   std::string ToString() const {
     if (ok()) return "OK";
@@ -57,9 +71,12 @@ class Status {
       case kIOError:         type = "IO error: "; break;
       case kBusy:            type = "Busy: "; break;
       case kAborted:         type = "Aborted: "; break;
+      case kNoSpace:         type = "No space: "; break;
       default:               type = "Unknown: "; break;
     }
-    return std::string(type) + rep_->msg;
+    std::string out = std::string(type) + rep_->msg;
+    if (rep_->retryable) out += " (retryable)";
+    return out;
   }
 
  private:
@@ -72,11 +89,13 @@ class Status {
     kIOError = 5,
     kBusy = 6,
     kAborted = 7,
+    kNoSpace = 8,
   };
 
   struct Rep {
     Code code;
     std::string msg;
+    bool retryable = false;
   };
 
   Status(Code code, const Slice& msg, const Slice& msg2)

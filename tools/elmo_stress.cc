@@ -38,6 +38,11 @@ void Usage() {
           "  --no_read_faults      disable read-error/corruption segments\n"
           "  --no_write_faults     disable write-error segments\n"
           "  --plant_violation     lie about WAL syncs (run must fail)\n"
+          "  --transient_faults    no crash/reopen: retryable error bursts\n"
+          "                        mid-run; the DB must self-heal via\n"
+          "                        auto-resume with zero acked-write loss\n"
+          "  --burst_ops=<n>       fault-hook budget per transient burst\n"
+          "                        (default 40)\n"
           "  --span_trace=<path>   capture a span trace (lsm/span.h) on\n"
           "                        each DB open; holds the last cycle\n"
           "  --report=<path>       write the JSON report here too\n");
@@ -103,6 +108,10 @@ int main(int argc, char** argv) {
       cfg.drop_mode = 0;
       cfg.write_faults = false;
       cfg.read_faults = false;
+    } else if (arg == "--transient_faults") {
+      cfg.transient_faults = true;
+    } else if (ParseUint64Flag(arg, "burst_ops", &u)) {
+      cfg.transient_burst_ops = u;
     } else if (ParseStringFlag(arg, "span_trace", &s)) {
       cfg.span_trace_path = s;
     } else if (ParseStringFlag(arg, "report", &s)) {
@@ -155,12 +164,23 @@ int main(int argc, char** argv) {
             report.first_divergence.c_str());
     return 1;
   }
-  fprintf(stderr,
-          "elmo_stress: ok (%llu ops, %d crash cycles, %llu kill-point "
-          "fires, %llu live keys)\n",
-          static_cast<unsigned long long>(report.ops_executed),
-          report.crash_cycles_done,
-          static_cast<unsigned long long>(report.kill_point_fires),
-          static_cast<unsigned long long>(report.final_live_keys));
+  if (cfg.transient_faults) {
+    fprintf(stderr,
+            "elmo_stress: ok (%llu ops, %d transient bursts, %llu "
+            "auto-resumes, %llu manual resumes, %llu live keys)\n",
+            static_cast<unsigned long long>(report.ops_executed),
+            report.transient_bursts_done,
+            static_cast<unsigned long long>(report.auto_resumes),
+            static_cast<unsigned long long>(report.manual_resumes),
+            static_cast<unsigned long long>(report.final_live_keys));
+  } else {
+    fprintf(stderr,
+            "elmo_stress: ok (%llu ops, %d crash cycles, %llu kill-point "
+            "fires, %llu live keys)\n",
+            static_cast<unsigned long long>(report.ops_executed),
+            report.crash_cycles_done,
+            static_cast<unsigned long long>(report.kill_point_fires),
+            static_cast<unsigned long long>(report.final_live_keys));
+  }
   return 0;
 }

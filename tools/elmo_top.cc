@@ -76,6 +76,24 @@ std::string HumanRate(double v) {
   return buf;
 }
 
+// Degraded-state banner shared by both dashboards. Severity follows
+// lsm::ErrorSeverity: 1 soft (writes stalled, auto-resume pending),
+// 2 hard (read-only degraded), 3 fatal (reopen required).
+std::string DegradedBanner(int severity, const std::string& detail) {
+  if (severity <= 0) return "";
+  const char* what =
+      severity >= 3
+          ? "FATAL background error — reopen required"
+          : (severity == 2
+                 ? "DEGRADED (hard): writes fail fast, reads serving"
+                 : "DEGRADED (soft): writes stalled pending auto-resume");
+  std::string out = "!! ";
+  out += what;
+  if (!detail.empty()) out += "   " + detail;
+  out += "\n";
+  return out;
+}
+
 // ASCII sparkline over the last `width` values (min..max scaled to a
 // 8-step ramp). Pure ASCII so it survives any terminal/CI log.
 std::string Sparkline(const std::vector<double>& values, size_t width) {
@@ -115,6 +133,17 @@ std::string RenderSeriesFrame(const std::string& source,
            source.c_str(), samples.size(), last.ts_us / 1e6,
            last.interval_us / 1e3);
   out += buf;
+
+  {
+    std::string detail;
+    if (last.auto_resume_successes + last.auto_resume_failures > 0) {
+      snprintf(buf, sizeof(buf), "resume attempts this tick: %llu ok, %llu failed",
+               static_cast<unsigned long long>(last.auto_resume_successes),
+               static_cast<unsigned long long>(last.auto_resume_failures));
+      detail = buf;
+    }
+    out += DegradedBanner(last.bg_error_severity, detail);
+  }
 
   const HealthReport& hr = timeline.final_report;
   snprintf(buf, sizeof(buf),
@@ -242,6 +271,21 @@ std::string RenderPromFrame(const std::string& source,
       top_severity = value;
     }
   }
+  {
+    // elmo_background_error_state{source="...",kind="..."} is exported
+    // (value 1) only while an error is active; surface its labels.
+    std::string detail;
+    for (const auto& [key, value] : cur) {
+      if (key.compare(0, 28, "elmo_background_error_state{") == 0 &&
+          value > 0) {
+        detail = key.substr(27);  // keep the {source=...,kind=...} block
+      }
+    }
+    out += DegradedBanner(
+        static_cast<int>(PromValue(cur, "elmo_background_error_severity")),
+        detail);
+  }
+
   snprintf(buf, sizeof(buf), "health: %s",
            HealthStatusName(static_cast<elmo::monitor::HealthStatus>(
                status < 0 ? 0 : (status > 2 ? 2 : status))));
